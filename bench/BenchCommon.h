@@ -1,0 +1,108 @@
+//===- bench/BenchCommon.h --------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure-reproduction benches: build a generated
+/// program at a given optimization level, run it, and report the metrics the
+/// paper plots. The global scale factor SCMO_SCALE (environment variable,
+/// default 1.0) lets a user trade bench runtime for fidelity to the paper's
+/// multi-million-line scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_BENCH_BENCHCOMMON_H
+#define SCMO_BENCH_BENCHCOMMON_H
+
+#include "driver/CompilerSession.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace scmo {
+namespace bench {
+
+/// Scale factor from the SCMO_SCALE environment variable (default 1).
+inline double scaleFactor() {
+  const char *Env = std::getenv("SCMO_SCALE");
+  if (!Env)
+    return 1.0;
+  double V = std::atof(Env);
+  return V > 0 ? V : 1.0;
+}
+
+/// One measured configuration.
+struct Measured {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Cycles = 0;
+  uint64_t OutputChecksum = 0;
+  double CompileSeconds = 0;
+  double HloSeconds = 0;
+  uint64_t HloPeakBytes = 0;
+  uint64_t TotalPeakBytes = 0;
+  uint64_t SourceLines = 0;
+  uint64_t CmoLines = 0;
+  BuildResult Build; ///< Full build record for detail reporting.
+};
+
+/// Builds \p GP with \p Opts (+ optional profile) and runs it.
+inline Measured measure(const GeneratedProgram &GP, CompileOptions Opts,
+                        const ProfileDb *Db = nullptr,
+                        bool RunIt = true) {
+  Measured M;
+  CompilerSession Session(Opts);
+  if (!Session.addGenerated(GP)) {
+    M.Error = Session.firstError();
+    return M;
+  }
+  if (Db)
+    Session.attachProfile(*Db);
+  BuildResult Build = Session.build();
+  M.CompileSeconds = Build.TotalSeconds;
+  M.HloSeconds = Build.HloSeconds;
+  M.HloPeakBytes = Build.HloPeakBytes;
+  M.TotalPeakBytes = Build.TotalPeakBytes;
+  M.SourceLines = Build.SourceLines;
+  M.CmoLines = Build.Selectivity.CmoSourceLines;
+  if (!Build.Ok) {
+    M.Error = Build.Error;
+    M.Build = std::move(Build);
+    return M;
+  }
+  if (RunIt) {
+    RunResult Run = runExecutable(Build.Exe);
+    if (!Run.Ok) {
+      M.Error = "run failed: " + Run.Error;
+      M.Build = std::move(Build);
+      return M;
+    }
+    M.Cycles = Run.Cycles;
+    M.OutputChecksum = Run.OutputChecksum;
+  }
+  M.Build = std::move(Build);
+  M.Ok = true;
+  return M;
+}
+
+/// Convenience for the standard levels.
+inline CompileOptions optionsFor(OptLevel Level, bool Pbo) {
+  CompileOptions Opts;
+  Opts.Level = Level;
+  Opts.Pbo = Pbo;
+  return Opts;
+}
+
+inline const char *fmtMiB(uint64_t Bytes, char *Buf, size_t N) {
+  std::snprintf(Buf, N, "%.1f", double(Bytes) / (1024.0 * 1024.0));
+  return Buf;
+}
+
+} // namespace bench
+} // namespace scmo
+
+#endif // SCMO_BENCH_BENCHCOMMON_H

@@ -1,0 +1,149 @@
+//===- bench/fig1_speedups.cpp --------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces **Figure 1**: relative speedup of aggressively optimized
+/// programs with respect to run times at the default optimization level
+/// (+O2): PBO (+O2 +P), CMO (+O4), and CMO+PBO (+O4 +P), for eight
+/// SPECint95-like generated benchmarks and three MCAD-like applications.
+///
+/// Paper specifics reproduced here:
+///  - the MCAD cross-module compiles share one machine-size budget and the
+///    guided build ships at 5% selectivity (the paper's configuration).
+///    Unlike the paper we CAN compile the MCAD apps with plain CMO — our
+///    internals all scale; EXPERIMENTS.md discusses this deviation;
+///  - Mcad3's baseline is +O1 ("optimize only within basic block
+///    boundaries"), so its speedups are relative to O1;
+///  - ISV apps train and benchmark on the same data set; SPEC-likes train on
+///    a shorter run (different trip count) than the benchmark run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace scmo;
+using namespace scmo::bench;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  double Pbo = 0, Cmo = 0, CmoPbo = 0;
+  bool CmoFailed = false;
+  const char *BaselineName = "O2";
+};
+
+Row measureProgram(const std::string &Name, const GeneratedProgram &GP,
+                   const GeneratedProgram &TrainGP, OptLevel Baseline,
+                   uint64_t MachineBytes) {
+  Row R;
+  R.Name = Name;
+  R.BaselineName = Baseline == OptLevel::O1 ? "O1" : "O2";
+  std::string Error;
+  ProfileDb Db = trainProfile(TrainGP, Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "%s: training failed: %s\n", Name.c_str(),
+                 Error.c_str());
+    return R;
+  }
+  Measured Base = measure(GP, optionsFor(Baseline, false));
+  Measured Pbo = measure(GP, optionsFor(OptLevel::O2, true), &Db);
+  CompileOptions CmoOpts = optionsFor(OptLevel::O4, false);
+  CompileOptions CmoPboOpts = optionsFor(OptLevel::O4, true);
+  if (MachineBytes) {
+    // The ISV scenario: one machine size for both cross-module compiles;
+    // the guided compile ships at 5%% selectivity (the paper's deployed
+    // configuration). Note an honest deviation from the paper here: our
+    // pure-CMO compiles *succeed*, because every internal algorithm in this
+    // reproduction scales — the paper's infeasibility came from non-scaling
+    // internals its authors deemed pointless to fix once selectivity
+    // existed (Section 5). See EXPERIMENTS.md.
+    CmoOpts.Naim = NaimConfig::autoFor(MachineBytes / 2);
+    CmoPboOpts.Naim = NaimConfig::autoFor(MachineBytes / 2);
+    CmoPboOpts.SelectivityPercent = 5.0;
+  }
+  Measured Cmo = measure(GP, CmoOpts);
+  Measured CmoPbo = measure(GP, CmoPboOpts, &Db);
+  if (!Base.Ok || !Pbo.Ok || !CmoPbo.Ok) {
+    std::fprintf(stderr, "%s: build failed: %s%s%s\n", Name.c_str(),
+                 Base.Error.c_str(), Pbo.Error.c_str(), CmoPbo.Error.c_str());
+    return R;
+  }
+  R.Pbo = double(Base.Cycles) / double(Pbo.Cycles);
+  R.CmoPbo = double(Base.Cycles) / double(CmoPbo.Cycles);
+  if (Cmo.Ok)
+    R.Cmo = double(Base.Cycles) / double(Cmo.Cycles);
+  else
+    R.CmoFailed = true;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  double Scale = scaleFactor();
+  std::printf("Figure 1: speedup over default optimization (+O2; Mcad3: "
+              "+O1)\n");
+  std::printf("(scale factor %.2f; set SCMO_SCALE to adjust)\n\n", Scale);
+  std::printf("%-10s %-5s %8s %8s %8s\n", "program", "base", "PBO", "CMO",
+              "CMO+PBO");
+
+  std::vector<Row> Rows;
+
+  // SPECint95-like benchmarks. Training uses a shorter "training input"
+  // (fewer outer iterations), the benchmark run the full count — like
+  // SPEC's train vs ref data sets.
+  for (const char *Name : {"go", "m88k", "gcc", "comp", "li", "ijpeg",
+                           "perl", "vortex"}) {
+    WorkloadParams Params = specLikeParams(Name);
+    Params.OuterIterations =
+        static_cast<uint64_t>(Params.OuterIterations * Scale);
+    GeneratedProgram GP = generateProgram(Params);
+    WorkloadParams TrainParams = Params;
+    TrainParams.OuterIterations = Params.OuterIterations / 4;
+    GeneratedProgram TrainGP = generateProgram(TrainParams);
+    Rows.push_back(measureProgram(Name, GP, TrainGP, OptLevel::O2,
+                                  /*CmoHeapCap=*/0));
+  }
+
+  // MCAD-like ISV applications (scaled down from 5M/6.5M/9M lines). The ISV
+  // apps trained and benchmarked on the same inputs (paper Section 2).
+  struct McadSpec {
+    const char *Name;
+    unsigned Variant;
+    uint64_t Lines;
+    OptLevel Baseline;
+    uint64_t CmoHeapCap; // Scaled stand-in for the ~1GB process limit.
+  };
+  const McadSpec Mcads[] = {
+      {"Mcad1", 1, 60000, OptLevel::O2, 1},
+      {"Mcad2", 2, 40000, OptLevel::O2, 1},
+      {"Mcad3", 3, 50000, OptLevel::O1, 0},
+  };
+  for (const McadSpec &Spec : Mcads) {
+    uint64_t Lines = static_cast<uint64_t>(Spec.Lines * Scale);
+    GeneratedProgram GP = generateProgram(mcadLikeParams(Lines, Spec.Variant));
+    // The scaled stand-in for the HP-UX ~1GB machine limit, applied to both
+    // MCAD cross-module compiles.
+    uint64_t Machine = Spec.CmoHeapCap ? GP.TotalLines * 560 : 0;
+    Rows.push_back(measureProgram(Spec.Name, GP, GP, Spec.Baseline, Machine));
+  }
+
+  for (const Row &R : Rows) {
+    std::printf("%-10s %-5s %8.2f ", R.Name.c_str(), R.BaselineName, R.Pbo);
+    if (R.CmoFailed)
+      std::printf("%8s ", "fail");
+    else
+      std::printf("%8.2f ", R.Cmo);
+    std::printf("%8.2f\n", R.CmoPbo);
+  }
+  std::printf("\npaper (Figure 1): SPEC speedups roughly 1.05-1.45 with\n"
+              "CMO+PBO >= PBO and >= CMO; ISV apps among the best results\n"
+              "(Mcad1 1.71x CMO+PBO). The paper could not compile Mcad1/2\n"
+              "with plain CMO at all; we can (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/fig4_memory.cpp ----------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces **Figure 4**: "the increase in both compiler and HLO memory
+/// usage as more lines of the Mcad1 application are compiled in CMO mode."
+/// The paper's claim: thanks to NAIM, HLO memory grows *sub-linearly* with
+/// lines of code, while overall compiler memory grows faster (the caption
+/// attributes the difference to inlining making routines larger, which blows
+/// up LLO's footprint, plus the accumulating generated code).
+///
+/// We sweep Mcad1-like applications of increasing size, compiled at O4+P
+/// under a fixed NAIM configuration (thresholds tied to a fixed "machine
+/// memory", as in the deployed compiler), and report the peak HLO and
+/// overall bytes. The final column shows HLO bytes per source line — the
+/// quantity the paper tracks from 1.7KB (HP-UX 9.0) downwards.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace scmo;
+using namespace scmo::bench;
+
+int main() {
+  double Scale = scaleFactor();
+  std::printf("Figure 4: compiler and HLO memory vs lines compiled with "
+              "CMO\n(scale %.2f; Mcad1-like application, O4+P, NAIM "
+              "thresholds fixed)\n\n",
+              Scale);
+  std::printf("%10s %10s %12s %12s %12s %10s\n", "lines", "modules",
+              "HLO peak", "total peak", "HLO B/line", "compile s");
+
+  const uint64_t BaseSizes[] = {20000, 40000, 80000, 160000, 320000};
+  for (uint64_t Base : BaseSizes) {
+    uint64_t Lines = static_cast<uint64_t>(Base * Scale);
+    GeneratedProgram GP = generateProgram(mcadLikeParams(Lines, 1));
+    std::string Error;
+    ProfileDb Db = trainProfile(GP, Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "training failed: %s\n", Error.c_str());
+      return 1;
+    }
+    CompileOptions Opts = optionsFor(OptLevel::O4, true);
+    // Fixed machine memory: the same thresholds for every program size, so
+    // bigger programs exercise progressively more NAIM machinery.
+    Opts.Naim = NaimConfig::autoFor(48ull << 20);
+    Measured M = measure(GP, Opts, &Db, /*RunIt=*/false);
+    if (!M.Ok) {
+      std::fprintf(stderr, "build failed: %s\n", M.Error.c_str());
+      return 1;
+    }
+    char HloBuf[32], TotBuf[32];
+    std::printf("%10llu %10zu %10s M %10s M %12.0f %10.2f\n",
+                (unsigned long long)M.SourceLines, GP.Modules.size(),
+                fmtMiB(M.HloPeakBytes, HloBuf, sizeof(HloBuf)),
+                fmtMiB(M.TotalPeakBytes, TotBuf, sizeof(TotBuf)),
+                double(M.HloPeakBytes) / double(M.SourceLines),
+                M.CompileSeconds);
+  }
+  std::printf("\npaper (Figure 4): at 5M lines, HLO ~200MB and still "
+              "flattening;\noverall compiler ~550MB and growing faster than "
+              "HLO.\nExpected shape: HLO bytes/line falls as size grows "
+              "(sub-linear);\ntotal peak grows faster than HLO peak.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+//===- bench/fig6_selectivity.cpp -----------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces **Figure 6**: "how compile time and run time of Mcad1 vary as
+/// more and more of the application is compiled with CMO and PBO (+O4 +P).
+/// Code not compiled with CMO and PBO is compiled at the default
+/// optimization level with PBO (+O2 +P)."
+///
+/// The paper's shape: compile time grows roughly linearly from ~200 min
+/// (PBO alone) to ~900 min (everything CMO); run time drops quickly and is
+/// flat past ~20% of the code — "about 80% of the code has no appreciable
+/// effect on performance", so ~5% of call sites buys the full benefit at a
+/// third of the compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace scmo;
+using namespace scmo::bench;
+
+int main() {
+  double Scale = scaleFactor();
+  uint64_t Lines = static_cast<uint64_t>(120000 * Scale);
+  GeneratedProgram GP = generateProgram(mcadLikeParams(Lines, 1));
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "training failed: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::printf("Figure 6: compile time and run time vs selectivity "
+              "(Mcad1-like, %llu lines)\n\n",
+              (unsigned long long)GP.TotalLines);
+  std::printf("%8s %12s %10s %12s %14s %12s\n", "sites%", "CMO lines",
+              "CMO LoC%", "optimize s", "run Mcycles", "vs PBO-only");
+
+  // The interesting selection range is compressed toward small percentages
+  // (our generated site population has proportionally fewer cold sites than
+  // a 5M-line application); the paper's own active range was 0-5.5%% of
+  // sites. The primary x-axis is LoC under CMO, as in the paper's figure.
+  const double Percents[] = {0,  0.05, 0.1, 0.25, 0.5, 1,
+                             5,  25,   60,  100};
+  double BaselineCycles = 0;
+  for (double Pct : Percents) {
+    CompileOptions Opts = optionsFor(OptLevel::O4, true);
+    Opts.SelectivityPercent = Pct;
+    // "Percent == 100" without a reduced setting means selectEverything in
+    // the driver; route 100 through selectivity too for a fair curve.
+    if (Pct >= 100.0)
+      Opts.SelectivityPercent = 99.999;
+    Measured M = measure(GP, Opts, &Db);
+    if (!M.Ok) {
+      std::fprintf(stderr, "selectivity %.1f failed: %s\n", Pct,
+                   M.Error.c_str());
+      return 1;
+    }
+    if (BaselineCycles == 0)
+      BaselineCycles = double(M.Cycles);
+    std::printf("%8.2f %12llu %9.1f%% %12.2f %14.2f %11.2fx\n", Pct,
+                (unsigned long long)M.CmoLines,
+                100.0 * double(M.CmoLines) / double(M.SourceLines),
+                M.CompileSeconds - M.Build.FrontendSeconds,
+                double(M.Cycles) / 1e6, BaselineCycles / double(M.Cycles));
+  }
+  std::printf("\npaper (Figure 6): compile time rises ~linearly with the\n"
+              "amount of code under CMO (200 -> 900 min); run-time benefit\n"
+              "saturates by ~20%% of the code / ~5%% of call sites (1.33x\n"
+              "over PBO alone).\n");
+  return 0;
+}

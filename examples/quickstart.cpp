@@ -1,0 +1,138 @@
+//===- examples/quickstart.cpp --------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: compile a two-module MiniC program through the full pipeline
+/// at every optimization level the paper evaluates, and print the speedups.
+///
+/// The flow mirrors a real deployment: build an instrumented binary (+I),
+/// run it on training input to get a profile database, then rebuild with
+/// CMO and PBO (+O4 +P).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompilerSession.h"
+
+#include <cstdio>
+
+using namespace scmo;
+
+namespace {
+
+// A little cross-module program: mathlib provides the kernels, app drives
+// them. Cross-module inlining of `blend` and `clamp` is where CMO earns its
+// speedup; the biased branch in `clamp` is what PBO layout repairs.
+const char *MathLib = R"(
+global lut[64];
+global scale = 3;
+
+func clamp(x, lo, hi) {
+  if (x < lo) { return lo; }
+  if (x > hi) { return hi; }
+  return x;
+}
+
+func blend(a, b, t) {
+  return (a * (16 - t) + b * t) / 16;
+}
+
+func initLut() {
+  var i = 0;
+  while (i < 64) {
+    lut[i] = clamp(i * scale, 8, 150);
+    i = i + 1;
+  }
+  return 0;
+}
+)";
+
+const char *App = R"(
+global checksum;
+
+func main() {
+  initLut();
+  var i = 0;
+  while (i < 200000) {
+    var a = lut[i];
+    var b = lut[i + 17];
+    checksum = checksum + blend(a, b, i % 16);
+    checksum = checksum % 1000003;
+    i = i + 1;
+  }
+  print checksum;
+  return 0;
+}
+)";
+
+} // namespace
+
+int main() {
+  std::printf("SCMO quickstart: two modules, five optimization levels\n\n");
+
+  // Step 1: train a profile (the +I build, run on training input).
+  std::string Error;
+  ProfileDb Db = trainProfileOnSources({{"mathlib", MathLib}, {"app", App}},
+                                       Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "training failed: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("trained profile: %zu routines, %llu dynamic block counts\n\n",
+              Db.size(), (unsigned long long)Db.totalCount());
+
+  // Step 2: build at each level and run.
+  struct Level {
+    const char *Name;
+    OptLevel Opt;
+    bool Pbo;
+  };
+  const Level Levels[] = {
+      {"+O1 (basic blocks only)", OptLevel::O1, false},
+      {"+O2 (default)", OptLevel::O2, false},
+      {"+O2 +P (PBO)", OptLevel::O2, true},
+      {"+O4 (CMO)", OptLevel::O4, false},
+      {"+O4 +P (CMO+PBO)", OptLevel::O4, true},
+  };
+  uint64_t Baseline = 0;
+  std::printf("%-26s %12s %10s %8s\n", "level", "cycles", "code", "speedup");
+  for (const Level &L : Levels) {
+    CompileOptions Opts;
+    Opts.Level = L.Opt;
+    Opts.Pbo = L.Pbo;
+    CompilerSession Session(Opts);
+    if (!Session.addSource("mathlib", MathLib) ||
+        !Session.addSource("app", App)) {
+      std::fprintf(stderr, "frontend: %s\n", Session.firstError().c_str());
+      return 1;
+    }
+    if (L.Pbo)
+      Session.attachProfile(Db);
+    BuildResult Build = Session.build();
+    if (!Build.Ok) {
+      std::fprintf(stderr, "%s: build failed: %s\n", L.Name,
+                   Build.Error.c_str());
+      return 1;
+    }
+    RunResult Run = runExecutable(Build.Exe);
+    if (!Run.Ok) {
+      std::fprintf(stderr, "%s: run failed: %s\n", L.Name,
+                   Run.Error.c_str());
+      return 1;
+    }
+    if (L.Opt == OptLevel::O2 && !L.Pbo)
+      Baseline = Run.Cycles;
+    std::printf("%-26s %12llu %10zu", L.Name,
+                (unsigned long long)Run.Cycles, Build.Exe.Code.size());
+    if (Baseline)
+      std::printf(" %7.2fx", double(Baseline) / double(Run.Cycles));
+    std::printf("   output=%lld\n",
+                Run.FirstOutputs.empty() ? -1 : (long long)Run.FirstOutputs[0]);
+  }
+  std::printf("\nAll levels print the same output; only the cycle count "
+              "changes.\n");
+  return 0;
+}

@@ -1,0 +1,260 @@
+//===- bytecode/ObjectFile.cpp --------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/ObjectFile.h"
+
+#include "bytecode/Compact.h"
+#include "support/VarInt.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace scmo;
+
+namespace {
+
+constexpr uint64_t ObjectMagic = 0x534353d04f4c4931ull; // "SCMO-IL1"-ish.
+
+void encodeString(std::vector<uint8_t> &Out, const std::string &S) {
+  encodeVarUInt(Out, S.size());
+  Out.insert(Out.end(), S.begin(), S.end());
+}
+
+std::string decodeString(ByteReader &Reader) {
+  uint64_t Len = Reader.readVarUInt();
+  if (Reader.hadError() || Len > Reader.remaining())
+    return "";
+  std::string S(Len, '\0');
+  Reader.readBytes(reinterpret_cast<uint8_t *>(S.data()), Len);
+  return S;
+}
+
+/// Object-local symbol tables built while scanning a module's bodies.
+struct LocalSyms {
+  std::map<GlobalId, uint32_t> GlobalIdx;
+  std::vector<GlobalId> Globals;
+  std::map<RoutineId, uint32_t> RoutineIdx;
+  std::vector<RoutineId> Routines;
+
+  uint32_t globalFor(GlobalId G) {
+    auto [It, New] = GlobalIdx.emplace(G, Globals.size());
+    if (New)
+      Globals.push_back(G);
+    return It->second;
+  }
+
+  uint32_t routineFor(RoutineId R) {
+    auto [It, New] = RoutineIdx.emplace(R, Routines.size());
+    if (New)
+      Routines.push_back(R);
+    return It->second;
+  }
+};
+
+} // namespace
+
+std::vector<uint8_t> scmo::writeObject(Program &P, ModuleId M) {
+  ModuleInfo &Mod = P.module(M);
+  // The symbol table may have been compacted by the loader; the object file
+  // needs its records.
+  if (Mod.Symtab.state() == PoolState::Compact)
+    Mod.Symtab.expand();
+  LocalSyms Syms;
+
+  // Routines defined here come first in the local routine table, in module
+  // order, so the body section can index them densely.
+  std::vector<RoutineId> Defined;
+  for (RoutineId R : Mod.Routines) {
+    const RoutineInfo &RI = P.routine(R);
+    if (RI.IsDefined && RI.Owner == M && RI.Slot.State == PoolState::Expanded) {
+      Syms.routineFor(R);
+      Defined.push_back(R);
+    }
+  }
+
+  // Encode bodies first (against a growing local symbol table), emit after
+  // the tables so the reader can resolve symbols before decoding bodies.
+  SymRemap Remap;
+  Remap.Global = [&Syms](GlobalId G) { return Syms.globalFor(G); };
+  Remap.Routine = [&Syms](RoutineId R) { return Syms.routineFor(R); };
+
+  std::vector<std::vector<uint8_t>> Bodies;
+  Bodies.reserve(Defined.size());
+  for (RoutineId R : Defined)
+    Bodies.push_back(compactRoutine(*P.routine(R).Slot.Body, Remap));
+
+  // Make sure the module's own globals appear even if unreferenced (they may
+  // be referenced by other modules).
+  for (GlobalId G : Mod.Globals)
+    Syms.globalFor(G);
+
+  std::vector<uint8_t> Out;
+  encodeVarUInt(Out, ObjectMagic);
+  encodeString(Out, P.Strings.text(Mod.Name));
+  encodeVarUInt(Out, Mod.SourceLines);
+
+  // Global symbol table: name, size, init, flags(static, definedHere).
+  encodeVarUInt(Out, Syms.Globals.size());
+  for (GlobalId G : Syms.Globals) {
+    const GlobalVar &GV = P.global(G);
+    encodeString(Out, P.Strings.text(GV.Name));
+    encodeVarUInt(Out, GV.Size);
+    encodeVarInt(Out, GV.Init);
+    uint8_t Flags = (GV.IsStatic ? 1 : 0) | (GV.Owner == M ? 2 : 0);
+    Out.push_back(Flags);
+  }
+
+  // Routine symbol table: name, numParams, flags(static, definedHere).
+  encodeVarUInt(Out, Syms.Routines.size());
+  for (RoutineId R : Syms.Routines) {
+    const RoutineInfo &RI = P.routine(R);
+    encodeString(Out, P.Strings.text(RI.Name));
+    encodeVarUInt(Out, RI.NumParams);
+    bool DefinedHere =
+        RI.IsDefined && RI.Owner == M && RI.Slot.State == PoolState::Expanded;
+    uint8_t Flags = (RI.IsStatic ? 1 : 0) | (DefinedHere ? 2 : 0);
+    Out.push_back(Flags);
+  }
+
+  // Debug records (module symbol table bulk data).
+  if (Mod.Symtab.state() == PoolState::Expanded) {
+    encodeVarUInt(Out, Mod.Symtab.records().size());
+    for (const std::string &Rec : Mod.Symtab.records())
+      encodeString(Out, Rec);
+  } else {
+    encodeVarUInt(Out, 0);
+  }
+
+  // Bodies, in defined-routine order.
+  encodeVarUInt(Out, Bodies.size());
+  for (size_t Idx = 0; Idx != Bodies.size(); ++Idx) {
+    encodeVarUInt(Out, Bodies[Idx].size());
+    Out.insert(Out.end(), Bodies[Idx].begin(), Bodies[Idx].end());
+  }
+  return Out;
+}
+
+ModuleId scmo::readObject(Program &P, const std::vector<uint8_t> &Bytes,
+                          std::string &Error) {
+  ByteReader Reader(Bytes);
+  if (Reader.readVarUInt() != ObjectMagic) {
+    Error = "bad object magic";
+    return InvalidId;
+  }
+  std::string ModName = decodeString(Reader);
+  ModuleId M = P.addModule(ModName);
+  ModuleInfo &Mod = P.module(M);
+  Mod.SourceLines = static_cast<uint32_t>(Reader.readVarUInt());
+
+  // Globals.
+  uint64_t NumGlobals = Reader.readVarUInt();
+  std::vector<GlobalId> LocalGlobals;
+  LocalGlobals.reserve(NumGlobals);
+  for (uint64_t Idx = 0; Idx != NumGlobals && !Reader.hadError(); ++Idx) {
+    std::string Name = decodeString(Reader);
+    uint32_t Size = static_cast<uint32_t>(Reader.readVarUInt());
+    int64_t Init = Reader.readVarInt();
+    uint8_t Flags = 0;
+    Reader.readBytes(&Flags, 1);
+    bool IsStatic = Flags & 1;
+    // Extern references to non-static globals merge by name; statics are
+    // always owned by this module.
+    LocalGlobals.push_back(P.addGlobal(M, Name, Size, Init, IsStatic));
+  }
+
+  // Routines.
+  uint64_t NumRoutines = Reader.readVarUInt();
+  std::vector<RoutineId> LocalRoutines;
+  std::vector<RoutineId> DefinedHere;
+  LocalRoutines.reserve(NumRoutines);
+  for (uint64_t Idx = 0; Idx != NumRoutines && !Reader.hadError(); ++Idx) {
+    std::string Name = decodeString(Reader);
+    uint32_t NumParams = static_cast<uint32_t>(Reader.readVarUInt());
+    uint8_t Flags = 0;
+    Reader.readBytes(&Flags, 1);
+    bool IsStatic = Flags & 1;
+    bool Defined = Flags & 2;
+    RoutineId R = P.declareRoutine(M, Name, NumParams, IsStatic);
+    LocalRoutines.push_back(R);
+    if (Defined)
+      DefinedHere.push_back(R);
+  }
+
+  // Debug records.
+  uint64_t NumRecords = Reader.readVarUInt();
+  for (uint64_t Idx = 0; Idx != NumRecords && !Reader.hadError(); ++Idx)
+    Mod.Symtab.addRecord(decodeString(Reader));
+
+  // Bodies.
+  SymRemap Remap;
+  Remap.Global = [&LocalGlobals](uint32_t Local) -> uint32_t {
+    return Local < LocalGlobals.size() ? LocalGlobals[Local] : InvalidId;
+  };
+  Remap.Routine = [&LocalRoutines](uint32_t Local) -> uint32_t {
+    return Local < LocalRoutines.size() ? LocalRoutines[Local] : InvalidId;
+  };
+  uint64_t NumBodies = Reader.readVarUInt();
+  if (NumBodies != DefinedHere.size()) {
+    Error = "object body count mismatch";
+    return InvalidId;
+  }
+  for (uint64_t Idx = 0; Idx != NumBodies; ++Idx) {
+    uint64_t Len = Reader.readVarUInt();
+    if (Reader.hadError() || Len > Reader.remaining()) {
+      Error = "truncated object body";
+      return InvalidId;
+    }
+    std::vector<uint8_t> BodyBytes(Len);
+    Reader.readBytes(BodyBytes.data(), Len);
+    auto Body = expandRoutine(BodyBytes, P.tracker(), Remap);
+    if (!Body) {
+      Error = "corrupt routine body in object";
+      return InvalidId;
+    }
+    RoutineId R = DefinedHere[Idx];
+    if (P.routine(R).IsDefined) {
+      Error = "duplicate definition of routine " + P.displayName(R);
+      return InvalidId;
+    }
+    P.defineRoutine(R, M, std::move(Body));
+  }
+  if (Reader.hadError()) {
+    Error = "truncated object";
+    return InvalidId;
+  }
+  Error.clear();
+  return M;
+}
+
+bool scmo::writeFile(const std::string &Path,
+                     const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = Bytes.empty() ? 0 : std::fwrite(Bytes.data(), 1,
+                                                   Bytes.size(), F);
+  std::fclose(F);
+  return Written == Bytes.size();
+}
+
+bool scmo::readFile(const std::string &Path, std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fseek(F, 0, SEEK_SET);
+  if (Size < 0) {
+    std::fclose(F);
+    return false;
+  }
+  Bytes.resize(static_cast<size_t>(Size));
+  size_t Read =
+      Bytes.empty() ? 0 : std::fread(Bytes.data(), 1, Bytes.size(), F);
+  std::fclose(F);
+  return Read == Bytes.size();
+}

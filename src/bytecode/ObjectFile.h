@@ -1,0 +1,52 @@
+//===- bytecode/ObjectFile.h ------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IL object files. In CMO mode "the frontends dump the IL directly to object
+/// files that correspond to the source modules being compiled. When the
+/// linker encounters these IL objects, it sends them to the optimizer and
+/// code-generator" (paper Section 3). Keeping all persistent information in
+/// object files — rather than a compilation database — is the paper's answer
+/// to build-tool compatibility (Section 6.1): `make` sees ordinary objects.
+///
+/// An object file contains the module's symbol tables (globals and routine
+/// references by *name*, so objects are position-independent across link
+/// sessions), its debug records, and each defined routine's body in the
+/// compact relocatable encoding with symbol references remapped to
+/// object-local ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_BYTECODE_OBJECTFILE_H
+#define SCMO_BYTECODE_OBJECTFILE_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace scmo {
+
+/// Serializes module \p M of \p P (all bodies must be expanded) into an IL
+/// object image.
+std::vector<uint8_t> writeObject(Program &P, ModuleId M);
+
+/// Reads an IL object image into \p P as a new module, merging external
+/// symbols by name. Returns the new module id, or InvalidId with \p Error
+/// set on malformed input.
+ModuleId readObject(Program &P, const std::vector<uint8_t> &Bytes,
+                    std::string &Error);
+
+/// Convenience: writes \p Bytes to \p Path. Returns false on I/O failure.
+bool writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes);
+
+/// Convenience: reads all of \p Path. Returns false on I/O failure.
+bool readFile(const std::string &Path, std::vector<uint8_t> &Bytes);
+
+} // namespace scmo
+
+#endif // SCMO_BYTECODE_OBJECTFILE_H

@@ -1,0 +1,396 @@
+//===- driver/CompilerSession.cpp -----------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompilerSession.h"
+
+#include "bytecode/ObjectFile.h"
+#include "frontend/Frontend.h"
+#include "hlo/Hlo.h"
+#include "hlo/RoutinePasses.h"
+#include "ir/CallGraph.h"
+#include "ir/Checksum.h"
+#include "ir/Verifier.h"
+#include "profile/Probes.h"
+
+#include <map>
+
+using namespace scmo;
+
+CompilerSession::CompilerSession(CompileOptions Opts) : Opts(std::move(Opts)) {
+  Tracker = std::make_unique<MemoryTracker>();
+  Tracker->setHeapCap(this->Opts.HeapCapBytes);
+  Prog = std::make_unique<Program>(Tracker.get());
+  Ldr = std::make_unique<Loader>(*Prog, this->Opts.Naim);
+}
+
+CompilerSession::~CompilerSession() = default;
+
+bool CompilerSession::addSource(const std::string &ModuleName,
+                                const std::string &Source) {
+  Timer T;
+  FrontendResult FR = compileSource(*Prog, ModuleName, Source);
+  FrontendSeconds += T.seconds();
+  if (!FR.Ok) {
+    if (FirstError.empty())
+      FirstError = FR.Error;
+    return false;
+  }
+  // Hand the freshly lowered bodies to the loader so NAIM thresholds apply
+  // while the program is still being read in — this is what keeps memory
+  // sub-linear during multi-hundred-module compiles (Figure 4).
+  for (RoutineId R : Prog->module(FR.Module).Routines)
+    if (Prog->routine(R).IsDefined && Prog->routine(R).Owner == FR.Module) {
+      Prog->routine(R).Checksum = computeChecksum(*Prog->routine(R).Slot.Body);
+      Ldr->release(R);
+    }
+  Ldr->maybeCompactSymtabs();
+  if (Tracker)
+    Tracker->takeHloSample();
+  return true;
+}
+
+bool CompilerSession::addGenerated(const GeneratedProgram &GP) {
+  for (const GeneratedModule &GM : GP.Modules)
+    if (!addSource(GM.Name, GM.Source))
+      return false;
+  return true;
+}
+
+void CompilerSession::attachProfile(ProfileDb Db) {
+  Profile = std::move(Db);
+  HasProfile = true;
+}
+
+void CompilerSession::computeChecksums() {
+  for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
+    RoutineInfo &RI = Prog->routine(R);
+    if (!RI.IsDefined)
+      continue;
+    RoutineBody &Body = Ldr->acquire(R);
+    RI.Checksum = computeChecksum(Body);
+    Ldr->release(R);
+  }
+}
+
+bool CompilerSession::checkHeap(BuildResult &Result, const char *Phase) {
+  if (!Tracker->heapExhausted())
+    return true;
+  Result.Ok = false;
+  Result.Error = std::string("compiler heap exhausted during ") + Phase +
+                 " (cap " + std::to_string(Opts.HeapCapBytes) + " bytes)";
+  return false;
+}
+
+void CompilerSession::rebuildFromObjects(BuildResult &Result) {
+  // Dump every module to an IL object file, then re-read them into a fresh
+  // program, the way the production pipeline hands IL objects from the
+  // frontends to the linker (paper Section 3).
+  std::vector<std::string> Paths;
+  for (ModuleId M = 0; M != Prog->numModules(); ++M) {
+    for (RoutineId R : Prog->module(M).Routines)
+      if (Prog->routine(R).IsDefined && Prog->routine(R).Owner == M)
+        Ldr->acquire(R);
+    std::vector<uint8_t> Bytes = writeObject(*Prog, M);
+    std::string Path = Opts.ObjectDir + "/scmo-" +
+                       Prog->Strings.text(Prog->module(M).Name) + ".o";
+    if (!writeFile(Path, Bytes)) {
+      Result.Error = "cannot write object file " + Path;
+      return;
+    }
+    Paths.push_back(Path);
+    for (RoutineId R : Prog->module(M).Routines)
+      if (Prog->routine(R).IsDefined)
+        Ldr->release(R);
+  }
+  auto NewProg = std::make_unique<Program>(Tracker.get());
+  auto NewLdr = std::make_unique<Loader>(*NewProg, Opts.Naim);
+  for (const std::string &Path : Paths) {
+    std::vector<uint8_t> Bytes;
+    if (!readFile(Path, Bytes)) {
+      Result.Error = "cannot read object file " + Path;
+      return;
+    }
+    std::string Err;
+    ModuleId M = readObject(*NewProg, Bytes, Err);
+    if (M == InvalidId) {
+      Result.Error = "linker: " + Err;
+      return;
+    }
+    for (RoutineId R : NewProg->module(M).Routines)
+      if (NewProg->routine(R).IsDefined)
+        NewLdr->release(R);
+  }
+  // Swap in the re-read program. Order matters: the old loader references
+  // the old program.
+  Ldr = std::move(NewLdr);
+  Prog = std::move(NewProg);
+}
+
+BuildResult CompilerSession::build() {
+  BuildResult Result;
+  Timer Total;
+  Result.FrontendSeconds = FrontendSeconds;
+  if (!FirstError.empty()) {
+    Result.Error = FirstError;
+    return Result;
+  }
+  Result.SourceLines = Prog->totalSourceLines();
+
+  if (Opts.WriteObjects) {
+    rebuildFromObjects(Result);
+    if (!Result.Error.empty())
+      return Result;
+    computeChecksums();
+  }
+  Prog->chargeGlobalTables();
+  if (!checkHeap(Result, "frontend"))
+    return Result;
+
+  // Verify the raw IL.
+  if (Opts.VerifyIl) {
+    for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
+      if (!Prog->routine(R).IsDefined)
+        continue;
+      RoutineBody &Body = Ldr->acquire(R);
+      std::string Err = verifyRoutine(*Prog, R, Body);
+      Ldr->release(R);
+      if (!Err.empty()) {
+        Result.Error = Err;
+        return Result;
+      }
+    }
+  }
+
+  // Instrumentation (+I) — on raw IL, before any optimization, so counters
+  // correlate with the structural checksums.
+  if (Opts.Instrument) {
+    for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
+      if (!Prog->routine(R).IsDefined)
+        continue;
+      instrumentRoutine(R, Ldr->acquire(R), Result.Probes);
+      Ldr->release(R);
+    }
+  }
+
+  // Profile correlation (+P).
+  bool UsableProfile = Opts.Pbo && HasProfile;
+  if (UsableProfile) {
+    for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
+      if (!Prog->routine(R).IsDefined)
+        continue;
+      Profile.correlate(*Prog, R, Ldr->acquire(R), Result.Correlation);
+      Ldr->release(R);
+    }
+  }
+
+  // Coarse-grained selectivity decides the CMO / default split.
+  bool CmoMode = Opts.Level == OptLevel::O4 && !Opts.Instrument;
+  if (CmoMode) {
+    if (UsableProfile && Opts.SelectivityPercent < 100.0)
+      Result.Selectivity = applySelectivity(*Prog, *Ldr,
+                                            Opts.SelectivityPercent,
+                                            Opts.FineHotThreshold,
+                                            Opts.MultiLayered);
+    else
+      Result.Selectivity = selectEverything(*Prog);
+  } else {
+    for (ModuleId M = 0; M != Prog->numModules(); ++M) {
+      Prog->module(M).InCmoSet = false;
+      Result.Selectivity.DefaultModules.push_back(M);
+    }
+  }
+
+  // HLO. Instrumented builds skip IL transformation entirely so that every
+  // probe survives with its raw-IL meaning.
+  Timer HloTimer;
+  if (!Opts.Instrument && Opts.Level != OptLevel::O1) {
+    if (CmoMode && !Result.Selectivity.CmoModules.empty()) {
+      std::vector<RoutineId> Set;
+      for (ModuleId M : Result.Selectivity.CmoModules)
+        for (RoutineId R : Prog->module(M).Routines)
+          if (Prog->routine(R).IsDefined && Prog->routine(R).Owner == M)
+            Set.push_back(R);
+      HloContext Ctx(*Prog, *Ldr, Stats);
+      Ctx.OpLimit = Opts.HloOpLimit;
+      HloOptions HOpts;
+      HOpts.Interprocedural = true;
+      HOpts.WholeProgram = Result.Selectivity.DefaultModules.empty();
+      HOpts.Pbo = UsableProfile && Opts.PboInlining;
+      HOpts.EnableIpcp = Opts.EnableIpcp;
+      HOpts.EnableCloning = Opts.EnableCloning;
+      HOpts.Inline = Opts.Inline;
+      HOpts.Clone = Opts.Clone;
+      runHlo(Ctx, Set, HOpts);
+      if (!checkHeap(Result, "HLO"))
+        return Result;
+    }
+    // Default-set modules: intraprocedural cleanup only (the O2 pipeline),
+    // graded by tier when multi-layered selectivity is active.
+    for (ModuleId M : Result.Selectivity.DefaultModules) {
+      for (RoutineId R : Prog->module(M).Routines) {
+        const RoutineInfo &RI = Prog->routine(R);
+        if (!RI.IsDefined || RI.Owner != M)
+          continue;
+        if (RI.Tier == OptTier::None)
+          continue; // Quick codegen only (Section 8 layering).
+        RoutineBody &Body = Ldr->acquire(R);
+        if (RI.Tier == OptTier::Basic)
+          runBasicCleanup(*Prog, Body, Stats);
+        else
+          runCleanupPipeline(*Prog, Body, Stats);
+        Ldr->release(R);
+        Tracker->takeHloSample();
+      }
+      if (!checkHeap(Result, "O2 cleanup"))
+        return Result;
+    }
+    if (Opts.VerifyIl) {
+      for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
+        if (!Prog->routine(R).IsDefined || !Prog->routine(R).Emit)
+          continue;
+        RoutineBody &Body = Ldr->acquire(R);
+        std::string Err = verifyRoutine(*Prog, R, Body);
+        Ldr->release(R);
+        if (!Err.empty()) {
+          Result.Error = "after HLO: " + Err;
+          return Result;
+        }
+      }
+    }
+  }
+  Result.HloSeconds = HloTimer.seconds();
+
+  // Gather call-edge weights for the linker's routine clustering before
+  // lowering (the IL is the last place the counts are visible).
+  LinkOptions LinkOpts;
+  LinkOpts.NumProbes = static_cast<uint32_t>(Result.Probes.size());
+  if (UsableProfile && Opts.PboClustering) {
+    LinkOpts.ClusterByProfile = true;
+    std::vector<RoutineId> EmitSet;
+    for (RoutineId R = 0; R != Prog->numRoutines(); ++R)
+      if (Prog->routine(R).IsDefined && Prog->routine(R).Emit)
+        EmitSet.push_back(R);
+    CallGraph Graph = CallGraph::build(
+        *Prog, EmitSet,
+        [this](RoutineId R) -> const RoutineBody * {
+          return Ldr->acquireIfDefined(R);
+        },
+        [this](RoutineId R) { Ldr->release(R); });
+    std::map<std::pair<RoutineId, RoutineId>, uint64_t> EdgeSum;
+    for (const CallSite &S : Graph.sites())
+      EdgeSum[{S.Caller, S.Callee}] += S.Count;
+    for (const auto &[Edge, Weight] : EdgeSum)
+      if (Weight)
+        LinkOpts.EdgeWeights.push_back({Edge.first, Edge.second, Weight});
+  }
+
+  // LLO: lower every emitted routine.
+  Timer LloTimer;
+  LloOptions LOpts;
+  if (Opts.Level == OptLevel::O1) {
+    LOpts.RegAlloc = false;
+    LOpts.Schedule = false;
+    LOpts.ProfileLayout = false;
+  } else {
+    LOpts.RegAlloc = true;
+    LOpts.Schedule = true;
+    LOpts.ProfileLayout = UsableProfile && Opts.PboLayout;
+    LOpts.ProfileSpillWeights = UsableProfile && Opts.PboRegWeights;
+  }
+  std::vector<MachineRoutine> Machines;
+  uint64_t MachineBytes = 0;
+  for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
+    RoutineInfo &RI = Prog->routine(R);
+    if (!RI.IsDefined || !RI.Emit)
+      continue;
+    RoutineBody &Body = Ldr->acquire(R);
+    LloOptions RoutineOpts = LOpts;
+    if (RI.Tier == OptTier::None) {
+      // Never-executed code under multi-layered selectivity: quick, cheap
+      // codegen (no allocation, scheduling or layout work).
+      RoutineOpts.RegAlloc = false;
+      RoutineOpts.Schedule = false;
+      RoutineOpts.ProfileLayout = false;
+    }
+    Machines.push_back(
+        lowerRoutine(*Prog, R, Body, RoutineOpts, &Result.Llo));
+    Ldr->release(R);
+    // The generated machine code accumulates until link time: the linear
+    // component of "overall compiler" memory in Figure 4.
+    uint64_t Bytes = Machines.back().Code.size() * sizeof(MInstr);
+    MachineBytes += Bytes;
+    Tracker->allocate(MemCategory::Other, Bytes);
+    Tracker->takeHloSample();
+    if (!checkHeap(Result, "LLO"))
+      return Result;
+  }
+  Result.LloSeconds = LloTimer.seconds();
+
+  // Link.
+  Timer LinkTimer;
+  std::string LinkError;
+  Result.Exe = linkProgram(*Prog, std::move(Machines), LinkOpts, LinkError);
+  Result.LinkSeconds = LinkTimer.seconds();
+  if (!LinkError.empty()) {
+    Result.Error = LinkError;
+    return Result;
+  }
+
+  if (MachineBytes)
+    Tracker->release(MemCategory::Other, MachineBytes);
+  Result.HloPeakBytes = Tracker->hloPeakBytes();
+  Result.TotalPeakBytes = Tracker->totalPeakBytes();
+  Result.Loader = Ldr->stats();
+  Result.Stats = Stats;
+  Result.TotalSeconds = Total.seconds() + Result.FrontendSeconds;
+  Result.Ok = true;
+  return Result;
+}
+
+ProfileDb scmo::trainProfile(const GeneratedProgram &GP, std::string &Error,
+                             const VmConfig &Vm) {
+  std::vector<std::pair<std::string, std::string>> Sources;
+  for (const GeneratedModule &GM : GP.Modules)
+    Sources.emplace_back(GM.Name, GM.Source);
+  return trainProfileOnSources(Sources, Error, Vm);
+}
+
+ProfileDb scmo::trainProfileOnSources(
+    const std::vector<std::pair<std::string, std::string>> &Sources,
+    std::string &Error, const VmConfig &Vm) {
+  Error.clear();
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O2;
+  Opts.Instrument = true;
+  CompilerSession Session(Opts);
+  for (const auto &[Name, Source] : Sources)
+    Session.addSource(Name, Source);
+  BuildResult Build = Session.build();
+  if (!Build.Ok) {
+    Error = "instrumented build failed: " + Build.Error;
+    return ProfileDb();
+  }
+  RunResult Run = runExecutable(Build.Exe, Vm);
+  if (!Run.Ok) {
+    Error = "training run failed: " + Run.Error;
+    return ProfileDb();
+  }
+  return ProfileDb::fromRun(Session.program(), Build.Probes, Run.Probes);
+}
+
+bool scmo::saveProfileDb(const ProfileDb &Db, const std::string &Path) {
+  std::string Text = Db.serialize();
+  std::vector<uint8_t> Bytes(Text.begin(), Text.end());
+  return writeFile(Path, Bytes);
+}
+
+bool scmo::loadProfileDb(const std::string &Path, ProfileDb &Out) {
+  std::vector<uint8_t> Bytes;
+  if (!readFile(Path, Bytes))
+    return false;
+  return ProfileDb::parse(std::string(Bytes.begin(), Bytes.end()), Out);
+}

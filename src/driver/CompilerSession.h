@@ -1,0 +1,143 @@
+//===- driver/CompilerSession.h ---------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level compilation driver: one CompilerSession is one build of one
+/// program, mirroring the paper's Figure 2 pipeline — frontends lower source
+/// modules to IL; in CMO mode the linker routes IL objects through HLO and
+/// then LLO; profile data (+P) guides HLO heuristics, LLO layout and the
+/// linker's routine clustering; instrumented builds (+I) carry counting
+/// probes into the executable.
+///
+/// This is the primary public entry point of the SCMO library:
+/// \code
+///   CompileOptions Opts;
+///   Opts.Level = OptLevel::O4;
+///   Opts.Pbo = true;
+///   CompilerSession Session(Opts);
+///   Session.addSource("util", UtilSrc);
+///   Session.addSource("app", AppSrc);
+///   Session.attachProfile(TrainedDb);
+///   BuildResult Build = Session.build();
+///   RunResult Run = runExecutable(Build.Exe);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_DRIVER_COMPILERSESSION_H
+#define SCMO_DRIVER_COMPILERSESSION_H
+
+#include "driver/Options.h"
+#include "hlo/Selectivity.h"
+#include "link/Linker.h"
+#include "llo/Codegen.h"
+#include "profile/ProfileDb.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+#include "vm/Vm.h"
+#include "workload/Generator.h"
+
+#include <memory>
+#include <string>
+
+namespace scmo {
+
+/// Outcome of one build().
+struct BuildResult {
+  bool Ok = false;
+  std::string Error;
+  Executable Exe;
+  ProbeTable Probes; ///< Valid for instrumented builds.
+
+  // Compile-time metrics (the y-axes of Figures 4/5/6).
+  double FrontendSeconds = 0;
+  double HloSeconds = 0;
+  double LloSeconds = 0;
+  double LinkSeconds = 0;
+  double TotalSeconds = 0;
+  uint64_t HloPeakBytes = 0;
+  uint64_t TotalPeakBytes = 0;
+
+  // What was compiled.
+  uint64_t SourceLines = 0;
+  SelectivityResult Selectivity;
+  CorrelationStats Correlation;
+  LoaderStats Loader;
+  LloStats Llo;
+  Statistics Stats;
+};
+
+/// One compilation session over one program.
+class CompilerSession {
+public:
+  explicit CompilerSession(CompileOptions Opts);
+  ~CompilerSession();
+
+  CompilerSession(const CompilerSession &) = delete;
+  CompilerSession &operator=(const CompilerSession &) = delete;
+
+  /// Runs the frontend on one module. Returns false (and records the error)
+  /// on a source error; build() will then fail.
+  bool addSource(const std::string &ModuleName, const std::string &Source);
+
+  /// Adds every module of a generated program.
+  bool addGenerated(const GeneratedProgram &GP);
+
+  /// Attaches a training profile database (used when Opts.Pbo).
+  void attachProfile(ProfileDb Db);
+
+  /// Compiles and links everything added so far.
+  BuildResult build();
+
+  /// The program being compiled (valid after addSource calls).
+  Program &program() { return *Prog; }
+  MemoryTracker &tracker() { return *Tracker; }
+  Loader &loader() { return *Ldr; }
+  const CompileOptions &options() const { return Opts; }
+  const std::string &firstError() const { return FirstError; }
+
+private:
+  void rebuildFromObjects(BuildResult &Result);
+  void computeChecksums();
+  bool checkHeap(BuildResult &Result, const char *Phase);
+
+  CompileOptions Opts;
+  std::unique_ptr<MemoryTracker> Tracker;
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<Loader> Ldr;
+  Statistics Stats;
+  ProfileDb Profile;
+  bool HasProfile = false;
+  std::string FirstError;
+  double FrontendSeconds = 0;
+};
+
+/// Convenience used everywhere in tests, benches and examples: builds the
+/// program instrumented at O2, runs it on the VM, and returns the profile
+/// database the run produces. \p Error is set on failure.
+ProfileDb trainProfile(const GeneratedProgram &GP, std::string &Error,
+                       const VmConfig &Vm = {});
+
+/// As above for explicit module (name, source) pairs.
+ProfileDb trainProfileOnSources(
+    const std::vector<std::pair<std::string, std::string>> &Sources,
+    std::string &Error, const VmConfig &Vm = {});
+
+/// Persists \p Db at \p Path (the paper's on-disk profile database — the
+/// one piece of state kept outside object files, Section 6.1). Returns
+/// false on I/O failure.
+bool saveProfileDb(const ProfileDb &Db, const std::string &Path);
+
+/// Loads a profile database from \p Path into \p Out. To accumulate
+/// repeat training runs ("generated, or added to, if data from an earlier
+/// run already exists", Section 3), load and then ProfileDb::merge().
+/// Returns false on I/O or parse failure.
+bool loadProfileDb(const std::string &Path, ProfileDb &Out);
+
+} // namespace scmo
+
+#endif // SCMO_DRIVER_COMPILERSESSION_H

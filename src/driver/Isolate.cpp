@@ -1,0 +1,44 @@
+//===- driver/Isolate.cpp -------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Isolate.h"
+
+using namespace scmo;
+
+IsolationResult scmo::isolateBadOperation(
+    const std::function<BuildResult(uint64_t OpLimit)> &BuildAt,
+    const BuildOracle &Oracle, uint64_t MaxOps) {
+  IsolationResult Res;
+  auto goodAt = [&](uint64_t Limit) {
+    ++Res.BuildsUsed;
+    BuildResult Build = BuildAt(Limit);
+    return Build.Ok && Oracle(Build);
+  };
+
+  // Reduce the search interval from both ends first (paper: "binary search
+  // is an effective technique to eliminate irrelevant optimizer actions
+  // first in bulk, and then in smaller units").
+  if (!goodAt(0)) {
+    Res.BaselineBad = true;
+    return Res;
+  }
+  if (goodAt(MaxOps)) {
+    Res.NeverFails = true;
+    return Res;
+  }
+  uint64_t Good = 0, Bad = MaxOps;
+  while (Good + 1 < Bad) {
+    uint64_t Mid = Good + (Bad - Good) / 2;
+    if (goodAt(Mid))
+      Good = Mid;
+    else
+      Bad = Mid;
+  }
+  Res.Found = true;
+  Res.BadOperation = Bad;
+  return Res;
+}

@@ -1,0 +1,54 @@
+//===- driver/Isolate.h -----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automatic isolation of optimizer-induced behaviour changes (paper
+/// Section 6.3): "we have implemented controllable operation limits on
+/// transformations such as inlining so we can employ binary search to
+/// identify the inline that makes the difference between a failing and a
+/// working program" — the Whalley-style bisection the paper credits for
+/// making large-scale CMO debuggable.
+///
+/// Given a program, an options template, and an oracle that decides whether
+/// a build behaves correctly, isolateBadOperation() binary-searches the HLO
+/// operation budget for the first transformation whose application flips
+/// the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_DRIVER_ISOLATE_H
+#define SCMO_DRIVER_ISOLATE_H
+
+#include "driver/CompilerSession.h"
+
+#include <functional>
+
+namespace scmo {
+
+/// Oracle: true when the built program behaves correctly.
+using BuildOracle = std::function<bool(const BuildResult &)>;
+
+/// Result of an isolation run.
+struct IsolationResult {
+  bool Found = false;        ///< A culprit operation was identified.
+  bool BaselineBad = false;  ///< Even zero operations fail (not an HLO bug).
+  bool NeverFails = false;   ///< Full optimization passes the oracle.
+  uint64_t BadOperation = 0; ///< 1-based index of the first bad operation.
+  uint64_t BuildsUsed = 0;   ///< Compilations the search performed.
+};
+
+/// Binary-searches the first HLO operation index at which \p Oracle starts
+/// failing. \p MakeSession must return a fresh session with all sources
+/// added and profiles attached, configured except for the op limit (the
+/// isolator overrides CompileOptions::HloOpLimit via the callback argument).
+IsolationResult isolateBadOperation(
+    const std::function<BuildResult(uint64_t OpLimit)> &BuildAt,
+    const BuildOracle &Oracle, uint64_t MaxOps = 1u << 20);
+
+} // namespace scmo
+
+#endif // SCMO_DRIVER_ISOLATE_H

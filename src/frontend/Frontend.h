@@ -1,0 +1,54 @@
+//===- frontend/Frontend.h --------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniC frontend: parses one source module and lowers it to IL inside a
+/// Program (paper Figure 2: "frontends convert source code into the IL").
+/// HLO never sees the source language — mixed "languages" (hand-written
+/// MiniC, generator-emitted MiniC) optimize together freely, mirroring the
+/// paper's mixed C/C++/FORTRAN applications.
+///
+/// MiniC, informally:
+/// \code
+///   global g;  global arr[100];  static counter;     // module-scope data
+///   func add(a, b) { return a + b; }                 // external linkage
+///   static func helper(x) { ... }                    // module-local
+///   // statements: var x = e; x = e; a[i] = e; if/else; while; return e;
+///   // print e; call();   expressions: + - * / %  == != < <= > >=  unary -
+/// \endcode
+/// All values are 64-bit integers. Calling an unknown name implicitly
+/// declares an external routine of that arity (K&R style), which is how
+/// cross-module references link by name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_FRONTEND_FRONTEND_H
+#define SCMO_FRONTEND_FRONTEND_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <string_view>
+
+namespace scmo {
+
+/// Outcome of compiling one module's source.
+struct FrontendResult {
+  ModuleId Module = InvalidId;
+  bool Ok = false;
+  std::string Error;
+};
+
+/// Parses \p Source as module \p ModuleName into \p P. Returns the new
+/// module id on success; on error, no routine bodies are installed but
+/// symbol declarations may remain (callers treat the session as failed).
+FrontendResult compileSource(Program &P, std::string_view ModuleName,
+                             std::string_view Source);
+
+} // namespace scmo
+
+#endif // SCMO_FRONTEND_FRONTEND_H

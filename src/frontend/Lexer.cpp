@@ -1,0 +1,176 @@
+//===- frontend/Lexer.cpp -------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+using namespace scmo;
+
+static bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+
+static bool isIdentChar(char C) {
+  return isIdentStart(C) || (C >= '0' && C <= '9');
+}
+
+static bool isDigit(char C) { return C >= '0' && C <= '9'; }
+
+static TokKind keywordKind(std::string_view Text) {
+  if (Text == "func")
+    return TokKind::KwFunc;
+  if (Text == "static")
+    return TokKind::KwStatic;
+  if (Text == "global")
+    return TokKind::KwGlobal;
+  if (Text == "var")
+    return TokKind::KwVar;
+  if (Text == "if")
+    return TokKind::KwIf;
+  if (Text == "else")
+    return TokKind::KwElse;
+  if (Text == "while")
+    return TokKind::KwWhile;
+  if (Text == "return")
+    return TokKind::KwReturn;
+  if (Text == "print")
+    return TokKind::KwPrint;
+  return TokKind::Ident;
+}
+
+std::vector<Token> scmo::lexSource(std::string_view Source, std::string &Error,
+                                   uint32_t *LineCount) {
+  std::vector<Token> Toks;
+  Error.clear();
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  const size_t Size = Source.size();
+
+  auto push = [&](TokKind Kind, size_t Start, size_t Len) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = Source.substr(Start, Len);
+    T.Line = Line;
+    Toks.push_back(T);
+  };
+
+  while (Pos < Size) {
+    char C = Source[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Size && Source[Pos + 1] == '/') {
+      while (Pos < Size && Source[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = Pos;
+      while (Pos < Size && isIdentChar(Source[Pos]))
+        ++Pos;
+      push(keywordKind(Source.substr(Start, Pos - Start)), Start, Pos - Start);
+      continue;
+    }
+    if (isDigit(C)) {
+      size_t Start = Pos;
+      int64_t Value = 0;
+      while (Pos < Size && isDigit(Source[Pos])) {
+        Value = Value * 10 + (Source[Pos] - '0');
+        ++Pos;
+      }
+      push(TokKind::Number, Start, Pos - Start);
+      Toks.back().Value = Value;
+      continue;
+    }
+    size_t Start = Pos;
+    auto twoChar = [&](char Next, TokKind Two, TokKind One) {
+      if (Pos + 1 < Size && Source[Pos + 1] == Next) {
+        Pos += 2;
+        push(Two, Start, 2);
+      } else {
+        Pos += 1;
+        push(One, Start, 1);
+      }
+    };
+    switch (C) {
+    case '(':
+      push(TokKind::LParen, Pos++, 1);
+      break;
+    case ')':
+      push(TokKind::RParen, Pos++, 1);
+      break;
+    case '{':
+      push(TokKind::LBrace, Pos++, 1);
+      break;
+    case '}':
+      push(TokKind::RBrace, Pos++, 1);
+      break;
+    case '[':
+      push(TokKind::LBracket, Pos++, 1);
+      break;
+    case ']':
+      push(TokKind::RBracket, Pos++, 1);
+      break;
+    case ',':
+      push(TokKind::Comma, Pos++, 1);
+      break;
+    case ';':
+      push(TokKind::Semi, Pos++, 1);
+      break;
+    case '+':
+      push(TokKind::Plus, Pos++, 1);
+      break;
+    case '-':
+      push(TokKind::Minus, Pos++, 1);
+      break;
+    case '*':
+      push(TokKind::Star, Pos++, 1);
+      break;
+    case '/':
+      push(TokKind::Slash, Pos++, 1);
+      break;
+    case '%':
+      push(TokKind::Percent, Pos++, 1);
+      break;
+    case '=':
+      twoChar('=', TokKind::EqEq, TokKind::Assign);
+      break;
+    case '!':
+      if (Pos + 1 < Size && Source[Pos + 1] == '=') {
+        Pos += 2;
+        push(TokKind::NotEq, Start, 2);
+      } else {
+        Error = "line " + std::to_string(Line) + ": stray '!'";
+        goto done;
+      }
+      break;
+    case '<':
+      twoChar('=', TokKind::Le, TokKind::Lt);
+      break;
+    case '>':
+      twoChar('=', TokKind::Ge, TokKind::Gt);
+      break;
+    default:
+      Error = "line " + std::to_string(Line) + ": unexpected character '" +
+              std::string(1, C) + "'";
+      goto done;
+    }
+  }
+done:
+  Token EofTok;
+  EofTok.Kind = TokKind::Eof;
+  EofTok.Line = Line;
+  Toks.push_back(EofTok);
+  if (LineCount)
+    *LineCount = Line;
+  return Toks;
+}

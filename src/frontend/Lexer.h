@@ -1,0 +1,79 @@
+//===- frontend/Lexer.h -----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniC, the small C-like language whose frontend stands in
+/// for the paper's C/C++/FORTRAN frontends. MiniC programs are the "source
+/// lines of code" all the scaling experiments count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_FRONTEND_LEXER_H
+#define SCMO_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scmo {
+
+/// Token kinds. Keywords are distinguished from identifiers by the lexer.
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  Number,
+  // Keywords.
+  KwFunc,
+  KwStatic,
+  KwGlobal,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwPrint,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge
+};
+
+/// A lexed token. Text points into the source buffer (valid while the source
+/// outlives the token stream).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string_view Text;
+  int64_t Value = 0;  ///< For Number tokens.
+  uint32_t Line = 0;  ///< 1-based source line.
+};
+
+/// Lexes all of \p Source. On a bad character, emits an Eof token early and
+/// sets \p Error. The token stream always ends with Eof.
+std::vector<Token> lexSource(std::string_view Source, std::string &Error,
+                             uint32_t *LineCount = nullptr);
+
+} // namespace scmo
+
+#endif // SCMO_FRONTEND_LEXER_H

@@ -1,0 +1,56 @@
+//===- hlo/Cloner.h ---------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Procedure cloning (listed among HLO's transformations in paper
+/// Section 3). When a hot call site passes constant arguments to a callee
+/// too large to inline, the cloner specializes a private copy of the callee
+/// for those constants and redirects the site; constant propagation then
+/// simplifies the clone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_HLO_CLONER_H
+#define SCMO_HLO_CLONER_H
+
+#include "hlo/HloContext.h"
+#include "ir/CallGraph.h"
+
+#include <vector>
+
+namespace scmo {
+
+/// Cloning heuristics.
+struct CloneParams {
+  /// Only sites at least this hot (dynamic count) are considered.
+  uint64_t MinSiteCount = 1;
+  /// Sites hotter than total/HotSiteDivisor qualify.
+  uint64_t HotSiteDivisor = 1000;
+  /// Callee size window: big enough that inlining was rejected, small enough
+  /// to pay for a copy.
+  uint32_t MinCalleeInstrs = 20;
+  uint32_t MaxCalleeInstrs = 2000;
+  /// Cap on clones created per invocation.
+  uint32_t MaxClones = 64;
+};
+
+/// Result summary.
+struct CloneResult {
+  uint64_t ClonesCreated = 0;
+  uint64_t SitesRedirected = 0;
+};
+
+/// Creates constant-specialized clones for hot constant-argument call sites
+/// in \p Set. New clone routines are appended to the program (static,
+/// owned by the callee's module) and added to \p Set so later phases see
+/// them.
+CloneResult runCloner(HloContext &Ctx, std::vector<RoutineId> &Set,
+                      const CloneParams &Params);
+
+} // namespace scmo
+
+#endif // SCMO_HLO_CLONER_H

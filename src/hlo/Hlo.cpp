@@ -1,0 +1,112 @@
+//===- hlo/Hlo.cpp --------------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hlo/Hlo.h"
+
+#include "hlo/Interprocedural.h"
+#include "hlo/RoutinePasses.h"
+
+#include <set>
+
+using namespace scmo;
+
+namespace {
+
+/// Marks unreachable routines non-emitted. Only valid with whole-program
+/// visibility: from main, walk call edges; anything defined but unreached is
+/// dead (typically statics whose every call site was inlined away).
+void eliminateDeadRoutines(HloContext &Ctx,
+                           const std::vector<RoutineId> &Set) {
+  Program &P = Ctx.P;
+  RoutineId Main = P.findRoutine("main");
+  if (Main == InvalidId || !P.routine(Main).IsDefined)
+    return;
+  CallGraph Graph = CallGraph::build(
+      P, Set,
+      [&Ctx](RoutineId R) -> const RoutineBody * {
+        return Ctx.L.acquireIfDefined(R);
+      },
+      [&Ctx](RoutineId R) { Ctx.L.release(R); });
+  std::set<RoutineId> Reached;
+  std::vector<RoutineId> Stack = {Main};
+  Reached.insert(Main);
+  while (!Stack.empty()) {
+    RoutineId R = Stack.back();
+    Stack.pop_back();
+    for (uint32_t SiteIdx : Graph.sitesOf(R)) {
+      RoutineId Callee = Graph.sites()[SiteIdx].Callee;
+      if (Reached.insert(Callee).second)
+        Stack.push_back(Callee);
+    }
+  }
+  for (RoutineId R : Set) {
+    RoutineInfo &RI = P.routine(R);
+    if (!RI.IsDefined)
+      continue;
+    if (!Reached.count(R)) {
+      RI.Emit = false;
+      Ctx.Stats.add("hlo.dead_routines");
+    }
+  }
+}
+
+} // namespace
+
+void scmo::runHlo(HloContext &Ctx, std::vector<RoutineId> &Set,
+                  const HloOptions &Opts) {
+  Program &P = Ctx.P;
+  MemoryTracker *Tracker = P.tracker();
+  auto Sample = [&] {
+    if (Tracker)
+      Tracker->takeHloSample();
+  };
+
+  // Phase 0: read in all code and data in the set, computing summaries
+  // (fine-grained selectivity requires scanning even unselected bodies).
+  computeGlobalSummaries(Ctx, Set, Opts.WholeProgram);
+  Sample();
+
+  if (Opts.Interprocedural) {
+    if (Opts.EnableIpcp) {
+      CallGraph Graph = CallGraph::build(
+          P, Set,
+          [&Ctx](RoutineId R) -> const RoutineBody * {
+            return Ctx.L.acquireIfDefined(R);
+          },
+          [&Ctx](RoutineId R) { Ctx.L.release(R); });
+      runIpcp(Ctx, Set, Graph, Opts.WholeProgram);
+      Sample();
+    }
+    if (Opts.EnableCloning && Opts.Pbo) {
+      runCloner(Ctx, Set, Opts.Clone);
+      Sample();
+    }
+    InlineParams Inline = Opts.Inline;
+    Inline.UseProfile = Opts.Pbo;
+    runInliner(Ctx, Set, Inline);
+    Sample();
+  }
+
+  // Per-routine cleanup over the selected routines. The loader keeps memory
+  // bounded: each body is acquired, optimized, released.
+  for (RoutineId R : Set) {
+    RoutineInfo &RI = P.routine(R);
+    if (!RI.IsDefined || !RI.Selected)
+      continue;
+    RoutineBody &Body = Ctx.L.acquire(R);
+    runCleanupPipeline(P, Body, Ctx.Stats);
+    Ctx.Stats.add("hlo.routines_optimized");
+    Ctx.L.release(R);
+    Sample();
+  }
+
+  if (Opts.Interprocedural && Opts.WholeProgram)
+    eliminateDeadRoutines(Ctx, Set);
+
+  Ctx.L.maybeCompactSymtabs();
+  Sample();
+}

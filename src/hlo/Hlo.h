@@ -1,0 +1,51 @@
+//===- hlo/Hlo.h ------------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The High Level Optimizer driver: runs the interprocedural phases (global
+/// variable analysis, IPCP, cloning, inlining) followed by per-routine
+/// cleanup (constant propagation, redundant branch elimination, DCE) over a
+/// set of routines, with every body access mediated by the NAIM loader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_HLO_HLO_H
+#define SCMO_HLO_HLO_H
+
+#include "hlo/Cloner.h"
+#include "hlo/HloContext.h"
+#include "hlo/Inliner.h"
+
+#include <vector>
+
+namespace scmo {
+
+/// HLO pipeline configuration.
+struct HloOptions {
+  /// Run interprocedural phases (IPCP, cloning, inlining across routines).
+  bool Interprocedural = true;
+  /// The set passed to runHlo covers every defined routine of the final
+  /// link: interprocedural facts about extern symbols become trustworthy and
+  /// unreachable routines can be dropped.
+  bool WholeProgram = true;
+  /// Profile-guided heuristics (CMO+PBO vs pure CMO).
+  bool Pbo = true;
+  bool EnableIpcp = true;
+  bool EnableCloning = true;
+  InlineParams Inline;
+  CloneParams Clone;
+};
+
+/// Runs the HLO pipeline over \p Set (all routines of the CMO module set;
+/// fine-grained selectivity flags on RoutineInfo gate per-routine work).
+/// \p Set may grow (cloning). Bodies end the run released to the loader.
+void runHlo(HloContext &Ctx, std::vector<RoutineId> &Set,
+            const HloOptions &Opts);
+
+} // namespace scmo
+
+#endif // SCMO_HLO_HLO_H

@@ -1,0 +1,54 @@
+//===- hlo/HloContext.h -----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared state for one HLO invocation: the program, the NAIM loader through
+/// which every body access goes, the diagnostics counters, and the global
+/// transformation operation limit. The operation limit implements the
+/// paper's debugging methodology (Section 6.3): "we have implemented
+/// controllable operation limits on transformations such as inlining so we
+/// can employ binary search to identify the inline that makes the difference
+/// between a failing and a working program".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_HLO_HLOCONTEXT_H
+#define SCMO_HLO_HLOCONTEXT_H
+
+#include "ir/Program.h"
+#include "naim/Loader.h"
+#include "support/Statistics.h"
+
+#include <cstdint>
+
+namespace scmo {
+
+/// Per-invocation HLO state threaded through every pass.
+struct HloContext {
+  HloContext(Program &P, Loader &L, Statistics &Stats)
+      : P(P), L(L), Stats(Stats) {}
+
+  Program &P;
+  Loader &L;
+  Statistics &Stats;
+
+  /// Operation budget across all transformation phases (bisection support).
+  uint64_t OpLimit = UINT64_MAX;
+  uint64_t OpsUsed = 0;
+
+  /// Consumes one transformation operation; false once the limit is hit.
+  bool allowOp() {
+    if (OpsUsed >= OpLimit)
+      return false;
+    ++OpsUsed;
+    return true;
+  }
+};
+
+} // namespace scmo
+
+#endif // SCMO_HLO_HLOCONTEXT_H

@@ -1,0 +1,340 @@
+//===- hlo/Inliner.cpp ----------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hlo/Inliner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+using namespace scmo;
+
+bool scmo::inlineCallSite(Program &P, RoutineBody &CallerBody,
+                          const RoutineBody &CalleeBody, BlockId Block,
+                          uint32_t InstrIdx) {
+  BasicBlock &BB = CallerBody.Blocks[Block];
+  if (InstrIdx >= BB.Instrs.size())
+    return false;
+  Instr *Call = BB.Instrs[InstrIdx];
+  if (Call->Op != Opcode::Call)
+    return false;
+
+  const RegId RetDst = Call->Dst;
+  const uint64_t SiteCount = CallerBody.HasProfile ? BB.Freq : 0;
+  const uint64_t CalleeEntry = CalleeBody.entryFreq();
+
+  // Split the caller block: everything after the call moves into a fresh
+  // continuation block. Branches into `Block` still land at its beginning,
+  // which is unchanged.
+  BlockId ContB = CallerBody.newBlock();
+  BasicBlock &Cont = CallerBody.Blocks[ContB];
+  {
+    BasicBlock &CallBB = CallerBody.Blocks[Block]; // re-ref after newBlock
+    Cont.Instrs.assign(CallBB.Instrs.begin() + InstrIdx + 1,
+                       CallBB.Instrs.end());
+    Cont.Freq = CallBB.Freq;
+    Cont.TakenFreq = CallBB.TakenFreq;
+    CallBB.TakenFreq = 0;
+    CallBB.Instrs.resize(InstrIdx); // Drops the call itself too.
+  }
+
+  // Map callee registers into fresh caller registers; parameters get
+  // explicit moves from the argument operands.
+  const RegId RegBase = CallerBody.NextReg;
+  CallerBody.NextReg += CalleeBody.NextReg;
+  {
+    BasicBlock &CallBB = CallerBody.Blocks[Block];
+    for (uint32_t A = 0; A != Call->NumArgs; ++A) {
+      Instr *MovI = CallerBody.newInstr(Opcode::Mov);
+      MovI->Dst = RegBase + A;
+      MovI->A = Call->Args[A];
+      MovI->Line = Call->Line;
+      CallBB.Instrs.push_back(MovI);
+    }
+  }
+
+  // Copy callee blocks.
+  const BlockId CopyBase = static_cast<BlockId>(CallerBody.Blocks.size());
+  double Scale = 0.0;
+  if (SiteCount && CalleeEntry)
+    Scale = double(SiteCount) / double(CalleeEntry);
+  for (BlockId CB = 0; CB != CalleeBody.Blocks.size(); ++CB)
+    CallerBody.newBlock();
+  for (BlockId CB = 0; CB != CalleeBody.Blocks.size(); ++CB) {
+    const BasicBlock &Src = CalleeBody.Blocks[CB];
+    BasicBlock &Dst = CallerBody.Blocks[CopyBase + CB];
+    Dst.Freq = static_cast<uint64_t>(double(Src.Freq) * Scale + 0.5);
+    Dst.TakenFreq = static_cast<uint64_t>(double(Src.TakenFreq) * Scale + 0.5);
+    Dst.Instrs.reserve(Src.Instrs.size());
+    for (const Instr *SI : Src.Instrs) {
+      Instr *NI = CallerBody.newInstr(SI->Op);
+      *NI = *SI;
+      // Remap registers.
+      if (NI->Dst != NoReg)
+        NI->Dst += RegBase;
+      if (NI->A.isReg())
+        NI->A = Operand::reg(NI->A.asReg() + RegBase);
+      if (NI->B.isReg())
+        NI->B = Operand::reg(NI->B.asReg() + RegBase);
+      if (SI->NumArgs) {
+        NI->Args = CallerBody.newArgArray(SI->NumArgs);
+        for (unsigned A = 0; A != SI->NumArgs; ++A) {
+          NI->Args[A] = SI->Args[A];
+          if (NI->Args[A].isReg())
+            NI->Args[A] = Operand::reg(NI->Args[A].asReg() + RegBase);
+        }
+      }
+      // Remap control flow.
+      if (NI->Op == Opcode::Jmp)
+        NI->T1 += CopyBase;
+      else if (NI->Op == Opcode::Br) {
+        NI->T1 += CopyBase;
+        NI->T2 += CopyBase;
+      } else if (NI->Op == Opcode::Ret) {
+        // return v  =>  retDst = v; goto continuation
+        Operand RetVal = NI->A;
+        if (RetDst != NoReg) {
+          NI->Op = Opcode::Mov;
+          NI->Dst = RetDst;
+          NI->A = RetVal;
+          Dst.Instrs.push_back(NI);
+          NI = CallerBody.newInstr(Opcode::Jmp);
+          NI->Line = SI->Line;
+        } else {
+          NI->Op = Opcode::Jmp;
+          NI->Dst = NoReg;
+          NI->A = Operand::none();
+        }
+        NI->T1 = ContB;
+        NI->T2 = InvalidId;
+      }
+      // Copied probe ids must not double-count or alias the original
+      // callee's counters; the optimized pipeline carries no probes anyway.
+      if (NI->Op == Opcode::Probe)
+        NI->Op = Opcode::Nop;
+      else if (NI->Op == Opcode::Br)
+        NI->ProbeId = InvalidId;
+      Dst.Instrs.push_back(NI);
+    }
+  }
+
+  // Enter the inlined body.
+  {
+    BasicBlock &CallBB = CallerBody.Blocks[Block];
+    Instr *JmpI = CallerBody.newInstr(Opcode::Jmp);
+    JmpI->T1 = CopyBase;
+    JmpI->Line = Call->Line;
+    CallBB.Instrs.push_back(JmpI);
+  }
+  return true;
+}
+
+namespace {
+
+/// A candidate inline operation.
+struct Candidate {
+  RoutineId Caller;
+  RoutineId Callee;
+  uint32_t Token;   ///< Marker planted in the call instr's ProbeId.
+  uint64_t Count;   ///< Dynamic site count.
+  ModuleId CallerMod;
+  ModuleId CalleeMod;
+  int HotBucket;    ///< log2 bucket of Count (higher = hotter).
+};
+
+} // namespace
+
+InlineResult scmo::runInliner(HloContext &Ctx,
+                              const std::vector<RoutineId> &Set,
+                              const InlineParams &Params) {
+  Program &P = Ctx.P;
+  InlineResult Result;
+  uint64_t GrowthBudget = Params.MaxProgramGrowth;
+
+  for (unsigned Round = 0; Round != Params.Rounds; ++Round) {
+    // Fresh derived data each round (the paper's recompute discipline).
+    CallGraph Graph = CallGraph::build(
+        P, Set,
+        [&Ctx](RoutineId R) -> const RoutineBody * {
+          return Ctx.L.acquireIfDefined(R);
+        },
+        [&Ctx](RoutineId R) { Ctx.L.release(R); });
+
+    uint64_t TotalCalls = 0;
+    for (const CallSite &S : Graph.sites())
+      TotalCalls += S.Count;
+
+    // One SCC pass answers every recursion query for this round.
+    std::set<RoutineId> RecursiveSet = Graph.recursiveRoutines();
+    std::map<RoutineId, uint32_t> SizeCache;
+    auto isRecursive = [&](RoutineId R) { return RecursiveSet.count(R) != 0; };
+    auto sizeOf = [&](RoutineId R) {
+      auto It = SizeCache.find(R);
+      if (It != SizeCache.end())
+        return It->second;
+      uint32_t Size = 0;
+      if (const RoutineBody *Body = Ctx.L.acquireIfDefined(R)) {
+        Size = Body->instrCount();
+        Ctx.L.release(R);
+      }
+      SizeCache.emplace(R, Size);
+      return Size;
+    };
+
+    // Select candidates.
+    std::vector<Candidate> Candidates;
+    for (uint32_t SiteIdx = 0; SiteIdx != Graph.sites().size(); ++SiteIdx) {
+      const CallSite &S = Graph.sites()[SiteIdx];
+      ++Result.SitesConsidered;
+      const RoutineInfo &CalleeInfo = P.routine(S.Callee);
+      const RoutineInfo &CallerInfo = P.routine(S.Caller);
+      if (!CalleeInfo.IsDefined || S.Callee == S.Caller)
+        continue;
+      if (!CallerInfo.Selected || !CalleeInfo.Selected)
+        continue; // Fine-grained selectivity: cold code is left alone.
+      if (Params.IntraModuleOnly && CalleeInfo.Owner != CallerInfo.Owner)
+        continue;
+      if (CalleeInfo.Slot.State == PoolState::None)
+        continue;
+      if (isRecursive(S.Callee))
+        continue;
+      uint32_t CalleeSize = sizeOf(S.Callee);
+      uint32_t CallerSize = sizeOf(S.Caller);
+      bool Eligible = false;
+      int HotBucket = 0;
+      if (Params.UseProfile) {
+        // Call profiles *improve* the standard heuristics (paper Section 2,
+        // and the companion "Aggressive Inlining" paper): the allowed callee
+        // size scales with how hot the site is. Never-executed sites only
+        // accept small callees — that is where the compile-time saving over
+        // thorough pure-CMO inlining comes from.
+        // Executed sites get the full static allowance; sites the training
+        // run never reached only accept small callees. The compile-time
+        // saving of PBO-guided inlining comes from the large never-executed
+        // majority, not from starving warm code of inlining.
+        uint32_t Allowed =
+            S.Count ? Params.MaxCalleeInstrsHot : Params.MaxCalleeInstrs;
+        Eligible = CalleeSize <= Allowed;
+        if (S.Count)
+          HotBucket =
+              static_cast<int>(std::log2(static_cast<double>(S.Count)) + 1);
+      } else {
+        // Static heuristics: without profile data the compiler cannot tell
+        // hot from cold, so it "thoroughly optimizes all routines" (paper
+        // Section 5) — every moderately sized callee is inlined everywhere,
+        // which is precisely what makes pure-CMO compiles of large programs
+        // explode in time and memory.
+        if (CalleeSize <= Params.MaxCalleeInstrsHot)
+          Eligible = true;
+        else if (Graph.sitesTo(S.Callee).size() == 1 &&
+                 CalleeSize <= 4 * Params.MaxCalleeInstrsHot)
+          Eligible = true;
+      }
+      if (!Eligible)
+        continue;
+      if (CallerSize + CalleeSize > Params.MaxCallerInstrs)
+        continue;
+      Candidates.push_back({S.Caller, S.Callee, SiteIdx, S.Count,
+                            CallerInfo.Owner, CalleeInfo.Owner, HotBucket});
+    }
+    if (Candidates.empty())
+      break;
+
+    // Plant site tokens so candidates survive instruction-index shifts as
+    // earlier inlines rewrite the same caller.
+    for (const Candidate &C : Candidates) {
+      const CallSite &S = Graph.sites()[C.Token];
+      RoutineBody &CallerBody = Ctx.L.acquire(S.Caller);
+      CallerBody.Blocks[S.Block].Instrs[S.InstrIdx]->ProbeId = C.Token;
+      Ctx.L.release(S.Caller);
+    }
+
+    // Cache-aware scheduling (Section 4.3): group operations by (caller
+    // module, callee module) so the loader touches the same pair of pools
+    // repeatedly. Hotness decides eligibility, not order — except when the
+    // growth budget is nearly spent, where the hottest remaining sites go
+    // first so the budget is never wasted on cold code.
+    bool BudgetTight = Result.InstrsAdded * 2 > Params.MaxProgramGrowth;
+    std::stable_sort(Candidates.begin(), Candidates.end(),
+                     [BudgetTight](const Candidate &X, const Candidate &Y) {
+                       if (BudgetTight && X.HotBucket != Y.HotBucket)
+                         return X.HotBucket > Y.HotBucket;
+                       if (X.CallerMod != Y.CallerMod)
+                         return X.CallerMod < Y.CallerMod;
+                       if (X.CalleeMod != Y.CalleeMod)
+                         return X.CalleeMod < Y.CalleeMod;
+                       if (X.Caller != Y.Caller)
+                         return X.Caller < Y.Caller;
+                       return X.Token < Y.Token;
+                     });
+
+    uint64_t RoundInlined = 0;
+    for (const Candidate &C : Candidates) {
+      if (GrowthBudget == 0)
+        break;
+      if (!Ctx.allowOp())
+        break;
+      RoutineBody &CallerBody = Ctx.L.acquire(C.Caller);
+      // Locate the tokened call.
+      BlockId FoundB = InvalidId;
+      uint32_t FoundIdx = 0;
+      for (BlockId B = 0; B != CallerBody.Blocks.size() && FoundB == InvalidId;
+           ++B) {
+        const BasicBlock &BB = CallerBody.Blocks[B];
+        for (uint32_t Idx = 0; Idx != BB.Instrs.size(); ++Idx) {
+          const Instr *I = BB.Instrs[Idx];
+          if (I->Op == Opcode::Call && I->ProbeId == C.Token) {
+            FoundB = B;
+            FoundIdx = Idx;
+            break;
+          }
+        }
+      }
+      if (FoundB == InvalidId) {
+        Ctx.L.release(C.Caller);
+        continue; // Site disappeared (e.g. caller was rewritten).
+      }
+      // Caller growth re-check against the budget.
+      uint32_t CalleeSize = sizeOf(C.Callee);
+      if (CallerBody.instrCount() + CalleeSize > Params.MaxCallerInstrs ||
+          CalleeSize > GrowthBudget) {
+        CallerBody.Blocks[FoundB].Instrs[FoundIdx]->ProbeId = InvalidId;
+        Ctx.L.release(C.Caller);
+        continue;
+      }
+      const RoutineBody &CalleeBody = Ctx.L.acquire(C.Callee);
+      if (inlineCallSite(P, CallerBody, CalleeBody, FoundB, FoundIdx)) {
+        ++Result.SitesInlined;
+        ++RoundInlined;
+        Result.InstrsAdded += CalleeSize;
+        GrowthBudget -= std::min<uint64_t>(GrowthBudget, CalleeSize);
+        SizeCache[C.Caller] = CallerBody.instrCount();
+        Ctx.Stats.add("inline.sites");
+        if (C.CallerMod != C.CalleeMod)
+          Ctx.Stats.add("inline.cross_module_sites");
+      }
+      Ctx.L.release(C.Callee);
+      Ctx.L.release(C.Caller);
+    }
+
+    // Clear leftover tokens (sites skipped by budget/limits).
+    for (RoutineId R : Set) {
+      RoutineBody *Body = Ctx.L.acquireIfDefined(R);
+      if (!Body)
+        continue;
+      for (BasicBlock &BB : Body->Blocks)
+        for (Instr *I : BB.Instrs)
+          if (I->Op == Opcode::Call)
+            I->ProbeId = InvalidId;
+      Ctx.L.release(R);
+    }
+    if (!RoundInlined)
+      break;
+  }
+  return Result;
+}

@@ -1,0 +1,138 @@
+//===- hlo/Interprocedural.cpp --------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hlo/Interprocedural.h"
+
+#include <set>
+
+using namespace scmo;
+
+void scmo::computeGlobalSummaries(HloContext &Ctx,
+                                  const std::vector<RoutineId> &Set,
+                                  bool WholeProgram) {
+  Program &P = Ctx.P;
+  // Reset summaries: they are derived data, recomputed per HLO invocation.
+  for (GlobalId G = 0; G != P.numGlobals(); ++G) {
+    P.global(G).EverStored = false;
+    P.global(G).SummaryValid = false;
+  }
+  std::set<ModuleId> ModulesInSet;
+  std::set<RoutineId> SetLookup(Set.begin(), Set.end());
+  for (RoutineId R : Set) {
+    const RoutineInfo &RI = P.routine(R);
+    if (!RI.IsDefined)
+      continue;
+    ModulesInSet.insert(RI.Owner);
+    const RoutineBody *Body = Ctx.L.acquireIfDefined(R);
+    if (!Body)
+      continue;
+    for (const BasicBlock &BB : Body->Blocks)
+      for (const Instr *I : BB.Instrs)
+        if (I->Op == Opcode::StoreG || I->Op == Opcode::StoreIdx)
+          P.global(I->Sym).EverStored = true;
+    Ctx.L.release(R);
+    Ctx.Stats.add("summary.routines_scanned");
+  }
+  // Validity scope. A module counts as fully covered when every defined
+  // routine it owns is in the set.
+  std::set<ModuleId> FullyCovered;
+  for (ModuleId M : ModulesInSet) {
+    bool AllIn = true;
+    for (RoutineId R : P.module(M).Routines) {
+      if (!P.routine(R).IsDefined || P.routine(R).Owner != M)
+        continue;
+      if (!SetLookup.count(R)) {
+        AllIn = false;
+        break;
+      }
+    }
+    if (AllIn)
+      FullyCovered.insert(M);
+  }
+  for (GlobalId G = 0; G != P.numGlobals(); ++G) {
+    GlobalVar &GV = P.global(G);
+    if (GV.IsStatic)
+      GV.SummaryValid = FullyCovered.count(GV.Owner) != 0;
+    else
+      GV.SummaryValid = WholeProgram;
+    if (GV.SummaryValid && !GV.EverStored)
+      Ctx.Stats.add("summary.readonly_globals");
+  }
+}
+
+void scmo::runIpcp(HloContext &Ctx, const std::vector<RoutineId> &Set,
+                   const CallGraph &Graph, bool WholeProgram) {
+  Program &P = Ctx.P;
+  struct PlannedConst {
+    RoutineId Routine;
+    uint32_t Param;
+    int64_t Value;
+  };
+  std::vector<PlannedConst> Planned;
+  for (RoutineId R : Set) {
+    RoutineInfo &RI = P.routine(R);
+    if (!RI.IsDefined || RI.NumParams == 0)
+      continue;
+    // Visibility: all call sites must be known. Statics are fully visible
+    // once their module is in the set (guaranteed by coarse selectivity);
+    // externs need the whole program.
+    if (!RI.IsStatic && !WholeProgram)
+      continue;
+    const auto &Sites = Graph.sitesTo(R);
+    if (Sites.empty())
+      continue; // Entry points / unreferenced routines keep their params.
+    // For each parameter, check that every site passes one identical
+    // constant.
+    std::vector<bool> AllConst(RI.NumParams, true);
+    std::vector<int64_t> Value(RI.NumParams, 0);
+    std::vector<bool> Seeded(RI.NumParams, false);
+    for (uint32_t SiteIdx : Sites) {
+      const CallSite &S = Graph.sites()[SiteIdx];
+      const RoutineBody *CallerBody = Ctx.L.acquireIfDefined(S.Caller);
+      if (!CallerBody) {
+        std::fill(AllConst.begin(), AllConst.end(), false);
+        break;
+      }
+      const Instr *Call = CallerBody->Blocks[S.Block].Instrs[S.InstrIdx];
+      assert(Call->Op == Opcode::Call && Call->Sym == R &&
+             "stale call graph in IPCP");
+      for (uint32_t A = 0; A != RI.NumParams; ++A) {
+        if (!AllConst[A])
+          continue;
+        const Operand &Arg = Call->Args[A];
+        if (!Arg.isImm()) {
+          AllConst[A] = false;
+          continue;
+        }
+        if (!Seeded[A]) {
+          Seeded[A] = true;
+          Value[A] = Arg.asImm();
+        } else if (Value[A] != Arg.asImm()) {
+          AllConst[A] = false;
+        }
+      }
+      Ctx.L.release(S.Caller);
+    }
+    for (uint32_t A = 0; A != RI.NumParams; ++A)
+      if (AllConst[A] && Seeded[A])
+        Planned.push_back({R, A, Value[A]});
+  }
+  // Apply after all sites were read: inserting at a routine entry must not
+  // shift instruction indices while the (derived, not incrementally
+  // maintained) call graph is still being consulted.
+  for (const PlannedConst &PC : Planned) {
+    if (!Ctx.allowOp())
+      break;
+    RoutineBody &Body = Ctx.L.acquire(PC.Routine);
+    Instr *MovI = Body.newInstr(Opcode::Mov);
+    MovI->Dst = PC.Param;
+    MovI->A = Operand::imm(PC.Value);
+    Body.Blocks[0].Instrs.insert(Body.Blocks[0].Instrs.begin(), MovI);
+    Ctx.L.release(PC.Routine);
+    Ctx.Stats.add("ipcp.params_propagated");
+  }
+}

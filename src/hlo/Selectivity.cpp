@@ -1,0 +1,116 @@
+//===- hlo/Selectivity.cpp ------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hlo/Selectivity.h"
+
+#include "ir/CallGraph.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace scmo;
+
+SelectivityResult scmo::applySelectivity(Program &P, Loader &L,
+                                         double Percent,
+                                         uint64_t FineHotThreshold,
+                                         bool MultiLayered) {
+  SelectivityResult Result;
+
+  // All defined routines, in id order.
+  std::vector<RoutineId> All;
+  for (RoutineId R = 0; R != P.numRoutines(); ++R)
+    if (P.routine(R).IsDefined)
+      All.push_back(R);
+
+  CallGraph Graph = CallGraph::build(
+      P, All,
+      [&L](RoutineId R) -> const RoutineBody * {
+        return L.acquireIfDefined(R);
+      },
+      [&L](RoutineId R) { L.release(R); });
+
+  // Order sites by dynamic count, descending; deterministic tie-break.
+  std::vector<uint32_t> Order(Graph.sites().size());
+  for (uint32_t Idx = 0; Idx != Order.size(); ++Idx)
+    Order[Idx] = Idx;
+  std::stable_sort(Order.begin(), Order.end(), [&](uint32_t X, uint32_t Y) {
+    return Graph.sites()[X].Count > Graph.sites()[Y].Count;
+  });
+
+  Result.TotalSites = Order.size();
+  size_t Retain = static_cast<size_t>(Order.size() *
+                                      std::min(100.0, std::max(0.0, Percent)) /
+                                      100.0 + 0.5);
+  Result.RetainedSites = Retain;
+
+  std::set<ModuleId> CmoSet;
+  std::set<RoutineId> TouchedRoutines;
+  for (size_t Idx = 0; Idx != Retain; ++Idx) {
+    const CallSite &S = Graph.sites()[Order[Idx]];
+    CmoSet.insert(P.routine(S.Caller).Owner);
+    CmoSet.insert(P.routine(S.Callee).Owner);
+    TouchedRoutines.insert(S.Caller);
+    TouchedRoutines.insert(S.Callee);
+  }
+
+  for (ModuleId M = 0; M != P.numModules(); ++M) {
+    bool InCmo = CmoSet.count(M) != 0;
+    P.module(M).InCmoSet = InCmo;
+    if (InCmo) {
+      Result.CmoModules.push_back(M);
+      Result.CmoSourceLines += P.module(M).SourceLines;
+    } else {
+      Result.DefaultModules.push_back(M);
+    }
+  }
+
+  // Fine-grained selection within the CMO set, and (optionally) the
+  // multi-layered tiers of Section 8.
+  for (RoutineId R : All) {
+    RoutineInfo &RI = P.routine(R);
+    bool InCmo = P.module(RI.Owner).InCmoSet;
+    bool Hot = InCmo && TouchedRoutines.count(R) != 0;
+    uint64_t MaxFreq = 0;
+    if (!Hot || MultiLayered) {
+      const RoutineBody *Body = L.acquireIfDefined(R);
+      if (Body && Body->HasProfile) {
+        for (const BasicBlock &BB : Body->Blocks) {
+          MaxFreq = std::max(MaxFreq, BB.Freq);
+          if (InCmo && BB.Freq >= FineHotThreshold)
+            Hot = true;
+        }
+      }
+      if (Body)
+        L.release(R);
+    }
+    RI.Selected = Hot;
+    // The Section 8 tiers: "the most critical code can be compiled using
+    // CMO, while code that is executed little or not at all may not be
+    // optimized at all. Code that falls somewhere in between can be
+    // optimized more or less aggressively."
+    if (MultiLayered)
+      RI.Tier = Hot ? OptTier::Full
+                    : (MaxFreq > 1 ? OptTier::Basic : OptTier::None);
+    else
+      RI.Tier = OptTier::Full;
+  }
+  return Result;
+}
+
+SelectivityResult scmo::selectEverything(Program &P) {
+  SelectivityResult Result;
+  for (ModuleId M = 0; M != P.numModules(); ++M) {
+    P.module(M).InCmoSet = true;
+    Result.CmoModules.push_back(M);
+    Result.CmoSourceLines += P.module(M).SourceLines;
+  }
+  for (RoutineId R = 0; R != P.numRoutines(); ++R) {
+    P.routine(R).Selected = true;
+    P.routine(R).Tier = OptTier::Full;
+  }
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===- hlo/Selectivity.h ----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selectivity (paper Section 5): profile data decides where the optimizer
+/// spends its time.
+///
+/// *Coarse-grained*: "the user specifies a selection percentage. Using the
+/// profile data, the compiler orders all the call sites within the program
+/// by call frequency, and then retains only the selected percentage of
+/// sites. The compiler then identifies the modules containing the callers
+/// and callees of the selected sites. These modules are compiled with CMO
+/// and PBO. The remaining modules bypass HLO entirely."
+///
+/// *Fine-grained*: within the CMO set, routines that are not part of any
+/// retained site and have no hot code contribute only summary information
+/// and are otherwise left unloaded and unoptimized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_HLO_SELECTIVITY_H
+#define SCMO_HLO_SELECTIVITY_H
+
+#include "ir/Program.h"
+#include "naim/Loader.h"
+
+#include <vector>
+
+namespace scmo {
+
+/// Outcome of the coarse-grained module selection.
+struct SelectivityResult {
+  std::vector<ModuleId> CmoModules;     ///< Compiled with CMO (+PBO).
+  std::vector<ModuleId> DefaultModules; ///< Compiled module-at-a-time.
+  uint64_t TotalSites = 0;
+  uint64_t RetainedSites = 0;
+  uint64_t CmoSourceLines = 0; ///< LoC inside the CMO set (Figure 6 x-axis).
+};
+
+/// Applies coarse selectivity at \p Percent (0..100) over the whole program
+/// (profiles must already be correlated onto the raw bodies). Percent >= 100
+/// selects every module that participates in any call. Also sets each
+/// routine's Selected flag (fine-grained selectivity): a routine is selected
+/// if it touches a retained site or its hottest block clears
+/// \p FineHotThreshold.
+SelectivityResult applySelectivity(Program &P, Loader &L, double Percent,
+                                   uint64_t FineHotThreshold = 1,
+                                   bool MultiLayered = false);
+
+/// Marks every module CMO and every routine selected (the no-profile pure
+/// CMO mode — the compiler has nothing to guide it and optimizes all code).
+SelectivityResult selectEverything(Program &P);
+
+/// The paper's Section 8 "multi-layered" refinement: instead of the binary
+/// optimize / don't-optimize split, routines grade into tiers — selected
+/// code gets the full treatment, merely-executed code gets basic cleanup,
+/// and code the training runs never reached is sent straight to quick
+/// code generation. applySelectivity() fills RoutineInfo::Tier when asked.
+
+} // namespace scmo
+
+#endif // SCMO_HLO_SELECTIVITY_H

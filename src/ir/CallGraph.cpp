@@ -1,0 +1,157 @@
+//===- ir/CallGraph.cpp ---------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CallGraph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace scmo;
+
+CallGraph CallGraph::build(const Program &P,
+                           const std::vector<RoutineId> &RoutineSet,
+                           const BodyProvider &Acquire,
+                           const BodyRelease &Release) {
+  CallGraph G;
+  for (RoutineId R : RoutineSet) {
+    const RoutineBody *Body = Acquire(R);
+    if (!Body)
+      continue;
+    for (BlockId B = 0; B != Body->Blocks.size(); ++B) {
+      const BasicBlock &BB = Body->Blocks[B];
+      for (uint32_t Idx = 0; Idx != BB.Instrs.size(); ++Idx) {
+        const Instr *I = BB.Instrs[Idx];
+        if (I->Op != Opcode::Call)
+          continue;
+        CallSite S;
+        S.Caller = R;
+        S.Block = B;
+        S.InstrIdx = Idx;
+        S.Callee = I->Sym;
+        S.Count = Body->HasProfile ? BB.Freq : 0;
+        uint32_t SiteIdx = static_cast<uint32_t>(G.Sites.size());
+        G.Sites.push_back(S);
+        G.Out[R].push_back(SiteIdx);
+        G.In[S.Callee].push_back(SiteIdx);
+      }
+    }
+    if (Release)
+      Release(R);
+  }
+  return G;
+}
+
+CallGraph CallGraph::buildResident(Program &P) {
+  std::vector<RoutineId> All;
+  for (RoutineId R = 0; R != P.numRoutines(); ++R)
+    if (P.routine(R).Slot.State == PoolState::Expanded)
+      All.push_back(R);
+  return build(
+      P, All,
+      [&P](RoutineId R) -> const RoutineBody * {
+        return P.routine(R).Slot.Body.get();
+      },
+      nullptr);
+}
+
+uint64_t CallGraph::totalCallsTo(RoutineId R) const {
+  uint64_t Total = 0;
+  for (uint32_t SiteIdx : sitesTo(R))
+    Total += Sites[SiteIdx].Count;
+  return Total;
+}
+
+std::set<RoutineId> CallGraph::recursiveRoutines() const {
+  // Iterative Tarjan over the routines that appear in any site.
+  std::set<RoutineId> Nodes;
+  for (const CallSite &S : Sites) {
+    Nodes.insert(S.Caller);
+    Nodes.insert(S.Callee);
+  }
+  std::map<RoutineId, uint32_t> Index;   // Discovery index, 0 = unvisited.
+  std::map<RoutineId, uint32_t> LowLink;
+  std::map<RoutineId, bool> OnStack;
+  std::vector<RoutineId> SccStack;
+  std::set<RoutineId> Recursive;
+  uint32_t NextIndex = 1;
+
+  struct Frame {
+    RoutineId Node;
+    size_t NextEdge;
+  };
+  for (RoutineId Root : Nodes) {
+    if (Index.count(Root))
+      continue;
+    std::vector<Frame> Work;
+    Work.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    SccStack.push_back(Root);
+    OnStack[Root] = true;
+    while (!Work.empty()) {
+      Frame &F = Work.back();
+      const auto &Edges = sitesOf(F.Node);
+      if (F.NextEdge < Edges.size()) {
+        RoutineId Callee = Sites[Edges[F.NextEdge++]].Callee;
+        if (Callee == F.Node) {
+          Recursive.insert(F.Node); // Direct self call.
+          continue;
+        }
+        auto It = Index.find(Callee);
+        if (It == Index.end()) {
+          Index[Callee] = LowLink[Callee] = NextIndex++;
+          SccStack.push_back(Callee);
+          OnStack[Callee] = true;
+          Work.push_back({Callee, 0});
+        } else if (OnStack[Callee]) {
+          LowLink[F.Node] = std::min(LowLink[F.Node], It->second);
+        }
+        continue;
+      }
+      // Finished this node: pop SCC if it is a root.
+      RoutineId Done = F.Node;
+      Work.pop_back();
+      if (!Work.empty())
+        LowLink[Work.back().Node] =
+            std::min(LowLink[Work.back().Node], LowLink[Done]);
+      if (LowLink[Done] == Index[Done]) {
+        std::vector<RoutineId> Scc;
+        while (true) {
+          RoutineId Member = SccStack.back();
+          SccStack.pop_back();
+          OnStack[Member] = false;
+          Scc.push_back(Member);
+          if (Member == Done)
+            break;
+        }
+        if (Scc.size() > 1)
+          for (RoutineId Member : Scc)
+            Recursive.insert(Member);
+      }
+    }
+  }
+  return Recursive;
+}
+
+bool CallGraph::isRecursive(RoutineId R) const {
+  // DFS from R over call edges looking for a path back to R.
+  std::set<RoutineId> Visited;
+  std::vector<RoutineId> Stack;
+  Stack.push_back(R);
+  while (!Stack.empty()) {
+    RoutineId Cur = Stack.back();
+    Stack.pop_back();
+    for (uint32_t SiteIdx : sitesOf(Cur)) {
+      RoutineId Callee = Sites[SiteIdx].Callee;
+      if (Callee == R)
+        return true;
+      if (Visited.insert(Callee).second)
+        Stack.push_back(Callee);
+    }
+  }
+  return false;
+}

@@ -1,0 +1,98 @@
+//===- ir/CallGraph.h -------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program call graph — a "global object" in the paper's Figure 3,
+/// always memory resident, while the bodies it summarizes may be compacted
+/// or offloaded. Following the paper's discipline for derived data, the call
+/// graph is always recomputed from scratch rather than incrementally updated;
+/// passes that invalidate it simply rebuild it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_IR_CALLGRAPH_H
+#define SCMO_IR_CALLGRAPH_H
+
+#include "ir/Program.h"
+
+#include <functional>
+#include <set>
+#include <vector>
+
+namespace scmo {
+
+/// One direct call site. \c Count is the execution count of the containing
+/// block under the correlated profile (each call in a block executes exactly
+/// as often as the block), 0 when no profile is attached.
+struct CallSite {
+  RoutineId Caller = InvalidId;
+  BlockId Block = InvalidId;
+  uint32_t InstrIdx = 0;
+  RoutineId Callee = InvalidId;
+  uint64_t Count = 0;
+};
+
+/// Whole-program (or module-set) call graph with per-site profile counts.
+class CallGraph {
+public:
+  /// Provides (possibly loading) the body of a routine; returns null when the
+  /// routine has no body available. The NAIM loader supplies this so the
+  /// graph can be built without expanding everything at once.
+  using BodyProvider = std::function<const RoutineBody *(RoutineId)>;
+
+  /// Called when the graph is done reading a routine's body, letting the
+  /// loader mark it unload-pending.
+  using BodyRelease = std::function<void(RoutineId)>;
+
+  /// Builds the graph over the routines in \p RoutineSet (deterministic
+  /// order). If \p Release is null, bodies are assumed resident.
+  static CallGraph build(const Program &P,
+                         const std::vector<RoutineId> &RoutineSet,
+                         const BodyProvider &Acquire,
+                         const BodyRelease &Release = nullptr);
+
+  /// Builds over every defined routine, assuming all bodies are expanded.
+  static CallGraph buildResident(Program &P);
+
+  /// All call sites in deterministic (caller, block, instr) order.
+  const std::vector<CallSite> &sites() const { return Sites; }
+
+  /// Indices into sites() of the calls made by \p R.
+  const std::vector<uint32_t> &sitesOf(RoutineId R) const {
+    static const std::vector<uint32_t> Empty;
+    auto It = Out.find(R);
+    return It == Out.end() ? Empty : It->second;
+  }
+
+  /// Indices into sites() of the calls targeting \p R.
+  const std::vector<uint32_t> &sitesTo(RoutineId R) const {
+    static const std::vector<uint32_t> Empty;
+    auto It = In.find(R);
+    return It == In.end() ? Empty : It->second;
+  }
+
+  /// Total dynamic calls to \p R across all known sites.
+  uint64_t totalCallsTo(RoutineId R) const;
+
+  /// True if \p R can reach itself through call edges (recursion guard for
+  /// the inliner and cloner). O(edges) per query; batch callers should use
+  /// recursiveRoutines().
+  bool isRecursive(RoutineId R) const;
+
+  /// All routines on call-graph cycles (members of a non-trivial SCC, or
+  /// with a self edge), computed once in O(V + E) by Tarjan's algorithm.
+  std::set<RoutineId> recursiveRoutines() const;
+
+private:
+  std::vector<CallSite> Sites;
+  std::map<RoutineId, std::vector<uint32_t>> Out;
+  std::map<RoutineId, std::vector<uint32_t>> In;
+};
+
+} // namespace scmo
+
+#endif // SCMO_IR_CALLGRAPH_H

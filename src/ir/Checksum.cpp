@@ -1,0 +1,34 @@
+//===- ir/Checksum.cpp ----------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Checksum.h"
+
+using namespace scmo;
+
+static uint64_t mix(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  return H;
+}
+
+uint64_t scmo::computeChecksum(const RoutineBody &Body) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  H = mix(H, Body.Blocks.size());
+  H = mix(H, Body.NumParams);
+  for (const auto &B : Body.Blocks) {
+    H = mix(H, B.Instrs.size());
+    for (const Instr *I : B.Instrs) {
+      H = mix(H, static_cast<uint64_t>(I->Op));
+      H = mix(H, I->NumArgs);
+      // Branch shape matters for edge-count correlation.
+      if (I->Op == Opcode::Jmp)
+        H = mix(H, I->T1);
+      if (I->Op == Opcode::Br)
+        H = mix(H, (static_cast<uint64_t>(I->T1) << 32) | I->T2);
+    }
+  }
+  return H;
+}

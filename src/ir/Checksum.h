@@ -1,0 +1,33 @@
+//===- ir/Checksum.h --------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural checksums over routine bodies. The compiler "correlates profile
+/// information from the database with current program structures" (paper
+/// Section 3); the checksum is how a stored profile is recognized as matching
+/// the current code, and how stale profiles are detected and discarded
+/// (Section 6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_IR_CHECKSUM_H
+#define SCMO_IR_CHECKSUM_H
+
+#include "ir/Routine.h"
+
+#include <cstdint>
+
+namespace scmo {
+
+/// Computes a structural checksum of \p Body: block count, per-block shapes
+/// and the opcode stream. Insensitive to symbol ids (so separate compiles of
+/// identical source agree) but sensitive to any structural edit.
+uint64_t computeChecksum(const RoutineBody &Body);
+
+} // namespace scmo
+
+#endif // SCMO_IR_CHECKSUM_H

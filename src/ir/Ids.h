@@ -1,0 +1,47 @@
+//===- ir/Ids.h -------------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense stable identifiers for program entities. These are the "persistent
+/// identifiers" (PIDs) of the paper's Section 4.2.1: relocatable object forms
+/// reference other objects through these ids rather than virtual addresses,
+/// and all deterministic orderings are derived from them (Section 6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_IR_IDS_H
+#define SCMO_IR_IDS_H
+
+#include <cstdint>
+
+namespace scmo {
+
+/// Virtual register index within a routine. Registers [0, NumParams) hold the
+/// incoming parameters.
+using RegId = uint32_t;
+
+/// Basic block index within a routine (the entry block is always 0).
+using BlockId = uint32_t;
+
+/// Program-wide global variable id (index into Program::Globals).
+using GlobalId = uint32_t;
+
+/// Program-wide routine id (index into Program::Routines).
+using RoutineId = uint32_t;
+
+/// Module id (index into Program::Modules).
+using ModuleId = uint32_t;
+
+/// Sentinel for "no register" (e.g. a call whose result is unused).
+inline constexpr RegId NoReg = ~0u;
+
+/// Sentinel for invalid ids.
+inline constexpr uint32_t InvalidId = ~0u;
+
+} // namespace scmo
+
+#endif // SCMO_IR_IDS_H

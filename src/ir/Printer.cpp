@@ -1,0 +1,154 @@
+//===- ir/Printer.cpp -----------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace scmo;
+
+const char *scmo::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpGt:
+    return "cmpgt";
+  case Opcode::CmpGe:
+    return "cmpge";
+  case Opcode::LoadG:
+    return "loadg";
+  case Opcode::StoreG:
+    return "storeg";
+  case Opcode::LoadIdx:
+    return "loadidx";
+  case Opcode::StoreIdx:
+    return "storeidx";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Print:
+    return "print";
+  case Opcode::Probe:
+    return "probe";
+  case Opcode::Nop:
+    return "nop";
+  }
+  scmo_unreachable("invalid opcode");
+}
+
+static void printOperand(std::ostringstream &OS, const Operand &O) {
+  switch (O.K) {
+  case Operand::Kind::None:
+    OS << "_";
+    return;
+  case Operand::Kind::Reg:
+    OS << "%" << O.Reg;
+    return;
+  case Operand::Kind::Imm:
+    OS << "#" << O.Imm;
+    return;
+  }
+}
+
+std::string scmo::printInstr(const Program &P, const Instr &I) {
+  std::ostringstream OS;
+  OS << opcodeName(I.Op);
+  if (I.Dst != NoReg)
+    OS << " %" << I.Dst << " =";
+  switch (I.Op) {
+  case Opcode::LoadG:
+  case Opcode::StoreG:
+  case Opcode::LoadIdx:
+  case Opcode::StoreIdx:
+    OS << " @" << P.Strings.text(P.global(I.Sym).Name);
+    break;
+  case Opcode::Call:
+    OS << " " << P.displayName(I.Sym) << "(";
+    for (unsigned A = 0; A != I.NumArgs; ++A) {
+      if (A)
+        OS << ", ";
+      printOperand(OS, I.Args[A]);
+    }
+    OS << ")";
+    break;
+  case Opcode::Jmp:
+    OS << " bb" << I.T1;
+    break;
+  case Opcode::Br:
+    OS << " ";
+    break;
+  case Opcode::Probe:
+    OS << " " << I.ProbeId;
+    break;
+  default:
+    break;
+  }
+  if (!I.A.isNone() && I.Op != Opcode::Call) {
+    OS << " ";
+    printOperand(OS, I.A);
+  }
+  if (!I.B.isNone() && I.Op != Opcode::Call) {
+    OS << ", ";
+    printOperand(OS, I.B);
+  }
+  if (I.Op == Opcode::Br)
+    OS << " ? bb" << I.T1 << " : bb" << I.T2;
+  return OS.str();
+}
+
+std::string scmo::printRoutine(const Program &P, RoutineId R,
+                               const RoutineBody &Body) {
+  std::ostringstream OS;
+  OS << "routine " << P.displayName(R) << "(" << Body.NumParams << " params, "
+     << Body.NextReg << " regs, " << Body.SourceLines << " lines)\n";
+  for (BlockId B = 0; B != Body.Blocks.size(); ++B) {
+    const BasicBlock &BB = Body.Blocks[B];
+    OS << "bb" << B << ":";
+    if (Body.HasProfile)
+      OS << "    ; freq=" << BB.Freq << " taken=" << BB.TakenFreq;
+    OS << "\n";
+    for (const Instr *I : BB.Instrs)
+      OS << "  " << printInstr(P, *I) << "\n";
+  }
+  return OS.str();
+}
+
+std::string scmo::printProgram(Program &P) {
+  std::ostringstream OS;
+  for (RoutineId R = 0; R != P.numRoutines(); ++R) {
+    const RoutineInfo &RI = P.routine(R);
+    if (RI.Slot.State != PoolState::Expanded)
+      continue;
+    OS << printRoutine(P, R, *RI.Slot.Body) << "\n";
+  }
+  return OS.str();
+}

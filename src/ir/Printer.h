@@ -1,0 +1,35 @@
+//===- ir/Printer.h ---------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual IL dumps — the compiler diagnostics the paper calls "essential
+/// when deploying selectivity" (Section 6.2). Output is fully deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_IR_PRINTER_H
+#define SCMO_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace scmo {
+
+/// Renders one instruction as text (no trailing newline).
+std::string printInstr(const Program &P, const Instr &I);
+
+/// Renders \p Body with block labels and profile annotations.
+std::string printRoutine(const Program &P, RoutineId R,
+                         const RoutineBody &Body);
+
+/// Renders every expanded routine in the program.
+std::string printProgram(Program &P);
+
+} // namespace scmo
+
+#endif // SCMO_IR_PRINTER_H

@@ -1,0 +1,170 @@
+//===- ir/Verifier.cpp ----------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <sstream>
+
+using namespace scmo;
+
+namespace {
+
+/// Collects the first violation found while walking one routine.
+class RoutineVerifier {
+public:
+  RoutineVerifier(const Program &P, RoutineId R, const RoutineBody &Body)
+      : P(P), R(R), Body(Body) {}
+
+  std::string run() {
+    if (Body.Blocks.empty())
+      return fail(0, nullptr, "routine has no blocks");
+    if (Body.NumParams > Body.NextReg)
+      return fail(0, nullptr, "params exceed register count");
+    for (BlockId B = 0; B != Body.Blocks.size(); ++B) {
+      if (std::string E = checkBlock(B); !E.empty())
+        return E;
+    }
+    return "";
+  }
+
+private:
+  std::string checkBlock(BlockId B) {
+    const BasicBlock &BB = Body.Blocks[B];
+    if (BB.Instrs.empty())
+      return fail(B, nullptr, "empty block");
+    for (size_t Idx = 0; Idx != BB.Instrs.size(); ++Idx) {
+      const Instr *I = BB.Instrs[Idx];
+      bool IsLast = Idx + 1 == BB.Instrs.size();
+      if (I->isTerm() != IsLast)
+        return fail(B, I, I->isTerm() ? "terminator not at block end"
+                                      : "block does not end in a terminator");
+      if (std::string E = checkInstr(B, *I); !E.empty())
+        return E;
+    }
+    return "";
+  }
+
+  std::string checkInstr(BlockId B, const Instr &I) {
+    // Register bounds on all operands.
+    if (std::string E = checkOperand(B, I, I.A); !E.empty())
+      return E;
+    if (std::string E = checkOperand(B, I, I.B); !E.empty())
+      return E;
+    if (I.Dst != NoReg && I.Dst >= Body.NextReg)
+      return fail(B, &I, "dst register out of range");
+
+    switch (I.Op) {
+    case Opcode::Mov:
+    case Opcode::Neg:
+      return check(B, I, I.Dst != NoReg && !I.A.isNone() && I.B.isNone(),
+                   "unary op needs dst and one operand");
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      return check(B, I, I.Dst != NoReg && !I.A.isNone() && !I.B.isNone(),
+                   "binary op needs dst and two operands");
+    case Opcode::LoadG:
+      if (I.Sym >= P.numGlobals())
+        return fail(B, &I, "global id out of range");
+      return check(B, I, I.Dst != NoReg, "loadg needs dst");
+    case Opcode::StoreG:
+      if (I.Sym >= P.numGlobals())
+        return fail(B, &I, "global id out of range");
+      return check(B, I, !I.A.isNone(), "storeg needs a value");
+    case Opcode::LoadIdx:
+      if (I.Sym >= P.numGlobals())
+        return fail(B, &I, "global id out of range");
+      return check(B, I, I.Dst != NoReg && !I.A.isNone(),
+                   "loadidx needs dst and index");
+    case Opcode::StoreIdx:
+      if (I.Sym >= P.numGlobals())
+        return fail(B, &I, "global id out of range");
+      return check(B, I, !I.A.isNone() && !I.B.isNone(),
+                   "storeidx needs index and value");
+    case Opcode::Jmp:
+      return check(B, I, I.T1 < Body.Blocks.size(), "jmp target out of range");
+    case Opcode::Br:
+      if (I.A.isNone())
+        return fail(B, &I, "br needs a condition");
+      return check(B, I,
+                   I.T1 < Body.Blocks.size() && I.T2 < Body.Blocks.size(),
+                   "br target out of range");
+    case Opcode::Ret:
+      return check(B, I, !I.A.isNone(), "ret needs a value");
+    case Opcode::Call: {
+      if (I.Sym >= P.numRoutines())
+        return fail(B, &I, "callee id out of range");
+      const RoutineInfo &Callee = P.routine(I.Sym);
+      if (I.NumArgs != Callee.NumParams)
+        return fail(B, &I, "call argument count mismatch");
+      for (unsigned A = 0; A != I.NumArgs; ++A) {
+        if (I.Args[A].isNone())
+          return fail(B, &I, "call passes a missing argument");
+        if (std::string E = checkOperand(B, I, I.Args[A]); !E.empty())
+          return E;
+      }
+      return "";
+    }
+    case Opcode::Print:
+      return check(B, I, !I.A.isNone(), "print needs a value");
+    case Opcode::Probe:
+      return check(B, I, I.ProbeId != InvalidId, "probe without counter id");
+    case Opcode::Nop:
+      return "";
+    }
+    scmo_unreachable("invalid opcode");
+  }
+
+  std::string checkOperand(BlockId B, const Instr &I, const Operand &O) {
+    if (O.isReg() && O.Reg >= Body.NextReg)
+      return fail(B, &I, "source register out of range");
+    return "";
+  }
+
+  std::string check(BlockId B, const Instr &I, bool Cond, const char *Msg) {
+    return Cond ? "" : fail(B, &I, Msg);
+  }
+
+  std::string fail(BlockId B, const Instr *I, const char *Msg) {
+    std::ostringstream OS;
+    OS << "verify failed in " << P.displayName(R) << " bb" << B;
+    if (I)
+      OS << " (" << opcodeName(I->Op) << ")";
+    OS << ": " << Msg;
+    return OS.str();
+  }
+
+  const Program &P;
+  RoutineId R;
+  const RoutineBody &Body;
+};
+
+} // namespace
+
+std::string scmo::verifyRoutine(const Program &P, RoutineId R,
+                                const RoutineBody &Body) {
+  return RoutineVerifier(P, R, Body).run();
+}
+
+std::string scmo::verifyProgram(Program &P) {
+  for (RoutineId R = 0; R != P.numRoutines(); ++R) {
+    const RoutineInfo &RI = P.routine(R);
+    if (RI.Slot.State != PoolState::Expanded)
+      continue;
+    if (std::string E = verifyRoutine(P, R, *RI.Slot.Body); !E.empty())
+      return E;
+  }
+  return "";
+}

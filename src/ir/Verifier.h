@@ -1,0 +1,42 @@
+//===- ir/Verifier.h --------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IL well-formedness checking. Run after the frontend and (in checked
+/// builds / tests) after every HLO phase — the paper's debugging methodology
+/// (Section 6.3) depends on being able to localize which transformation
+/// broke a program, and the verifier is the first line of that defense.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_IR_VERIFIER_H
+#define SCMO_IR_VERIFIER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace scmo {
+
+/// Checks structural invariants of \p Body against \p P:
+///  - every block is non-empty and ends in exactly one terminator,
+///  - terminators appear only at block ends,
+///  - register, block, global and routine references are in range,
+///  - calls pass the declared number of arguments,
+///  - operand kinds match each opcode's signature.
+///
+/// \returns an empty string if valid, otherwise a diagnostic naming the
+/// first violation.
+std::string verifyRoutine(const Program &P, RoutineId R,
+                          const RoutineBody &Body);
+
+/// Verifies every expanded routine in \p P; returns first diagnostic or "".
+std::string verifyProgram(Program &P);
+
+} // namespace scmo
+
+#endif // SCMO_IR_VERIFIER_H

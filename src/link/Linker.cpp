@@ -1,0 +1,205 @@
+//===- link/Linker.cpp ----------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/Linker.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+using namespace scmo;
+
+namespace {
+
+/// Greedy Pettis-Hansen-style chain merging: process call edges by
+/// descending weight; whenever both endpoints sit at the boundary of
+/// different chains, splice the chains so caller and callee become adjacent.
+/// Hot chains are emitted first.
+std::vector<uint32_t>
+clusterOrder(const std::vector<MachineRoutine> &Machines,
+             const std::map<RoutineId, uint32_t> &IndexOf,
+             const std::vector<CallEdgeWeight> &Edges) {
+  size_t N = Machines.size();
+  std::vector<std::deque<uint32_t>> Chains(N);
+  std::vector<uint32_t> ChainOf(N);
+  for (uint32_t Idx = 0; Idx != N; ++Idx) {
+    Chains[Idx].push_back(Idx);
+    ChainOf[Idx] = Idx;
+  }
+
+  std::vector<CallEdgeWeight> Sorted = Edges;
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const CallEdgeWeight &X, const CallEdgeWeight &Y) {
+                     if (X.Weight != Y.Weight)
+                       return X.Weight > Y.Weight;
+                     if (X.From != Y.From)
+                       return X.From < Y.From;
+                     return X.To < Y.To;
+                   });
+
+  for (const CallEdgeWeight &E : Sorted) {
+    auto FromIt = IndexOf.find(E.From);
+    auto ToIt = IndexOf.find(E.To);
+    if (FromIt == IndexOf.end() || ToIt == IndexOf.end())
+      continue;
+    uint32_t A = FromIt->second, B = ToIt->second;
+    uint32_t CA = ChainOf[A], CB = ChainOf[B];
+    if (CA == CB)
+      continue;
+    std::deque<uint32_t> &ChA = Chains[CA];
+    std::deque<uint32_t> &ChB = Chains[CB];
+    // Orient so the caller ends chain A and the callee begins chain B.
+    if (ChA.back() != A) {
+      if (ChA.front() == A)
+        std::reverse(ChA.begin(), ChA.end());
+      else
+        continue; // A is interior; cannot make the pair adjacent.
+    }
+    if (ChB.front() != B) {
+      if (ChB.back() == B)
+        std::reverse(ChB.begin(), ChB.end());
+      else
+        continue;
+    }
+    for (uint32_t Member : ChB) {
+      ChA.push_back(Member);
+      ChainOf[Member] = CA;
+    }
+    ChB.clear();
+  }
+
+  // Order chains by their hottest member's entry count, hottest first.
+  struct ChainRank {
+    uint64_t Hotness;
+    uint32_t Chain;
+  };
+  std::vector<ChainRank> Ranks;
+  for (uint32_t C = 0; C != N; ++C) {
+    if (Chains[C].empty())
+      continue;
+    uint64_t Hot = 0;
+    for (uint32_t Member : Chains[C])
+      Hot = std::max(Hot, Machines[Member].EntryFreq);
+    Ranks.push_back({Hot, C});
+  }
+  std::stable_sort(Ranks.begin(), Ranks.end(),
+                   [](const ChainRank &X, const ChainRank &Y) {
+                     if (X.Hotness != Y.Hotness)
+                       return X.Hotness > Y.Hotness;
+                     return X.Chain < Y.Chain;
+                   });
+  std::vector<uint32_t> Order;
+  Order.reserve(N);
+  for (const ChainRank &CR : Ranks)
+    for (uint32_t Member : Chains[CR.Chain])
+      Order.push_back(Member);
+  return Order;
+}
+
+} // namespace
+
+Executable scmo::linkProgram(const Program &P,
+                             std::vector<MachineRoutine> Machines,
+                             const LinkOptions &Opts, std::string &Error) {
+  Executable Exe;
+  Error.clear();
+
+  // Global data layout, in stable GlobalId order.
+  Exe.GlobalOffset.resize(P.numGlobals(), 0);
+  uint32_t DataSize = 0;
+  for (GlobalId G = 0; G != P.numGlobals(); ++G) {
+    Exe.GlobalOffset[G] = DataSize;
+    DataSize += P.global(G).Size;
+  }
+  Exe.Data.assign(DataSize, 0);
+  for (GlobalId G = 0; G != P.numGlobals(); ++G) {
+    const GlobalVar &GV = P.global(G);
+    if (GV.Size == 1)
+      Exe.Data[Exe.GlobalOffset[G]] = GV.Init;
+  }
+
+  // Routine placement order.
+  std::map<RoutineId, uint32_t> MachineIndexOf;
+  for (uint32_t Idx = 0; Idx != Machines.size(); ++Idx)
+    MachineIndexOf[Machines[Idx].Routine] = Idx;
+  std::vector<uint32_t> Order;
+  if (Opts.ClusterByProfile) {
+    Order = clusterOrder(Machines, MachineIndexOf, Opts.EdgeWeights);
+  } else {
+    Order.resize(Machines.size());
+    for (uint32_t Idx = 0; Idx != Machines.size(); ++Idx)
+      Order[Idx] = Idx;
+  }
+
+  // First pass: assign code addresses in placement order.
+  std::map<RoutineId, uint32_t> ExeIndexOf;
+  uint32_t Addr = 0;
+  Exe.Routines.reserve(Machines.size());
+  for (uint32_t MIdx : Order) {
+    const MachineRoutine &MR = Machines[MIdx];
+    ExeRoutine ER;
+    ER.Routine = MR.Routine;
+    ER.Name = MR.Name;
+    ER.CodeStart = Addr;
+    ER.CodeLen = static_cast<uint32_t>(MR.Code.size());
+    ER.SpillSlots = MR.SpillSlots;
+    ExeIndexOf[MR.Routine] = static_cast<uint32_t>(Exe.Routines.size());
+    Exe.Routines.push_back(std::move(ER));
+    Addr += static_cast<uint32_t>(MR.Code.size());
+  }
+
+  // Second pass: emit and patch.
+  Exe.Code.reserve(Addr);
+  for (uint32_t MIdx : Order) {
+    const MachineRoutine &MR = Machines[MIdx];
+    uint32_t Base = Exe.Routines[ExeIndexOf[MR.Routine]].CodeStart;
+    for (MInstr I : MR.Code) {
+      switch (I.Op) {
+      case MOp::Jmp:
+      case MOp::Br:
+      case MOp::Brz:
+        I.Target += Base;
+        break;
+      case MOp::Call: {
+        auto It = ExeIndexOf.find(I.Sym);
+        if (It == ExeIndexOf.end()) {
+          Error = "undefined routine '" + P.displayName(I.Sym) +
+                  "' referenced from '" + MR.Name + "'";
+          return Executable();
+        }
+        I.Sym = It->second;
+        break;
+      }
+      case MOp::LoadG:
+      case MOp::StoreG:
+        I.Sym = Exe.GlobalOffset[I.Sym];
+        break;
+      case MOp::LoadIdx:
+      case MOp::StoreIdx:
+        // The VM wraps indices modulo the array size carried in Slot.
+        I.Slot = P.global(I.Sym).Size;
+        I.Sym = Exe.GlobalOffset[I.Sym];
+        break;
+      default:
+        break;
+      }
+      Exe.Code.push_back(I);
+    }
+  }
+
+  // Entry point.
+  Exe.Entry = InvalidId;
+  for (uint32_t Idx = 0; Idx != Exe.Routines.size(); ++Idx)
+    if (Exe.Routines[Idx].Name == "main")
+      Exe.Entry = Idx;
+  if (Exe.Entry == InvalidId) {
+    Error = "no main() routine in the link set";
+    return Executable();
+  }
+  Exe.NumProbes = Opts.NumProbes;
+  return Exe;
+}

@@ -1,0 +1,61 @@
+//===- llo/Codegen.h --------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code generator and low level optimizer (LLO): "a sophisticated and
+/// mature intraprocedural optimizer, handling all optimizations that require
+/// detailed knowledge of the machine architecture, such as register
+/// allocation and scheduling" (paper Section 3). It consumes IL routine
+/// bodies and produces MachineRoutines:
+///
+///  - profile-guided basic block layout (hot successor falls through);
+///  - linear-scan register allocation with profile-weighted spill costs
+///    (values live across calls go to the stack: all registers are
+///    caller-save);
+///  - list scheduling within blocks to hide the machine's load-use stall.
+///
+/// At optimization level O1 all three are disabled and every virtual
+/// register lives in a stack slot (the "optimize only within basic blocks"
+/// baseline used for Mcad3 in Figure 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_LLO_CODEGEN_H
+#define SCMO_LLO_CODEGEN_H
+
+#include "ir/Program.h"
+#include "llo/MachineCode.h"
+
+namespace scmo {
+
+/// LLO configuration (derived from the driver's optimization level).
+struct LloOptions {
+  bool RegAlloc = true;      ///< Linear scan (false: spill everything, O1).
+  bool Schedule = true;      ///< Load-use stall scheduling.
+  bool ProfileLayout = true; ///< Use block counts for layout when available.
+  bool ProfileSpillWeights = true; ///< Weight spill costs by block counts.
+};
+
+/// Statistics LLO reports per compilation.
+struct LloStats {
+  uint64_t RoutinesLowered = 0;
+  uint64_t SpillsAllocated = 0;  ///< Virtual registers assigned to slots.
+  uint64_t RegsAllocated = 0;    ///< Virtual registers assigned to registers.
+  uint64_t ScheduleMoves = 0;    ///< Instructions the scheduler reordered.
+  uint64_t PeakRoutineBytes = 0; ///< Largest transient LLO footprint.
+};
+
+/// Lowers \p Body (the IL of routine \p R) to machine code. Transient LLO
+/// memory is charged to the session tracker's Llo category — this footprint
+/// grows superlinearly with routine size, which is why heavy inlining makes
+/// the *overall* compiler curve in Figure 4 outgrow the HLO curve.
+MachineRoutine lowerRoutine(Program &P, RoutineId R, const RoutineBody &Body,
+                            const LloOptions &Opts, LloStats *Stats = nullptr);
+
+} // namespace scmo
+
+#endif // SCMO_LLO_CODEGEN_H

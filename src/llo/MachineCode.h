@@ -1,0 +1,140 @@
+//===- llo/MachineCode.h ----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target machine abstraction. The paper's LLO lowers IL to PA-RISC; our
+/// LLO lowers IL to this 32-register machine executed by the deterministic
+/// VM in src/vm. The machine exposes exactly the performance levers the
+/// paper's optimizations pull:
+///
+///  - finite registers with an all-caller-save convention, so register
+///    allocation quality and call overhead are visible (inlining removes
+///    calls *and* the spills around them);
+///  - fall-through vs taken branches with asymmetric cost, so profile-guided
+///    block layout matters;
+///  - a direct-mapped instruction cache in the VM, so the linker's routine
+///    clustering matters;
+///  - a load-use stall, so LLO's scheduling matters.
+///
+/// The machine has 32 integer registers, like the PA-8000 the paper measured
+/// on. ABI: parameters arrive in r24..r31 (max 8), return value in r24.
+/// The allocatable set splits into caller-save r3..r13 and callee-save
+/// r14..r23 (preserved across calls by the using routine's prologue and
+/// epilogue). r0/r1 are spill-reload scratch for operands and r2 for spilled
+/// destinations, never live across an instruction boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_LLO_MACHINECODE_H
+#define SCMO_LLO_MACHINECODE_H
+
+#include "ir/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scmo {
+
+/// Number of physical registers.
+inline constexpr unsigned NumPhysRegs = 32;
+
+/// First argument register; argument i of a call travels in ArgRegBase + i.
+inline constexpr uint8_t ArgRegBase = 24;
+
+/// Maximum arguments passed in registers (the frontend enforces this).
+inline constexpr unsigned MaxArgs = 8;
+
+/// Return value register.
+inline constexpr uint8_t RetReg = 24;
+
+/// Machine opcodes.
+enum class MOp : uint8_t {
+  Mov,        ///< Rd = A
+  Add,        ///< Rd = A + B
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Neg,        ///< Rd = -A
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  LoadG,      ///< Rd = data[Sym]
+  StoreG,     ///< data[Sym] = A
+  LoadIdx,    ///< Rd = data[Sym + wrap(A)]
+  StoreIdx,   ///< data[Sym + wrap(A)] = B
+  LoadSpill,  ///< Rd = frame[Slot]
+  StoreSpill, ///< frame[Slot] = A
+  Jmp,        ///< goto Target
+  Br,         ///< if (A != 0) goto Target, else fall through
+  Brz,        ///< if (A == 0) goto Target, else fall through
+  Ret,        ///< return to caller (value already in RetReg)
+  Call,       ///< call routine Sym (args already in ArgRegBase..)
+  Print,      ///< emit A to program output
+  Probe,      ///< profile counter Probe += 1
+  Halt,       ///< stop the machine (end of program)
+  Nop
+};
+
+/// Number of machine opcodes.
+inline constexpr unsigned NumMOps = static_cast<unsigned>(MOp::Nop) + 1;
+
+/// Returns a stable mnemonic for \p Op.
+const char *mopName(MOp Op);
+
+/// A machine operand: a physical register or an immediate.
+struct MOperand {
+  bool IsImm = false;
+  uint8_t Reg = 0;
+  int64_t Imm = 0;
+
+  static MOperand reg(uint8_t R) {
+    MOperand O;
+    O.Reg = R;
+    return O;
+  }
+
+  static MOperand imm(int64_t V) {
+    MOperand O;
+    O.IsImm = true;
+    O.Imm = V;
+    return O;
+  }
+};
+
+/// One machine instruction. Before linking, Target is an instruction index
+/// local to the routine and Sym is a GlobalId / RoutineId; the linker patches
+/// Target to an absolute code address, Sym to a data offset (loads/stores)
+/// or an executable routine index (calls).
+struct MInstr {
+  MOp Op = MOp::Nop;
+  uint8_t Rd = 0;
+  MOperand A;
+  MOperand B;
+  uint32_t Sym = InvalidId;
+  uint32_t Target = InvalidId;
+  uint32_t Probe = InvalidId;
+  uint32_t Slot = 0; ///< Spill slot for LoadSpill/StoreSpill.
+};
+
+/// LLO's output for one routine.
+struct MachineRoutine {
+  RoutineId Routine = InvalidId;
+  std::string Name;            ///< Display name (diagnostics, entry lookup).
+  std::vector<MInstr> Code;    ///< Targets are local instruction indices.
+  uint32_t SpillSlots = 0;     ///< Frame size in slots.
+  uint64_t EntryFreq = 0;      ///< Profile invocation count (for clustering).
+  uint32_t SourceLines = 0;
+};
+
+} // namespace scmo
+
+#endif // SCMO_LLO_MACHINECODE_H

@@ -1,0 +1,212 @@
+//===- naim/Loader.cpp ----------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "naim/Loader.h"
+
+#include "bytecode/Compact.h"
+#include "support/Debug.h"
+
+using namespace scmo;
+
+Loader::Loader(Program &P, const NaimConfig &Config)
+    : P(P), Config(Config), Repo(Config.RepositoryPath) {}
+
+bool Loader::irCompactionEnabled() const {
+  switch (Config.Mode) {
+  case NaimMode::Off:
+    return false;
+  case NaimMode::CompactIr:
+  case NaimMode::CompactIrSt:
+  case NaimMode::Offload:
+    return true;
+  case NaimMode::Auto:
+    // Threshold staging: IR compaction turns on once total optimizer memory
+    // crosses a fraction of machine memory.
+    return !P.tracker() ||
+           P.tracker()->totalLiveBytes() > Config.MachineMemoryBytes / 4;
+  }
+  scmo_unreachable("invalid NAIM mode");
+}
+
+bool Loader::stCompactionEnabled() const {
+  switch (Config.Mode) {
+  case NaimMode::Off:
+  case NaimMode::CompactIr:
+    return false;
+  case NaimMode::CompactIrSt:
+  case NaimMode::Offload:
+    return true;
+  case NaimMode::Auto:
+    return !P.tracker() ||
+           P.tracker()->totalLiveBytes() > Config.MachineMemoryBytes / 2;
+  }
+  scmo_unreachable("invalid NAIM mode");
+}
+
+bool Loader::offloadEnabled() const {
+  switch (Config.Mode) {
+  case NaimMode::Off:
+  case NaimMode::CompactIr:
+  case NaimMode::CompactIrSt:
+    return false;
+  case NaimMode::Offload:
+    return true;
+  case NaimMode::Auto:
+    return !P.tracker() || P.tracker()->totalLiveBytes() >
+                               (Config.MachineMemoryBytes * 3) / 4;
+  }
+  scmo_unreachable("invalid NAIM mode");
+}
+
+RoutineBody *Loader::acquireIfDefined(RoutineId R) {
+  RoutineInfo &RI = P.routine(R);
+  if (!RI.IsDefined)
+    return nullptr;
+  return &acquire(R);
+}
+
+RoutineBody &Loader::acquire(RoutineId R) {
+  RoutineInfo &RI = P.routine(R);
+  RoutineSlot &S = RI.Slot;
+  assert(RI.IsDefined && "acquiring an undefined routine");
+  ++Stats.Acquires;
+  switch (S.State) {
+  case PoolState::Expanded:
+    if (S.UnloadPending) {
+      // Cache hit: just flip the state back; no loading work at all — the
+      // payoff of the lazy unloader (paper Section 4.3).
+      ++Stats.CacheHits;
+      CacheOrder.erase({S.LruTick, R});
+      CachedBytes -= S.Body->irBytes();
+      S.UnloadPending = false;
+    }
+    break;
+  case PoolState::Compact:
+  case PoolState::Offloaded:
+    expandPool(R);
+    break;
+  case PoolState::None:
+    scmo_unreachable("defined routine with no pool");
+  }
+  touch(R);
+  return *S.Body;
+}
+
+void Loader::release(RoutineId R) {
+  RoutineInfo &RI = P.routine(R);
+  RoutineSlot &S = RI.Slot;
+  if (S.State != PoolState::Expanded || S.UnloadPending)
+    return;
+  // Mark unload-pending and place in the cache; actual compaction happens
+  // only if the budget demands it.
+  S.UnloadPending = true;
+  S.LruTick = ++Tick;
+  CacheOrder.insert({S.LruTick, R});
+  CachedBytes += S.Body->irBytes();
+  enforceBudget();
+}
+
+void Loader::releaseAll() {
+  for (RoutineId R = 0; R != P.numRoutines(); ++R) {
+    RoutineSlot &S = P.routine(R).Slot;
+    if (S.State == PoolState::Expanded && !S.UnloadPending) {
+      S.UnloadPending = true;
+      S.LruTick = ++Tick;
+      CacheOrder.insert({S.LruTick, R});
+      CachedBytes += S.Body->irBytes();
+    }
+  }
+  enforceBudget();
+}
+
+void Loader::enforceBudget(bool Everything) {
+  if (!irCompactionEnabled())
+    return;
+  uint64_t SoftCap = Everything ? 0 : Config.ExpandedCacheBytes;
+  // Evict least-recently-used pools until under budget.
+  while (CachedBytes > SoftCap && !CacheOrder.empty()) {
+    RoutineId Victim = CacheOrder.begin()->second;
+    compactPool(Victim);
+  }
+  // Second stage: offload compact pools beyond the compact-residency budget.
+  if (!offloadEnabled() || !P.tracker())
+    return;
+  if (P.tracker()->liveBytes(MemCategory::HloCompact) <=
+      Config.CompactResidentBytes)
+    return;
+  // Offload in deterministic id order; compact pools carry no LRU order
+  // (their last-touch ordering died at compaction), and id order keeps the
+  // pass reproducible.
+  for (RoutineId R = 0; R != P.numRoutines(); ++R) {
+    if (P.tracker()->liveBytes(MemCategory::HloCompact) <=
+        Config.CompactResidentBytes)
+      break;
+    if (P.routine(R).Slot.State == PoolState::Compact)
+      offloadPool(R);
+  }
+}
+
+void Loader::maybeCompactSymtabs() {
+  if (!stCompactionEnabled())
+    return;
+  for (ModuleId M = 0; M != P.numModules(); ++M) {
+    ModuleSymtab &St = P.module(M).Symtab;
+    if (St.state() == PoolState::Expanded && St.expandedBytes()) {
+      St.compact(P.tracker());
+      ++Stats.SymtabCompactions;
+    }
+  }
+}
+
+void Loader::compactPool(RoutineId R) {
+  RoutineSlot &S = P.routine(R).Slot;
+  assert(S.State == PoolState::Expanded && S.UnloadPending &&
+         "compacting a pinned pool");
+  CacheOrder.erase({S.LruTick, R});
+  CachedBytes -= S.Body->irBytes();
+  std::vector<uint8_t> Bytes = compactRoutine(*S.Body);
+  S.Body.reset();
+  S.CompactBytes = TrackedBuffer(P.tracker(), MemCategory::HloCompact);
+  S.CompactBytes.assign(std::move(Bytes));
+  S.State = PoolState::Compact;
+  S.UnloadPending = false;
+  ++Stats.Compactions;
+}
+
+void Loader::offloadPool(RoutineId R) {
+  RoutineSlot &S = P.routine(R).Slot;
+  assert(S.State == PoolState::Compact && "offloading a non-compact pool");
+  S.RepoSize = S.CompactBytes.size();
+  S.RepoOffset = Repo.store(S.CompactBytes.bytes());
+  S.CompactBytes.clear();
+  S.State = PoolState::Offloaded;
+  ++Stats.Offloads;
+}
+
+void Loader::expandPool(RoutineId R) {
+  RoutineSlot &S = P.routine(R).Slot;
+  std::vector<uint8_t> Bytes;
+  if (S.State == PoolState::Offloaded) {
+    if (!Repo.fetch(S.RepoOffset, S.RepoSize, Bytes))
+      reportFatalError("NAIM repository fetch failed");
+    ++Stats.Fetches;
+  } else {
+    assert(S.State == PoolState::Compact && "expanding a non-compact pool");
+    Bytes = S.CompactBytes.take();
+  }
+  // Uncompaction: decode and eagerly swizzle PIDs back to in-memory form.
+  auto Body = expandRoutine(Bytes, P.tracker());
+  if (!Body)
+    reportFatalError("corrupt compact pool");
+  S.Body = std::move(Body);
+  S.CompactBytes.clear();
+  S.State = PoolState::Expanded;
+  S.UnloadPending = false;
+  ++Stats.Expansions;
+}
+
+void Loader::touch(RoutineId R) { P.routine(R).Slot.LruTick = ++Tick; }

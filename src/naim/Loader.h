@@ -1,0 +1,157 @@
+//===- naim/Loader.h --------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The NAIM loader: "the process that manages the movement of data in and
+/// out of the repository" (paper Section 4.2). Optimizer phases acquire the
+/// pools they need and release them when done; whether a released pool is
+/// actually compacted or offloaded "is determined internally by the loader"
+/// — clients never see the state machine (Section 4.3).
+///
+/// State machine per routine body (paper Figure 3):
+///
+///   Expanded (pinned) --release--> Expanded (unload-pending, in LRU cache)
+///        ^                                  |
+///        |acquire (cache hit: cheap)        | cache over soft budget:
+///        |                                  v compact (swizzle to PIDs)
+///   Expanded <--uncompact+swizzle-- Compact (in memory)
+///        ^                                  | compact pool over budget:
+///        |                                  v offload
+///        +------fetch+uncompact----- Offloaded (in disk repository)
+///
+/// Thresholding (Section 4.3): NAIM functionality turns on in stages tied to
+/// the configured "machine memory" so small compilations pay nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_NAIM_LOADER_H
+#define SCMO_NAIM_LOADER_H
+
+#include "ir/Program.h"
+#include "naim/Repository.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace scmo {
+
+/// How much NAIM machinery is enabled (the x-axis of paper Figure 5).
+enum class NaimMode : uint8_t {
+  Off,          ///< Everything stays expanded forever.
+  CompactIr,    ///< Routine IR compacts when evicted; symtabs stay expanded.
+  CompactIrSt,  ///< IR and module symbol tables compact.
+  Offload,      ///< Compact pools additionally spill to the disk repository.
+  Auto          ///< Thresholds tied to MachineMemoryBytes enable the stages.
+};
+
+/// Loader configuration.
+struct NaimConfig {
+  NaimMode Mode = NaimMode::Auto;
+
+  /// Soft cap on expanded-but-unpinned (cache-resident) IR bytes. When the
+  /// cache exceeds this, least-recently-used pools are compacted.
+  uint64_t ExpandedCacheBytes = 64ull << 20;
+
+  /// Cap on in-memory compact bytes; beyond it, compact pools are offloaded
+  /// to the repository (only in Offload / Auto modes).
+  uint64_t CompactResidentBytes = 64ull << 20;
+
+  /// For Auto mode: the machine's memory size from which thresholds derive.
+  uint64_t MachineMemoryBytes = 512ull << 20;
+
+  /// Repository path ("" = a private temp file).
+  std::string RepositoryPath;
+
+  /// Derives staged thresholds from MachineMemoryBytes (Auto mode).
+  static NaimConfig autoFor(uint64_t MachineMemoryBytes) {
+    NaimConfig C;
+    C.Mode = NaimMode::Auto;
+    C.MachineMemoryBytes = MachineMemoryBytes;
+    C.ExpandedCacheBytes = MachineMemoryBytes / 2;
+    C.CompactResidentBytes = MachineMemoryBytes / 4;
+    return C;
+  }
+};
+
+/// Loader activity counters (reported by the driver's diagnostics).
+struct LoaderStats {
+  uint64_t Acquires = 0;
+  uint64_t CacheHits = 0;     ///< Acquire found the pool still expanded.
+  uint64_t Expansions = 0;    ///< Compact/offloaded -> expanded.
+  uint64_t Compactions = 0;   ///< Expanded -> compact.
+  uint64_t Offloads = 0;      ///< Compact -> repository.
+  uint64_t Fetches = 0;       ///< Repository -> compact (read back).
+  uint64_t SymtabCompactions = 0;
+};
+
+/// Manages residency for every transitory pool in a Program.
+class Loader {
+public:
+  Loader(Program &P, const NaimConfig &Config);
+
+  /// Pins and returns the expanded body of \p R (must be defined). A pinned
+  /// pool is never evicted until released.
+  RoutineBody &acquire(RoutineId R);
+
+  /// As acquire(), but returns null for undefined routines.
+  RoutineBody *acquireIfDefined(RoutineId R);
+
+  /// Unpins \p R: the pool becomes unload-pending and joins the cache. The
+  /// loader then enforces budgets (lazily compacting / offloading LRU pools).
+  void release(RoutineId R);
+
+  /// Releases every pinned routine (phase boundaries).
+  void releaseAll();
+
+  /// Enforces budgets immediately; with \p Everything, compacts all
+  /// unpinned pools regardless of budget (end-of-phase cleanup in tests).
+  void enforceBudget(bool Everything = false);
+
+  /// Compacts module symbol tables if the mode/thresholds call for it.
+  void maybeCompactSymtabs();
+
+  /// Bytes of expanded IR currently sitting unpinned in the cache.
+  uint64_t cacheBytes() const { return CachedBytes; }
+
+  /// Number of unpinned expanded pools resident (paper: "cache fullness is
+  /// based on the number of expanded pools resident in memory").
+  size_t cachedPoolCount() const { return CacheOrder.size(); }
+
+  const LoaderStats &stats() const { return Stats; }
+  const NaimConfig &config() const { return Config; }
+  Repository &repository() { return Repo; }
+
+  /// True if the effective mode compacts IR at all.
+  bool irCompactionEnabled() const;
+  /// True if the effective mode compacts symbol tables.
+  bool stCompactionEnabled() const;
+  /// True if the effective mode offloads to disk.
+  bool offloadEnabled() const;
+
+private:
+  void compactPool(RoutineId R);
+  void offloadPool(RoutineId R);
+  void expandPool(RoutineId R);
+  void touch(RoutineId R);
+
+  Program &P;
+  NaimConfig Config;
+  Repository Repo;
+  LoaderStats Stats;
+
+  /// Unpinned expanded pools ordered by (LruTick, RoutineId): deterministic
+  /// LRU. Determinism of eviction order matters for reproducible compile
+  /// behaviour (paper Section 6.2).
+  std::set<std::pair<uint64_t, RoutineId>> CacheOrder;
+  uint64_t CachedBytes = 0;
+  uint64_t Tick = 0;
+};
+
+} // namespace scmo
+
+#endif // SCMO_NAIM_LOADER_H

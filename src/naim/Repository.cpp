@@ -1,0 +1,79 @@
+//===- naim/Repository.cpp ------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "naim/Repository.h"
+
+#include "support/Debug.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace scmo;
+
+// The repository alternates appends (offloads) and random reads (reloads);
+// positional I/O through a raw descriptor avoids the buffer flushing that
+// seek-based stdio would pay on every direction change.
+
+Repository::Repository(std::string Path) : FilePath(std::move(Path)) {}
+
+Repository::~Repository() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    std::remove(FilePath.c_str());
+  }
+}
+
+void Repository::ensureOpen() {
+  if (Fd >= 0)
+    return;
+  if (FilePath.empty()) {
+    // Unique-enough temp name without touching global RNG state.
+    static std::atomic<unsigned> Counter{0};
+    FilePath = "/tmp/scmo-repo-" + std::to_string(::getpid()) + "-" +
+               std::to_string(Counter.fetch_add(1)) + ".bin";
+  }
+  Fd = ::open(FilePath.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  if (Fd < 0)
+    reportFatalError("cannot create NAIM repository file");
+}
+
+uint64_t Repository::store(const std::vector<uint8_t> &Bytes) {
+  ensureOpen();
+  uint64_t Offset = AppendOffset;
+  size_t Done = 0;
+  while (Done < Bytes.size()) {
+    ssize_t N = ::pwrite(Fd, Bytes.data() + Done, Bytes.size() - Done,
+                         static_cast<off_t>(Offset + Done));
+    if (N <= 0)
+      reportFatalError("repository write failed (disk full?)");
+    Done += static_cast<size_t>(N);
+  }
+  AppendOffset += Bytes.size();
+  BytesStored += Bytes.size();
+  ++Stores;
+  return Offset;
+}
+
+bool Repository::fetch(uint64_t Offset, uint64_t Size,
+                       std::vector<uint8_t> &Out) {
+  if (Fd < 0)
+    return false;
+  Out.resize(Size);
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::pread(Fd, Out.data() + Done, Size - Done,
+                        static_cast<off_t>(Offset + Done));
+    if (N <= 0)
+      return false;
+    Done += static_cast<size_t>(N);
+  }
+  ++Fetches;
+  return true;
+}

@@ -1,0 +1,74 @@
+//===- naim/Repository.h ----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The off-line disk repository holding inactive optimizer data (paper
+/// Section 4.2). Unlike the Convex Application Compiler's repository — which
+/// used a different representation on disk and required costly translation —
+/// the SCMO repository stores exactly the compact relocatable form, so
+/// loading "requires no rebuilding of the symbol table and IR information"
+/// (Section 7): a fetch is a read plus the ordinary uncompaction.
+///
+/// The repository is a temporary append-only file private to a compilation;
+/// it is deleted when the session ends (persistent program state lives only
+/// in object files, per Section 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_NAIM_REPOSITORY_H
+#define SCMO_NAIM_REPOSITORY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scmo {
+
+/// Append-only spill file for compacted pools.
+class Repository {
+public:
+  /// Opens (creating/truncating) the repository at \p Path. An empty path
+  /// defers creation until the first store (lazily created under /tmp).
+  explicit Repository(std::string Path = "");
+
+  Repository(const Repository &) = delete;
+  Repository &operator=(const Repository &) = delete;
+
+  ~Repository();
+
+  /// Appends \p Bytes; returns their offset. Aborts the process on I/O
+  /// failure (disk-full during spill has no recovery in a compiler).
+  uint64_t store(const std::vector<uint8_t> &Bytes);
+
+  /// Reads \p Size bytes at \p Offset into \p Out. Returns false on I/O
+  /// error or short read.
+  bool fetch(uint64_t Offset, uint64_t Size, std::vector<uint8_t> &Out);
+
+  /// Total bytes ever appended.
+  uint64_t bytesStored() const { return BytesStored; }
+
+  /// Number of store / fetch operations (for the NAIM statistics).
+  uint64_t storeCount() const { return Stores; }
+  uint64_t fetchCount() const { return Fetches; }
+
+  /// Path of the backing file ("" if never created).
+  const std::string &path() const { return FilePath; }
+
+private:
+  void ensureOpen();
+
+  std::string FilePath;
+  int Fd = -1;
+  uint64_t AppendOffset = 0;
+  uint64_t BytesStored = 0;
+  uint64_t Stores = 0;
+  uint64_t Fetches = 0;
+};
+
+} // namespace scmo
+
+#endif // SCMO_NAIM_REPOSITORY_H

@@ -1,0 +1,37 @@
+//===- profile/Probes.cpp -------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Probes.h"
+
+using namespace scmo;
+
+void scmo::instrumentRoutine(RoutineId R, RoutineBody &Body,
+                             ProbeTable &Table) {
+  for (BlockId B = 0; B != Body.Blocks.size(); ++B) {
+    BasicBlock &BB = Body.Blocks[B];
+    // Block entry counter, first in the block.
+    Instr *ProbeI = Body.newInstr(Opcode::Probe);
+    ProbeI->ProbeId = Table.add(R, B, ProbeKind::BlockEntry);
+    ProbeI->Line = BB.Instrs.empty() ? 0 : BB.Instrs.front()->Line;
+    BB.Instrs.insert(BB.Instrs.begin(), ProbeI);
+    // Taken counter on the conditional branch, if any.
+    Instr *Term = BB.Instrs.back();
+    if (Term->Op == Opcode::Br)
+      Term->ProbeId = Table.add(R, B, ProbeKind::BranchTaken);
+  }
+}
+
+ProbeTable scmo::instrumentProgram(Program &P) {
+  ProbeTable Table;
+  for (RoutineId R = 0; R != P.numRoutines(); ++R) {
+    RoutineInfo &RI = P.routine(R);
+    if (!RI.IsDefined || RI.Slot.State != PoolState::Expanded)
+      continue;
+    instrumentRoutine(R, *RI.Slot.Body, Table);
+  }
+  return Table;
+}

@@ -1,0 +1,69 @@
+//===- profile/Probes.h -----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profile instrumentation (the paper's "+I" option): "the current
+/// technology inserts counting probes into each intraprocedural branch and
+/// each call" (Section 3). We insert a counting probe at every basic block
+/// entry and a taken-counter on every conditional branch; together these
+/// give block counts, branch edge counts, and — since a call executes
+/// exactly as often as its enclosing block — call site counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_PROFILE_PROBES_H
+#define SCMO_PROFILE_PROBES_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace scmo {
+
+/// What a probe counter measures.
+enum class ProbeKind : uint8_t {
+  BlockEntry, ///< Counter increments each time the block is entered.
+  BranchTaken ///< Counter increments each time the block's Br is taken.
+};
+
+/// Static description of one probe counter.
+struct ProbeInfo {
+  RoutineId Routine = InvalidId;
+  BlockId Block = InvalidId;
+  ProbeKind Kind = ProbeKind::BlockEntry;
+};
+
+/// Dense table of all probes inserted into an instrumented program. The
+/// runtime counter array is indexed by probe id.
+class ProbeTable {
+public:
+  uint32_t add(RoutineId R, BlockId B, ProbeKind Kind) {
+    Probes.push_back({R, B, Kind});
+    return static_cast<uint32_t>(Probes.size() - 1);
+  }
+
+  const ProbeInfo &info(uint32_t Id) const { return Probes[Id]; }
+  size_t size() const { return Probes.size(); }
+
+private:
+  std::vector<ProbeInfo> Probes;
+};
+
+/// Inserts probes into one routine's body, appending counter descriptions to
+/// \p Table. Must run on freshly lowered IL (instrumentation precedes
+/// optimization in the pipeline).
+void instrumentRoutine(RoutineId R, RoutineBody &Body, ProbeTable &Table);
+
+/// Inserts probes into every defined, expanded routine of \p P. Returns the
+/// probe table describing the inserted counters. (The driver instead walks
+/// routines through the NAIM loader and calls instrumentRoutine.)
+ProbeTable instrumentProgram(Program &P);
+
+} // namespace scmo
+
+#endif // SCMO_PROFILE_PROBES_H

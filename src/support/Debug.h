@@ -1,0 +1,43 @@
+//===- support/Debug.h ------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small debugging helpers shared across the project: an unreachable marker
+/// and a fatal-error reporter. SCMO follows the LLVM convention of not using
+/// exceptions; invariant violations abort, recoverable errors are returned
+/// through status values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_DEBUG_H
+#define SCMO_SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scmo {
+
+/// Prints \p Msg with source location and aborts. Used for control flow that
+/// must never be reached if program invariants hold.
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+/// Reports a fatal (non-programmatic) error and exits. Library code uses this
+/// only for conditions with no recovery strategy at all.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "scmo fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace scmo
+
+#define scmo_unreachable(MSG) ::scmo::unreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // SCMO_SUPPORT_DEBUG_H

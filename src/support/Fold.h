@@ -1,0 +1,65 @@
+//===- support/Fold.h -------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single definition of the machine's integer arithmetic semantics,
+/// shared by the VM (execution) and HLO's constant folding (compile time).
+/// Sharing one definition is what makes "the optimizer must not change
+/// program behaviour" checkable: folding a division at compile time yields
+/// bit-identical results to executing it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_FOLD_H
+#define SCMO_SUPPORT_FOLD_H
+
+#include <cstdint>
+#include <limits>
+
+namespace scmo {
+
+/// Division with fully defined semantics: x/0 == 0, INT64_MIN/-1 == INT64_MIN.
+inline int64_t safeDiv(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  if (A == std::numeric_limits<int64_t>::min() && B == -1)
+    return A;
+  return A / B;
+}
+
+/// Remainder with fully defined semantics: x%0 == 0, INT64_MIN%-1 == 0.
+inline int64_t safeRem(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  if (A == std::numeric_limits<int64_t>::min() && B == -1)
+    return 0;
+  return A % B;
+}
+
+/// Two's-complement wrapping add/sub/mul (signed overflow is defined).
+inline int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+}
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_FOLD_H

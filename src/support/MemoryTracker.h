@@ -1,0 +1,135 @@
+//===- support/MemoryTracker.h ----------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level accounting of optimizer memory, by category. The paper's
+/// Figures 4 and 5 plot "HLO memory" and "overall compiler memory"; this
+/// tracker is the measurement instrument behind those plots. It also models
+/// the HP-UX ~1GB hard heap limit (Section 5: pure-CMO compiles of Mcad1
+/// "exhaust the heap after allocating roughly 1GB") via an optional cap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_MEMORYTRACKER_H
+#define SCMO_SUPPORT_MEMORYTRACKER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace scmo {
+
+/// Accounting categories for compiler memory. Mirrors the breakdown the
+/// paper reports: HLO-owned structures vs the rest of the compiler.
+enum class MemCategory : unsigned {
+  HloIr,        ///< Expanded HLO IR (routines, blocks, instructions).
+  HloSymtab,    ///< Module symbol tables.
+  HloGlobal,    ///< Program-wide tables (call graph, program symbol table).
+  HloCompact,   ///< Compacted (relocatable) in-memory buffers.
+  HloDerived,   ///< Derived analysis data (recomputable).
+  Llo,          ///< Low-level optimizer / code generator structures.
+  Other,        ///< Everything else (frontend, linker, profile db).
+  NumCategories
+};
+
+/// Tracks live and peak bytes per category.
+///
+/// A single tracker is owned by each CompilerSession so that concurrent
+/// sessions (e.g. in tests) do not interfere. The tracker can enforce a hard
+/// cap on total live bytes; allocation beyond the cap sets an "exhausted"
+/// flag that the driver turns into a compile failure, reproducing the paper's
+/// heap-exhaustion behaviour without actually exhausting host memory.
+class MemoryTracker {
+public:
+  MemoryTracker() = default;
+
+  /// Sets a hard cap on total live bytes (0 = unlimited).
+  void setHeapCap(uint64_t Bytes) { HeapCap = Bytes; }
+  uint64_t heapCap() const { return HeapCap; }
+
+  /// Records an allocation of \p Bytes in \p Cat.
+  void allocate(MemCategory Cat, uint64_t Bytes) {
+    Live[index(Cat)] += Bytes;
+    TotalLive += Bytes;
+    if (Live[index(Cat)] > Peak[index(Cat)])
+      Peak[index(Cat)] = Live[index(Cat)];
+    if (TotalLive > TotalPeak)
+      TotalPeak = TotalLive;
+    if (HeapCap && TotalLive > HeapCap)
+      Exhausted = true;
+  }
+
+  /// Records a release of \p Bytes from \p Cat.
+  void release(MemCategory Cat, uint64_t Bytes) {
+    assert(Live[index(Cat)] >= Bytes && "releasing more than allocated");
+    Live[index(Cat)] -= Bytes;
+    TotalLive -= Bytes;
+  }
+
+  /// Live bytes currently attributed to \p Cat.
+  uint64_t liveBytes(MemCategory Cat) const { return Live[index(Cat)]; }
+
+  /// Peak bytes ever attributed to \p Cat.
+  uint64_t peakBytes(MemCategory Cat) const { return Peak[index(Cat)]; }
+
+  /// Total live bytes across all categories.
+  uint64_t totalLiveBytes() const { return TotalLive; }
+
+  /// Peak total live bytes across all categories.
+  uint64_t totalPeakBytes() const { return TotalPeak; }
+
+  /// Live bytes owned by HLO (the quantity in Figure 4's lower curve).
+  uint64_t hloLiveBytes() const {
+    return liveBytes(MemCategory::HloIr) + liveBytes(MemCategory::HloSymtab) +
+           liveBytes(MemCategory::HloGlobal) +
+           liveBytes(MemCategory::HloCompact) +
+           liveBytes(MemCategory::HloDerived);
+  }
+
+  /// Peak of the HLO-owned live total, updated by takeHloSample().
+  uint64_t hloPeakBytes() const { return HloPeak; }
+
+  /// Samples the current HLO live total into the HLO peak. Called by the
+  /// driver at phase boundaries; cheap enough to call per-routine.
+  void takeHloSample() {
+    uint64_t H = hloLiveBytes();
+    if (H > HloPeak)
+      HloPeak = H;
+  }
+
+  /// True once an allocation pushed total live bytes past the heap cap.
+  bool heapExhausted() const { return Exhausted; }
+
+  /// Forgets peaks and the exhausted flag (live counts are kept).
+  void resetPeaks() {
+    for (auto &P : Peak)
+      P = 0;
+    TotalPeak = TotalLive;
+    HloPeak = hloLiveBytes();
+    Exhausted = false;
+  }
+
+private:
+  static constexpr unsigned NumCats =
+      static_cast<unsigned>(MemCategory::NumCategories);
+
+  static unsigned index(MemCategory Cat) {
+    return static_cast<unsigned>(Cat);
+  }
+
+  uint64_t Live[NumCats] = {};
+  uint64_t Peak[NumCats] = {};
+  uint64_t TotalLive = 0;
+  uint64_t TotalPeak = 0;
+  uint64_t HloPeak = 0;
+  uint64_t HeapCap = 0;
+  bool Exhausted = false;
+};
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_MEMORYTRACKER_H

@@ -1,0 +1,14 @@
+//===- support/Prng.cpp ---------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Prng.h"
+
+#include <cmath>
+
+using namespace scmo;
+
+double Prng::powApprox(double A, double B) { return std::pow(A, B); }

@@ -1,0 +1,90 @@
+//===- support/Prng.h -------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation for the synthetic workload
+/// generators. Reproducibility is a first-class requirement in the paper
+/// (Section 6.2): the same seed must produce byte-identical programs on every
+/// platform, so we use a fixed splitmix64/xoshiro-style generator instead of
+/// std::mt19937 + std::distributions (whose results are
+/// implementation-defined).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_PRNG_H
+#define SCMO_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace scmo {
+
+/// A small, fast, fully deterministic PRNG (splitmix64 core).
+class Prng {
+public:
+  explicit Prng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound && "nextBelow(0)");
+    // Modulo bias is irrelevant for workload generation purposes.
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// A Pareto-ish heavy-tailed sample in [1, Max]: most draws are small, a
+  /// few are large. Used for routine hotness so that ~20% of the code gets
+  /// ~all of the runtime, as the paper observes for the MCAD applications.
+  uint64_t nextHeavyTail(uint64_t Max, double Alpha = 1.2) {
+    double U = nextDouble();
+    if (U <= 0.0)
+      U = 1e-12;
+    double X = 1.0 / powApprox(U, 1.0 / Alpha);
+    uint64_t V = static_cast<uint64_t>(X);
+    if (V < 1)
+      V = 1;
+    if (V > Max)
+      V = Max;
+    return V;
+  }
+
+  /// Derives an independent child generator; used so that adding a module to
+  /// a generated application never perturbs other modules' contents.
+  Prng fork() { return Prng(next() ^ 0xa5a5a5a55a5a5a5aull); }
+
+private:
+  static double powApprox(double A, double B);
+
+  uint64_t State;
+};
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_PRNG_H

@@ -1,0 +1,71 @@
+//===- support/RegBitSet.h --------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense bitset over virtual register ids, shared by the dataflow passes
+/// (DCE liveness in HLO, live intervals in LLO). Dataflow bitsets are
+/// classic *derived* data in the paper's taxonomy: recomputed from scratch
+/// by each phase, never persisted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_REGBITSET_H
+#define SCMO_SUPPORT_REGBITSET_H
+
+#include <cstdint>
+#include <vector>
+
+namespace scmo {
+
+/// Fixed-universe bitset with the operations dataflow needs.
+class RegBitSet {
+public:
+  explicit RegBitSet(uint32_t Universe) : Words((Universe + 63) / 64, 0) {}
+
+  void set(uint32_t R) { Words[R >> 6] |= 1ull << (R & 63); }
+  void reset(uint32_t R) { Words[R >> 6] &= ~(1ull << (R & 63)); }
+  bool test(uint32_t R) const { return Words[R >> 6] & (1ull << (R & 63)); }
+
+  /// this |= Other; returns true if any bit changed.
+  bool merge(const RegBitSet &Other) {
+    bool Changed = false;
+    for (size_t W = 0; W != Words.size(); ++W) {
+      uint64_t New = Words[W] | Other.Words[W];
+      Changed |= New != Words[W];
+      Words[W] = New;
+    }
+    return Changed;
+  }
+
+  /// this |= (Other & ~Mask).
+  void mergeMinus(const RegBitSet &Other, const RegBitSet &Mask) {
+    for (size_t W = 0; W != Words.size(); ++W)
+      Words[W] |= Other.Words[W] & ~Mask.Words[W];
+  }
+
+  /// Calls \p F for every set bit, in increasing order.
+  template <typename Fn> void forEach(Fn F) const {
+    for (size_t W = 0; W != Words.size(); ++W) {
+      uint64_t Bits = Words[W];
+      while (Bits) {
+        unsigned Bit = __builtin_ctzll(Bits);
+        F(static_cast<uint32_t>(W * 64 + Bit));
+        Bits &= Bits - 1;
+      }
+    }
+  }
+
+  /// Bytes of backing storage (for memory accounting).
+  uint64_t bytes() const { return Words.size() * 8; }
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_REGBITSET_H

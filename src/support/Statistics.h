@@ -1,0 +1,53 @@
+//===- support/Statistics.h -------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counter registry for compiler diagnostics. The paper stresses
+/// (Section 6.2) that "good compiler diagnostics on what the compiler is
+/// optimizing are essential when deploying selectivity"; every HLO/LLO phase
+/// reports what it did through these counters, and the driver can dump them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_STATISTICS_H
+#define SCMO_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace scmo {
+
+/// Insertion-stable map of counter name -> value, owned by a session.
+class Statistics {
+public:
+  /// Adds \p Delta to counter \p Name (creating it at zero).
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Sets counter \p Name to \p Value.
+  void set(const std::string &Name, uint64_t Value) { Counters[Name] = Value; }
+
+  /// Current value of \p Name (0 if never touched).
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// All counters, sorted by name (std::map keeps them deterministic).
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+  void clear() { Counters.clear(); }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_STATISTICS_H

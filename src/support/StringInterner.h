@@ -1,0 +1,73 @@
+//===- support/StringInterner.h ---------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned strings with dense stable ids. Symbol names are the hottest
+/// strings in the compiler; interning gives O(1) equality and lets compact
+/// encodings reference names by id (a persistent identifier) instead of
+/// inline text. Ids are assigned in insertion order, so all orderings
+/// derived from them are deterministic (paper Section 6.2 forbids ordering
+/// on virtual addresses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_STRINGINTERNER_H
+#define SCMO_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace scmo {
+
+/// Dense id for an interned string. Id 0 is the empty string.
+using StrId = uint32_t;
+
+/// Insertion-ordered string table.
+class StringInterner {
+public:
+  StringInterner() { intern(""); }
+
+  /// Returns the id for \p S, interning it if new.
+  StrId intern(std::string_view S) {
+    auto It = Ids.find(std::string(S));
+    if (It != Ids.end())
+      return It->second;
+    StrId Id = static_cast<StrId>(Strings.size());
+    Strings.emplace_back(S);
+    Ids.emplace(Strings.back(), Id);
+    return Id;
+  }
+
+  /// Returns the string for \p Id.
+  const std::string &text(StrId Id) const {
+    assert(Id < Strings.size() && "invalid string id");
+    return Strings[Id];
+  }
+
+  /// Number of interned strings (including the empty string).
+  size_t size() const { return Strings.size(); }
+
+  /// Approximate bytes held (for memory accounting of global tables).
+  uint64_t approxBytes() const {
+    uint64_t Total = 0;
+    for (const auto &S : Strings)
+      Total += S.size() + 48;
+    return Total;
+  }
+
+private:
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, StrId> Ids;
+};
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,232 @@
+//===- tools/scmoc.cpp ----------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// scmoc — the command-line compiler driver, with an option surface modeled
+/// on the paper's HP-UX compilers:
+///
+///   scmoc [options] file1.mc file2.mc ...
+///     +O1 | +O2 | +O4        optimization level (default +O2)
+///     +P                     profile-based optimization (needs --profile)
+///     +I                     instrument; --run writes the profile database
+///     --profile <file>       profile database to use (+P) or write (+I)
+///     --select <percent>     coarse selectivity percentage (with +O4 +P)
+///     --multi-layered        Section 8 tiered optimization
+///     --machine-mem <MiB>    NAIM thresholds for this much memory
+///     --run                  execute the result on the VM
+///     --emit-il <routine>    print a routine's optimized IL
+///     --disasm <routine>     print a routine's machine code
+///     --stats                print optimizer statistics and memory peaks
+///
+/// Example session (the paper's deployment flow):
+///   scmoc +O2 +I --profile app.prof --run app.mc lib.mc   # train
+///   scmoc +O4 +P --profile app.prof --select 5 --run app.mc lib.mc
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompilerSession.h"
+#include "ir/Printer.h"
+#include "llo/MachinePrinter.h"
+#include "profile/ProfileDb.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace scmo;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [+O1|+O2|+O4] [+P] [+I] [--profile F] "
+               "[--select PCT] [--multi-layered] [--machine-mem MIB] "
+               "[--run] [--emit-il R] [--disasm R] [--stats] files...\n",
+               Argv0);
+  return 2;
+}
+
+bool readSource(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+std::string moduleNameOf(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Base = Slash == std::string::npos ? Path
+                                                : Path.substr(Slash + 1);
+  size_t Dot = Base.find_last_of('.');
+  return Dot == std::string::npos ? Base : Base.substr(0, Dot);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CompileOptions Opts;
+  std::vector<std::string> Files;
+  std::string ProfilePath;
+  std::string EmitIlRoutine, DisasmRoutine;
+  bool Run = false, Stats = false;
+
+  for (int A = 1; A < argc; ++A) {
+    std::string Arg = argv[A];
+    auto takeValue = [&](const char *Flag) -> const char * {
+      if (A + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++A];
+    };
+    if (Arg == "+O1")
+      Opts.Level = OptLevel::O1;
+    else if (Arg == "+O2")
+      Opts.Level = OptLevel::O2;
+    else if (Arg == "+O4")
+      Opts.Level = OptLevel::O4;
+    else if (Arg == "+P")
+      Opts.Pbo = true;
+    else if (Arg == "+I")
+      Opts.Instrument = true;
+    else if (Arg == "--profile")
+      ProfilePath = takeValue("--profile");
+    else if (Arg == "--select")
+      Opts.SelectivityPercent = std::atof(takeValue("--select"));
+    else if (Arg == "--multi-layered")
+      Opts.MultiLayered = true;
+    else if (Arg == "--machine-mem")
+      Opts.Naim = NaimConfig::autoFor(
+          uint64_t(std::atoll(takeValue("--machine-mem"))) << 20);
+    else if (Arg == "--run")
+      Run = true;
+    else if (Arg == "--emit-il")
+      EmitIlRoutine = takeValue("--emit-il");
+    else if (Arg == "--disasm")
+      DisasmRoutine = takeValue("--disasm");
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (!Arg.empty() && Arg[0] == '-')
+      return usage(argv[0]);
+    else
+      Files.push_back(Arg);
+  }
+  if (Files.empty())
+    return usage(argv[0]);
+  if (Opts.Instrument && Opts.Level == OptLevel::O4) {
+    std::fprintf(stderr, "+I is a +O2-level build; ignoring +O4\n");
+    Opts.Level = OptLevel::O2;
+  }
+
+  CompilerSession Session(Opts);
+  for (const std::string &File : Files) {
+    std::string Source;
+    if (!readSource(File, Source)) {
+      std::fprintf(stderr, "scmoc: cannot read %s\n", File.c_str());
+      return 1;
+    }
+    if (!Session.addSource(moduleNameOf(File), Source)) {
+      std::fprintf(stderr, "scmoc: %s\n", Session.firstError().c_str());
+      return 1;
+    }
+  }
+
+  if (Opts.Pbo) {
+    ProfileDb Db;
+    if (ProfilePath.empty() || !loadProfileDb(ProfilePath, Db)) {
+      std::fprintf(stderr, "scmoc: +P needs a readable --profile file\n");
+      return 1;
+    }
+    Session.attachProfile(std::move(Db));
+  }
+
+  BuildResult Build = Session.build();
+  if (!Build.Ok) {
+    std::fprintf(stderr, "scmoc: %s\n", Build.Error.c_str());
+    return 1;
+  }
+
+  if (!EmitIlRoutine.empty()) {
+    Program &P = Session.program();
+    RoutineId R = P.findRoutine(EmitIlRoutine);
+    if (R == InvalidId || !P.routine(R).IsDefined) {
+      std::fprintf(stderr, "scmoc: no routine '%s'\n",
+                   EmitIlRoutine.c_str());
+      return 1;
+    }
+    RoutineBody &Body = Session.loader().acquire(R);
+    std::fputs(printRoutine(P, R, Body).c_str(), stdout);
+    Session.loader().release(R);
+  }
+  if (!DisasmRoutine.empty()) {
+    std::string Text = printExeRoutine(Build.Exe, DisasmRoutine);
+    if (Text.empty()) {
+      std::fprintf(stderr, "scmoc: no linked routine '%s'\n",
+                   DisasmRoutine.c_str());
+      return 1;
+    }
+    std::fputs(Text.c_str(), stdout);
+  }
+  if (Stats) {
+    std::printf("; %llu source lines, %zu routines linked, %zu instrs\n",
+                (unsigned long long)Build.SourceLines,
+                Build.Exe.Routines.size(), Build.Exe.Code.size());
+    std::printf("; HLO peak %.2f MiB, total peak %.2f MiB\n",
+                double(Build.HloPeakBytes) / 1048576.0,
+                double(Build.TotalPeakBytes) / 1048576.0);
+    std::printf("; loader: %llu compactions, %llu offloads, %llu cache "
+                "hits\n",
+                (unsigned long long)Build.Loader.Compactions,
+                (unsigned long long)Build.Loader.Offloads,
+                (unsigned long long)Build.Loader.CacheHits);
+    for (const auto &[Name, Value] : Build.Stats.all())
+      std::printf(";   %-32s %llu\n", Name.c_str(),
+                  (unsigned long long)Value);
+  }
+
+  if (Run) {
+    RunResult Result = runExecutable(Build.Exe);
+    if (!Result.Ok) {
+      std::fprintf(stderr, "scmoc: run failed: %s\n", Result.Error.c_str());
+      return 1;
+    }
+    for (int64_t V : Result.FirstOutputs)
+      std::printf("%lld\n", (long long)V);
+    if (Result.OutputCount > Result.FirstOutputs.size())
+      std::printf("... (%llu more values)\n",
+                  (unsigned long long)(Result.OutputCount -
+                                       Result.FirstOutputs.size()));
+    std::fprintf(stderr, "[exit %lld, %llu cycles, %llu instructions]\n",
+                 (long long)Result.ExitValue,
+                 (unsigned long long)Result.Cycles,
+                 (unsigned long long)Result.Instructions);
+    // Instrumented runs write the profile database (the paper: "a profile
+    // database is generated, or added to, if data from an earlier run
+    // already exists").
+    if (Opts.Instrument && !ProfilePath.empty()) {
+      ProfileDb New = ProfileDb::fromRun(Session.program(), Build.Probes,
+                                         Result.Probes);
+      ProfileDb Merged;
+      if (loadProfileDb(ProfilePath, Merged))
+        Merged.merge(New);
+      else
+        Merged = std::move(New);
+      if (!saveProfileDb(Merged, ProfilePath)) {
+        std::fprintf(stderr, "scmoc: cannot write %s\n",
+                     ProfilePath.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "[profile written to %s]\n", ProfilePath.c_str());
+    }
+    return static_cast<int>(Result.ExitValue & 0x7f);
+  }
+  return 0;
+}

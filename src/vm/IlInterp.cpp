@@ -1,0 +1,244 @@
+//===- vm/IlInterp.cpp ----------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/IlInterp.h"
+
+#include "naim/Loader.h"
+#include "support/Fold.h"
+
+#include <map>
+
+using namespace scmo;
+
+namespace {
+
+uint64_t mixChecksum(uint64_t H, int64_t V) {
+  H ^= static_cast<uint64_t>(V) + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  return H;
+}
+
+struct IlFrame {
+  RoutineId Routine = InvalidId;
+  const RoutineBody *Body = nullptr;
+  BlockId Block = 0;
+  size_t InstrIdx = 0;
+  RegId CallerDst = NoReg; ///< Where the caller wants the return value.
+  std::vector<int64_t> Regs;
+};
+
+} // namespace
+
+IlRunResult scmo::interpretProgram(Program &P, Loader *L,
+                                   const IlInterpConfig &Config) {
+  IlRunResult Res;
+  Res.Probes.assign(Config.NumProbes, 0);
+
+  RoutineId Main = P.findRoutine("main");
+  if (Main == InvalidId || !P.routine(Main).IsDefined) {
+    Res.Error = "no main() routine";
+    return Res;
+  }
+
+  // Flat global data image, laid out like the linker's.
+  std::vector<uint32_t> Offset(P.numGlobals(), 0);
+  uint32_t DataSize = 0;
+  for (GlobalId G = 0; G != P.numGlobals(); ++G) {
+    Offset[G] = DataSize;
+    DataSize += P.global(G).Size;
+  }
+  std::vector<int64_t> Data(DataSize, 0);
+  for (GlobalId G = 0; G != P.numGlobals(); ++G)
+    if (P.global(G).Size == 1)
+      Data[Offset[G]] = P.global(G).Init;
+
+  // The loader's pin state is not a counter, but recursion puts the same
+  // body in several frames at once; reference-count here so a body is only
+  // handed back to the loader when its last frame pops.
+  std::map<RoutineId, uint32_t> Pins;
+  auto acquire = [&](RoutineId R) -> const RoutineBody * {
+    if (L) {
+      const RoutineBody *Body = L->acquireIfDefined(R);
+      if (Body)
+        ++Pins[R];
+      return Body;
+    }
+    const RoutineSlot &S = P.routine(R).Slot;
+    return S.State == PoolState::Expanded ? S.Body.get() : nullptr;
+  };
+  auto release = [&](RoutineId R) {
+    if (!L)
+      return;
+    auto It = Pins.find(R);
+    if (It != Pins.end() && --It->second == 0) {
+      Pins.erase(It);
+      L->release(R);
+    }
+  };
+
+  std::vector<IlFrame> Stack;
+  auto pushFrame = [&](RoutineId R, RegId CallerDst,
+                       const Operand *Args, uint16_t NumArgs,
+                       const std::vector<int64_t> *CallerRegs) -> bool {
+    const RoutineBody *Body = acquire(R);
+    if (!Body) {
+      Res.Error = "call to undefined routine " + P.displayName(R);
+      return false;
+    }
+    IlFrame F;
+    F.Routine = R;
+    F.Body = Body;
+    F.CallerDst = CallerDst;
+    F.Regs.assign(Body->NextReg, 0);
+    for (uint16_t A = 0; A != NumArgs && A < Body->NumParams; ++A) {
+      const Operand &O = Args[A];
+      F.Regs[A] = O.isImm() ? O.asImm()
+                            : (CallerRegs ? (*CallerRegs)[O.asReg()] : 0);
+    }
+    Stack.push_back(std::move(F));
+    return true;
+  };
+
+  if (!pushFrame(Main, NoReg, nullptr, 0, nullptr))
+    return Res;
+
+  auto value = [&](const IlFrame &F, const Operand &O) -> int64_t {
+    return O.isImm() ? O.asImm() : F.Regs[O.asReg()];
+  };
+
+  while (!Stack.empty()) {
+    IlFrame &F = Stack.back();
+    if (F.Block >= F.Body->Blocks.size() ||
+        F.InstrIdx >= F.Body->Blocks[F.Block].Instrs.size()) {
+      Res.Error = "interpreter fell off a block in " +
+                  P.displayName(F.Routine);
+      return Res;
+    }
+    if (++Res.Steps > Config.MaxSteps) {
+      Res.Error = "step limit exceeded";
+      return Res;
+    }
+    const Instr &I = *F.Body->Blocks[F.Block].Instrs[F.InstrIdx];
+    ++F.InstrIdx;
+    switch (I.Op) {
+    case Opcode::Mov:
+      F.Regs[I.Dst] = value(F, I.A);
+      break;
+    case Opcode::Add:
+      F.Regs[I.Dst] = wrapAdd(value(F, I.A), value(F, I.B));
+      break;
+    case Opcode::Sub:
+      F.Regs[I.Dst] = wrapSub(value(F, I.A), value(F, I.B));
+      break;
+    case Opcode::Mul:
+      F.Regs[I.Dst] = wrapMul(value(F, I.A), value(F, I.B));
+      break;
+    case Opcode::Div:
+      F.Regs[I.Dst] = safeDiv(value(F, I.A), value(F, I.B));
+      break;
+    case Opcode::Rem:
+      F.Regs[I.Dst] = safeRem(value(F, I.A), value(F, I.B));
+      break;
+    case Opcode::Neg:
+      F.Regs[I.Dst] = wrapNeg(value(F, I.A));
+      break;
+    case Opcode::CmpEq:
+      F.Regs[I.Dst] = value(F, I.A) == value(F, I.B);
+      break;
+    case Opcode::CmpNe:
+      F.Regs[I.Dst] = value(F, I.A) != value(F, I.B);
+      break;
+    case Opcode::CmpLt:
+      F.Regs[I.Dst] = value(F, I.A) < value(F, I.B);
+      break;
+    case Opcode::CmpLe:
+      F.Regs[I.Dst] = value(F, I.A) <= value(F, I.B);
+      break;
+    case Opcode::CmpGt:
+      F.Regs[I.Dst] = value(F, I.A) > value(F, I.B);
+      break;
+    case Opcode::CmpGe:
+      F.Regs[I.Dst] = value(F, I.A) >= value(F, I.B);
+      break;
+    case Opcode::LoadG:
+      F.Regs[I.Dst] = Data[Offset[I.Sym]];
+      break;
+    case Opcode::StoreG:
+      Data[Offset[I.Sym]] = value(F, I.A);
+      break;
+    case Opcode::LoadIdx: {
+      int64_t Size = P.global(I.Sym).Size;
+      int64_t Idx = value(F, I.A) % Size;
+      if (Idx < 0)
+        Idx += Size;
+      F.Regs[I.Dst] = Data[Offset[I.Sym] + Idx];
+      break;
+    }
+    case Opcode::StoreIdx: {
+      int64_t Size = P.global(I.Sym).Size;
+      int64_t Idx = value(F, I.A) % Size;
+      if (Idx < 0)
+        Idx += Size;
+      Data[Offset[I.Sym] + Idx] = value(F, I.B);
+      break;
+    }
+    case Opcode::Jmp:
+      F.Block = I.T1;
+      F.InstrIdx = 0;
+      break;
+    case Opcode::Br: {
+      bool Taken = value(F, I.A) != 0;
+      if (Taken && I.ProbeId != InvalidId && I.ProbeId < Res.Probes.size())
+        ++Res.Probes[I.ProbeId];
+      F.Block = Taken ? I.T1 : I.T2;
+      F.InstrIdx = 0;
+      break;
+    }
+    case Opcode::Ret: {
+      int64_t V = value(F, I.A);
+      RegId Dst = F.CallerDst;
+      RoutineId Done = F.Routine;
+      Stack.pop_back();
+      release(Done);
+      if (Stack.empty()) {
+        Res.Ok = true;
+        Res.ExitValue = V;
+        return Res;
+      }
+      if (Dst != NoReg)
+        Stack.back().Regs[Dst] = V;
+      break;
+    }
+    case Opcode::Call: {
+      if (Stack.size() >= Config.MaxDepth) {
+        Res.Error = "interpreter stack overflow";
+        return Res;
+      }
+      // Note: pushFrame may invalidate F; copy what we need first.
+      RegId Dst = I.Dst;
+      if (!pushFrame(I.Sym, Dst, I.Args, I.NumArgs, &F.Regs))
+        return Res;
+      break;
+    }
+    case Opcode::Print: {
+      int64_t V = value(F, I.A);
+      Res.OutputChecksum = mixChecksum(Res.OutputChecksum, V);
+      ++Res.OutputCount;
+      if (Res.FirstOutputs.size() < Config.MaxOutputKept)
+        Res.FirstOutputs.push_back(V);
+      break;
+    }
+    case Opcode::Probe:
+      if (I.ProbeId < Res.Probes.size())
+        ++Res.Probes[I.ProbeId];
+      break;
+    case Opcode::Nop:
+      break;
+    }
+  }
+  Res.Error = "interpreter ran out of frames";
+  return Res;
+}

@@ -1,0 +1,59 @@
+//===- vm/IlInterp.h --------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter for the IL itself, independent of the whole
+/// LLO/linker/VM path. Its observable behaviour (printed values, exit code)
+/// defines the meaning of an IL program; the test suite runs workloads
+/// through both this interpreter and the full compilation pipeline and
+/// requires identical output — the differential oracle that catches
+/// miscompiles even when every optimization level is consistently wrong.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_VM_ILINTERP_H
+#define SCMO_VM_ILINTERP_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scmo {
+
+class Loader;
+
+/// Result of interpreting a program at the IL level.
+struct IlRunResult {
+  bool Ok = false;
+  std::string Error;
+  int64_t ExitValue = 0;
+  uint64_t Steps = 0;            ///< IL instructions executed.
+  uint64_t OutputChecksum = 0;   ///< Same mixing as the machine VM.
+  uint64_t OutputCount = 0;
+  std::vector<int64_t> FirstOutputs;
+  std::vector<uint64_t> Probes;  ///< Probe counters, if instrumented.
+};
+
+/// Interpreter limits.
+struct IlInterpConfig {
+  uint64_t MaxSteps = 1ull << 32;
+  uint64_t MaxDepth = 1u << 20;
+  size_t MaxOutputKept = 64;
+  size_t NumProbes = 0;
+};
+
+/// Interprets \p P from main(). Routine bodies are fetched through
+/// \p L when provided (respecting NAIM residency); otherwise every defined
+/// body must already be expanded.
+IlRunResult interpretProgram(Program &P, Loader *L = nullptr,
+                             const IlInterpConfig &Config = {});
+
+} // namespace scmo
+
+#endif // SCMO_VM_ILINTERP_H

@@ -1,0 +1,330 @@
+//===- vm/Vm.cpp ----------------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "support/Fold.h"
+
+using namespace scmo;
+
+namespace {
+
+uint64_t mixChecksum(uint64_t H, int64_t V) {
+  H ^= static_cast<uint64_t>(V) + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  return H;
+}
+
+struct Frame {
+  uint32_t ReturnPc;
+  uint64_t SpillBase;
+};
+
+bool opReadsA(MOp Op) {
+  switch (Op) {
+  case MOp::Mov:
+  case MOp::Add:
+  case MOp::Sub:
+  case MOp::Mul:
+  case MOp::Div:
+  case MOp::Rem:
+  case MOp::Neg:
+  case MOp::CmpEq:
+  case MOp::CmpNe:
+  case MOp::CmpLt:
+  case MOp::CmpLe:
+  case MOp::CmpGt:
+  case MOp::CmpGe:
+  case MOp::StoreG:
+  case MOp::LoadIdx:
+  case MOp::StoreIdx:
+  case MOp::StoreSpill:
+  case MOp::Br:
+  case MOp::Brz:
+  case MOp::Print:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool opReadsB(MOp Op) {
+  switch (Op) {
+  case MOp::Add:
+  case MOp::Sub:
+  case MOp::Mul:
+  case MOp::Div:
+  case MOp::Rem:
+  case MOp::CmpEq:
+  case MOp::CmpNe:
+  case MOp::CmpLt:
+  case MOp::CmpLe:
+  case MOp::CmpGt:
+  case MOp::CmpGe:
+  case MOp::StoreIdx:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+RunResult scmo::runExecutable(const Executable &Exe, const VmConfig &Config) {
+  RunResult Res;
+  if (Exe.Entry >= Exe.Routines.size()) {
+    Res.Error = "executable has no entry routine";
+    return Res;
+  }
+  const size_t CodeSize = Exe.Code.size();
+  if (CodeSize == 0) {
+    Res.Error = "executable has no code";
+    return Res;
+  }
+
+  int64_t Regs[NumPhysRegs] = {};
+  std::vector<int64_t> Data = Exe.Data;
+  std::vector<int64_t> SpillStack;
+  std::vector<Frame> Frames;
+  Res.Probes.assign(Exe.NumProbes, 0);
+
+  // Direct-mapped i-cache tags (InvalidId = cold line).
+  std::vector<uint32_t> ICacheTags(Config.ICacheLines, InvalidId);
+  uint32_t LastLine = InvalidId;
+
+  const ExeRoutine &Main = Exe.Routines[Exe.Entry];
+  Frames.push_back({static_cast<uint32_t>(CodeSize), 0});
+  SpillStack.resize(Main.SpillSlots);
+  uint32_t Pc = Main.CodeStart;
+
+  int LastLoadRd = -1; // Register written by the previous load, else -1.
+
+  auto operandValue = [&](const MOperand &O) -> int64_t {
+    return O.IsImm ? O.Imm : Regs[O.Reg];
+  };
+
+  uint64_t Steps = 0;
+  while (true) {
+    if (Pc >= CodeSize) {
+      Res.Error = "program counter out of range";
+      return Res;
+    }
+    if (++Steps > Config.MaxSteps) {
+      Res.Error = "step limit exceeded";
+      return Res;
+    }
+
+    // Instruction fetch through the i-cache: cost accrues per line touched.
+    uint32_t Line = Pc / Config.ICacheLineSize;
+    if (Line != LastLine) {
+      uint32_t Slot = Line % Config.ICacheLines;
+      if (ICacheTags[Slot] != Line) {
+        ICacheTags[Slot] = Line;
+        ++Res.ICacheMisses;
+        Res.Cycles += Config.ICacheMissPenalty;
+      }
+      LastLine = Line;
+    }
+
+    const MInstr &I = Exe.Code[Pc];
+    ++Res.Instructions;
+
+    // Load-use stall: consuming the previous load's result costs a cycle.
+    if (LastLoadRd >= 0) {
+      uint8_t R = static_cast<uint8_t>(LastLoadRd);
+      bool Consumes = (opReadsA(I.Op) && !I.A.IsImm && I.A.Reg == R) ||
+                      (opReadsB(I.Op) && !I.B.IsImm && I.B.Reg == R);
+      if (Consumes) {
+        Res.Cycles += 1;
+        ++Res.LoadStalls;
+      }
+    }
+    LastLoadRd = -1;
+
+    uint32_t NextPc = Pc + 1;
+    switch (I.Op) {
+    case MOp::Mov:
+      Regs[I.Rd] = operandValue(I.A);
+      Res.Cycles += 1;
+      break;
+    case MOp::Add:
+      Regs[I.Rd] = wrapAdd(operandValue(I.A), operandValue(I.B));
+      Res.Cycles += 1;
+      break;
+    case MOp::Sub:
+      Regs[I.Rd] = wrapSub(operandValue(I.A), operandValue(I.B));
+      Res.Cycles += 1;
+      break;
+    case MOp::Mul:
+      Regs[I.Rd] = wrapMul(operandValue(I.A), operandValue(I.B));
+      Res.Cycles += 3;
+      break;
+    case MOp::Div:
+      Regs[I.Rd] = safeDiv(operandValue(I.A), operandValue(I.B));
+      Res.Cycles += 8;
+      break;
+    case MOp::Rem:
+      Regs[I.Rd] = safeRem(operandValue(I.A), operandValue(I.B));
+      Res.Cycles += 8;
+      break;
+    case MOp::Neg:
+      Regs[I.Rd] = wrapNeg(operandValue(I.A));
+      Res.Cycles += 1;
+      break;
+    case MOp::CmpEq:
+      Regs[I.Rd] = operandValue(I.A) == operandValue(I.B);
+      Res.Cycles += 1;
+      break;
+    case MOp::CmpNe:
+      Regs[I.Rd] = operandValue(I.A) != operandValue(I.B);
+      Res.Cycles += 1;
+      break;
+    case MOp::CmpLt:
+      Regs[I.Rd] = operandValue(I.A) < operandValue(I.B);
+      Res.Cycles += 1;
+      break;
+    case MOp::CmpLe:
+      Regs[I.Rd] = operandValue(I.A) <= operandValue(I.B);
+      Res.Cycles += 1;
+      break;
+    case MOp::CmpGt:
+      Regs[I.Rd] = operandValue(I.A) > operandValue(I.B);
+      Res.Cycles += 1;
+      break;
+    case MOp::CmpGe:
+      Regs[I.Rd] = operandValue(I.A) >= operandValue(I.B);
+      Res.Cycles += 1;
+      break;
+    case MOp::LoadG:
+      Regs[I.Rd] = Data[I.Sym];
+      Res.Cycles += 2;
+      LastLoadRd = I.Rd;
+      break;
+    case MOp::StoreG:
+      Data[I.Sym] = operandValue(I.A);
+      if (I.Sym == Config.WatchDataAddr &&
+          Res.WatchLog.size() < Config.MaxWatchKept)
+        Res.WatchLog.push_back(Data[I.Sym]);
+      Res.Cycles += 2;
+      break;
+    case MOp::LoadIdx: {
+      int64_t Size = I.Slot ? static_cast<int64_t>(I.Slot) : 1;
+      int64_t Idx = operandValue(I.A) % Size;
+      if (Idx < 0)
+        Idx += Size;
+      Regs[I.Rd] = Data[I.Sym + Idx];
+      Res.Cycles += 2;
+      LastLoadRd = I.Rd;
+      break;
+    }
+    case MOp::StoreIdx: {
+      int64_t Size = I.Slot ? static_cast<int64_t>(I.Slot) : 1;
+      int64_t Idx = operandValue(I.A) % Size;
+      if (Idx < 0)
+        Idx += Size;
+      Data[I.Sym + Idx] = operandValue(I.B);
+      if (I.Sym + Idx == Config.WatchDataAddr &&
+          Res.WatchLog.size() < Config.MaxWatchKept)
+        Res.WatchLog.push_back(Data[I.Sym + Idx]);
+      Res.Cycles += 2;
+      break;
+    }
+    case MOp::LoadSpill:
+      Regs[I.Rd] = SpillStack[Frames.back().SpillBase + I.Slot];
+      Res.Cycles += 2;
+      LastLoadRd = I.Rd;
+      break;
+    case MOp::StoreSpill:
+      SpillStack[Frames.back().SpillBase + I.Slot] = operandValue(I.A);
+      Res.Cycles += 2;
+      break;
+    case MOp::Jmp:
+      NextPc = I.Target;
+      Res.Cycles += 3;
+      ++Res.TakenBranches;
+      break;
+    case MOp::Br:
+      if (operandValue(I.A) != 0) {
+        NextPc = I.Target;
+        Res.Cycles += 4;
+        ++Res.TakenBranches;
+        if (I.Probe != InvalidId && I.Probe < Res.Probes.size())
+          ++Res.Probes[I.Probe];
+      } else {
+        Res.Cycles += 1;
+      }
+      break;
+    case MOp::Brz:
+      if (operandValue(I.A) == 0) {
+        NextPc = I.Target;
+        Res.Cycles += 4;
+        ++Res.TakenBranches;
+      } else {
+        Res.Cycles += 1;
+      }
+      break;
+    case MOp::Call: {
+      if (I.Sym >= Exe.Routines.size()) {
+        Res.Error = "call to invalid routine index";
+        return Res;
+      }
+      if (Frames.size() >= Config.MaxStackFrames) {
+        Res.Error = "stack overflow";
+        return Res;
+      }
+      const ExeRoutine &Callee = Exe.Routines[I.Sym];
+      if (I.Sym == Config.WatchCallRoutine &&
+          Res.WatchLog.size() + 3 <= Config.MaxWatchKept) {
+        Res.WatchLog.push_back(Pc);
+        Res.WatchLog.push_back(Regs[ArgRegBase]);
+        Res.WatchLog.push_back(Regs[ArgRegBase + 1]);
+      }
+      Frames.push_back({NextPc, SpillStack.size()});
+      SpillStack.resize(SpillStack.size() + Callee.SpillSlots);
+      NextPc = Callee.CodeStart;
+      Res.Cycles += 8;
+      ++Res.CallsExecuted;
+      break;
+    }
+    case MOp::Ret: {
+      Frame F = Frames.back();
+      Frames.pop_back();
+      SpillStack.resize(F.SpillBase);
+      Res.Cycles += 6;
+      if (Frames.empty()) {
+        // Returned from main.
+        Res.Ok = true;
+        Res.ExitValue = Regs[RetReg];
+        return Res;
+      }
+      NextPc = F.ReturnPc;
+      break;
+    }
+    case MOp::Print: {
+      int64_t V = operandValue(I.A);
+      Res.OutputChecksum = mixChecksum(Res.OutputChecksum, V);
+      ++Res.OutputCount;
+      if (Res.FirstOutputs.size() < Config.MaxOutputKept)
+        Res.FirstOutputs.push_back(V);
+      Res.Cycles += 1;
+      break;
+    }
+    case MOp::Probe:
+      if (I.Probe < Res.Probes.size())
+        ++Res.Probes[I.Probe];
+      Res.Cycles += 1;
+      break;
+    case MOp::Halt:
+      Res.Ok = true;
+      Res.ExitValue = Regs[RetReg];
+      return Res;
+    case MOp::Nop:
+      Res.Cycles += 1;
+      break;
+    }
+    Pc = NextPc;
+  }
+}

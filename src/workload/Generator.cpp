@@ -1,0 +1,538 @@
+//===- workload/Generator.cpp ---------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "support/Prng.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace scmo;
+
+namespace {
+
+/// Planned identity of one routine, fixed before any body is generated so
+/// that call references are always to known names/arities.
+struct RoutinePlan {
+  std::string Name;
+  uint32_t Module = 0;
+  uint32_t Arity = 1;
+  bool Hot = false;
+  uint32_t Index = 0; ///< Topological index: calls only go to higher Index.
+};
+
+/// Builds source text for one module at a time.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(const WorkloadParams &Params)
+      : Params(Params), MainRng(Params.Seed) {}
+
+  GeneratedProgram build() {
+    plan();
+    GeneratedProgram Out;
+    for (uint32_t M = 0; M != Params.NumModules; ++M)
+      Out.Modules.push_back(buildModule(M));
+    for (const GeneratedModule &GM : Out.Modules)
+      Out.TotalLines += GM.Lines;
+    return Out;
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Planning
+  //===--------------------------------------------------------------------===
+
+  void plan() {
+    // Hot kernel: a bounded call *chain* plus leaf utilities. A chain keeps
+    // the dynamic call volume linear in chain length (a fanout tree would be
+    // exponential); leaves receive the extra fanout calls round-robin.
+    ChainLen = std::min<uint32_t>(Params.HotRoutines,
+                                  std::max<uint32_t>(2,
+                                                     Params.HotRoutines / 2));
+    ChainLen = std::min<uint32_t>(ChainLen, 16);
+    // Hot routines live in the first HotModuleFraction of the modules: the
+    // paper's coarse-grained selectivity is only useful because a big
+    // application's performance kernel touches a small fraction of its
+    // modules.
+    uint32_t HotModules = std::max<uint32_t>(
+        1, static_cast<uint32_t>(Params.NumModules *
+                                 Params.HotModuleFraction));
+    for (uint32_t H = 0; H != Params.HotRoutines; ++H) {
+      RoutinePlan RP;
+      RP.Name = "hot" + std::to_string(H);
+      RP.Module = H % HotModules;
+      RP.Arity = 2;
+      RP.Hot = true;
+      RP.Index = static_cast<uint32_t>(Plans.size());
+      HotPlanIdx.push_back(RP.Index);
+      Plans.push_back(RP);
+    }
+    // Warm routines: one per slot, round-robin over ALL modules (not just
+    // the hot subset), so selecting them pulls fresh modules into CMO.
+    for (uint32_t W = 0; W != Params.WarmRoutines; ++W) {
+      RoutinePlan RP;
+      RP.Name = "warm" + std::to_string(W);
+      RP.Module = W % Params.NumModules;
+      RP.Arity = 2;
+      RP.Index = static_cast<uint32_t>(Plans.size());
+      WarmPlanIdx.push_back(RP.Index);
+      Plans.push_back(RP);
+    }
+    // Cold routines.
+    for (uint32_t M = 0; M != Params.NumModules; ++M) {
+      for (uint32_t C = 0; C != Params.ColdRoutinesPerModule; ++C) {
+        RoutinePlan RP;
+        RP.Name = "m" + std::to_string(M) + "_c" + std::to_string(C);
+        RP.Module = M;
+        RP.Arity = 1 + static_cast<uint32_t>(MainRng.nextBelow(3));
+        RP.Index = static_cast<uint32_t>(Plans.size());
+        ColdPlanIdx.push_back(RP.Index);
+        Plans.push_back(RP);
+      }
+    }
+    for (size_t C = 0; C + 1 < ColdPlanIdx.size(); ++C)
+      NextCold[ColdPlanIdx[C]] = ColdPlanIdx[C + 1];
+    IsWarm.insert(WarmPlanIdx.begin(), WarmPlanIdx.end());
+  }
+
+  //===--------------------------------------------------------------------===
+  // Module emission
+  //===--------------------------------------------------------------------===
+
+  GeneratedModule buildModule(uint32_t M) {
+    // Per-module generator keeps modules independent of each other's
+    // randomness (adding a module never perturbs the others).
+    Prng ModRng(Params.Seed * 1000003 + M * 7919 + 17);
+    std::ostringstream OS;
+    uint32_t Lines = 0;
+    auto line = [&](const std::string &Text) {
+      OS << Text << "\n";
+      ++Lines;
+    };
+
+    line("// generated module " + std::to_string(M));
+    line("global g" + std::to_string(M) + "_acc;");
+    line("global g" + std::to_string(M) + "_arr[" +
+         std::to_string(Params.ArrayElems) + "];");
+    // A read-only global: initialized, never stored — whole-program analysis
+    // folds its loads.
+    line("global g" + std::to_string(M) + "_ro = " +
+         std::to_string(3 + (M % 7)) + ";");
+    line("static s" + std::to_string(M) + "_cnt;");
+    line("");
+
+    for (const RoutinePlan &RP : Plans) {
+      if (RP.Module != M)
+        continue;
+      if (RP.Hot)
+        emitHotRoutine(OS, Lines, RP, ModRng);
+      else if (IsWarm.count(RP.Index))
+        emitWarmRoutine(OS, Lines, RP, ModRng);
+      else
+        emitColdRoutine(OS, Lines, RP, ModRng);
+    }
+
+    if (M == 0)
+      emitMain(OS, Lines, ModRng);
+
+    GeneratedModule GM;
+    GM.Name = "mod" + std::to_string(M);
+    GM.Source = OS.str();
+    GM.Lines = Lines;
+    return GM;
+  }
+
+  /// Renders a call expression to the planned routine \p RP with argument
+  /// expressions drawn from \p ArgPool (variable names) and constants.
+  std::string callExpr(const RoutinePlan &RP,
+                       const std::vector<std::string> &ArgPool, Prng &Rng2) {
+    std::ostringstream OS;
+    OS << RP.Name << "(";
+    for (uint32_t A = 0; A != RP.Arity; ++A) {
+      if (A)
+        OS << ", ";
+      if (Rng2.nextBool(Params.ConstArgProb) || ArgPool.empty()) {
+        static const int64_t Consts[] = {3, 5, 7, 11};
+        OS << Consts[Rng2.nextBelow(4)];
+      } else {
+        OS << ArgPool[Rng2.nextBelow(ArgPool.size())];
+      }
+    }
+    OS << ")";
+    return OS.str();
+  }
+
+  /// A small arithmetic expression over \p Vars.
+  std::string arithExpr(const std::vector<std::string> &Vars, Prng &Rng2) {
+    const char *Ops[] = {" + ", " - ", " * "};
+    std::ostringstream OS;
+    OS << Vars[Rng2.nextBelow(Vars.size())];
+    OS << Ops[Rng2.nextBelow(3)];
+    if (Rng2.nextBool(0.5))
+      OS << Vars[Rng2.nextBelow(Vars.size())];
+    else
+      OS << (1 + Rng2.nextBelow(9));
+    return OS.str();
+  }
+
+  void emitHotRoutine(std::ostringstream &OS, uint32_t &Lines,
+                      const RoutinePlan &RP, Prng &ModRng) {
+    auto line = [&](const std::string &Text) {
+      OS << Text << "\n";
+      ++Lines;
+    };
+    std::string MStr = std::to_string(RP.Module);
+    line("func " + RP.Name + "(x, k) {");
+    std::vector<std::string> Vars = {"x", "k"};
+    // Arithmetic body: long def-use chains create register pressure so that
+    // allocation quality (and PBO spill weighting) matters.
+    for (uint32_t S = 0; S != Params.HotStmtsPerRoutine; ++S) {
+      std::string V = "t" + std::to_string(S);
+      line("  var " + V + " = " + arithExpr(Vars, ModRng) + ";");
+      Vars.push_back(V);
+    }
+    // Array traffic.
+    line("  var ix = (" + Vars.back() + ") % " +
+         std::to_string(Params.ArrayElems) + ";");
+    line("  g" + MStr + "_arr[ix] = g" + MStr + "_arr[ix] + x;");
+    // Read-only global use (foldable under whole-program analysis).
+    line("  var ro = g" + MStr + "_ro;");
+    // Biased branch with the COMMON path in the else clause: the naive
+    // layout falls through to the rare then-block and pays a taken branch on
+    // the common path every time — exactly what PBO layout repairs.
+    uint32_t RareMod =
+        std::max<uint32_t>(2, static_cast<uint32_t>(1.0 /
+                                                    Params.RareBranchProb));
+    for (uint32_t Bias = 0; Bias != 3; ++Bias) {
+      std::string Probe = Bias == 0 ? "x" : "ix";
+      line("  if (" + Probe + " % " + std::to_string(RareMod + Bias) +
+           " == " + std::to_string(Bias) + ") {");
+      line("    s" + MStr + "_cnt = s" + MStr + "_cnt + ix;");
+      line("  } else {");
+      line("    ix = ix + ro + " + std::to_string(Bias) + ";");
+      line("  }");
+    }
+    // Inner loop (computation density).
+    if (Params.InnerIterations) {
+      line("  var j = 0;");
+      line("  var s = x + ix;");
+      line("  while (j < " + std::to_string(Params.InnerIterations) + ") {");
+      line("    s = s + (s * 7 + k) % 97;");
+      line("    j = j + 1;");
+      line("  }");
+      Vars.push_back("s");
+    }
+    // Hot calls, acyclic by construction: chain routine H calls chain
+    // routine H+1 once, plus (fanout-1) leaf routines. Leaves call nobody.
+    std::string Acc = "ix";
+    uint32_t H = RP.Index; // Hot routines were planned first: Index == H.
+    bool IsChain = H < ChainLen;
+    uint32_t NumLeaves = Params.HotRoutines - ChainLen;
+    if (IsChain) {
+      // The chain-next call always passes the iteration counter x through as
+      // the first argument: the warm-call guards downstream key off it, so
+      // warm execution counts stay exactly N/K (a deterministic gradient).
+      if (H + 1 < ChainLen) {
+        const RoutinePlan &Next = Plans[HotPlanIdx[H + 1]];
+        std::string Arg2 = ModRng.nextBool(Params.ConstArgProb)
+                               ? std::to_string(3 + ModRng.nextBelow(9))
+                               : Vars[ModRng.nextBelow(Vars.size())];
+        line("  " + Acc + " = " + Acc + " + " + Next.Name + "(x, " + Arg2 +
+             ");");
+      }
+      for (uint32_t F = 1; F < Params.HotChainFanout && NumLeaves; ++F) {
+        uint32_t Leaf = ChainLen + (H * (Params.HotChainFanout - 1) + F - 1) %
+                                       NumLeaves;
+        const RoutinePlan &Callee = Plans[HotPlanIdx[Leaf]];
+        line("  " + Acc + " = " + Acc + " + " +
+             callExpr(Callee, Vars, ModRng) + ";");
+      }
+    }
+    // Graded warm calls: chain routine H calls warm routines under an
+    // every-K-th-iteration guard, K growing by powers of four across the
+    // warm set (the hotness gradient).
+    if (IsChain && !WarmPlanIdx.empty()) {
+      // Chain routine H owns warm slots H, H+ChainLen, H+2*ChainLen, ...
+      // so every warm routine has exactly one (graded) call site.
+      for (uint32_t W = H; W < WarmPlanIdx.size(); W += ChainLen) {
+        const RoutinePlan &Warm = Plans[WarmPlanIdx[W]];
+        uint64_t K = 4ull << (2 * (W % 6));
+        line("  if (x % " + std::to_string(K) + " == 0) {");
+        line("    " + Acc + " = " + Acc + " + " + Warm.Name + "(x, " +
+             std::to_string(3 + W % 5) + ");");
+        line("  } else {");
+        line("    " + Acc + " = " + Acc + " + 1;");
+        line("  }");
+      }
+    }
+    // Cross-module accumulator traffic.
+    line("  g" + MStr + "_acc = g" + MStr + "_acc + " + Acc + ";");
+    // Wide use of earlier temps extends live ranges across the calls.
+    std::string Sum = Vars[0];
+    for (size_t V = 2; V < Vars.size(); V += 2)
+      Sum += " + " + Vars[V];
+    line("  return (" + Acc + " + " + Sum + ") % 65521;");
+    line("}");
+    line("");
+  }
+
+  /// Medium-weight leaf routine executed every K-th hot iteration.
+  void emitWarmRoutine(std::ostringstream &OS, uint32_t &Lines,
+                       const RoutinePlan &RP, Prng &ModRng) {
+    auto line = [&](const std::string &Text) {
+      OS << Text << "\n";
+      ++Lines;
+    };
+    std::string MStr = std::to_string(RP.Module);
+    line("func " + RP.Name + "(x, k) {");
+    std::vector<std::string> Vars = {"x", "k"};
+    for (uint32_t S = 0; S != Params.WarmStmtsPerRoutine; ++S) {
+      std::string V = "w" + std::to_string(S);
+      line("  var " + V + " = " + arithExpr(Vars, ModRng) + ";");
+      Vars.push_back(V);
+    }
+    line("  var wi = (" + Vars.back() + ") % " +
+         std::to_string(Params.ArrayElems) + ";");
+    line("  g" + MStr + "_arr[wi] = g" + MStr + "_arr[wi] + k;");
+    line("  return (wi + x) % 32749;");
+    line("}");
+    line("");
+  }
+
+  void emitColdRoutine(std::ostringstream &OS, uint32_t &Lines,
+                       const RoutinePlan &RP, Prng &ModRng) {
+    auto line = [&](const std::string &Text) {
+      OS << Text << "\n";
+      ++Lines;
+    };
+    std::string MStr = std::to_string(RP.Module);
+    std::ostringstream Header;
+    Header << "func " << RP.Name << "(";
+    std::vector<std::string> Vars;
+    for (uint32_t A = 0; A != RP.Arity; ++A) {
+      if (A)
+        Header << ", ";
+      Header << "p" << A;
+      Vars.push_back("p" + std::to_string(A));
+    }
+    Header << ") {";
+    line(Header.str());
+    for (uint32_t S = 0; S != Params.ColdStmtsPerRoutine; ++S) {
+      // Mix statement shapes deterministically.
+      double Roll = ModRng.nextDouble();
+      if (Roll < 0.6 || Vars.size() < 3) {
+        std::string V = "c" + std::to_string(S);
+        line("  var " + V + " = " + arithExpr(Vars, ModRng) + ";");
+        Vars.push_back(V);
+      } else if (Roll < 0.7) {
+        line("  g" + MStr + "_arr[" + Vars[ModRng.nextBelow(Vars.size())] +
+             "] = " + arithExpr(Vars, ModRng) + ";");
+      } else if (Roll < 0.8) {
+        line("  if (" + Vars[ModRng.nextBelow(Vars.size())] + " > " +
+             std::to_string(ModRng.nextBelow(100)) + ") {");
+        line("    g" + MStr + "_acc = g" + MStr + "_acc + 1;");
+        line("  } else {");
+        line("    g" + MStr + "_acc = g" + MStr + "_acc - 1;");
+        line("  }");
+      } else if (Roll < 0.9) {
+        std::string V = "c" + std::to_string(S);
+        line("  var " + V + " = 0;");
+        line("  while (" + V + " < " + std::to_string(2 + ModRng.nextBelow(4)) +
+             ") {");
+        line("    " + V + " = " + V + " + 1;");
+        line("  }");
+        Vars.push_back(V);
+      } else if (ModRng.nextBool(Params.ColdCallProb) &&
+                 HotPlanIdx.size() > ChainLen) {
+        // Call a hot *leaf* routine (leaves make no calls, so this adds
+        // call-graph richness without multiplying the cold chain's paths —
+        // any cold->cold edge beyond the spanning chain would execute the
+        // rest of the chain once per path, which explodes combinatorially).
+        uint32_t NumLeaves =
+            static_cast<uint32_t>(HotPlanIdx.size()) - ChainLen;
+        const RoutinePlan &Callee =
+            Plans[HotPlanIdx[ChainLen + ModRng.nextBelow(NumLeaves)]];
+        std::string V = "c" + std::to_string(S);
+        line("  var " + V + " = " + callExpr(Callee, Vars, ModRng) + ";");
+        Vars.push_back(V);
+      }
+    }
+    // Chain link: every cold routine calls the next one in plan order, so
+    // all cold code is reachable from main and executes exactly once — the
+    // paper's "code that is executed little or not at all".
+    auto NextIt = NextCold.find(RP.Index);
+    if (NextIt != NextCold.end()) {
+      const RoutinePlan &Next = Plans[NextIt->second];
+      std::vector<std::string> Pool = {Vars.back()};
+      line("  var link = " + callExpr(Next, Pool, ModRng) + ";");
+      line("  return (" + Vars.back() + " + link) % 99991;");
+    } else {
+      line("  return (" + Vars.back() + ") % 99991;");
+    }
+    line("}");
+    line("");
+  }
+
+  void emitMain(std::ostringstream &OS, uint32_t &Lines, Prng &ModRng) {
+    auto line = [&](const std::string &Text) {
+      OS << Text << "\n";
+      ++Lines;
+    };
+    line("global final_result;");
+    // Declare the other modules' accumulators (non-static globals merge by
+    // name across modules, like C common symbols).
+    for (uint32_t M = 1; M < Params.NumModules; ++M)
+      line("global g" + std::to_string(M) + "_acc;");
+    line("func main() {");
+    line("  var i = 0;");
+    line("  var acc = 0;");
+    line("  while (i < " + std::to_string(Params.OuterIterations) + ") {");
+    line("    acc = acc + hot0(i, 7);");
+    line("    acc = acc % 1000003;");
+    line("    i = i + 1;");
+    line("  }");
+    line("  final_result = acc;");
+    line("  print acc;");
+    // Touch a handful of cold chains once, for coverage and so cold code is
+    // not trivially unreachable.
+    if (!ColdPlanIdx.empty()) {
+      // One entry into the cold chain: every cold routine runs exactly once.
+      const RoutinePlan &RP = Plans[ColdPlanIdx[0]];
+      std::vector<std::string> Pool = {"acc", "i"};
+      line("  print " + callExpr(RP, Pool, ModRng) + ";");
+    }
+    // Observable per-module accumulators.
+    for (uint32_t M = 0; M != Params.NumModules; ++M)
+      line("  print g" + std::to_string(M) + "_acc;");
+    line("  return 0;");
+    line("}");
+  }
+
+  const WorkloadParams &Params;
+  Prng MainRng;
+  std::vector<RoutinePlan> Plans;
+  std::vector<uint32_t> HotPlanIdx;
+  std::vector<uint32_t> WarmPlanIdx;
+  std::vector<uint32_t> ColdPlanIdx;
+  std::map<uint32_t, uint32_t> NextCold;
+  std::set<uint32_t> IsWarm;
+  uint32_t ChainLen = 0;
+};
+
+} // namespace
+
+GeneratedProgram scmo::generateProgram(const WorkloadParams &Params) {
+  return ProgramBuilder(Params).build();
+}
+
+WorkloadParams scmo::specLikeParams(const std::string &Name) {
+  WorkloadParams P;
+  if (Name == "go") {
+    // Branch-heavy, few calls, mostly one big module: CMO helps least.
+    P.Seed = 101;
+    P.NumModules = 3;
+    P.HotRoutines = 6;
+    P.HotChainFanout = 1;
+    P.CrossModuleCallProb = 0.3;
+    P.RareBranchProb = 0.25;
+    P.ColdRoutinesPerModule = 40;
+    P.OuterIterations = 30000;
+  } else if (Name == "m88k") {
+    P.Seed = 102;
+    P.NumModules = 4;
+    P.HotRoutines = 10;
+    P.CrossModuleCallProb = 0.6;
+    P.OuterIterations = 25000;
+  } else if (Name == "gcc") {
+    // Many modules, big cold mass, wide hot set.
+    P.Seed = 103;
+    P.NumModules = 12;
+    P.HotRoutines = 16;
+    P.CrossModuleCallProb = 0.8;
+    P.ColdRoutinesPerModule = 55;
+    P.ColdStmtsPerRoutine = 16;
+    P.OuterIterations = 15000;
+  } else if (Name == "comp") {
+    // Tight compression loop; calls barely matter.
+    P.Seed = 104;
+    P.NumModules = 2;
+    P.HotRoutines = 3;
+    P.HotChainFanout = 1;
+    P.InnerIterations = 10;
+    P.CrossModuleCallProb = 0.2;
+    P.ColdRoutinesPerModule = 8;
+    P.OuterIterations = 40000;
+  } else if (Name == "li") {
+    // Lots of tiny functions, deep call chains: inlining gold.
+    P.Seed = 105;
+    P.NumModules = 6;
+    P.HotRoutines = 14;
+    P.HotStmtsPerRoutine = 4;
+    P.HotChainFanout = 2;
+    P.InnerIterations = 1;
+    P.CrossModuleCallProb = 0.9;
+    P.OuterIterations = 30000;
+  } else if (Name == "ijpeg") {
+    P.Seed = 106;
+    P.NumModules = 5;
+    P.HotRoutines = 8;
+    P.InnerIterations = 10;
+    P.CrossModuleCallProb = 0.5;
+    P.OuterIterations = 20000;
+  } else if (Name == "perl") {
+    P.Seed = 107;
+    P.NumModules = 8;
+    P.HotRoutines = 12;
+    P.CrossModuleCallProb = 0.7;
+    P.RareBranchProb = 0.15;
+    P.ColdRoutinesPerModule = 30;
+    P.OuterIterations = 20000;
+  } else if (Name == "vortex") {
+    // Call-dominated: the paper's biggest SPEC winner for CMO+PBO.
+    P.Seed = 108;
+    P.NumModules = 10;
+    P.HotRoutines = 18;
+    P.HotStmtsPerRoutine = 5;
+    P.HotChainFanout = 3;
+    P.InnerIterations = 1;
+    P.CrossModuleCallProb = 0.9;
+    P.ColdRoutinesPerModule = 25;
+    P.OuterIterations = 25000;
+  } else {
+    P.Seed = 100;
+  }
+  return P;
+}
+
+WorkloadParams scmo::mcadLikeParams(uint64_t TargetLines, unsigned Variant,
+                                    uint64_t Seed) {
+  WorkloadParams P;
+  P.Seed = Seed + Variant * 1000;
+  // Variant shapes: Mcad1 = many mid-size modules; Mcad2 = fewer, larger
+  // (mixed-language in the paper); Mcad3 = very many small modules.
+  uint32_t LinesPerRoutine = P.ColdStmtsPerRoutine + 8;
+  uint32_t RoutinesPerModule =
+      Variant == 2 ? 40 : (Variant == 3 ? 10 : 20);
+  uint64_t LinesPerModule =
+      static_cast<uint64_t>(RoutinesPerModule) * LinesPerRoutine;
+  uint32_t Modules = static_cast<uint32_t>(
+      std::max<uint64_t>(4, TargetLines / std::max<uint64_t>(1,
+                                                             LinesPerModule)));
+  P.NumModules = std::min<uint32_t>(Modules, 4096);
+  P.ColdRoutinesPerModule = RoutinesPerModule;
+  P.HotRoutines = std::min<uint32_t>(32, std::max<uint32_t>(8, P.NumModules / 8));
+  P.OuterIterations = 8000;
+  P.HotChainFanout = 2;
+  P.CrossModuleCallProb = 0.85;
+  P.ColdCallProb = 0.4;
+  P.HotModuleFraction = 0.2;
+  P.WarmRoutines = std::max<uint32_t>(12, P.NumModules / 3);
+  return P;
+}

@@ -1,0 +1,105 @@
+//===- workload/Generator.h -------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic workload generation. The paper's evaluation needs two program
+/// populations we cannot ship: the SPECint95 suite and three multi-million
+/// line proprietary MCAD applications. The generator produces MiniC programs
+/// with the structural properties those populations contribute to the
+/// experiments:
+///
+///  - a hot kernel of small-to-medium routines connected by cross-module
+///    call chains (inlining / call-overhead opportunity);
+///  - biased conditional branches written so the naive layout penalizes the
+///    common path (PBO layout opportunity);
+///  - constant arguments on hot paths (IPCP / cloning opportunity);
+///  - global scalars and arrays, some never stored (global-variable
+///    analysis opportunity);
+///  - a large cold majority — the ~80% of code with "no appreciable effect
+///    on performance" that selectivity exists to skip (Figures 4 and 6 need
+///    LoC scale more than dynamic behaviour).
+///
+/// Everything is deterministic in the seed; generation is pure string
+/// building, so multi-hundred-thousand-line programs generate in
+/// milliseconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_WORKLOAD_GENERATOR_H
+#define SCMO_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scmo {
+
+/// Tunable knobs for one generated program.
+struct WorkloadParams {
+  uint64_t Seed = 1;
+
+  // Static shape.
+  uint32_t NumModules = 8;
+  uint32_t ColdRoutinesPerModule = 12;
+  uint32_t ColdStmtsPerRoutine = 14;  ///< Governs LoC scale.
+  uint32_t HotRoutines = 12;          ///< Spread round-robin across modules.
+  uint32_t HotStmtsPerRoutine = 8;
+  uint32_t HotChainFanout = 2;        ///< Calls from one hot routine.
+  /// Warm routines: called from hot code under "every K-th iteration"
+  /// guards with K graded over orders of magnitude, and spread over ALL
+  /// modules. They give the profile a hotness *gradient* — the paper's
+  /// "code that falls somewhere in between" — which is what makes the
+  /// Figure 6 run-time curve improve gradually rather than step once.
+  uint32_t WarmRoutines = 0; ///< Off by default; MCAD-likes enable them.
+  uint32_t WarmStmtsPerRoutine = 10;
+
+  // Dynamic shape.
+  uint64_t OuterIterations = 20000;   ///< Main-loop trip count.
+  uint32_t InnerIterations = 4;       ///< Small nested loop in hot code.
+
+  // Opportunity mix.
+  double CrossModuleCallProb = 0.75;  ///< Hot calls crossing modules.
+  double ConstArgProb = 0.5;          ///< Hot calls passing a constant.
+  double RareBranchProb = 0.08;       ///< P(taken) of generated rare branches.
+  uint32_t ArrayElems = 251;          ///< Module array sizes.
+  double ColdCallProb = 0.3;          ///< Cold routines calling other colds.
+
+  /// Fraction of modules that host hot routines (1.0 = spread everywhere,
+  /// the SPEC-like default; MCAD-likes concentrate the performance kernel
+  /// so coarse-grained selectivity has something to select).
+  double HotModuleFraction = 1.0;
+};
+
+/// One generated module: a name and MiniC source text.
+struct GeneratedModule {
+  std::string Name;
+  std::string Source;
+  uint32_t Lines = 0;
+};
+
+/// A complete generated program.
+struct GeneratedProgram {
+  std::vector<GeneratedModule> Modules;
+  uint64_t TotalLines = 0;
+};
+
+/// Generates a program from \p Params.
+GeneratedProgram generateProgram(const WorkloadParams &Params);
+
+/// Named SPEC95-like benchmark presets (distinct structure per name).
+/// Recognized names: "go", "m88k", "gcc", "comp", "li", "ijpeg", "perl",
+/// "vortex" — the Figure 1 x-axis.
+WorkloadParams specLikeParams(const std::string &Name);
+
+/// An MCAD-like application scaled to roughly \p TargetLines source lines.
+/// \p Variant selects Mcad1/2/3-style differences (module count balance).
+WorkloadParams mcadLikeParams(uint64_t TargetLines, unsigned Variant = 1,
+                              uint64_t Seed = 42);
+
+} // namespace scmo
+
+#endif // SCMO_WORKLOAD_GENERATOR_H

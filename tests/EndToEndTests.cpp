@@ -1,0 +1,172 @@
+//===- tests/EndToEndTests.cpp --------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-pipeline tests: source -> frontend -> (instrument/profile) ->
+/// HLO -> LLO -> link -> VM. The central invariant: every optimization
+/// level of the same program produces identical observable output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompilerSession.h"
+
+#include <gtest/gtest.h>
+
+using namespace scmo;
+
+namespace {
+
+const char *UtilSrc = R"(
+global base = 10;
+global table[16];
+
+func scale(x, f) {
+  return x * f + base;
+}
+
+func fill(n) {
+  var i = 0;
+  while (i < n) {
+    table[i] = scale(i, 3);
+    i = i + 1;
+  }
+  return i;
+}
+)";
+
+const char *AppSrc = R"(
+global total;
+
+func main() {
+  var n = fill(16);
+  var i = 0;
+  while (i < n) {
+    total = total + table[i];
+    i = i + 1;
+  }
+  print total;
+  print scale(total, 2);
+  return 0;
+}
+)";
+
+BuildResult buildTwoModule(CompileOptions Opts, const ProfileDb *Db = nullptr) {
+  CompilerSession Session(Opts);
+  EXPECT_TRUE(Session.addSource("util", UtilSrc));
+  EXPECT_TRUE(Session.addSource("app", AppSrc));
+  if (Db)
+    Session.attachProfile(*Db);
+  return Session.build();
+}
+
+TEST(EndToEnd, BuildsAndRunsAtO2) {
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O2;
+  BuildResult Build = buildTwoModule(Opts);
+  ASSERT_TRUE(Build.Ok) << Build.Error;
+  RunResult Run = runExecutable(Build.Exe);
+  ASSERT_TRUE(Run.Ok) << Run.Error;
+  // total = sum(i*3+10 for i in 0..15) = 3*120 + 160 = 520.
+  ASSERT_EQ(Run.FirstOutputs.size(), 2u);
+  EXPECT_EQ(Run.FirstOutputs[0], 520);
+  EXPECT_EQ(Run.FirstOutputs[1], 520 * 2 + 10);
+  EXPECT_EQ(Run.ExitValue, 0);
+}
+
+TEST(EndToEnd, AllLevelsProduceIdenticalOutput) {
+  // Train a profile first.
+  std::string Error;
+  ProfileDb Db = trainProfileOnSources(
+      {{"util", UtilSrc}, {"app", AppSrc}}, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+
+  struct LevelSpec {
+    OptLevel Level;
+    bool Pbo;
+    const char *Name;
+  };
+  const LevelSpec Specs[] = {
+      {OptLevel::O1, false, "O1"},
+      {OptLevel::O2, false, "O2"},
+      {OptLevel::O2, true, "O2+P"},
+      {OptLevel::O4, false, "O4"},
+      {OptLevel::O4, true, "O4+P"},
+  };
+  uint64_t Baseline = 0;
+  uint64_t BaselineCount = 0;
+  for (const LevelSpec &Spec : Specs) {
+    CompileOptions Opts;
+    Opts.Level = Spec.Level;
+    Opts.Pbo = Spec.Pbo;
+    BuildResult Build = buildTwoModule(Opts, Spec.Pbo ? &Db : nullptr);
+    ASSERT_TRUE(Build.Ok) << Spec.Name << ": " << Build.Error;
+    RunResult Run = runExecutable(Build.Exe);
+    ASSERT_TRUE(Run.Ok) << Spec.Name << ": " << Run.Error;
+    if (!Baseline) {
+      Baseline = Run.OutputChecksum;
+      BaselineCount = Run.OutputCount;
+      ASSERT_NE(Baseline, 0u);
+    } else {
+      EXPECT_EQ(Run.OutputChecksum, Baseline) << Spec.Name;
+      EXPECT_EQ(Run.OutputCount, BaselineCount) << Spec.Name;
+    }
+  }
+}
+
+TEST(EndToEnd, CmoPlusPboIsFastest) {
+  std::string Error;
+  ProfileDb Db = trainProfileOnSources(
+      {{"util", UtilSrc}, {"app", AppSrc}}, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+
+  auto cyclesAt = [&](OptLevel Level, bool Pbo) {
+    CompileOptions Opts;
+    Opts.Level = Level;
+    Opts.Pbo = Pbo;
+    BuildResult Build = buildTwoModule(Opts, Pbo ? &Db : nullptr);
+    EXPECT_TRUE(Build.Ok) << Build.Error;
+    RunResult Run = runExecutable(Build.Exe);
+    EXPECT_TRUE(Run.Ok) << Run.Error;
+    return Run.Cycles;
+  };
+  uint64_t O1 = cyclesAt(OptLevel::O1, false);
+  uint64_t O2 = cyclesAt(OptLevel::O2, false);
+  uint64_t O4P = cyclesAt(OptLevel::O4, true);
+  EXPECT_LT(O2, O1);   // Register allocation beats spill-everything.
+  EXPECT_LE(O4P, O2);  // CMO+PBO at least matches plain O2.
+}
+
+TEST(EndToEnd, ObjectFileRoundTripPreservesBehaviour) {
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O2;
+  BuildResult Direct = buildTwoModule(Opts);
+  ASSERT_TRUE(Direct.Ok) << Direct.Error;
+  Opts.WriteObjects = true;
+  BuildResult ViaObjects = buildTwoModule(Opts);
+  ASSERT_TRUE(ViaObjects.Ok) << ViaObjects.Error;
+  RunResult R1 = runExecutable(Direct.Exe);
+  RunResult R2 = runExecutable(ViaObjects.Exe);
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_EQ(R1.OutputChecksum, R2.OutputChecksum);
+  EXPECT_EQ(R1.Cycles, R2.Cycles); // Byte-identical compilation expected.
+}
+
+TEST(EndToEnd, UndefinedRoutineIsALinkError) {
+  CompileOptions Opts;
+  CompilerSession Session(Opts);
+  ASSERT_TRUE(Session.addSource("app", R"(
+func main() {
+  return missing(1, 2);
+}
+)"));
+  BuildResult Build = Session.build();
+  EXPECT_FALSE(Build.Ok);
+  EXPECT_NE(Build.Error.find("undefined routine"), std::string::npos)
+      << Build.Error;
+}
+
+} // namespace

@@ -1,0 +1,363 @@
+//===- tests/IrTests.cpp --------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CallGraph.h"
+#include "ir/Checksum.h"
+#include "ir/Printer.h"
+#include "ir/Program.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace scmo;
+
+namespace {
+
+/// Builds "ret <imm>" as a minimal valid body.
+std::unique_ptr<RoutineBody> trivialBody(int64_t RetVal = 0,
+                                         uint32_t NumParams = 0) {
+  auto Body = std::make_unique<RoutineBody>();
+  Body->NumParams = NumParams;
+  Body->NextReg = NumParams;
+  Body->newBlock();
+  Instr *Ret = Body->newInstr(Opcode::Ret);
+  Ret->A = Operand::imm(RetVal);
+  Body->Blocks[0].Instrs.push_back(Ret);
+  return Body;
+}
+
+/// Appends a call instruction to the entry block, before the terminator.
+void insertCall(RoutineBody &Body, RoutineId Callee, uint16_t NumArgs) {
+  Instr *Call = Body.newInstr(Opcode::Call);
+  Call->Sym = Callee;
+  Call->NumArgs = NumArgs;
+  Call->Args = Body.newArgArray(NumArgs);
+  for (unsigned A = 0; A != NumArgs; ++A)
+    Call->Args[A] = Operand::imm(A);
+  Call->Dst = NoReg;
+  auto &Instrs = Body.Blocks[0].Instrs;
+  Instrs.insert(Instrs.end() - 1, Call);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Program symbol management
+//===----------------------------------------------------------------------===//
+
+TEST(Program, ExternGlobalsMergeByName) {
+  Program P;
+  ModuleId M1 = P.addModule("a");
+  ModuleId M2 = P.addModule("b");
+  GlobalId G1 = P.addGlobal(M1, "shared", 1, 5, false);
+  GlobalId G2 = P.addGlobal(M2, "shared", 1, 0, false);
+  EXPECT_EQ(G1, G2);
+  EXPECT_EQ(P.global(G1).Init, 5); // Nonzero initializer wins the merge.
+}
+
+TEST(Program, StaticGlobalsArePerModule) {
+  Program P;
+  ModuleId M1 = P.addModule("a");
+  ModuleId M2 = P.addModule("b");
+  GlobalId G1 = P.addGlobal(M1, "counter", 1, 0, true);
+  GlobalId G2 = P.addGlobal(M2, "counter", 1, 0, true);
+  EXPECT_NE(G1, G2);
+  EXPECT_EQ(P.addGlobal(M1, "counter", 1, 0, true), G1);
+}
+
+TEST(Program, ArraySizeMergesUpward) {
+  Program P;
+  ModuleId M1 = P.addModule("a");
+  ModuleId M2 = P.addModule("b");
+  GlobalId G = P.addGlobal(M1, "arr", 1, 0, false); // Declared scalar first.
+  P.addGlobal(M2, "arr", 64, 0, false);             // Defined as array later.
+  EXPECT_EQ(P.global(G).Size, 64u);
+}
+
+TEST(Program, ExternRoutineDeclarationMergesWithDefinition) {
+  Program P;
+  ModuleId M1 = P.addModule("caller");
+  ModuleId M2 = P.addModule("callee");
+  RoutineId Declared = P.declareRoutine(M1, "f", 2, false);
+  EXPECT_FALSE(P.routine(Declared).IsDefined);
+  RoutineId Defined = P.declareRoutine(M2, "f", 2, false);
+  EXPECT_EQ(Declared, Defined);
+  P.defineRoutine(Defined, M2, trivialBody(0, 2));
+  EXPECT_TRUE(P.routine(Declared).IsDefined);
+  // Definition re-homes ownership to the defining module.
+  EXPECT_EQ(P.routine(Declared).Owner, M2);
+}
+
+TEST(Program, StaticRoutinesDoNotCollideAcrossModules) {
+  Program P;
+  ModuleId M1 = P.addModule("a");
+  ModuleId M2 = P.addModule("b");
+  RoutineId R1 = P.declareRoutine(M1, "helper", 1, true);
+  RoutineId R2 = P.declareRoutine(M2, "helper", 1, true);
+  EXPECT_NE(R1, R2);
+  EXPECT_EQ(P.displayName(R1), "a:helper");
+  EXPECT_EQ(P.displayName(R2), "b:helper");
+}
+
+TEST(Program, FindRoutineIgnoresStatics) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  P.declareRoutine(M, "hidden", 0, true);
+  RoutineId Pub = P.declareRoutine(M, "visible", 0, false);
+  EXPECT_EQ(P.findRoutine("hidden"), InvalidId);
+  EXPECT_EQ(P.findRoutine("visible"), Pub);
+  EXPECT_NE(P.findRoutineInModule(M, "hidden"), InvalidId);
+}
+
+TEST(ModuleSymtab, CompactAndExpandRoundTrip) {
+  MemoryTracker T;
+  ModuleSymtab St(&T);
+  St.addRecord("func foo lines 1-10");
+  St.addRecord("linemap foo 0:1 1:2");
+  uint64_t Expanded = T.liveBytes(MemCategory::HloSymtab);
+  EXPECT_GT(Expanded, 0u);
+  St.compact(&T);
+  EXPECT_EQ(St.state(), PoolState::Compact);
+  EXPECT_EQ(T.liveBytes(MemCategory::HloSymtab), 0u);
+  EXPECT_GT(St.compactSize(), 0u);
+  EXPECT_LT(St.compactSize(), Expanded); // Compact form is smaller.
+  St.expand();
+  ASSERT_EQ(St.records().size(), 2u);
+  EXPECT_EQ(St.records()[0], "func foo lines 1-10");
+  EXPECT_EQ(T.liveBytes(MemCategory::HloSymtab), Expanded);
+}
+
+//===----------------------------------------------------------------------===//
+// Checksums
+//===----------------------------------------------------------------------===//
+
+TEST(Checksum, SensitiveToStructuralEdits) {
+  auto Body = trivialBody(1);
+  uint64_t Base = computeChecksum(*Body);
+  Instr *MovI = Body->newInstr(Opcode::Mov);
+  MovI->Dst = 0;
+  Body->NextReg = 1;
+  MovI->A = Operand::imm(3);
+  Body->Blocks[0].Instrs.insert(Body->Blocks[0].Instrs.begin(), MovI);
+  EXPECT_NE(computeChecksum(*Body), Base);
+}
+
+TEST(Checksum, InsensitiveToSymbolIds) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  GlobalId G1 = P.addGlobal(M, "g1", 1, 0, false);
+  GlobalId G2 = P.addGlobal(M, "g2", 1, 0, false);
+  auto mkBody = [&](GlobalId G) {
+    auto Body = trivialBody(0);
+    Instr *Load = Body->newInstr(Opcode::LoadG);
+    Load->Dst = 0;
+    Body->NextReg = 1;
+    Load->Sym = G;
+    auto &Ins = Body->Blocks[0].Instrs;
+    Ins.insert(Ins.begin(), Load);
+    return Body;
+  };
+  // Same structure, different global ids: equal checksums (separate
+  // compilation sessions must agree for profile correlation).
+  EXPECT_EQ(computeChecksum(*mkBody(G1)), computeChecksum(*mkBody(G2)));
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, AcceptsMinimalValidRoutine) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId R = P.declareRoutine(M, "f", 0, false);
+  P.defineRoutine(R, M, trivialBody());
+  EXPECT_EQ(verifyRoutine(P, R, P.body(R)), "");
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId R = P.declareRoutine(M, "f", 0, false);
+  auto Body = trivialBody();
+  Body->Blocks[0].Instrs.pop_back();
+  Instr *MovI = Body->newInstr(Opcode::Mov);
+  MovI->Dst = 0;
+  Body->NextReg = 1;
+  MovI->A = Operand::imm(1);
+  Body->Blocks[0].Instrs.push_back(MovI);
+  P.defineRoutine(R, M, std::move(Body));
+  EXPECT_NE(verifyRoutine(P, R, P.body(R)).find("terminator"),
+            std::string::npos);
+}
+
+TEST(Verifier, RejectsRegisterOutOfRange) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId R = P.declareRoutine(M, "f", 0, false);
+  auto Body = trivialBody();
+  Body->Blocks[0].Instrs.back()->A = Operand::reg(99);
+  P.defineRoutine(R, M, std::move(Body));
+  EXPECT_NE(verifyRoutine(P, R, P.body(R)).find("register"),
+            std::string::npos);
+}
+
+TEST(Verifier, RejectsBranchTargetOutOfRange) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId R = P.declareRoutine(M, "f", 0, false);
+  auto Body = trivialBody();
+  Instr *Term = Body->Blocks[0].Instrs.back();
+  Term->Op = Opcode::Jmp;
+  Term->A = Operand::none();
+  Term->T1 = 7;
+  P.defineRoutine(R, M, std::move(Body));
+  EXPECT_NE(verifyRoutine(P, R, P.body(R)).find("target"), std::string::npos);
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId Callee = P.declareRoutine(M, "callee", 3, false);
+  P.defineRoutine(Callee, M, trivialBody(0, 3));
+  RoutineId Caller = P.declareRoutine(M, "caller", 0, false);
+  auto Body = trivialBody();
+  insertCall(*Body, Callee, 2); // Wrong arity.
+  P.defineRoutine(Caller, M, std::move(Body));
+  EXPECT_NE(verifyRoutine(P, Caller, P.body(Caller)).find("argument count"),
+            std::string::npos);
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId R = P.declareRoutine(M, "f", 0, false);
+  auto Body = trivialBody();
+  Body->newBlock(); // Left empty.
+  P.defineRoutine(R, M, std::move(Body));
+  EXPECT_NE(verifyRoutine(P, R, P.body(R)).find("empty"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMissingBranchCondition) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId R = P.declareRoutine(M, "f", 0, false);
+  auto Body = trivialBody();
+  Body->newBlock();
+  Instr *Ret = Body->newInstr(Opcode::Ret);
+  Ret->A = Operand::imm(0);
+  Body->Blocks[1].Instrs.push_back(Ret);
+  Instr *Term = Body->Blocks[0].Instrs.back();
+  Term->Op = Opcode::Br;
+  Term->A = Operand::none();
+  Term->T1 = 1;
+  Term->T2 = 1;
+  P.defineRoutine(R, M, std::move(Body));
+  EXPECT_NE(verifyRoutine(P, R, P.body(R)).find("condition"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+TEST(Printer, RendersInstructionsReadably) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  GlobalId G = P.addGlobal(M, "counter", 1, 0, false);
+  RoutineId R = P.declareRoutine(M, "f", 1, false);
+  auto Body = trivialBody(0, 1);
+  Instr *Store = Body->newInstr(Opcode::StoreG);
+  Store->Sym = G;
+  Store->A = Operand::reg(0);
+  auto &Ins = Body->Blocks[0].Instrs;
+  Ins.insert(Ins.begin(), Store);
+  P.defineRoutine(R, M, std::move(Body));
+  std::string Text = printRoutine(P, R, P.body(R));
+  EXPECT_NE(Text.find("routine f"), std::string::npos);
+  EXPECT_NE(Text.find("storeg @counter %0"), std::string::npos);
+  EXPECT_NE(Text.find("ret #0"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a program with the call edges given as (caller, callee) pairs over
+/// N routines; returns the ids.
+std::vector<RoutineId>
+graphProgram(Program &P, unsigned N,
+             const std::vector<std::pair<unsigned, unsigned>> &Edges) {
+  ModuleId M = P.addModule("m");
+  std::vector<RoutineId> Ids;
+  for (unsigned I = 0; I != N; ++I)
+    Ids.push_back(P.declareRoutine(M, "r" + std::to_string(I), 0, false));
+  std::vector<std::unique_ptr<RoutineBody>> Bodies;
+  for (unsigned I = 0; I != N; ++I)
+    Bodies.push_back(trivialBody());
+  for (const auto &[From, To] : Edges)
+    insertCall(*Bodies[From], Ids[To], 0);
+  for (unsigned I = 0; I != N; ++I)
+    P.defineRoutine(Ids[I], M, std::move(Bodies[I]));
+  return Ids;
+}
+
+} // namespace
+
+TEST(CallGraph, FindsSitesInDeterministicOrder) {
+  Program P;
+  auto Ids = graphProgram(P, 3, {{0, 1}, {0, 2}, {1, 2}});
+  CallGraph G = CallGraph::buildResident(P);
+  ASSERT_EQ(G.sites().size(), 3u);
+  EXPECT_EQ(G.sitesOf(Ids[0]).size(), 2u);
+  EXPECT_EQ(G.sitesTo(Ids[2]).size(), 2u);
+  EXPECT_TRUE(G.sitesOf(Ids[2]).empty());
+}
+
+TEST(CallGraph, SiteCountsComeFromBlockFreq) {
+  Program P;
+  auto Ids = graphProgram(P, 2, {{0, 1}});
+  RoutineBody &Body = P.body(Ids[0]);
+  Body.HasProfile = true;
+  Body.Blocks[0].Freq = 77;
+  CallGraph G = CallGraph::buildResident(P);
+  EXPECT_EQ(G.totalCallsTo(Ids[1]), 77u);
+}
+
+TEST(CallGraph, DetectsSelfRecursion) {
+  Program P;
+  auto Ids = graphProgram(P, 2, {{0, 0}, {0, 1}});
+  CallGraph G = CallGraph::buildResident(P);
+  EXPECT_TRUE(G.isRecursive(Ids[0]));
+  EXPECT_FALSE(G.isRecursive(Ids[1]));
+  auto Rec = G.recursiveRoutines();
+  EXPECT_TRUE(Rec.count(Ids[0]));
+  EXPECT_FALSE(Rec.count(Ids[1]));
+}
+
+TEST(CallGraph, DetectsMutualRecursion) {
+  Program P;
+  auto Ids = graphProgram(P, 4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  CallGraph G = CallGraph::buildResident(P);
+  auto Rec = G.recursiveRoutines();
+  EXPECT_TRUE(Rec.count(Ids[0]));
+  EXPECT_TRUE(Rec.count(Ids[1]));
+  EXPECT_TRUE(Rec.count(Ids[2]));
+  EXPECT_FALSE(Rec.count(Ids[3]));
+  EXPECT_TRUE(G.isRecursive(Ids[1]));
+  EXPECT_FALSE(G.isRecursive(Ids[3]));
+}
+
+TEST(CallGraph, AcyclicChainIsNotRecursive) {
+  Program P;
+  auto Ids = graphProgram(P, 5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  CallGraph G = CallGraph::buildResident(P);
+  EXPECT_TRUE(G.recursiveRoutines().empty());
+  for (RoutineId R : Ids)
+    EXPECT_FALSE(G.isRecursive(R));
+}

@@ -1,0 +1,183 @@
+//===- tests/LinkerTests.cpp ----------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "frontend/Frontend.h"
+#include "llo/Codegen.h"
+
+#include <gtest/gtest.h>
+
+using namespace scmo;
+using namespace scmo::test;
+
+namespace {
+
+struct LinkFixture {
+  Program P;
+  std::vector<MachineRoutine> Machines;
+
+  explicit LinkFixture(const char *Src) {
+    FrontendResult FR = compileSource(P, "m", Src);
+    EXPECT_TRUE(FR.Ok) << FR.Error;
+    for (RoutineId R = 0; R != P.numRoutines(); ++R)
+      if (P.routine(R).IsDefined)
+        Machines.push_back(lowerRoutine(P, R, P.body(R), LloOptions()));
+  }
+};
+
+} // namespace
+
+TEST(Linker, LaysOutGlobalDataWithInitializers) {
+  LinkFixture F(R"(
+global a = 7;
+global arr[5];
+global b = -3;
+func main() { return a + b; }
+)");
+  LinkOptions Opts;
+  std::string Err;
+  Executable Exe = linkProgram(F.P, std::move(F.Machines), Opts, Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(Exe.Data.size(), 7u); // 1 + 5 + 1.
+  GlobalId A = F.P.findGlobal("a");
+  GlobalId B = F.P.findGlobal("b");
+  EXPECT_EQ(Exe.Data[Exe.GlobalOffset[A]], 7);
+  EXPECT_EQ(Exe.Data[Exe.GlobalOffset[B]], -3);
+  RunResult Run = runExecutable(Exe);
+  EXPECT_EQ(Run.ExitValue, 4);
+}
+
+TEST(Linker, ReportsUndefinedRoutineWithNames) {
+  LinkFixture F("func main() { return missing(); }");
+  LinkOptions Opts;
+  std::string Err;
+  linkProgram(F.P, std::move(F.Machines), Opts, Err);
+  EXPECT_NE(Err.find("undefined routine"), std::string::npos);
+  EXPECT_NE(Err.find("missing"), std::string::npos);
+  EXPECT_NE(Err.find("main"), std::string::npos);
+}
+
+TEST(Linker, ReportsMissingMain) {
+  LinkFixture F("func notmain() { return 1; }");
+  LinkOptions Opts;
+  std::string Err;
+  linkProgram(F.P, std::move(F.Machines), Opts, Err);
+  EXPECT_NE(Err.find("main"), std::string::npos);
+}
+
+TEST(Linker, ClusteringPutsHotCalleesAdjacent) {
+  LinkFixture F(R"(
+func cold1(x) { return x; }
+func hotCallee(x) { return x * 2; }
+func cold2(x) { return x; }
+func main() {
+  var s = 0;
+  s = s + hotCallee(1);
+  s = s + cold1(2) + cold2(3);
+  return s;
+}
+)");
+  // Mark entry frequencies so main and hotCallee look hot, with a heavy
+  // call edge main -> hotCallee.
+  for (MachineRoutine &MR : F.Machines) {
+    if (MR.Name == "main")
+      MR.EntryFreq = 1000;
+    if (MR.Name == "hotCallee")
+      MR.EntryFreq = 900;
+  }
+  LinkOptions Opts;
+  Opts.ClusterByProfile = true;
+  CallEdgeWeight E;
+  E.From = F.P.findRoutine("main");
+  E.To = F.P.findRoutine("hotCallee");
+  E.Weight = 900;
+  Opts.EdgeWeights.push_back(E);
+  std::string Err;
+  Executable Exe = linkProgram(F.P, std::move(F.Machines), Opts, Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  // main and hotCallee occupy the first two slots, adjacent.
+  EXPECT_EQ(Exe.Routines[0].Name, "main");
+  EXPECT_EQ(Exe.Routines[1].Name, "hotCallee");
+  RunResult Run = runExecutable(Exe);
+  EXPECT_TRUE(Run.Ok);
+  EXPECT_EQ(Run.ExitValue, 7);
+}
+
+TEST(Linker, ClusteringIsDeterministic) {
+  auto linkOnce = [&]() {
+    LinkFixture F(R"(
+func a(x) { return x; }
+func b(x) { return x; }
+func c(x) { return x; }
+func main() { return a(1) + b(2) + c(3); }
+)");
+    LinkOptions Opts;
+    Opts.ClusterByProfile = true;
+    std::string Err;
+    Executable Exe = linkProgram(F.P, std::move(F.Machines), Opts, Err);
+    std::vector<std::string> Names;
+    for (const ExeRoutine &ER : Exe.Routines)
+      Names.push_back(ER.Name);
+    return Names;
+  };
+  EXPECT_EQ(linkOnce(), linkOnce());
+}
+
+TEST(Linker, IndexedOpsCarryArraySizes) {
+  LinkFixture F(R"(
+global arr[17];
+func main() {
+  arr[20] = 5;
+  return arr[3];
+}
+)");
+  LinkOptions Opts;
+  std::string Err;
+  Executable Exe = linkProgram(F.P, std::move(F.Machines), Opts, Err);
+  ASSERT_TRUE(Err.empty());
+  bool SawIdx = false;
+  for (const MInstr &I : Exe.Code)
+    if (I.Op == MOp::StoreIdx || I.Op == MOp::LoadIdx) {
+      EXPECT_EQ(I.Slot, 17u);
+      SawIdx = true;
+    }
+  EXPECT_TRUE(SawIdx);
+  RunResult Run = runExecutable(Exe);
+  EXPECT_EQ(Run.ExitValue, 5); // arr[20] wrapped onto arr[3].
+}
+
+TEST(Linker, BranchTargetsAreAbsoluteAndInRange) {
+  LinkFixture F(R"(
+func f(n) {
+  var s = 0;
+  while (n > 0) { s = s + n; n = n - 1; }
+  return s;
+}
+func main() { return f(4); }
+)");
+  LinkOptions Opts;
+  std::string Err;
+  Executable Exe = linkProgram(F.P, std::move(F.Machines), Opts, Err);
+  ASSERT_TRUE(Err.empty());
+  for (const MInstr &I : Exe.Code)
+    if (I.Op == MOp::Jmp || I.Op == MOp::Br || I.Op == MOp::Brz)
+      EXPECT_LT(I.Target, Exe.Code.size());
+  RunResult Run = runExecutable(Exe);
+  EXPECT_EQ(Run.ExitValue, 10);
+}
+
+TEST(Linker, ProbeCountPropagates) {
+  LinkFixture F("func main() { return 0; }");
+  LinkOptions Opts;
+  Opts.NumProbes = 42;
+  std::string Err;
+  Executable Exe = linkProgram(F.P, std::move(F.Machines), Opts, Err);
+  ASSERT_TRUE(Err.empty());
+  EXPECT_EQ(Exe.NumProbes, 42u);
+  RunResult Run = runExecutable(Exe);
+  EXPECT_EQ(Run.Probes.size(), 42u);
+}

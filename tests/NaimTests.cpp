@@ -1,0 +1,268 @@
+//===- tests/NaimTests.cpp ------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The NAIM machinery: repository I/O, the loader state machine, thresholds,
+/// LRU eviction, and the memory accounting the scaling figures rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "bytecode/Compact.h"
+#include "bytecode/ObjectFile.h"
+#include "naim/Loader.h"
+#include "naim/Repository.h"
+
+#include <gtest/gtest.h>
+
+using namespace scmo;
+using namespace scmo::test;
+
+//===----------------------------------------------------------------------===//
+// Repository
+//===----------------------------------------------------------------------===//
+
+TEST(Repository, StoreAndFetchRoundTrip) {
+  Repository Repo;
+  std::vector<uint8_t> A = {1, 2, 3, 4};
+  std::vector<uint8_t> B = {9, 8, 7};
+  uint64_t OffA = Repo.store(A);
+  uint64_t OffB = Repo.store(B);
+  EXPECT_NE(OffA, OffB);
+  std::vector<uint8_t> Out;
+  ASSERT_TRUE(Repo.fetch(OffA, A.size(), Out));
+  EXPECT_EQ(Out, A);
+  ASSERT_TRUE(Repo.fetch(OffB, B.size(), Out));
+  EXPECT_EQ(Out, B);
+  // Random re-reads work (not just last-written).
+  ASSERT_TRUE(Repo.fetch(OffA, A.size(), Out));
+  EXPECT_EQ(Out, A);
+  EXPECT_EQ(Repo.storeCount(), 2u);
+  EXPECT_EQ(Repo.fetchCount(), 3u);
+  EXPECT_EQ(Repo.bytesStored(), 7u);
+}
+
+TEST(Repository, FetchBeforeAnyStoreFails) {
+  Repository Repo;
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(Repo.fetch(0, 4, Out));
+}
+
+TEST(Repository, BackingFileIsRemovedOnDestruction) {
+  std::string Path;
+  {
+    Repository Repo;
+    Repo.store({1, 2, 3});
+    Path = Repo.path();
+    ASSERT_FALSE(Path.empty());
+    std::vector<uint8_t> Probe;
+    EXPECT_TRUE(readFile(Path, Probe));
+  }
+  std::vector<uint8_t> Probe;
+  EXPECT_FALSE(readFile(Path, Probe));
+}
+
+//===----------------------------------------------------------------------===//
+// Loader
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Program with N routines, each a distinct small body.
+struct LoaderFixture {
+  MemoryTracker Tracker;
+  Program P{&Tracker};
+  std::vector<RoutineId> Routines;
+
+  explicit LoaderFixture(unsigned N) {
+    ModuleId M = P.addModule("m");
+    Prng Rng(1234);
+    for (unsigned I = 0; I != N; ++I) {
+      RoutineId R =
+          P.declareRoutine(M, "r" + std::to_string(I), 0, false);
+      auto Body = std::make_unique<RoutineBody>(&Tracker);
+      Body->NumParams = 0;
+      Body->NextReg = 1;
+      Body->newBlock();
+      // Give each body a recognizable payload and some bulk.
+      for (unsigned K = 0; K != 20 + I; ++K) {
+        Instr *MovI = Body->newInstr(Opcode::Mov);
+        MovI->Dst = 0;
+        MovI->A = Operand::imm(int64_t(I) * 1000 + K);
+        Body->Blocks[0].Instrs.push_back(MovI);
+      }
+      Instr *Ret = Body->newInstr(Opcode::Ret);
+      Ret->A = Operand::imm(int64_t(I));
+      Body->Blocks[0].Instrs.push_back(Ret);
+      P.defineRoutine(R, M, std::move(Body));
+      Routines.push_back(R);
+    }
+  }
+};
+
+int64_t retValueOf(const RoutineBody &Body) {
+  return Body.Blocks[0].Instrs.back()->A.asImm();
+}
+
+} // namespace
+
+TEST(Loader, OffModeNeverCompacts) {
+  LoaderFixture F(8);
+  NaimConfig C;
+  C.Mode = NaimMode::Off;
+  C.ExpandedCacheBytes = 1; // Would force eviction if the mode allowed it.
+  Loader L(F.P, C);
+  for (RoutineId R : F.Routines) {
+    L.acquire(R);
+    L.release(R);
+  }
+  EXPECT_EQ(L.stats().Compactions, 0u);
+  for (RoutineId R : F.Routines)
+    EXPECT_EQ(F.P.routine(R).Slot.State, PoolState::Expanded);
+}
+
+TEST(Loader, TightBudgetCompactsLruFirst) {
+  LoaderFixture F(8);
+  NaimConfig C;
+  C.Mode = NaimMode::CompactIr;
+  C.ExpandedCacheBytes = 0; // Evict everything on release.
+  Loader L(F.P, C);
+  for (RoutineId R : F.Routines) {
+    L.acquire(R);
+    L.release(R);
+  }
+  EXPECT_EQ(L.stats().Compactions, 8u);
+  for (RoutineId R : F.Routines)
+    EXPECT_EQ(F.P.routine(R).Slot.State, PoolState::Compact);
+  // Re-acquire expands and the contents survive.
+  RoutineBody &Body = L.acquire(F.Routines[3]);
+  EXPECT_EQ(retValueOf(Body), 3);
+  EXPECT_EQ(L.stats().Expansions, 1u);
+}
+
+TEST(Loader, CacheHitAvoidsExpansionWork) {
+  LoaderFixture F(4);
+  NaimConfig C;
+  C.Mode = NaimMode::CompactIr;
+  C.ExpandedCacheBytes = 1u << 20; // Roomy: releases stay cached.
+  Loader L(F.P, C);
+  L.acquire(F.Routines[0]);
+  L.release(F.Routines[0]);
+  L.acquire(F.Routines[0]);
+  EXPECT_EQ(L.stats().CacheHits, 1u);
+  EXPECT_EQ(L.stats().Compactions, 0u);
+  EXPECT_EQ(L.stats().Expansions, 0u);
+}
+
+TEST(Loader, PinnedPoolsAreNeverEvicted) {
+  LoaderFixture F(4);
+  NaimConfig C;
+  C.Mode = NaimMode::CompactIr;
+  C.ExpandedCacheBytes = 0;
+  Loader L(F.P, C);
+  RoutineBody &Pinned = L.acquire(F.Routines[0]);
+  // Churn through the others with an evict-everything budget.
+  for (unsigned I = 1; I != 4; ++I) {
+    L.acquire(F.Routines[I]);
+    L.release(F.Routines[I]);
+  }
+  EXPECT_EQ(F.P.routine(F.Routines[0]).Slot.State, PoolState::Expanded);
+  EXPECT_EQ(retValueOf(Pinned), 0); // Still valid memory.
+}
+
+TEST(Loader, OffloadRoundTripsThroughRepository) {
+  LoaderFixture F(6);
+  NaimConfig C;
+  C.Mode = NaimMode::Offload;
+  C.ExpandedCacheBytes = 0;
+  C.CompactResidentBytes = 0;
+  Loader L(F.P, C);
+  for (RoutineId R : F.Routines) {
+    L.acquire(R);
+    L.release(R);
+  }
+  EXPECT_GT(L.stats().Offloads, 0u);
+  for (RoutineId R : F.Routines)
+    EXPECT_EQ(F.P.routine(R).Slot.State, PoolState::Offloaded);
+  // Everything comes back intact, in arbitrary access order.
+  const unsigned Order[] = {5, 0, 3, 1, 4, 2};
+  for (unsigned I : Order) {
+    RoutineBody &Body = L.acquire(F.Routines[I]);
+    EXPECT_EQ(retValueOf(Body), int64_t(I));
+    L.release(F.Routines[I]);
+  }
+  EXPECT_EQ(L.stats().Fetches, 6u);
+}
+
+TEST(Loader, CompactionReducesTrackedIrBytes) {
+  LoaderFixture F(6);
+  uint64_t ExpandedBytes = F.Tracker.liveBytes(MemCategory::HloIr);
+  ASSERT_GT(ExpandedBytes, 0u);
+  NaimConfig C;
+  C.Mode = NaimMode::CompactIr;
+  C.ExpandedCacheBytes = 0;
+  Loader L(F.P, C);
+  L.releaseAll();
+  EXPECT_EQ(F.Tracker.liveBytes(MemCategory::HloIr), 0u);
+  uint64_t CompactBytes = F.Tracker.liveBytes(MemCategory::HloCompact);
+  EXPECT_GT(CompactBytes, 0u);
+  EXPECT_LT(CompactBytes, ExpandedBytes / 2); // Substantial shrink.
+}
+
+TEST(Loader, EnforceBudgetEverythingCompactsTheCache) {
+  LoaderFixture F(5);
+  NaimConfig C;
+  C.Mode = NaimMode::CompactIr;
+  C.ExpandedCacheBytes = 1u << 20;
+  Loader L(F.P, C);
+  L.releaseAll();
+  EXPECT_EQ(L.stats().Compactions, 0u); // All fit in the cache.
+  L.enforceBudget(/*Everything=*/true);
+  EXPECT_EQ(L.stats().Compactions, 5u);
+  EXPECT_EQ(L.cachedPoolCount(), 0u);
+}
+
+TEST(Loader, AutoModeStaysExpandedUnderThreshold) {
+  LoaderFixture F(4);
+  NaimConfig C = NaimConfig::autoFor(1ull << 30); // Huge machine.
+  Loader L(F.P, C);
+  L.releaseAll();
+  EXPECT_EQ(L.stats().Compactions, 0u);
+}
+
+TEST(Loader, SymtabCompactionFollowsMode) {
+  LoaderFixture F(2);
+  F.P.module(0).Symtab.addRecord("some debug data");
+  {
+    NaimConfig C;
+    C.Mode = NaimMode::CompactIr;
+    Loader L(F.P, C);
+    L.maybeCompactSymtabs();
+    EXPECT_EQ(F.P.module(0).Symtab.state(), PoolState::Expanded);
+  }
+  {
+    NaimConfig C;
+    C.Mode = NaimMode::CompactIrSt;
+    Loader L(F.P, C);
+    L.maybeCompactSymtabs();
+    EXPECT_EQ(F.P.module(0).Symtab.state(), PoolState::Compact);
+    EXPECT_EQ(L.stats().SymtabCompactions, 1u);
+  }
+}
+
+TEST(Loader, BodiesIdenticalAfterCompactionRoundTrip) {
+  LoaderFixture F(3);
+  // Snapshot one body before eviction.
+  auto Bytes0 = compactRoutine(*F.P.routine(F.Routines[1]).Slot.Body);
+  NaimConfig C;
+  C.Mode = NaimMode::CompactIr;
+  C.ExpandedCacheBytes = 0;
+  Loader L(F.P, C);
+  L.releaseAll();
+  RoutineBody &Body = L.acquire(F.Routines[1]);
+  EXPECT_EQ(compactRoutine(Body), Bytes0);
+}

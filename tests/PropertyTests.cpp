@@ -1,0 +1,232 @@
+//===- tests/PropertyTests.cpp --------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized property sweeps: arithmetic semantics across the full edge
+/// matrix, compact-encoding round trips across random bodies, whole-pipeline
+/// equivalence across seeds and option matrices.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "bytecode/Compact.h"
+#include "frontend/Frontend.h"
+#include "support/Fold.h"
+
+#include <gtest/gtest.h>
+
+using namespace scmo;
+using namespace scmo::test;
+
+//===----------------------------------------------------------------------===//
+// Arithmetic semantics: IL interpreter == VM == compile-time folding, for
+// every binary operator over an edge-value matrix.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ArithCase {
+  const char *Op;
+  int64_t Lhs;
+  int64_t Rhs;
+};
+
+void PrintTo(const ArithCase &C, std::ostream *OS) {
+  *OS << C.Lhs << C.Op << C.Rhs;
+}
+
+class ArithmeticSemantics : public ::testing::TestWithParam<ArithCase> {};
+
+} // namespace
+
+TEST_P(ArithmeticSemantics, InterpreterVmAndFoldingAgree) {
+  const ArithCase &C = GetParam();
+  // The program computes the operation on values loaded from globals (so no
+  // compile-time folding happens) AND on literal operands (so folding must
+  // happen at O4); both paths must agree everywhere.
+  // Values are restricted to [INT64_MIN+1, INT64_MAX] so the negation in
+  // the initializer syntax ("global a = -N;") always fits.
+  std::ostringstream Src;
+  Src << "global a = " << (C.Lhs < 0 ? "-" : "")
+      << std::to_string(C.Lhs < 0 ? -C.Lhs : C.Lhs) << ";\n";
+  Src << "global b = " << (C.Rhs < 0 ? "-" : "")
+      << std::to_string(C.Rhs < 0 ? -C.Rhs : C.Rhs) << ";\n";
+  Src << "func main() {\n  print a " << C.Op << " b;\n  return 0;\n}\n";
+
+  // Reference: IL interpreter on the raw program.
+  Program RefP;
+  FrontendResult FR = compileSource(RefP, "m", Src.str());
+  ASSERT_TRUE(FR.Ok) << FR.Error << "\n" << Src.str();
+  IlRunResult Ref = interpretProgram(RefP);
+  ASSERT_TRUE(Ref.Ok) << Ref.Error;
+
+  for (OptLevel Level : {OptLevel::O1, OptLevel::O2, OptLevel::O4}) {
+    CompileOptions Opts;
+    Opts.Level = Level;
+    RunResult Run = buildAndRun({{"m", Src.str()}}, Opts);
+    ASSERT_EQ(Run.FirstOutputs.size(), 1u);
+    EXPECT_EQ(Run.FirstOutputs[0], Ref.FirstOutputs[0])
+        << C.Lhs << " " << C.Op << " " << C.Rhs << " at level "
+        << int(Level);
+  }
+}
+
+namespace {
+
+std::vector<ArithCase> arithMatrix() {
+  const char *Ops[] = {"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">",
+                       ">="};
+  const int64_t Values[] = {0, 1, -1, 7, -13, 251,
+                            std::numeric_limits<int64_t>::max(),
+                            std::numeric_limits<int64_t>::min() + 1};
+  std::vector<ArithCase> Cases;
+  for (const char *Op : Ops)
+    for (int64_t L : Values)
+      for (int64_t R : Values)
+        if ((L % 3 + R % 3 + (Op[0] % 3)) % 2 == 0) // Thin the grid ~2x.
+          Cases.push_back({Op, L, R});
+  return Cases;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(EdgeMatrix, ArithmeticSemantics,
+                         ::testing::ValuesIn(arithMatrix()));
+
+//===----------------------------------------------------------------------===//
+// Compact encoding round trip, parameterized over seeds.
+//===----------------------------------------------------------------------===//
+
+class CompactRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompactRoundTrip, RandomBodyIsPreservedExactly) {
+  Prng Rng(GetParam());
+  auto Body = randomBody(Rng, 6, 4, GetParam() % 2 == 0);
+  auto Bytes = compactRoutine(*Body);
+  auto Out = expandRoutine(Bytes, nullptr);
+  ASSERT_NE(Out, nullptr);
+  std::string Why;
+  EXPECT_TRUE(bodiesEqual(*Body, *Out, &Why)) << Why;
+  // Determinism: re-encoding is byte-identical.
+  EXPECT_EQ(compactRoutine(*Out), Bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactRoundTrip,
+                         ::testing::Range<uint64_t>(100, 140));
+
+//===----------------------------------------------------------------------===//
+// Whole-pipeline equivalence across generator seeds.
+//===----------------------------------------------------------------------===//
+
+class PipelineEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineEquivalence, EveryLevelMatchesTheIlReference) {
+  WorkloadParams Params;
+  Params.Seed = GetParam();
+  Params.NumModules = 3 + GetParam() % 3;
+  Params.ColdRoutinesPerModule = 3 + GetParam() % 4;
+  Params.HotRoutines = 4 + GetParam() % 4;
+  Params.WarmRoutines = GetParam() % 3;
+  Params.OuterIterations = 100 + GetParam() % 100;
+  GeneratedProgram GP = generateProgram(Params);
+
+  Program RefP;
+  for (const GeneratedModule &GM : GP.Modules)
+    ASSERT_TRUE(compileSource(RefP, GM.Name, GM.Source).Ok);
+  IlRunResult Ref = interpretProgram(RefP);
+  ASSERT_TRUE(Ref.Ok) << Ref.Error;
+
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+
+  struct Spec {
+    OptLevel Level;
+    bool Pbo;
+  };
+  for (const Spec &S : {Spec{OptLevel::O2, false}, Spec{OptLevel::O4, false},
+                        Spec{OptLevel::O4, true}}) {
+    CompileOptions Opts;
+    Opts.Level = S.Level;
+    Opts.Pbo = S.Pbo;
+    CompilerSession Session(Opts);
+    ASSERT_TRUE(Session.addGenerated(GP));
+    if (S.Pbo)
+      Session.attachProfile(Db);
+    BuildResult Build = Session.build();
+    ASSERT_TRUE(Build.Ok) << Build.Error;
+    RunResult Run = runExecutable(Build.Exe);
+    ASSERT_TRUE(Run.Ok) << Run.Error;
+    EXPECT_EQ(Run.OutputChecksum, Ref.OutputChecksum)
+        << "seed " << GetParam() << " level " << int(S.Level) << " pbo "
+        << S.Pbo;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineEquivalence,
+                         ::testing::Range<uint64_t>(500, 512));
+
+//===----------------------------------------------------------------------===//
+// NAIM configuration matrix: behaviour and code identical under any budget.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct NaimCase {
+  NaimMode Mode;
+  uint64_t CacheBytes;
+};
+
+void PrintTo(const NaimCase &C, std::ostream *OS) {
+  *OS << "mode" << int(C.Mode) << "/cache" << C.CacheBytes;
+}
+
+class NaimMatrix : public ::testing::TestWithParam<NaimCase> {};
+
+} // namespace
+
+TEST_P(NaimMatrix, CodeIsIndependentOfMemoryConfiguration) {
+  static uint64_t RefChecksum = 0;
+  static size_t RefCodeSize = 0;
+  WorkloadParams Params;
+  Params.Seed = 777;
+  Params.NumModules = 4;
+  Params.ColdRoutinesPerModule = 4;
+  Params.HotRoutines = 4;
+  Params.OuterIterations = 100;
+  GeneratedProgram GP = generateProgram(Params);
+
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  Opts.Naim.Mode = GetParam().Mode;
+  Opts.Naim.ExpandedCacheBytes = GetParam().CacheBytes;
+  Opts.Naim.CompactResidentBytes = GetParam().CacheBytes / 2;
+  CompilerSession Session(Opts);
+  ASSERT_TRUE(Session.addGenerated(GP));
+  BuildResult Build = Session.build();
+  ASSERT_TRUE(Build.Ok) << Build.Error;
+  RunResult Run = runExecutable(Build.Exe);
+  ASSERT_TRUE(Run.Ok) << Run.Error;
+  if (!RefChecksum) {
+    RefChecksum = Run.OutputChecksum;
+    RefCodeSize = Build.Exe.Code.size();
+  } else {
+    EXPECT_EQ(Run.OutputChecksum, RefChecksum);
+    EXPECT_EQ(Build.Exe.Code.size(), RefCodeSize);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, NaimMatrix,
+    ::testing::Values(NaimCase{NaimMode::Off, 1ull << 40},
+                      NaimCase{NaimMode::CompactIr, 0},
+                      NaimCase{NaimMode::CompactIr, 64 << 10},
+                      NaimCase{NaimMode::CompactIrSt, 0},
+                      NaimCase{NaimMode::CompactIrSt, 256 << 10},
+                      NaimCase{NaimMode::Offload, 0},
+                      NaimCase{NaimMode::Offload, 32 << 10},
+                      NaimCase{NaimMode::Auto, 1 << 20}));

@@ -1,0 +1,345 @@
+//===- tests/SupportTests.cpp ---------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Fold.h"
+#include "support/MemoryTracker.h"
+#include "support/Prng.h"
+#include "support/RegBitSet.h"
+#include "support/Statistics.h"
+#include "support/StringInterner.h"
+#include "support/VarInt.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace scmo;
+
+//===----------------------------------------------------------------------===//
+// MemoryTracker
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryTracker, TracksLiveAndPeakPerCategory) {
+  MemoryTracker T;
+  T.allocate(MemCategory::HloIr, 100);
+  T.allocate(MemCategory::Llo, 50);
+  EXPECT_EQ(T.liveBytes(MemCategory::HloIr), 100u);
+  EXPECT_EQ(T.totalLiveBytes(), 150u);
+  T.release(MemCategory::HloIr, 40);
+  EXPECT_EQ(T.liveBytes(MemCategory::HloIr), 60u);
+  EXPECT_EQ(T.peakBytes(MemCategory::HloIr), 100u);
+  EXPECT_EQ(T.totalPeakBytes(), 150u);
+}
+
+TEST(MemoryTracker, HloAggregateExcludesLlo) {
+  MemoryTracker T;
+  T.allocate(MemCategory::HloIr, 10);
+  T.allocate(MemCategory::HloSymtab, 20);
+  T.allocate(MemCategory::HloGlobal, 30);
+  T.allocate(MemCategory::HloCompact, 40);
+  T.allocate(MemCategory::Llo, 1000);
+  EXPECT_EQ(T.hloLiveBytes(), 100u);
+  T.takeHloSample();
+  EXPECT_EQ(T.hloPeakBytes(), 100u);
+}
+
+TEST(MemoryTracker, HeapCapLatchesExhaustion) {
+  MemoryTracker T;
+  T.setHeapCap(100);
+  T.allocate(MemCategory::Other, 90);
+  EXPECT_FALSE(T.heapExhausted());
+  T.allocate(MemCategory::Other, 20);
+  EXPECT_TRUE(T.heapExhausted());
+  // Releasing does not clear the latch: the compile already failed.
+  T.release(MemCategory::Other, 110);
+  EXPECT_TRUE(T.heapExhausted());
+  T.resetPeaks();
+  EXPECT_FALSE(T.heapExhausted());
+}
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena A;
+  void *P1 = A.allocate(10, 8);
+  void *P2 = A.allocate(10, 8);
+  EXPECT_NE(P1, P2);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P1) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 8, 0u);
+  int *Val = A.create<int>(42);
+  EXPECT_EQ(*Val, 42);
+}
+
+TEST(Arena, ChargesAndReleasesTracker) {
+  MemoryTracker T;
+  {
+    Arena A(&T, MemCategory::HloIr, 1024);
+    A.allocate(100);
+    EXPECT_GT(T.liveBytes(MemCategory::HloIr), 0u);
+  }
+  EXPECT_EQ(T.liveBytes(MemCategory::HloIr), 0u);
+}
+
+TEST(Arena, GrowsSlabsForLargeRequests) {
+  Arena A(nullptr, MemCategory::Other, 64);
+  void *Big = A.allocate(10000);
+  EXPECT_NE(Big, nullptr);
+  EXPECT_GE(A.bytesAllocated(), 10000u);
+}
+
+TEST(Arena, ResetReturnsAllMemory) {
+  MemoryTracker T;
+  Arena A(&T, MemCategory::HloIr);
+  for (int I = 0; I != 1000; ++I)
+    A.allocate(64);
+  EXPECT_GT(T.liveBytes(MemCategory::HloIr), 0u);
+  A.reset();
+  EXPECT_EQ(T.liveBytes(MemCategory::HloIr), 0u);
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+}
+
+TEST(Arena, MoveTransfersCharge) {
+  MemoryTracker T;
+  Arena A(&T, MemCategory::HloIr);
+  A.allocate(100);
+  uint64_t Live = T.liveBytes(MemCategory::HloIr);
+  Arena B = std::move(A);
+  EXPECT_EQ(T.liveBytes(MemCategory::HloIr), Live);
+  B.reset();
+  EXPECT_EQ(T.liveBytes(MemCategory::HloIr), 0u);
+}
+
+TEST(TrackedBuffer, AssignTakeClearAccounting) {
+  MemoryTracker T;
+  TrackedBuffer Buf(&T, MemCategory::HloCompact);
+  Buf.assign(std::vector<uint8_t>(100, 7));
+  EXPECT_GE(T.liveBytes(MemCategory::HloCompact), 100u);
+  std::vector<uint8_t> Out = Buf.take();
+  EXPECT_EQ(Out.size(), 100u);
+  EXPECT_EQ(T.liveBytes(MemCategory::HloCompact), 0u);
+  Buf.assign(std::move(Out));
+  Buf.clear();
+  EXPECT_EQ(T.liveBytes(MemCategory::HloCompact), 0u);
+}
+
+TEST(TrackedBuffer, MoveDoesNotDoubleRelease) {
+  MemoryTracker T;
+  TrackedBuffer A(&T, MemCategory::HloCompact);
+  A.assign(std::vector<uint8_t>(64, 1));
+  TrackedBuffer B = std::move(A);
+  EXPECT_EQ(B.size(), 64u);
+  B.clear();
+  EXPECT_EQ(T.liveBytes(MemCategory::HloCompact), 0u);
+  // A's destructor must not release again (would assert in the tracker).
+}
+
+//===----------------------------------------------------------------------===//
+// VarInt
+//===----------------------------------------------------------------------===//
+
+TEST(VarInt, UnsignedRoundTrip) {
+  std::vector<uint8_t> Buf;
+  const uint64_t Values[] = {0,     1,    127,        128,
+                             16383, 16384, 0xffffffff, ~0ull};
+  for (uint64_t V : Values)
+    encodeVarUInt(Buf, V);
+  ByteReader Reader(Buf);
+  for (uint64_t V : Values)
+    EXPECT_EQ(Reader.readVarUInt(), V);
+  EXPECT_TRUE(Reader.atEnd());
+  EXPECT_FALSE(Reader.hadError());
+}
+
+TEST(VarInt, SignedRoundTrip) {
+  std::vector<uint8_t> Buf;
+  const int64_t Values[] = {0,  -1, 1, -64, 63, -65,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (int64_t V : Values)
+    encodeVarInt(Buf, V);
+  ByteReader Reader(Buf);
+  for (int64_t V : Values)
+    EXPECT_EQ(Reader.readVarInt(), V);
+  EXPECT_FALSE(Reader.hadError());
+}
+
+TEST(VarInt, SmallValuesAreOneByte) {
+  std::vector<uint8_t> Buf;
+  encodeVarUInt(Buf, 127);
+  EXPECT_EQ(Buf.size(), 1u);
+  encodeVarUInt(Buf, 128);
+  EXPECT_EQ(Buf.size(), 3u);
+}
+
+TEST(VarInt, TruncatedInputSetsError) {
+  std::vector<uint8_t> Buf;
+  encodeVarUInt(Buf, 1u << 20);
+  Buf.pop_back();
+  ByteReader Reader(Buf);
+  Reader.readVarUInt();
+  EXPECT_TRUE(Reader.hadError());
+}
+
+TEST(VarInt, ReadBytesBoundsChecked) {
+  std::vector<uint8_t> Buf = {1, 2, 3};
+  ByteReader Reader(Buf);
+  uint8_t Out[8];
+  EXPECT_TRUE(Reader.readBytes(Out, 3));
+  EXPECT_FALSE(Reader.readBytes(Out, 1));
+  EXPECT_TRUE(Reader.hadError());
+}
+
+TEST(VarInt, OverlongEncodingIsAnError) {
+  // 11 continuation bytes exceed a 64-bit value.
+  std::vector<uint8_t> Buf(11, 0x80);
+  Buf.push_back(0x01);
+  ByteReader Reader(Buf);
+  Reader.readVarUInt();
+  EXPECT_TRUE(Reader.hadError());
+}
+
+//===----------------------------------------------------------------------===//
+// Prng
+//===----------------------------------------------------------------------===//
+
+TEST(Prng, DeterministicForSeed) {
+  Prng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Prng, RangesRespectBounds) {
+  Prng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(R.nextBelow(10), 10u);
+    int64_t V = R.nextRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Prng, HeavyTailStaysInRange) {
+  Prng R(9);
+  uint64_t MaxSeen = 0;
+  for (int I = 0; I != 10000; ++I) {
+    uint64_t V = R.nextHeavyTail(1000);
+    EXPECT_GE(V, 1u);
+    EXPECT_LE(V, 1000u);
+    MaxSeen = std::max(MaxSeen, V);
+  }
+  EXPECT_GT(MaxSeen, 100u); // The tail actually reaches high values.
+}
+
+TEST(Prng, ForkIsIndependent) {
+  Prng A(5);
+  Prng Child = A.fork();
+  uint64_t C1 = Child.next();
+  // Advancing the parent does not change what an identical fork produces.
+  Prng B(5);
+  Prng Child2 = B.fork();
+  EXPECT_EQ(Child2.next(), C1);
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner / Statistics / RegBitSet
+//===----------------------------------------------------------------------===//
+
+TEST(StringInterner, DenseStableIds) {
+  StringInterner SI;
+  StrId A = SI.intern("alpha");
+  StrId B = SI.intern("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SI.intern("alpha"), A);
+  EXPECT_EQ(SI.text(A), "alpha");
+  EXPECT_EQ(SI.intern(""), 0u);
+}
+
+TEST(Statistics, AccumulatesAndSorts) {
+  Statistics S;
+  S.add("b.count");
+  S.add("a.count", 5);
+  S.add("b.count", 2);
+  EXPECT_EQ(S.get("b.count"), 3u);
+  EXPECT_EQ(S.get("a.count"), 5u);
+  EXPECT_EQ(S.get("missing"), 0u);
+  EXPECT_EQ(S.all().begin()->first, "a.count");
+}
+
+TEST(RegBitSet, SetTestResetMerge) {
+  RegBitSet A(200), B(200);
+  A.set(0);
+  A.set(63);
+  A.set(64);
+  A.set(199);
+  EXPECT_TRUE(A.test(63));
+  EXPECT_FALSE(A.test(100));
+  B.set(100);
+  EXPECT_TRUE(B.merge(A));
+  EXPECT_FALSE(B.merge(A)); // Second merge changes nothing.
+  EXPECT_TRUE(B.test(199));
+  B.reset(199);
+  EXPECT_FALSE(B.test(199));
+}
+
+TEST(RegBitSet, MergeMinusMasksDefs) {
+  RegBitSet In(64), Out(64), Def(64);
+  Out.set(3);
+  Out.set(5);
+  Def.set(5);
+  In.mergeMinus(Out, Def);
+  EXPECT_TRUE(In.test(3));
+  EXPECT_FALSE(In.test(5));
+}
+
+TEST(RegBitSet, ForEachVisitsAscending) {
+  RegBitSet A(300);
+  const uint32_t Bits[] = {1, 64, 65, 128, 299};
+  for (uint32_t B : Bits)
+    A.set(B);
+  std::vector<uint32_t> Seen;
+  A.forEach([&](uint32_t R) { Seen.push_back(R); });
+  EXPECT_EQ(Seen, std::vector<uint32_t>(std::begin(Bits), std::end(Bits)));
+}
+
+//===----------------------------------------------------------------------===//
+// Fold semantics (must match the VM exactly)
+//===----------------------------------------------------------------------===//
+
+TEST(Fold, DivisionEdgeCasesAreDefined) {
+  EXPECT_EQ(safeDiv(10, 0), 0);
+  EXPECT_EQ(safeRem(10, 0), 0);
+  int64_t Min = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(safeDiv(Min, -1), Min);
+  EXPECT_EQ(safeRem(Min, -1), 0);
+  EXPECT_EQ(safeDiv(7, 2), 3);
+  EXPECT_EQ(safeDiv(-7, 2), -3);
+  EXPECT_EQ(safeRem(-7, 2), -1);
+}
+
+TEST(Fold, WrappingArithmetic) {
+  int64_t Max = std::numeric_limits<int64_t>::max();
+  int64_t Min = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(wrapAdd(Max, 1), Min);
+  EXPECT_EQ(wrapSub(Min, 1), Max);
+  EXPECT_EQ(wrapNeg(Min), Min);
+  EXPECT_EQ(wrapMul(Max, 2), -2);
+}

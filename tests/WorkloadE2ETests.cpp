@@ -1,0 +1,164 @@
+//===- tests/WorkloadE2ETests.cpp -----------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests over generated workloads: behaviour equivalence across
+/// every optimization level, the expected performance ordering, selectivity
+/// and NAIM robustness at scale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompilerSession.h"
+
+#include <gtest/gtest.h>
+
+using namespace scmo;
+
+namespace {
+
+GeneratedProgram smallProgram(uint64_t Seed = 7) {
+  WorkloadParams Params;
+  Params.Seed = Seed;
+  Params.NumModules = 5;
+  Params.ColdRoutinesPerModule = 6;
+  Params.HotRoutines = 8;
+  Params.OuterIterations = 2000;
+  return generateProgram(Params);
+}
+
+struct LevelRun {
+  std::string Name;
+  uint64_t Cycles = 0;
+  uint64_t Checksum = 0;
+  uint64_t Outputs = 0;
+};
+
+LevelRun runAt(const GeneratedProgram &GP, OptLevel Level, bool Pbo,
+               const ProfileDb *Db, double Selectivity = 100.0) {
+  CompileOptions Opts;
+  Opts.Level = Level;
+  Opts.Pbo = Pbo;
+  Opts.SelectivityPercent = Selectivity;
+  CompilerSession Session(Opts);
+  EXPECT_TRUE(Session.addGenerated(GP)) << Session.firstError();
+  if (Pbo && Db)
+    Session.attachProfile(*Db);
+  BuildResult Build = Session.build();
+  EXPECT_TRUE(Build.Ok) << Build.Error;
+  LevelRun Out;
+  if (!Build.Ok)
+    return Out;
+  RunResult Run = runExecutable(Build.Exe);
+  EXPECT_TRUE(Run.Ok) << Run.Error;
+  Out.Cycles = Run.Cycles;
+  Out.Checksum = Run.OutputChecksum;
+  Out.Outputs = Run.OutputCount;
+  return Out;
+}
+
+TEST(WorkloadE2E, AllLevelsAgreeOnGeneratedProgram) {
+  GeneratedProgram GP = smallProgram();
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+
+  LevelRun O1 = runAt(GP, OptLevel::O1, false, nullptr);
+  LevelRun O2 = runAt(GP, OptLevel::O2, false, nullptr);
+  LevelRun O2P = runAt(GP, OptLevel::O2, true, &Db);
+  LevelRun O4 = runAt(GP, OptLevel::O4, false, nullptr);
+  LevelRun O4P = runAt(GP, OptLevel::O4, true, &Db);
+  ASSERT_NE(O1.Checksum, 0u);
+  EXPECT_EQ(O2.Checksum, O1.Checksum);
+  EXPECT_EQ(O2P.Checksum, O1.Checksum);
+  EXPECT_EQ(O4.Checksum, O1.Checksum);
+  EXPECT_EQ(O4P.Checksum, O1.Checksum);
+  EXPECT_EQ(O4P.Outputs, O1.Outputs);
+}
+
+TEST(WorkloadE2E, PerformanceOrderingMatchesThePaper) {
+  GeneratedProgram GP = smallProgram(11);
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+
+  LevelRun O1 = runAt(GP, OptLevel::O1, false, nullptr);
+  LevelRun O2 = runAt(GP, OptLevel::O2, false, nullptr);
+  LevelRun O2P = runAt(GP, OptLevel::O2, true, &Db);
+  LevelRun O4P = runAt(GP, OptLevel::O4, true, &Db);
+
+  // O2 (the paper's baseline) well ahead of O1.
+  EXPECT_LT(O2.Cycles, O1.Cycles);
+  // PBO improves on O2; CMO+PBO improves further (Figure 1's ordering).
+  EXPECT_LT(O2P.Cycles, O2.Cycles);
+  EXPECT_LT(O4P.Cycles, O2P.Cycles);
+}
+
+TEST(WorkloadE2E, SelectivitySweepsPreserveBehaviour) {
+  GeneratedProgram GP = smallProgram(13);
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+
+  LevelRun Full = runAt(GP, OptLevel::O4, true, &Db, 100.0);
+  ASSERT_NE(Full.Checksum, 0u);
+  for (double Pct : {0.0, 1.0, 5.0, 20.0, 50.0}) {
+    LevelRun Partial = runAt(GP, OptLevel::O4, true, &Db, Pct);
+    EXPECT_EQ(Partial.Checksum, Full.Checksum) << "selectivity " << Pct;
+  }
+}
+
+TEST(WorkloadE2E, NaimModesPreserveBehaviourAndBitExactCode) {
+  GeneratedProgram GP = smallProgram(17);
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+
+  auto buildWith = [&](NaimMode Mode, uint64_t Budget) {
+    CompileOptions Opts;
+    Opts.Level = OptLevel::O4;
+    Opts.Pbo = true;
+    Opts.Naim.Mode = Mode;
+    Opts.Naim.ExpandedCacheBytes = Budget;
+    Opts.Naim.CompactResidentBytes = Budget / 2;
+    CompilerSession Session(Opts);
+    EXPECT_TRUE(Session.addGenerated(GP));
+    Session.attachProfile(Db);
+    BuildResult Build = Session.build();
+    EXPECT_TRUE(Build.Ok) << Build.Error;
+    return Build;
+  };
+
+  BuildResult Off = buildWith(NaimMode::Off, 1ull << 40);
+  BuildResult Tight = buildWith(NaimMode::Offload, 64 << 10);
+  RunResult ROff = runExecutable(Off.Exe);
+  RunResult RTight = runExecutable(Tight.Exe);
+  ASSERT_TRUE(ROff.Ok && RTight.Ok);
+  // Determinism requirement (paper Section 6.2): the compiler must behave
+  // identically regardless of the machine's memory configuration.
+  EXPECT_EQ(ROff.OutputChecksum, RTight.OutputChecksum);
+  EXPECT_EQ(ROff.Cycles, RTight.Cycles);
+  EXPECT_EQ(Off.Exe.Code.size(), Tight.Exe.Code.size());
+  // And the tight build must actually have exercised NAIM.
+  EXPECT_GT(Tight.Loader.Compactions, 0u);
+}
+
+TEST(WorkloadE2E, SpecPresetsAllBuildAndAgree) {
+  for (const char *Name : {"go", "comp", "li", "vortex"}) {
+    WorkloadParams Params = specLikeParams(Name);
+    Params.OuterIterations = 500; // Keep the test quick.
+    GeneratedProgram GP = generateProgram(Params);
+    std::string Error;
+    ProfileDb Db = trainProfile(GP, Error);
+    ASSERT_TRUE(Error.empty()) << Name << ": " << Error;
+    LevelRun O2 = runAt(GP, OptLevel::O2, false, nullptr);
+    LevelRun O4P = runAt(GP, OptLevel::O4, true, &Db);
+    EXPECT_EQ(O4P.Checksum, O2.Checksum) << Name;
+    EXPECT_LE(O4P.Cycles, O2.Cycles) << Name;
+  }
+}
+
+} // namespace

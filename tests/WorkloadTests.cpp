@@ -1,0 +1,156 @@
+//===- tests/WorkloadTests.cpp --------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "frontend/Frontend.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace scmo;
+using namespace scmo::test;
+
+TEST(Generator, DeterministicForSeed) {
+  WorkloadParams Params;
+  Params.Seed = 42;
+  GeneratedProgram A = generateProgram(Params);
+  GeneratedProgram B = generateProgram(Params);
+  ASSERT_EQ(A.Modules.size(), B.Modules.size());
+  for (size_t M = 0; M != A.Modules.size(); ++M)
+    EXPECT_EQ(A.Modules[M].Source, B.Modules[M].Source);
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentPrograms) {
+  WorkloadParams P1, P2;
+  P1.Seed = 1;
+  P2.Seed = 2;
+  EXPECT_NE(generateProgram(P1).Modules[0].Source,
+            generateProgram(P2).Modules[0].Source);
+}
+
+TEST(Generator, McadScalesToTargetLines) {
+  for (uint64_t Target : {30000ull, 120000ull}) {
+    GeneratedProgram GP = generateProgram(mcadLikeParams(Target, 1));
+    EXPECT_GT(GP.TotalLines, Target / 2);
+    EXPECT_LT(GP.TotalLines, Target * 2);
+  }
+}
+
+TEST(Generator, McadVariantsDiffer) {
+  GeneratedProgram V1 = generateProgram(mcadLikeParams(30000, 1));
+  GeneratedProgram V2 = generateProgram(mcadLikeParams(30000, 2));
+  GeneratedProgram V3 = generateProgram(mcadLikeParams(30000, 3));
+  // Variant 2 has fewer, larger modules; variant 3 more, smaller.
+  EXPECT_LT(V2.Modules.size(), V1.Modules.size());
+  EXPECT_GT(V3.Modules.size(), V1.Modules.size());
+}
+
+TEST(Generator, LineCountsMatchLexer) {
+  WorkloadParams Params;
+  Params.Seed = 3;
+  Params.NumModules = 2;
+  GeneratedProgram GP = generateProgram(Params);
+  for (const GeneratedModule &GM : GP.Modules) {
+    size_t Newlines = 0;
+    for (char C : GM.Source)
+      if (C == '\n')
+        ++Newlines;
+    EXPECT_EQ(GM.Lines, Newlines);
+  }
+}
+
+TEST(Generator, AllSpecPresetsCompileCleanly) {
+  for (const char *Name :
+       {"go", "m88k", "gcc", "comp", "li", "ijpeg", "perl", "vortex"}) {
+    WorkloadParams Params = specLikeParams(Name);
+    Params.OuterIterations = 1; // Compile-only check; keep it instant.
+    GeneratedProgram GP = generateProgram(Params);
+    Program P;
+    for (const GeneratedModule &GM : GP.Modules) {
+      FrontendResult FR = compileSource(P, GM.Name, GM.Source);
+      ASSERT_TRUE(FR.Ok) << Name << ": " << FR.Error;
+    }
+  }
+}
+
+TEST(Generator, ColdChainExecutesEveryColdRoutineOnce) {
+  WorkloadParams Params;
+  Params.Seed = 6;
+  Params.NumModules = 3;
+  Params.ColdRoutinesPerModule = 4;
+  Params.HotRoutines = 2;
+  Params.OuterIterations = 2;
+  GeneratedProgram GP = generateProgram(Params);
+  // Instrument and run: every cold routine's entry count must be exactly 1.
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  for (uint32_t M = 0; M != Params.NumModules; ++M)
+    for (uint32_t C = 0; C != Params.ColdRoutinesPerModule; ++C) {
+      std::string Name =
+          "m" + std::to_string(M) + "_c" + std::to_string(C);
+      const RoutineProfile *RP = Db.lookup(Name);
+      ASSERT_NE(RP, nullptr) << Name;
+      EXPECT_EQ(RP->entryCount(), 1u) << Name;
+    }
+}
+
+TEST(Generator, WarmRoutinesHaveGradedCounts) {
+  WorkloadParams Params;
+  Params.Seed = 7;
+  Params.NumModules = 4;
+  Params.HotRoutines = 6;
+  Params.WarmRoutines = 6;
+  Params.OuterIterations = 4096;
+  GeneratedProgram GP = generateProgram(Params);
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  std::vector<uint64_t> Counts;
+  for (uint32_t W = 0; W != Params.WarmRoutines; ++W) {
+    const RoutineProfile *RP = Db.lookup("warm" + std::to_string(W));
+    ASSERT_NE(RP, nullptr);
+    Counts.push_back(RP->entryCount());
+  }
+  // Counts follow N/K with K = 4 << 2*(W%6): strictly graded for W=0..5.
+  for (size_t W = 0; W + 1 < Counts.size(); ++W)
+    EXPECT_GT(Counts[W], Counts[W + 1]) << "warm " << W;
+  EXPECT_EQ(Counts[0], 1024u); // 4096 / 4.
+}
+
+TEST(Generator, HotModuleFractionConcentratesKernel) {
+  WorkloadParams Params;
+  Params.Seed = 8;
+  Params.NumModules = 10;
+  Params.HotRoutines = 10;
+  Params.HotModuleFraction = 0.2;
+  GeneratedProgram GP = generateProgram(Params);
+  // Hot routines only appear in the first two modules.
+  for (size_t M = 0; M != GP.Modules.size(); ++M) {
+    bool HasHot = GP.Modules[M].Source.find("func hot") != std::string::npos;
+    EXPECT_EQ(HasHot, M < 2) << "module " << M;
+  }
+}
+
+TEST(Generator, ProgramsTerminateQuickly) {
+  // Guard against accidental exponential call structures: a small program
+  // must finish in a bounded number of IL steps.
+  WorkloadParams Params;
+  Params.Seed = 9;
+  Params.NumModules = 5;
+  Params.ColdRoutinesPerModule = 8;
+  Params.HotRoutines = 12;
+  Params.OuterIterations = 10;
+  GeneratedProgram GP = generateProgram(Params);
+  Program P;
+  for (const GeneratedModule &GM : GP.Modules)
+    ASSERT_TRUE(compileSource(P, GM.Name, GM.Source).Ok);
+  IlInterpConfig Cfg;
+  Cfg.MaxSteps = 10'000'000;
+  IlRunResult Res = interpretProgram(P, nullptr, Cfg);
+  EXPECT_TRUE(Res.Ok) << Res.Error;
+}
