@@ -1,0 +1,101 @@
+//===- bench/parallel_scaling.cpp -----------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backend scaling: LLO and total build seconds versus --jobs width on a
+/// Figure-4-sized Mcad1-like application. The paper's pipeline is serial;
+/// this measures the headroom its per-routine backend phases expose when
+/// fanned out over a work-stealing pool (HLO stays serial, so total-build
+/// scaling is bounded by Amdahl's law at the HLO + link fraction).
+///
+/// Each row also cross-checks the output checksum against the serial build:
+/// the parallel backend must buy speed, never different code.
+///
+/// Prints a human table, then one JSON line per configuration on stdout
+/// ("{"bench":"parallel_scaling",...}") for machine consumption.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "support/ThreadPool.h"
+
+#include <vector>
+
+using namespace scmo;
+using namespace scmo::bench;
+
+int main() {
+  double Scale = scaleFactor();
+  uint64_t Lines = static_cast<uint64_t>(80000 * Scale);
+  std::printf("Backend scaling: build seconds vs --jobs\n(scale %.2f; "
+              "%llu-line Mcad1-like application, O4+P, %u hardware "
+              "threads)\n\n",
+              Scale, (unsigned long long)Lines,
+              ThreadPool::hardwareThreads());
+
+  GeneratedProgram GP = generateProgram(mcadLikeParams(Lines, 1));
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "training failed: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::vector<unsigned> Widths = {1, 2, 4};
+  if (unsigned HW = ThreadPool::hardwareThreads(); HW > 4)
+    Widths.push_back(HW);
+
+  std::printf("%6s %10s %10s %12s %12s %10s\n", "jobs", "LLO s", "total s",
+              "LLO speedup", "tot speedup", "checksum");
+
+  double LloBase = 0, TotalBase = 0;
+  uint64_t RefChecksum = 0;
+  struct Row {
+    unsigned Jobs;
+    double LloSeconds, TotalSeconds;
+    uint64_t Checksum;
+  };
+  std::vector<Row> Rows;
+  for (unsigned Jobs : Widths) {
+    CompileOptions Opts = optionsFor(OptLevel::O4, true);
+    Opts.Jobs = Jobs;
+    Measured M = measure(GP, Opts, &Db, /*RunIt=*/true);
+    if (!M.Ok) {
+      std::fprintf(stderr, "build failed at jobs=%u: %s\n", Jobs,
+                   M.Error.c_str());
+      return 1;
+    }
+    if (Jobs == 1) {
+      LloBase = M.Build.LloSeconds;
+      TotalBase = M.CompileSeconds;
+      RefChecksum = M.OutputChecksum;
+    } else if (M.OutputChecksum != RefChecksum) {
+      std::fprintf(stderr,
+                   "output checksum diverged at jobs=%u (parallel backend "
+                   "changed generated code!)\n",
+                   Jobs);
+      return 1;
+    }
+    std::printf("%6u %10.3f %10.3f %11.2fx %11.2fx %10llx\n", Jobs,
+                M.Build.LloSeconds, M.CompileSeconds,
+                LloBase / M.Build.LloSeconds, TotalBase / M.CompileSeconds,
+                (unsigned long long)M.OutputChecksum);
+    Rows.push_back({Jobs, M.Build.LloSeconds, M.CompileSeconds,
+                    M.OutputChecksum});
+  }
+
+  std::printf("\nExpected shape: LLO seconds fall near-linearly with jobs "
+              "(independent\nper-routine lowerings); total seconds flatten "
+              "toward the serial HLO+link\nfraction.\n\n");
+  for (const Row &R : Rows)
+    std::printf("{\"bench\":\"parallel_scaling\",\"lines\":%llu,"
+                "\"jobs\":%u,\"llo_seconds\":%.6f,\"total_seconds\":%.6f,"
+                "\"checksum\":%llu}\n",
+                (unsigned long long)Lines, R.Jobs, R.LloSeconds,
+                R.TotalSeconds, (unsigned long long)R.Checksum);
+  return 0;
+}

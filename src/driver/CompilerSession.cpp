@@ -15,7 +15,9 @@
 #include "ir/Checksum.h"
 #include "ir/Verifier.h"
 #include "profile/Probes.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
 #include <map>
 
 using namespace scmo;
@@ -65,15 +67,45 @@ void CompilerSession::attachProfile(ProfileDb Db) {
   HasProfile = true;
 }
 
-void CompilerSession::computeChecksums() {
-  for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
-    RoutineInfo &RI = Prog->routine(R);
-    if (!RI.IsDefined)
-      continue;
+void CompilerSession::computeChecksums(ThreadPool &Pool) {
+  std::vector<RoutineId> Ids;
+  for (RoutineId R = 0; R != Prog->numRoutines(); ++R)
+    if (Prog->routine(R).IsDefined)
+      Ids.push_back(R);
+  Pool.parallelFor(Ids.size(), [&](size_t I) {
+    RoutineId R = Ids[I];
     RoutineBody &Body = Ldr->acquire(R);
-    RI.Checksum = computeChecksum(Body);
+    Prog->routine(R).Checksum = computeChecksum(Body);
     Ldr->release(R);
+  });
+}
+
+std::string CompilerSession::verifyRoutines(ThreadPool &Pool,
+                                            bool EmittedOnly) {
+  std::vector<RoutineId> Ids;
+  for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
+    const RoutineInfo &RI = Prog->routine(R);
+    if (RI.IsDefined && (!EmittedOnly || RI.Emit))
+      Ids.push_back(R);
   }
+  // Each task writes its own slot; the first failure (by routine id, not by
+  // completion order) is reported, so diagnostics match the serial compiler.
+  std::vector<std::string> Errors(Ids.size());
+  std::atomic<bool> SawError{false};
+  Pool.parallelFor(Ids.size(), [&](size_t I) {
+    if (SawError.load(std::memory_order_relaxed))
+      return;
+    RoutineId R = Ids[I];
+    RoutineBody &Body = Ldr->acquire(R);
+    Errors[I] = verifyRoutine(*Prog, R, Body);
+    Ldr->release(R);
+    if (!Errors[I].empty())
+      SawError.store(true, std::memory_order_relaxed);
+  });
+  for (std::string &Err : Errors)
+    if (!Err.empty())
+      return std::move(Err);
+  return "";
 }
 
 bool CompilerSession::checkHeap(BuildResult &Result, const char *Phase) {
@@ -102,8 +134,12 @@ void CompilerSession::rebuildFromObjects(BuildResult &Result) {
       return;
     }
     Paths.push_back(Path);
+    // Mirror the acquire loop's Owner filter exactly: a module's routine
+    // list can carry routines it merely references (declared here, defined
+    // elsewhere), and releasing one of those without a matching acquire
+    // would underflow its pin count.
     for (RoutineId R : Prog->module(M).Routines)
-      if (Prog->routine(R).IsDefined)
+      if (Prog->routine(R).IsDefined && Prog->routine(R).Owner == M)
         Ldr->release(R);
   }
   auto NewProg = std::make_unique<Program>(Tracker.get());
@@ -140,11 +176,16 @@ BuildResult CompilerSession::build() {
   }
   Result.SourceLines = Prog->totalSourceLines();
 
+  // The worker pool for the per-routine backend phases (verification,
+  // checksums, LLO). HLO stays serial: it is the interprocedural sequential
+  // section of the pipeline.
+  ThreadPool Pool(Opts.Jobs);
+
   if (Opts.WriteObjects) {
     rebuildFromObjects(Result);
     if (!Result.Error.empty())
       return Result;
-    computeChecksums();
+    computeChecksums(Pool);
   }
   Prog->chargeGlobalTables();
   if (!checkHeap(Result, "frontend"))
@@ -152,17 +193,9 @@ BuildResult CompilerSession::build() {
 
   // Verify the raw IL.
   if (Opts.VerifyIl) {
-    for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
-      if (!Prog->routine(R).IsDefined)
-        continue;
-      RoutineBody &Body = Ldr->acquire(R);
-      std::string Err = verifyRoutine(*Prog, R, Body);
-      Ldr->release(R);
-      if (!Err.empty()) {
-        Result.Error = Err;
-        return Result;
-      }
-    }
+    Result.Error = verifyRoutines(Pool, /*EmittedOnly=*/false);
+    if (!Result.Error.empty())
+      return Result;
   }
 
   // Instrumentation (+I) — on raw IL, before any optimization, so counters
@@ -249,16 +282,10 @@ BuildResult CompilerSession::build() {
         return Result;
     }
     if (Opts.VerifyIl) {
-      for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
-        if (!Prog->routine(R).IsDefined || !Prog->routine(R).Emit)
-          continue;
-        RoutineBody &Body = Ldr->acquire(R);
-        std::string Err = verifyRoutine(*Prog, R, Body);
-        Ldr->release(R);
-        if (!Err.empty()) {
-          Result.Error = "after HLO: " + Err;
-          return Result;
-        }
+      std::string Err = verifyRoutines(Pool, /*EmittedOnly=*/true);
+      if (!Err.empty()) {
+        Result.Error = "after HLO: " + Err;
+        return Result;
       }
     }
   }
@@ -301,33 +328,46 @@ BuildResult CompilerSession::build() {
     LOpts.ProfileLayout = UsableProfile && Opts.PboLayout;
     LOpts.ProfileSpillWeights = UsableProfile && Opts.PboRegWeights;
   }
-  std::vector<MachineRoutine> Machines;
-  uint64_t MachineBytes = 0;
-  for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
-    RoutineInfo &RI = Prog->routine(R);
-    if (!RI.IsDefined || !RI.Emit)
-      continue;
+  std::vector<RoutineId> EmitIds;
+  for (RoutineId R = 0; R != Prog->numRoutines(); ++R)
+    if (Prog->routine(R).IsDefined && Prog->routine(R).Emit)
+      EmitIds.push_back(R);
+  // Each task lowers one routine into its own slot and accumulates into its
+  // own LloStats; slots keep the link order (ascending routine id) and the
+  // merged stats identical at any --jobs width. Once the heap cap trips,
+  // remaining tasks are skipped and the post-join checkHeap reports it.
+  std::vector<MachineRoutine> Machines(EmitIds.size());
+  std::vector<LloStats> TaskStats(EmitIds.size());
+  std::atomic<uint64_t> MachineBytes{0};
+  std::atomic<bool> Stop{false};
+  Pool.parallelFor(EmitIds.size(), [&](size_t I) {
+    if (Stop.load(std::memory_order_relaxed))
+      return;
+    RoutineId R = EmitIds[I];
     RoutineBody &Body = Ldr->acquire(R);
     LloOptions RoutineOpts = LOpts;
-    if (RI.Tier == OptTier::None) {
+    if (Prog->routine(R).Tier == OptTier::None) {
       // Never-executed code under multi-layered selectivity: quick, cheap
       // codegen (no allocation, scheduling or layout work).
       RoutineOpts.RegAlloc = false;
       RoutineOpts.Schedule = false;
       RoutineOpts.ProfileLayout = false;
     }
-    Machines.push_back(
-        lowerRoutine(*Prog, R, Body, RoutineOpts, &Result.Llo));
+    Machines[I] = lowerRoutine(*Prog, R, Body, RoutineOpts, &TaskStats[I]);
     Ldr->release(R);
     // The generated machine code accumulates until link time: the linear
     // component of "overall compiler" memory in Figure 4.
-    uint64_t Bytes = Machines.back().Code.size() * sizeof(MInstr);
-    MachineBytes += Bytes;
+    uint64_t Bytes = Machines[I].Code.size() * sizeof(MInstr);
+    MachineBytes.fetch_add(Bytes, std::memory_order_relaxed);
     Tracker->allocate(MemCategory::Other, Bytes);
     Tracker->takeHloSample();
-    if (!checkHeap(Result, "LLO"))
-      return Result;
-  }
+    if (Tracker->heapExhausted())
+      Stop.store(true, std::memory_order_relaxed);
+  });
+  for (const LloStats &S : TaskStats)
+    Result.Llo.merge(S);
+  if (!checkHeap(Result, "LLO"))
+    return Result;
   Result.LloSeconds = LloTimer.seconds();
 
   // Link.
@@ -340,8 +380,8 @@ BuildResult CompilerSession::build() {
     return Result;
   }
 
-  if (MachineBytes)
-    Tracker->release(MemCategory::Other, MachineBytes);
+  if (uint64_t Bytes = MachineBytes.load(std::memory_order_relaxed))
+    Tracker->release(MemCategory::Other, Bytes);
   Result.HloPeakBytes = Tracker->hloPeakBytes();
   Result.TotalPeakBytes = Tracker->totalPeakBytes();
   Result.Loader = Ldr->stats();

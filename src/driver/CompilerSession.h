@@ -46,6 +46,8 @@
 
 namespace scmo {
 
+class ThreadPool;
+
 /// Outcome of one build().
 struct BuildResult {
   bool Ok = false;
@@ -102,7 +104,13 @@ public:
 
 private:
   void rebuildFromObjects(BuildResult &Result);
-  void computeChecksums();
+  /// Recomputes structural checksums of every defined routine, fanned out
+  /// over \p Pool; each worker writes only its own routine's field.
+  void computeChecksums(ThreadPool &Pool);
+  /// Verifies every defined (and, when \p EmittedOnly, emitted) routine in
+  /// parallel. Returns the failing routine's message with the lowest id, or
+  /// "" — so a single IL bug reports identically at any thread count.
+  std::string verifyRoutines(ThreadPool &Pool, bool EmittedOnly);
   bool checkHeap(BuildResult &Result, const char *Phase);
 
   CompileOptions Opts;

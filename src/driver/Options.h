@@ -54,6 +54,15 @@ struct CompileOptions {
   /// the binary split, trading cold-code quality for compile time.
   bool MultiLayered = false;
 
+  /// Parallel backend width (the scmoc --jobs=N knob). The per-routine
+  /// backend phases — IL verification, checksum computation and LLO
+  /// lowering — fan out over this many threads; machine code is written
+  /// into slots indexed by routine so the linked executable is bit-identical
+  /// at any thread count. 0 = hardware concurrency; 1 = fully serial, the
+  /// exact pre-parallel behavior. HLO stays serial: interprocedural
+  /// optimization is the pipeline's sequential section, as in GCC's WHOPR.
+  unsigned Jobs = 0;
+
   /// NAIM configuration (memory management).
   NaimConfig Naim;
 

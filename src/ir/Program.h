@@ -63,6 +63,13 @@ struct RoutineSlot {
   uint64_t RepoOffset = 0;             ///< Valid when State == Offloaded.
   uint64_t RepoSize = 0;
   uint64_t LruTick = 0;                ///< Last-touch tick for the loader LRU.
+  /// Outstanding acquire() count. Under the parallel backend several phases'
+  /// workers may not share pools, but balanced acquire/release pairs from
+  /// one worker must not be undone by a stray release elsewhere: a pool only
+  /// becomes evictable when the count returns to zero. Guarded by the
+  /// loader's mutex. A freshly installed body is "born pinned" with Pins ==
+  /// 0; its first release moves it into the cache.
+  uint32_t Pins = 0;
   bool UnloadPending = false;          ///< In the loader cache, evictable.
 };
 

@@ -40,13 +40,26 @@ struct LloOptions {
   bool ProfileSpillWeights = true; ///< Weight spill costs by block counts.
 };
 
-/// Statistics LLO reports per compilation.
+/// Statistics LLO reports per compilation. Under the parallel backend each
+/// lowering task accumulates into its own instance and the driver merges
+/// them after the join; workers never mutate a shared LloStats.
 struct LloStats {
   uint64_t RoutinesLowered = 0;
   uint64_t SpillsAllocated = 0;  ///< Virtual registers assigned to slots.
   uint64_t RegsAllocated = 0;    ///< Virtual registers assigned to registers.
   uint64_t ScheduleMoves = 0;    ///< Instructions the scheduler reordered.
   uint64_t PeakRoutineBytes = 0; ///< Largest transient LLO footprint.
+
+  /// Folds \p Other in. Every field is a sum or a max, so merging in any
+  /// order yields the same totals as serial accumulation did.
+  void merge(const LloStats &Other) {
+    RoutinesLowered += Other.RoutinesLowered;
+    SpillsAllocated += Other.SpillsAllocated;
+    RegsAllocated += Other.RegsAllocated;
+    ScheduleMoves += Other.ScheduleMoves;
+    if (Other.PeakRoutineBytes > PeakRoutineBytes)
+      PeakRoutineBytes = Other.PeakRoutineBytes;
+  }
 };
 
 /// Lowers \p Body (the IL of routine \p R) to machine code. Transient LLO

@@ -15,6 +15,10 @@ using namespace scmo;
 Loader::Loader(Program &P, const NaimConfig &Config)
     : P(P), Config(Config), Repo(Config.RepositoryPath) {}
 
+// The threshold predicates read only the config and the (atomic) tracker
+// totals, so they need no lock of their own; the callers that act on them
+// (enforceBudgetLocked) already hold the loader mutex.
+
 bool Loader::irCompactionEnabled() const {
   switch (Config.Mode) {
   case NaimMode::Off:
@@ -63,13 +67,13 @@ bool Loader::offloadEnabled() const {
 }
 
 RoutineBody *Loader::acquireIfDefined(RoutineId R) {
-  RoutineInfo &RI = P.routine(R);
-  if (!RI.IsDefined)
+  if (!P.routine(R).IsDefined)
     return nullptr;
   return &acquire(R);
 }
 
 RoutineBody &Loader::acquire(RoutineId R) {
+  std::lock_guard<std::mutex> Lock(M);
   RoutineInfo &RI = P.routine(R);
   RoutineSlot &S = RI.Slot;
   assert(RI.IsDefined && "acquiring an undefined routine");
@@ -92,14 +96,21 @@ RoutineBody &Loader::acquire(RoutineId R) {
   case PoolState::None:
     scmo_unreachable("defined routine with no pool");
   }
-  touch(R);
+  ++S.Pins;
+  S.LruTick = ++Tick;
   return *S.Body;
 }
 
 void Loader::release(RoutineId R) {
+  std::lock_guard<std::mutex> Lock(M);
   RoutineInfo &RI = P.routine(R);
   RoutineSlot &S = RI.Slot;
   if (S.State != PoolState::Expanded || S.UnloadPending)
+    return;
+  // Drop one pin; the pool stays resident while any worker still holds it.
+  // (Pins == 0 here means a "born pinned" body the frontend installed and
+  // nobody ever acquired: its first release unpins it.)
+  if (S.Pins > 0 && --S.Pins > 0)
     return;
   // Mark unload-pending and place in the cache; actual compaction happens
   // only if the budget demands it.
@@ -107,27 +118,37 @@ void Loader::release(RoutineId R) {
   S.LruTick = ++Tick;
   CacheOrder.insert({S.LruTick, R});
   CachedBytes += S.Body->irBytes();
-  enforceBudget();
+  enforceBudgetLocked(/*Everything=*/false);
 }
 
 void Loader::releaseAll() {
+  std::lock_guard<std::mutex> Lock(M);
   for (RoutineId R = 0; R != P.numRoutines(); ++R) {
     RoutineSlot &S = P.routine(R).Slot;
     if (S.State == PoolState::Expanded && !S.UnloadPending) {
+      // Phase boundary: forcibly forget any outstanding pins — no worker
+      // may hold a body across a phase.
+      S.Pins = 0;
       S.UnloadPending = true;
       S.LruTick = ++Tick;
       CacheOrder.insert({S.LruTick, R});
       CachedBytes += S.Body->irBytes();
     }
   }
-  enforceBudget();
+  enforceBudgetLocked(/*Everything=*/false);
 }
 
 void Loader::enforceBudget(bool Everything) {
+  std::lock_guard<std::mutex> Lock(M);
+  enforceBudgetLocked(Everything);
+}
+
+void Loader::enforceBudgetLocked(bool Everything) {
   if (!irCompactionEnabled())
     return;
   uint64_t SoftCap = Everything ? 0 : Config.ExpandedCacheBytes;
-  // Evict least-recently-used pools until under budget.
+  // Evict least-recently-used pools until under budget. Only unpinned pools
+  // live in CacheOrder, so a pool another worker holds can never be chosen.
   while (CachedBytes > SoftCap && !CacheOrder.empty()) {
     RoutineId Victim = CacheOrder.begin()->second;
     compactPool(Victim);
@@ -153,8 +174,9 @@ void Loader::enforceBudget(bool Everything) {
 void Loader::maybeCompactSymtabs() {
   if (!stCompactionEnabled())
     return;
-  for (ModuleId M = 0; M != P.numModules(); ++M) {
-    ModuleSymtab &St = P.module(M).Symtab;
+  std::lock_guard<std::mutex> Lock(M);
+  for (ModuleId MI = 0; MI != P.numModules(); ++MI) {
+    ModuleSymtab &St = P.module(MI).Symtab;
     if (St.state() == PoolState::Expanded && St.expandedBytes()) {
       St.compact(P.tracker());
       ++Stats.SymtabCompactions;
@@ -208,5 +230,3 @@ void Loader::expandPool(RoutineId R) {
   S.UnloadPending = false;
   ++Stats.Expansions;
 }
-
-void Loader::touch(RoutineId R) { P.routine(R).Slot.LruTick = ++Tick; }

@@ -26,6 +26,15 @@
 /// Thresholding (Section 4.3): NAIM functionality turns on in stages tied to
 /// the configured "machine memory" so small compilations pay nothing.
 ///
+/// Concurrency: the loader is safe to call from the parallel backend's
+/// worker threads. One mutex guards every state transition (pin counts, the
+/// LRU cache, budget enforcement, repository I/O and the activity
+/// counters), so a pool can never be compacted or offloaded while another
+/// worker holds it: pinned pools (Pins > 0) are simply not in the cache,
+/// and only cached pools are eviction candidates. The returned RoutineBody
+/// references are NOT guarded — the backend's fan-out gives each routine to
+/// exactly one worker, which is what makes unsynchronized body access safe.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCMO_NAIM_LOADER_H
@@ -35,6 +44,7 @@
 #include "naim/Repository.h"
 
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -95,14 +105,16 @@ public:
   Loader(Program &P, const NaimConfig &Config);
 
   /// Pins and returns the expanded body of \p R (must be defined). A pinned
-  /// pool is never evicted until released.
+  /// pool is never evicted until released. Acquires nest: each acquire
+  /// increments the pool's pin count and must be matched by one release.
   RoutineBody &acquire(RoutineId R);
 
   /// As acquire(), but returns null for undefined routines.
   RoutineBody *acquireIfDefined(RoutineId R);
 
-  /// Unpins \p R: the pool becomes unload-pending and joins the cache. The
-  /// loader then enforces budgets (lazily compacting / offloading LRU pools).
+  /// Drops one pin from \p R. When the last pin drops, the pool becomes
+  /// unload-pending and joins the cache; the loader then enforces budgets
+  /// (lazily compacting / offloading LRU pools).
   void release(RoutineId R);
 
   /// Releases every pinned routine (phase boundaries).
@@ -116,13 +128,24 @@ public:
   void maybeCompactSymtabs();
 
   /// Bytes of expanded IR currently sitting unpinned in the cache.
-  uint64_t cacheBytes() const { return CachedBytes; }
+  uint64_t cacheBytes() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return CachedBytes;
+  }
 
   /// Number of unpinned expanded pools resident (paper: "cache fullness is
   /// based on the number of expanded pools resident in memory").
-  size_t cachedPoolCount() const { return CacheOrder.size(); }
+  size_t cachedPoolCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return CacheOrder.size();
+  }
 
-  const LoaderStats &stats() const { return Stats; }
+  /// Activity counters. Returns a snapshot: safe to call while workers are
+  /// active, exact once they have joined.
+  LoaderStats stats() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Stats;
+  }
   const NaimConfig &config() const { return Config; }
   Repository &repository() { return Repo; }
 
@@ -134,15 +157,21 @@ public:
   bool offloadEnabled() const;
 
 private:
+  void enforceBudgetLocked(bool Everything);
   void compactPool(RoutineId R);
   void offloadPool(RoutineId R);
   void expandPool(RoutineId R);
-  void touch(RoutineId R);
 
   Program &P;
   NaimConfig Config;
   Repository Repo;
   LoaderStats Stats;
+
+  /// Guards every mutable member below, all pool state transitions and the
+  /// activity counters. Cheap relative to any transition (compaction is an
+  /// encode, expansion a decode, offload real I/O) and to the per-routine
+  /// backend work between acquire/release pairs.
+  mutable std::mutex M;
 
   /// Unpinned expanded pools ordered by (LruTick, RoutineId): deterministic
   /// LRU. Determinism of eviction order matters for reproducible compile

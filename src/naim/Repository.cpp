@@ -45,6 +45,7 @@ void Repository::ensureOpen() {
 }
 
 uint64_t Repository::store(const std::vector<uint8_t> &Bytes) {
+  std::lock_guard<std::mutex> Lock(M);
   ensureOpen();
   uint64_t Offset = AppendOffset;
   size_t Done = 0;
@@ -63,6 +64,9 @@ uint64_t Repository::store(const std::vector<uint8_t> &Bytes) {
 
 bool Repository::fetch(uint64_t Offset, uint64_t Size,
                        std::vector<uint8_t> &Out) {
+  // pread is positional, so reads would be safe unserialized; the lock keeps
+  // the fetch counter exact and orders reads after the stores they follow.
+  std::lock_guard<std::mutex> Lock(M);
   if (Fd < 0)
     return false;
   Out.resize(Size);

@@ -23,12 +23,16 @@
 #define SCMO_NAIM_REPOSITORY_H
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace scmo {
 
-/// Append-only spill file for compacted pools.
+/// Append-only spill file for compacted pools. store() and fetch() are
+/// serialized by an internal mutex: the parallel backend's workers may
+/// trigger offloads and fetches concurrently through the loader, and the
+/// append offset plus the activity counters must stay consistent.
 class Repository {
 public:
   /// Opens (creating/truncating) the repository at \p Path. An empty path
@@ -49,11 +53,20 @@ public:
   bool fetch(uint64_t Offset, uint64_t Size, std::vector<uint8_t> &Out);
 
   /// Total bytes ever appended.
-  uint64_t bytesStored() const { return BytesStored; }
+  uint64_t bytesStored() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return BytesStored;
+  }
 
   /// Number of store / fetch operations (for the NAIM statistics).
-  uint64_t storeCount() const { return Stores; }
-  uint64_t fetchCount() const { return Fetches; }
+  uint64_t storeCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Stores;
+  }
+  uint64_t fetchCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Fetches;
+  }
 
   /// Path of the backing file ("" if never created).
   const std::string &path() const { return FilePath; }
@@ -61,6 +74,8 @@ public:
 private:
   void ensureOpen();
 
+  /// Serializes all repository I/O and guards the counters.
+  mutable std::mutex M;
   std::string FilePath;
   int Fd = -1;
   uint64_t AppendOffset = 0;

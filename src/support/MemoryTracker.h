@@ -12,11 +12,20 @@
 /// the HP-UX ~1GB hard heap limit (Section 5: pure-CMO compiles of Mcad1
 /// "exhaust the heap after allocating roughly 1GB") via an optional cap.
 ///
+/// All counters are atomic so the parallel backend's per-routine LLO tasks
+/// can charge and sample concurrently; on a single thread the arithmetic is
+/// identical to the plain-integer version, so serial (--jobs=1) builds
+/// report byte-for-byte the same peaks as before. Under parallel lowering,
+/// per-category live/peak totals stay exact (every allocate/release is an
+/// atomic read-modify-write); only the *sampled* HLO peak may interleave
+/// with concurrent updates, which is inherent to sampling a moving total.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCMO_SUPPORT_MEMORYTRACKER_H
 #define SCMO_SUPPORT_MEMORYTRACKER_H
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -53,34 +62,44 @@ public:
 
   /// Records an allocation of \p Bytes in \p Cat.
   void allocate(MemCategory Cat, uint64_t Bytes) {
-    Live[index(Cat)] += Bytes;
-    TotalLive += Bytes;
-    if (Live[index(Cat)] > Peak[index(Cat)])
-      Peak[index(Cat)] = Live[index(Cat)];
-    if (TotalLive > TotalPeak)
-      TotalPeak = TotalLive;
-    if (HeapCap && TotalLive > HeapCap)
-      Exhausted = true;
+    uint64_t NewCat =
+        Live[index(Cat)].fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+    uint64_t NewTotal =
+        TotalLive.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+    raiseToAtLeast(Peak[index(Cat)], NewCat);
+    raiseToAtLeast(TotalPeak, NewTotal);
+    if (HeapCap && NewTotal > HeapCap)
+      Exhausted.store(true, std::memory_order_relaxed);
   }
 
   /// Records a release of \p Bytes from \p Cat.
   void release(MemCategory Cat, uint64_t Bytes) {
-    assert(Live[index(Cat)] >= Bytes && "releasing more than allocated");
-    Live[index(Cat)] -= Bytes;
-    TotalLive -= Bytes;
+    uint64_t Prev =
+        Live[index(Cat)].fetch_sub(Bytes, std::memory_order_relaxed);
+    (void)Prev;
+    assert(Prev >= Bytes && "releasing more than allocated");
+    TotalLive.fetch_sub(Bytes, std::memory_order_relaxed);
   }
 
   /// Live bytes currently attributed to \p Cat.
-  uint64_t liveBytes(MemCategory Cat) const { return Live[index(Cat)]; }
+  uint64_t liveBytes(MemCategory Cat) const {
+    return Live[index(Cat)].load(std::memory_order_relaxed);
+  }
 
   /// Peak bytes ever attributed to \p Cat.
-  uint64_t peakBytes(MemCategory Cat) const { return Peak[index(Cat)]; }
+  uint64_t peakBytes(MemCategory Cat) const {
+    return Peak[index(Cat)].load(std::memory_order_relaxed);
+  }
 
   /// Total live bytes across all categories.
-  uint64_t totalLiveBytes() const { return TotalLive; }
+  uint64_t totalLiveBytes() const {
+    return TotalLive.load(std::memory_order_relaxed);
+  }
 
   /// Peak total live bytes across all categories.
-  uint64_t totalPeakBytes() const { return TotalPeak; }
+  uint64_t totalPeakBytes() const {
+    return TotalPeak.load(std::memory_order_relaxed);
+  }
 
   /// Live bytes owned by HLO (the quantity in Figure 4's lower curve).
   uint64_t hloLiveBytes() const {
@@ -91,26 +110,27 @@ public:
   }
 
   /// Peak of the HLO-owned live total, updated by takeHloSample().
-  uint64_t hloPeakBytes() const { return HloPeak; }
+  uint64_t hloPeakBytes() const {
+    return HloPeak.load(std::memory_order_relaxed);
+  }
 
   /// Samples the current HLO live total into the HLO peak. Called by the
   /// driver at phase boundaries; cheap enough to call per-routine.
-  void takeHloSample() {
-    uint64_t H = hloLiveBytes();
-    if (H > HloPeak)
-      HloPeak = H;
-  }
+  void takeHloSample() { raiseToAtLeast(HloPeak, hloLiveBytes()); }
 
   /// True once an allocation pushed total live bytes past the heap cap.
-  bool heapExhausted() const { return Exhausted; }
+  bool heapExhausted() const {
+    return Exhausted.load(std::memory_order_relaxed);
+  }
 
-  /// Forgets peaks and the exhausted flag (live counts are kept).
+  /// Forgets peaks and the exhausted flag (live counts are kept). Not
+  /// thread-safe: call only between parallel phases.
   void resetPeaks() {
     for (auto &P : Peak)
-      P = 0;
-    TotalPeak = TotalLive;
-    HloPeak = hloLiveBytes();
-    Exhausted = false;
+      P.store(0, std::memory_order_relaxed);
+    TotalPeak.store(totalLiveBytes(), std::memory_order_relaxed);
+    HloPeak.store(hloLiveBytes(), std::memory_order_relaxed);
+    Exhausted.store(false, std::memory_order_relaxed);
   }
 
 private:
@@ -121,13 +141,23 @@ private:
     return static_cast<unsigned>(Cat);
   }
 
-  uint64_t Live[NumCats] = {};
-  uint64_t Peak[NumCats] = {};
-  uint64_t TotalLive = 0;
-  uint64_t TotalPeak = 0;
-  uint64_t HloPeak = 0;
+  /// Lock-free max: raises \p Slot to \p Value unless a concurrent update
+  /// already recorded something higher.
+  static void raiseToAtLeast(std::atomic<uint64_t> &Slot, uint64_t Value) {
+    uint64_t Cur = Slot.load(std::memory_order_relaxed);
+    while (Cur < Value &&
+           !Slot.compare_exchange_weak(Cur, Value,
+                                       std::memory_order_relaxed))
+      ;
+  }
+
+  std::atomic<uint64_t> Live[NumCats] = {};
+  std::atomic<uint64_t> Peak[NumCats] = {};
+  std::atomic<uint64_t> TotalLive{0};
+  std::atomic<uint64_t> TotalPeak{0};
+  std::atomic<uint64_t> HloPeak{0};
   uint64_t HeapCap = 0;
-  bool Exhausted = false;
+  std::atomic<bool> Exhausted{false};
 };
 
 } // namespace scmo

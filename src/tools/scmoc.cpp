@@ -17,6 +17,8 @@
 ///     --select <percent>     coarse selectivity percentage (with +O4 +P)
 ///     --multi-layered        Section 8 tiered optimization
 ///     --machine-mem <MiB>    NAIM thresholds for this much memory
+///     --jobs <N>             backend worker threads (0 = all cores, 1 =
+///                            serial); output is identical at any width
 ///     --run                  execute the result on the VM
 ///     --emit-il <routine>    print a routine's optimized IL
 ///     --disasm <routine>     print a routine's machine code
@@ -46,7 +48,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [+O1|+O2|+O4] [+P] [+I] [--profile F] "
                "[--select PCT] [--multi-layered] [--machine-mem MIB] "
-               "[--run] [--emit-il R] [--disasm R] [--stats] files...\n",
+               "[--jobs N] [--run] [--emit-il R] [--disasm R] [--stats] "
+               "files...\n",
                Argv0);
   return 2;
 }
@@ -106,6 +109,8 @@ int main(int argc, char **argv) {
     else if (Arg == "--machine-mem")
       Opts.Naim = NaimConfig::autoFor(
           uint64_t(std::atoll(takeValue("--machine-mem"))) << 20);
+    else if (Arg == "--jobs")
+      Opts.Jobs = static_cast<unsigned>(std::atoi(takeValue("--jobs")));
     else if (Arg == "--run")
       Run = true;
     else if (Arg == "--emit-il")

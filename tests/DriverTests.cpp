@@ -125,6 +125,32 @@ TEST(Driver, ObjectFileFlowMatchesDirectFlow) {
   EXPECT_TRUE(exesIdentical(B2.Exe, B3.Exe));
 }
 
+TEST(Driver, ObjectFileFlowBalancesLoaderPinsAcrossModuleBoundaries) {
+  // Regression: rebuildFromObjects acquires only the routines a module
+  // *owns* but used to release every defined routine on its list — so a
+  // routine referenced from a module it doesn't own (declared in "app",
+  // defined in "lib") got a release with no matching acquire. Under the
+  // pin-count protocol that is an unbalanced release; the early unpin let
+  // the loader evict a pool the object writer was still serializing.
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  Opts.WriteObjects = true;
+  // Zero cache budget makes any erroneously-unpinned pool compact at once,
+  // so an unbalanced release cannot hide behind a roomy cache.
+  Opts.Naim.Mode = NaimMode::CompactIr;
+  Opts.Naim.ExpandedCacheBytes = 0;
+  RunResult Run = buildAndRun({{"app", R"(
+func main() { print sharedHelper(20); return 0; }
+)"},
+                               {"lib", R"(
+func sharedHelper(x) { return x + 22; }
+)"}},
+                              Opts);
+  EXPECT_EQ(Run.ExitValue, 0);
+  ASSERT_EQ(Run.FirstOutputs.size(), 1u);
+  EXPECT_EQ(Run.FirstOutputs[0], 42);
+}
+
 TEST(Driver, HeapCapFailsCleanly) {
   GeneratedProgram GP = testProgram(10);
   CompileOptions Opts;
