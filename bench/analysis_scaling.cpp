@@ -1,0 +1,140 @@
+//===- bench/analysis_scaling.cpp -----------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analysis-engine scaling: `--analyze` seconds and peak memory versus
+/// program size. The engine streams routine bodies through the NAIM loader
+/// (acquire -> analyze -> release), so its expanded working set is the pinned
+/// routines plus the loader cache — NOT the whole program. Each size is
+/// measured twice, with NAIM off (everything stays expanded; the paper's
+/// pre-NAIM baseline) and under a fixed NAIM budget, to show the same
+/// Figure-4 shape for analysis that fig4_memory shows for compilation:
+/// budgeted peaks grow sub-linearly while the baseline grows with the
+/// program.
+///
+/// Prints a human table, then one JSON line per size on stdout
+/// ("{"bench":"analysis_scaling",...}") for machine consumption.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <vector>
+
+using namespace scmo;
+using namespace scmo::bench;
+
+namespace {
+
+struct Row {
+  uint64_t Lines = 0;
+  size_t Routines = 0;
+  size_t Diags = 0;
+  double Seconds = 0;
+  uint64_t PeakNaim = 0;
+  uint64_t PeakOff = 0;
+};
+
+/// One analysis run over a fresh session; returns the result with the
+/// session's peak bytes.
+AnalysisResult analyzeOnce(const GeneratedProgram &GP, NaimConfig Naim,
+                           std::string &Error) {
+  CompileOptions Opts;
+  Opts.Naim = Naim;
+  CompilerSession Session(Opts);
+  if (!Session.addGenerated(GP)) {
+    Error = Session.firstError();
+    return {};
+  }
+  AnalysisOptions AOpts;
+  AOpts.Jobs = 4;
+  AnalysisResult AR = Session.runAnalysis(AOpts);
+  if (!AR.Ok)
+    Error = AR.Error;
+  return AR;
+}
+
+} // namespace
+
+int main() {
+  double Scale = scaleFactor();
+  const uint64_t BudgetBytes = 24ull << 20;
+  std::printf("Analysis scaling: --analyze seconds and peak MiB vs program "
+              "size\n(scale %.2f; Mcad1-like applications, --jobs 4, NAIM "
+              "budget %.0f MiB vs off)\n\n",
+              Scale, double(BudgetBytes) / 1048576.0);
+
+  std::vector<uint64_t> Sizes;
+  for (uint64_t Base : {20000ull, 40000ull, 80000ull})
+    Sizes.push_back(static_cast<uint64_t>(Base * Scale));
+
+  std::printf("%9s %9s %8s %9s %11s %10s %11s\n", "lines", "routines",
+              "diags", "seconds", "peak MiB", "off MiB", "bytes/line");
+
+  std::vector<Row> Rows;
+  for (uint64_t Lines : Sizes) {
+    GeneratedProgram GP = generateProgram(mcadLikeParams(Lines, 1));
+    std::string Error;
+    AnalysisResult Budgeted =
+        analyzeOnce(GP, NaimConfig::autoFor(BudgetBytes), Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "analysis failed at %llu lines: %s\n",
+                   (unsigned long long)Lines, Error.c_str());
+      return 1;
+    }
+    NaimConfig Off;
+    Off.Mode = NaimMode::Off;
+    AnalysisResult Baseline = analyzeOnce(GP, Off, Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "baseline failed at %llu lines: %s\n",
+                   (unsigned long long)Lines, Error.c_str());
+      return 1;
+    }
+    if (Budgeted.Report != Baseline.Report) {
+      std::fprintf(stderr, "report diverged between NAIM modes at %llu "
+                           "lines (the loader changed analysis results!)\n",
+                   (unsigned long long)Lines);
+      return 1;
+    }
+    if (Budgeted.PeakBytes >= BudgetBytes) {
+      std::fprintf(stderr, "peak %llu bytes exceeded the %llu-byte NAIM "
+                           "budget at %llu lines\n",
+                   (unsigned long long)Budgeted.PeakBytes,
+                   (unsigned long long)BudgetBytes,
+                   (unsigned long long)Lines);
+      return 1;
+    }
+    Row R;
+    R.Lines = GP.TotalLines;
+    R.Routines = Budgeted.RoutinesAnalyzed;
+    R.Diags = Budgeted.Diagnostics.size();
+    R.Seconds = Budgeted.Seconds;
+    R.PeakNaim = Budgeted.PeakBytes;
+    R.PeakOff = Baseline.PeakBytes;
+    Rows.push_back(R);
+    std::printf("%9llu %9zu %8zu %9.3f %11.2f %10.2f %11.1f\n",
+                (unsigned long long)R.Lines, R.Routines, R.Diags, R.Seconds,
+                double(R.PeakNaim) / 1048576.0,
+                double(R.PeakOff) / 1048576.0,
+                double(R.PeakNaim) / double(R.Lines));
+  }
+
+  std::printf("\nExpected shape: the off-mode peak grows linearly with the "
+              "program while\nthe budgeted peak stays under the NAIM cap — "
+              "bytes/line falls as the\napplication grows (the paper's "
+              "Figure 4 argument, applied to analysis).\n\n");
+  for (const Row &R : Rows)
+    std::printf("{\"bench\":\"analysis_scaling\",\"lines\":%llu,"
+                "\"routines\":%zu,\"diags\":%zu,\"seconds\":%.6f,"
+                "\"peak_bytes\":%llu,\"peak_off_bytes\":%llu,"
+                "\"budget_bytes\":%llu}\n",
+                (unsigned long long)R.Lines, R.Routines, R.Diags, R.Seconds,
+                (unsigned long long)R.PeakNaim,
+                (unsigned long long)R.PeakOff,
+                (unsigned long long)BudgetBytes);
+  return 0;
+}

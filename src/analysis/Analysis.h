@@ -1,0 +1,83 @@
+//===- analysis/Analysis.h --------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The NAIM-aware static-analysis engine behind `scmoc --analyze`. Two
+/// phases:
+///
+///  1. A parallel streaming phase: every defined routine is acquired from
+///     the loader, verified, run through the intraprocedural checks, and
+///     released — so at any moment only the pinned working set is expanded,
+///     giving analysis the same sub-linear memory profile as compilation
+///     (paper Figure 4). Workers write into per-routine slots; no ordering
+///     of workers can change the result.
+///  2. A serial interprocedural phase reusing the compiler's own CallGraph
+///     and global-variable summaries (Interprocedural.h scope rules) for
+///     unused-routine, write-only-global and never-written-global-load.
+///
+/// The diagnostics are then filtered, deterministically sorted, and rendered
+/// — byte-identical at any --jobs width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_ANALYSIS_ANALYSIS_H
+#define SCMO_ANALYSIS_ANALYSIS_H
+
+#include "analysis/Diagnostic.h"
+#include "ir/Program.h"
+#include "naim/Loader.h"
+#include "support/MemoryTracker.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scmo {
+
+/// Knobs for one analysis run.
+struct AnalysisOptions {
+  /// Worker width for the streaming phase (1 = serial; the report is
+  /// identical at any width).
+  unsigned Jobs = 1;
+
+  /// Run the IL verifier first; a routine that fails verification reports
+  /// only the scmo-verify error (lint checks assume well-formed IL).
+  bool Verify = true;
+
+  /// Keep only these check codes (empty = all).
+  std::vector<CheckCode> Filter;
+
+  /// Probe-table size for the verifier's probe range check; InvalidId means
+  /// unknown (analysis normally runs on raw, uninstrumented IL).
+  uint32_t NumProbes = InvalidId;
+};
+
+/// Outcome of one analysis run.
+struct AnalysisResult {
+  bool Ok = false;      ///< False only on infrastructure failure.
+  std::string Error;    ///< Set when !Ok.
+
+  std::vector<Diagnostic> Diagnostics; ///< Filtered, deterministically sorted.
+  std::string Report;                  ///< Rendered, one line per diagnostic.
+
+  size_t RoutinesAnalyzed = 0;
+  size_t Errors = 0;
+  size_t Warnings = 0;
+  size_t Notes = 0;
+  double Seconds = 0;
+  uint64_t PeakBytes = 0; ///< MemoryTracker total peak during the run.
+};
+
+/// Runs the full pass roster over every defined routine of \p P, streaming
+/// bodies through \p L. \p Tracker (may be null) is charged for the
+/// transient dataflow scratch under MemCategory::HloDerived.
+AnalysisResult runAnalysis(Program &P, Loader &L, MemoryTracker *Tracker,
+                           const AnalysisOptions &Opts);
+
+} // namespace scmo
+
+#endif // SCMO_ANALYSIS_ANALYSIS_H

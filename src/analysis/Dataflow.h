@@ -1,0 +1,94 @@
+//===- analysis/Dataflow.h --------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small iterative bit-vector dataflow framework over a routine's basic
+/// blocks: an explicit CFG derived from terminators, per-block Gen/Kill
+/// transfer functions, and forward/backward solvers with union or
+/// intersection meet. Dataflow results are classic *derived* data in the
+/// paper's taxonomy — recomputed per analysis invocation, never persisted —
+/// which is what lets the analysis engine stream routine bodies through the
+/// NAIM loader one at a time.
+///
+/// Solver iteration order is fixed (ascending block ids forward, descending
+/// backward), so the fixpoint — and everything diagnosed from it — is
+/// deterministic regardless of how routines are scheduled across workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_ANALYSIS_DATAFLOW_H
+#define SCMO_ANALYSIS_DATAFLOW_H
+
+#include "ir/Routine.h"
+#include "support/RegBitSet.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace scmo {
+
+/// Control-flow graph of one routine: successor and predecessor block lists
+/// read off the terminators. Blocks without a terminator (malformed IL) get
+/// no successors — callers run the verifier first.
+struct Cfg {
+  std::vector<std::vector<BlockId>> Succs;
+  std::vector<std::vector<BlockId>> Preds;
+
+  static Cfg build(const RoutineBody &Body);
+
+  /// Blocks reachable from the entry block along successor edges.
+  std::vector<bool> reachableFromEntry() const;
+};
+
+/// Confluence operator. Union = may-analysis (reaching, liveness);
+/// Intersect = must-analysis (available, definitely-assigned).
+enum class MeetOp : uint8_t { Union, Intersect };
+
+/// Per-block transfer function in Gen/Kill form:
+///   forward:  Out[B] = Gen[B] ∪ (In[B]  \ Kill[B])
+///   backward: In[B]  = Gen[B] ∪ (Out[B] \ Kill[B])
+struct BlockTransfer {
+  RegBitSet Gen;
+  RegBitSet Kill;
+  explicit BlockTransfer(uint32_t Universe) : Gen(Universe), Kill(Universe) {}
+};
+
+/// Solver output: the fixpoint In/Out set per block.
+struct DataflowResult {
+  std::vector<RegBitSet> In;
+  std::vector<RegBitSet> Out;
+
+  /// Bytes of bit-vector storage (charged to MemCategory::HloDerived by the
+  /// analysis driver so figure-style memory reports include analysis
+  /// scratch).
+  uint64_t bytes() const {
+    uint64_t N = 0;
+    for (const RegBitSet &S : In)
+      N += S.bytes();
+    for (const RegBitSet &S : Out)
+      N += S.bytes();
+    return N;
+  }
+};
+
+/// Forward solve: In[entry] = Boundary; other blocks start at bottom (empty
+/// for Union, full for Intersect) and iterate to the fixpoint.
+DataflowResult solveForward(const Cfg &C,
+                            const std::vector<BlockTransfer> &Transfer,
+                            const RegBitSet &Boundary, MeetOp Meet,
+                            uint32_t Universe);
+
+/// Backward solve: Out[B] = Boundary for blocks without successors; other
+/// blocks start at bottom and iterate to the fixpoint.
+DataflowResult solveBackward(const Cfg &C,
+                             const std::vector<BlockTransfer> &Transfer,
+                             const RegBitSet &Boundary, MeetOp Meet,
+                             uint32_t Universe);
+
+} // namespace scmo
+
+#endif // SCMO_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,213 @@
+//===- analysis/Diagnostic.h ------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured diagnostics for the static-analysis engine. A Diagnostic is a
+/// (severity, stable check code, location, message) record; the
+/// DiagnosticEngine collects them from any number of passes, sorts them into
+/// a deterministic order, and renders them as text. Determinism is a hard
+/// requirement (paper Section 6.2: reproducible compiler behaviour is what
+/// makes million-line debugging tractable): the rendered report must be
+/// byte-identical at any --jobs width.
+///
+/// This header is deliberately header-only: the IL verifier (scmo_ir) emits
+/// Diagnostics and the analysis passes (scmo_analysis, which links scmo_ir)
+/// consume them, so the type must not force a link-level cycle between the
+/// two libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_ANALYSIS_DIAGNOSTIC_H
+#define SCMO_ANALYSIS_DIAGNOSTIC_H
+
+#include "ir/Program.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+namespace scmo {
+
+/// Diagnostic severity. Error-severity diagnostics make `scmoc --analyze`
+/// exit non-zero (and fail the CI analyze job); warnings and notes inform.
+enum class Severity : uint8_t { Note, Warning, Error };
+
+inline const char *severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+/// Stable check codes. These are API: users filter on them
+/// (`--analyze-filter`), tests assert on them, and future checkers extend
+/// the enum at the end (the rendered name, not the numeric value, is the
+/// stable identity).
+enum class CheckCode : uint8_t {
+  Verify,                 ///< scmo-verify: IL well-formedness violation.
+  DefBeforeUse,           ///< scmo-def-before-use: possibly-uninitialized reg.
+  UnreachableBlock,       ///< scmo-unreachable-block: no path from entry.
+  DeadStore,              ///< scmo-dead-store: register write never read.
+  ConstantTrap,           ///< scmo-constant-trap: div/rem by literal zero.
+  UnusedRoutine,          ///< scmo-unused-routine: defined, never called.
+  WriteOnlyGlobal,        ///< scmo-write-only-global: stored, never loaded.
+  NeverWrittenGlobalLoad, ///< scmo-never-written-global-load.
+  NumCheckCodes
+};
+
+inline const char *checkCodeName(CheckCode C) {
+  switch (C) {
+  case CheckCode::Verify:
+    return "scmo-verify";
+  case CheckCode::DefBeforeUse:
+    return "scmo-def-before-use";
+  case CheckCode::UnreachableBlock:
+    return "scmo-unreachable-block";
+  case CheckCode::DeadStore:
+    return "scmo-dead-store";
+  case CheckCode::ConstantTrap:
+    return "scmo-constant-trap";
+  case CheckCode::UnusedRoutine:
+    return "scmo-unused-routine";
+  case CheckCode::WriteOnlyGlobal:
+    return "scmo-write-only-global";
+  case CheckCode::NeverWrittenGlobalLoad:
+    return "scmo-never-written-global-load";
+  case CheckCode::NumCheckCodes:
+    break;
+  }
+  return "scmo-unknown";
+}
+
+/// Parses a stable check-code name; returns false for an unknown name.
+inline bool parseCheckCode(std::string_view Name, CheckCode &Out) {
+  for (unsigned C = 0; C != static_cast<unsigned>(CheckCode::NumCheckCodes);
+       ++C) {
+    if (Name == checkCodeName(static_cast<CheckCode>(C))) {
+      Out = static_cast<CheckCode>(C);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The severity a check emits at. Only verifier findings are errors: they
+/// mean the IL is malformed and every downstream result is suspect. The lint
+/// checks flag almost-surely-wrong but well-formed code.
+inline Severity defaultSeverity(CheckCode C) {
+  return C == CheckCode::Verify ? Severity::Error : Severity::Warning;
+}
+
+/// One finding. Location precision degrades gracefully: instruction-level
+/// findings carry (Routine, Block, InstrIdx, Line); routine-level findings
+/// leave Block == InvalidId; program-level findings (e.g. a global variable
+/// property) leave Routine == InvalidId.
+struct Diagnostic {
+  Severity Sev = Severity::Warning;
+  CheckCode Code = CheckCode::Verify;
+  RoutineId Routine = InvalidId;
+  BlockId Block = InvalidId;
+  uint32_t InstrIdx = InvalidId;
+  uint32_t Line = 0;
+  std::string Message;
+};
+
+/// Collects, orders and renders diagnostics.
+class DiagnosticEngine {
+public:
+  void add(Diagnostic D) { Diags.push_back(std::move(D)); }
+
+  void addAll(std::vector<Diagnostic> Ds) {
+    for (Diagnostic &D : Ds)
+      Diags.push_back(std::move(D));
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  size_t size() const { return Diags.size(); }
+
+  size_t count(Severity S) const {
+    size_t N = 0;
+    for (const Diagnostic &D : Diags)
+      if (D.Sev == S)
+        ++N;
+    return N;
+  }
+
+  /// Drops every diagnostic whose code is not in \p Keep (no-op when \p Keep
+  /// is empty: an empty filter means "everything").
+  void filterCodes(const std::vector<CheckCode> &Keep) {
+    if (Keep.empty())
+      return;
+    Diags.erase(std::remove_if(Diags.begin(), Diags.end(),
+                               [&](const Diagnostic &D) {
+                                 return std::find(Keep.begin(), Keep.end(),
+                                                  D.Code) == Keep.end();
+                               }),
+                Diags.end());
+  }
+
+  /// Sorts into the canonical order: program location first (routine, block,
+  /// instruction — InvalidId sorts last, putting program-level findings at
+  /// the end), then check code, then message. The key covers every field
+  /// that reaches the rendered output, so the report is a pure function of
+  /// the diagnostic *set* — workers can produce findings in any order.
+  void sortDeterministic() {
+    auto Key = [](const Diagnostic &D) {
+      return std::tie(D.Routine, D.Block, D.InstrIdx, D.Code, D.Sev,
+                      D.Message);
+    };
+    std::stable_sort(Diags.begin(), Diags.end(),
+                     [&Key](const Diagnostic &X, const Diagnostic &Y) {
+                       return Key(X) < Key(Y);
+                     });
+  }
+
+  /// Renders one diagnostic as a single line (no trailing newline).
+  static std::string render(const Program &P, const Diagnostic &D) {
+    std::ostringstream OS;
+    OS << severityName(D.Sev) << "[" << checkCodeName(D.Code) << "]";
+    if (D.Routine != InvalidId) {
+      OS << " " << P.displayName(D.Routine);
+      if (D.Block != InvalidId) {
+        OS << " bb" << D.Block;
+        if (D.InstrIdx != InvalidId)
+          OS << " #" << D.InstrIdx;
+        if (D.Line)
+          OS << " line " << D.Line;
+      }
+    }
+    OS << ": " << D.Message;
+    return OS.str();
+  }
+
+  /// Renders every diagnostic, one per line, in current order. Call
+  /// sortDeterministic() first for the canonical report.
+  std::string renderAll(const Program &P) const {
+    std::string Out;
+    for (const Diagnostic &D : Diags) {
+      Out += render(P, D);
+      Out += '\n';
+    }
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace scmo
+
+#endif // SCMO_ANALYSIS_DIAGNOSTIC_H

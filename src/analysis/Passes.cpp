@@ -1,0 +1,229 @@
+//===- analysis/Passes.cpp ------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Passes.h"
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace scmo {
+
+namespace {
+
+/// Calls \p F for every register read by \p I (duplicates possible when one
+/// register appears as several operands; callers are idempotent per reg).
+template <typename Fn> void forEachUse(const Instr &I, Fn F) {
+  if (I.A.isReg())
+    F(I.A.asReg());
+  if (I.B.isReg())
+    F(I.B.asReg());
+  for (uint16_t A = 0; A != I.NumArgs; ++A)
+    if (I.Args[A].isReg())
+      F(I.Args[A].asReg());
+}
+
+Diagnostic makeDiag(CheckCode Code, RoutineId R, BlockId B, uint32_t InstrIdx,
+                    uint32_t Line, std::string Msg) {
+  Diagnostic D;
+  D.Sev = defaultSeverity(Code);
+  D.Code = Code;
+  D.Routine = R;
+  D.Block = B;
+  D.InstrIdx = InstrIdx;
+  D.Line = Line;
+  D.Message = std::move(Msg);
+  return D;
+}
+
+std::string regName(RegId R) { return "r" + std::to_string(R); }
+
+/// Flags blocks with no path from entry. Frontend-synthesized merge blocks
+/// (a lone implicit `ret 0` left after both branches of an if/else return)
+/// are suppressed: they carry no user code.
+void checkUnreachable(RoutineId R, const RoutineBody &Body,
+                      const std::vector<bool> &Reach, RoutineFacts &Facts) {
+  for (size_t B = 0; B != Body.Blocks.size(); ++B) {
+    if (Reach[B])
+      continue;
+    // Suppress blocks holding nothing but a terminator: the frontend
+    // synthesizes lone-ret merge blocks (if/else where both arms return)
+    // and lone-jmp fallthrough stubs (an if arm that returns), and neither
+    // carries user computation worth reporting.
+    const std::vector<Instr *> &Instrs = Body.Blocks[B].Instrs;
+    if (Instrs.size() == 1 && Instrs[0]->isTerm())
+      continue;
+    Facts.Diags.push_back(makeDiag(
+        CheckCode::UnreachableBlock, R, static_cast<BlockId>(B), InvalidId,
+        Instrs.empty() ? 0 : Instrs.front()->Line,
+        "block is unreachable from entry"));
+  }
+}
+
+void checkConstantTrap(RoutineId R, const RoutineBody &Body,
+                       RoutineFacts &Facts) {
+  for (size_t B = 0; B != Body.Blocks.size(); ++B) {
+    const std::vector<Instr *> &Instrs = Body.Blocks[B].Instrs;
+    for (size_t Idx = 0; Idx != Instrs.size(); ++Idx) {
+      const Instr &I = *Instrs[Idx];
+      if ((I.Op != Opcode::Div && I.Op != Opcode::Rem) || !I.B.isImm() ||
+          I.B.asImm() != 0)
+        continue;
+      Facts.Diags.push_back(makeDiag(
+          CheckCode::ConstantTrap, R, static_cast<BlockId>(B),
+          static_cast<uint32_t>(Idx), I.Line,
+          std::string(I.Op == Opcode::Div ? "division" : "remainder") +
+              " by constant zero (the VM defines the result as 0)"));
+    }
+  }
+}
+
+/// Forward may-analysis over "registers that may still hold no definition".
+/// Entry boundary: every register except the parameters. A block's defs kill
+/// undefined-ness; nothing generates it. Unreachable blocks report nothing
+/// (their In stays bottom), which matches the unreachable-block check
+/// owning that territory.
+uint64_t checkDefBeforeUse(const Program &, RoutineId R,
+                           const RoutineBody &Body, const Cfg &C,
+                           RoutineFacts &Facts) {
+  uint32_t U = Body.NextReg;
+  if (!U)
+    return 0;
+  std::vector<BlockTransfer> T(Body.Blocks.size(), BlockTransfer(U));
+  for (size_t B = 0; B != Body.Blocks.size(); ++B)
+    for (const Instr *I : Body.Blocks[B].Instrs)
+      if (definesValue(I->Op) && I->Dst != NoReg)
+        T[B].Kill.set(I->Dst);
+
+  RegBitSet Entry(U);
+  for (uint32_t Reg = Body.NumParams; Reg < U; ++Reg)
+    Entry.set(Reg);
+
+  DataflowResult DF = solveForward(C, T, Entry, MeetOp::Union, U);
+
+  for (size_t B = 0; B != Body.Blocks.size(); ++B) {
+    RegBitSet MaybeUndef = DF.In[B];
+    const std::vector<Instr *> &Instrs = Body.Blocks[B].Instrs;
+    for (size_t Idx = 0; Idx != Instrs.size(); ++Idx) {
+      const Instr &I = *Instrs[Idx];
+      forEachUse(I, [&](RegId Use) {
+        if (!MaybeUndef.test(Use))
+          return;
+        Facts.Diags.push_back(makeDiag(
+            CheckCode::DefBeforeUse, R, static_cast<BlockId>(B),
+            static_cast<uint32_t>(Idx), I.Line,
+            "register " + regName(Use) + " may be read before it is set"));
+        MaybeUndef.reset(Use); // One report per register per block.
+      });
+      if (definesValue(I.Op) && I.Dst != NoReg)
+        MaybeUndef.reset(I.Dst);
+    }
+  }
+  return DF.bytes() + uint64_t(2) * ((U + 63) / 64) * 8 * Body.Blocks.size();
+}
+
+/// Backward liveness; a side-effect-free definition whose register is dead
+/// immediately after the instruction is a dead store. Calls are exempt by
+/// hasSideEffects; unreachable blocks are skipped (everything in them is
+/// trivially dead, and the unreachable-block check already fired).
+uint64_t checkDeadStore(RoutineId R, const RoutineBody &Body, const Cfg &C,
+                        const std::vector<bool> &Reach, RoutineFacts &Facts) {
+  uint32_t U = Body.NextReg;
+  if (!U)
+    return 0;
+  std::vector<BlockTransfer> T(Body.Blocks.size(), BlockTransfer(U));
+  for (size_t B = 0; B != Body.Blocks.size(); ++B) {
+    for (const Instr *I : Body.Blocks[B].Instrs) {
+      forEachUse(*I, [&](RegId Use) {
+        if (!T[B].Kill.test(Use))
+          T[B].Gen.set(Use); // Upward-exposed: read before any block-local def.
+      });
+      if (definesValue(I->Op) && I->Dst != NoReg)
+        T[B].Kill.set(I->Dst);
+    }
+  }
+
+  RegBitSet Exit(U);
+  DataflowResult DF = solveBackward(C, T, Exit, MeetOp::Union, U);
+
+  for (size_t B = 0; B != Body.Blocks.size(); ++B) {
+    if (!Reach[B])
+      continue;
+    RegBitSet Live = DF.Out[B];
+    const std::vector<Instr *> &Instrs = Body.Blocks[B].Instrs;
+    for (size_t Idx = Instrs.size(); Idx-- != 0;) {
+      const Instr &I = *Instrs[Idx];
+      bool Defines = definesValue(I.Op) && I.Dst != NoReg;
+      if (Defines && !hasSideEffects(I.Op) && !Live.test(I.Dst))
+        Facts.Diags.push_back(makeDiag(
+            CheckCode::DeadStore, R, static_cast<BlockId>(B),
+            static_cast<uint32_t>(Idx), I.Line,
+            "value stored to register " + regName(I.Dst) + " is never read"));
+      if (Defines)
+        Live.reset(I.Dst);
+      forEachUse(I, [&](RegId Use) { Live.set(Use); });
+    }
+  }
+  return DF.bytes() + uint64_t(2) * ((U + 63) / 64) * 8 * Body.Blocks.size();
+}
+
+/// Records which globals this routine loads/stores and which load sites are
+/// never-written-global-load candidates (the global would read as zero if no
+/// store exists: arrays are zero-filled, scalars only when Init == 0 —
+/// non-zero-initialized scalars are deliberate read-only constants).
+void scanGlobalUse(const Program &P, RoutineId R, const RoutineBody &Body,
+                   RoutineFacts &Facts) {
+  std::map<GlobalId, uint8_t> Use;
+  for (size_t B = 0; B != Body.Blocks.size(); ++B) {
+    const std::vector<Instr *> &Instrs = Body.Blocks[B].Instrs;
+    for (size_t Idx = 0; Idx != Instrs.size(); ++Idx) {
+      const Instr &I = *Instrs[Idx];
+      switch (I.Op) {
+      case Opcode::LoadG:
+      case Opcode::LoadIdx: {
+        Use[I.Sym] |= GlobalUseLoad;
+        const GlobalVar &G = P.global(I.Sym);
+        if (G.Size > 1 || G.Init == 0)
+          Facts.CandidateLoads.push_back({I.Sym, R, static_cast<BlockId>(B),
+                                          static_cast<uint32_t>(Idx), I.Line});
+        break;
+      }
+      case Opcode::StoreG:
+      case Opcode::StoreIdx:
+        Use[I.Sym] |= GlobalUseStore;
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  Facts.GlobalUse.assign(Use.begin(), Use.end());
+}
+
+} // namespace
+
+void runLocalChecks(const Program &P, RoutineId R, const RoutineBody &Body,
+                    RoutineFacts &Facts) {
+  if (Body.Blocks.empty())
+    return;
+  Cfg C = Cfg::build(Body);
+  std::vector<bool> Reach = C.reachableFromEntry();
+
+  checkUnreachable(R, Body, Reach, Facts);
+  checkConstantTrap(R, Body, Facts);
+  uint64_t Fwd = checkDefBeforeUse(P, R, Body, C, Facts);
+  uint64_t Bwd = checkDeadStore(R, Body, C, Reach, Facts);
+  scanGlobalUse(P, R, Body, Facts);
+
+  // The two solves run sequentially, so the routine's scratch peak is the
+  // larger of the two, not their sum.
+  Facts.ScratchBytes = std::max(Fwd, Bwd);
+}
+
+} // namespace scmo

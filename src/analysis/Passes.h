@@ -1,0 +1,68 @@
+//===- analysis/Passes.h ----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The local (intraprocedural) half of the analysis pass roster, plus the
+/// per-routine facts the interprocedural half aggregates. Each worker holds
+/// exactly one routine body at a time and produces a RoutineFacts whose size
+/// is proportional to that routine's *findings*, not to the program — this
+/// is what keeps the analysis engine's memory sub-linear under NAIM (the
+/// same argument the paper makes for summary scans in Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_ANALYSIS_PASSES_H
+#define SCMO_ANALYSIS_PASSES_H
+
+#include "analysis/Diagnostic.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace scmo {
+
+/// A LoadG/LoadIdx site whose global *might* never be stored (zero-initial
+/// scalar or array). Recorded during the parallel local scan; the serial
+/// interprocedural phase turns it into a never-written-global-load
+/// diagnostic once summaries prove no store exists anywhere in scope.
+struct GlobalLoadSite {
+  GlobalId Global = InvalidId;
+  RoutineId Routine = InvalidId;
+  BlockId Block = InvalidId;
+  uint32_t InstrIdx = 0;
+  uint32_t Line = 0;
+};
+
+/// Bits of RoutineFacts::GlobalUse second members.
+enum : uint8_t { GlobalUseLoad = 1, GlobalUseStore = 2 };
+
+/// Everything the local scan learns about one routine. Deliberately sparse:
+/// GlobalUse lists only the globals this routine touches (deduplicated,
+/// ascending GlobalId), so aggregating facts over N routines costs
+/// O(touched globals), not O(N x numGlobals).
+struct RoutineFacts {
+  std::vector<Diagnostic> Diags;
+  std::vector<GlobalLoadSite> CandidateLoads;
+  std::vector<std::pair<GlobalId, uint8_t>> GlobalUse;
+  /// Peak bytes of dataflow bit-vector scratch this routine needed (charged
+  /// to MemCategory::HloDerived around the scan by the caller).
+  uint64_t ScratchBytes = 0;
+};
+
+/// Runs the intraprocedural checks on \p Body — def-before-use,
+/// unreachable-block, dead-store, constant-trap — and records the global
+/// variable uses the interprocedural phase needs. The body must already have
+/// passed the verifier: the checks assume every block is terminated and
+/// every register id is in range.
+void runLocalChecks(const Program &P, RoutineId R, const RoutineBody &Body,
+                    RoutineFacts &Facts);
+
+} // namespace scmo
+
+#endif // SCMO_ANALYSIS_PASSES_H

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <map>
+#include <unistd.h>
 
 using namespace scmo;
 
@@ -108,6 +109,16 @@ std::string CompilerSession::verifyRoutines(ThreadPool &Pool,
   return "";
 }
 
+AnalysisResult CompilerSession::runAnalysis(const AnalysisOptions &AOpts) {
+  if (!FirstError.empty()) {
+    AnalysisResult Result;
+    Result.Error = FirstError;
+    return Result;
+  }
+  Prog->chargeGlobalTables();
+  return scmo::runAnalysis(*Prog, *Ldr, Tracker.get(), AOpts);
+}
+
 bool CompilerSession::checkHeap(BuildResult &Result, const char *Phase) {
   if (!Tracker->heapExhausted())
     return true;
@@ -127,7 +138,11 @@ void CompilerSession::rebuildFromObjects(BuildResult &Result) {
       if (Prog->routine(R).IsDefined && Prog->routine(R).Owner == M)
         Ldr->acquire(R);
     std::vector<uint8_t> Bytes = writeObject(*Prog, M);
+    // Process-unique names: concurrent sessions (parallel test runners,
+    // several scmoc invocations) must not clobber each other's objects in a
+    // shared ObjectDir.
     std::string Path = Opts.ObjectDir + "/scmo-" +
+                       std::to_string(uint64_t(::getpid())) + "-" +
                        Prog->Strings.text(Prog->module(M).Name) + ".o";
     if (!writeFile(Path, Bytes)) {
       Result.Error = "cannot write object file " + Path;

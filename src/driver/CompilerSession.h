@@ -31,6 +31,7 @@
 #ifndef SCMO_DRIVER_COMPILERSESSION_H
 #define SCMO_DRIVER_COMPILERSESSION_H
 
+#include "analysis/Analysis.h"
 #include "driver/Options.h"
 #include "hlo/Selectivity.h"
 #include "link/Linker.h"
@@ -94,6 +95,12 @@ public:
 
   /// Compiles and links everything added so far.
   BuildResult build();
+
+  /// Runs the static-analysis engine (instead of a build) over everything
+  /// added so far: streams every routine through the NAIM loader, runs the
+  /// verifier plus the lint pass roster, and returns the deterministic
+  /// diagnostic report. Does not modify the IL.
+  AnalysisResult runAnalysis(const AnalysisOptions &AOpts);
 
   /// The program being compiled (valid after addSource calls).
   Program &program() { return *Prog; }

@@ -16,51 +16,57 @@ namespace {
 /// Collects the first violation found while walking one routine.
 class RoutineVerifier {
 public:
-  RoutineVerifier(const Program &P, RoutineId R, const RoutineBody &Body)
-      : P(P), R(R), Body(Body) {}
+  RoutineVerifier(const Program &P, RoutineId R, const RoutineBody &Body,
+                  uint32_t NumProbes)
+      : P(P), R(R), Body(Body), NumProbes(NumProbes) {}
 
-  std::string run() {
-    if (Body.Blocks.empty())
-      return fail(0, nullptr, "routine has no blocks");
-    if (Body.NumParams > Body.NextReg)
-      return fail(0, nullptr, "params exceed register count");
-    for (BlockId B = 0; B != Body.Blocks.size(); ++B) {
-      if (std::string E = checkBlock(B); !E.empty())
-        return E;
-    }
-    return "";
+  bool run(DiagnosticEngine &Diags) {
+    bool Ok = walk();
+    if (!Ok)
+      Diags.add(First);
+    return Ok;
   }
 
 private:
-  std::string checkBlock(BlockId B) {
+  bool walk() {
+    if (Body.Blocks.empty())
+      return fail(0, InvalidId, nullptr, "routine has no blocks");
+    if (Body.NumParams > Body.NextReg)
+      return fail(0, InvalidId, nullptr, "params exceed register count");
+    for (BlockId B = 0; B != Body.Blocks.size(); ++B)
+      if (!checkBlock(B))
+        return false;
+    return true;
+  }
+
+  bool checkBlock(BlockId B) {
     const BasicBlock &BB = Body.Blocks[B];
     if (BB.Instrs.empty())
-      return fail(B, nullptr, "empty block");
+      return fail(B, InvalidId, nullptr, "empty block");
     for (size_t Idx = 0; Idx != BB.Instrs.size(); ++Idx) {
       const Instr *I = BB.Instrs[Idx];
       bool IsLast = Idx + 1 == BB.Instrs.size();
       if (I->isTerm() != IsLast)
-        return fail(B, I, I->isTerm() ? "terminator not at block end"
-                                      : "block does not end in a terminator");
-      if (std::string E = checkInstr(B, *I); !E.empty())
-        return E;
+        return fail(B, static_cast<uint32_t>(Idx), I,
+                    I->isTerm() ? "terminator not at block end"
+                                : "block does not end in a terminator");
+      if (!checkInstr(B, static_cast<uint32_t>(Idx), *I))
+        return false;
     }
-    return "";
+    return true;
   }
 
-  std::string checkInstr(BlockId B, const Instr &I) {
+  bool checkInstr(BlockId B, uint32_t Idx, const Instr &I) {
     // Register bounds on all operands.
-    if (std::string E = checkOperand(B, I, I.A); !E.empty())
-      return E;
-    if (std::string E = checkOperand(B, I, I.B); !E.empty())
-      return E;
+    if (!checkOperand(B, Idx, I, I.A) || !checkOperand(B, Idx, I, I.B))
+      return false;
     if (I.Dst != NoReg && I.Dst >= Body.NextReg)
-      return fail(B, &I, "dst register out of range");
+      return fail(B, Idx, &I, "dst register out of range");
 
     switch (I.Op) {
     case Opcode::Mov:
     case Opcode::Neg:
-      return check(B, I, I.Dst != NoReg && !I.A.isNone() && I.B.isNone(),
+      return check(B, Idx, I, I.Dst != NoReg && !I.A.isNone() && I.B.isNone(),
                    "unary op needs dst and one operand");
     case Opcode::Add:
     case Opcode::Sub:
@@ -73,92 +79,127 @@ private:
     case Opcode::CmpLe:
     case Opcode::CmpGt:
     case Opcode::CmpGe:
-      return check(B, I, I.Dst != NoReg && !I.A.isNone() && !I.B.isNone(),
+      return check(B, Idx, I, I.Dst != NoReg && !I.A.isNone() && !I.B.isNone(),
                    "binary op needs dst and two operands");
     case Opcode::LoadG:
       if (I.Sym >= P.numGlobals())
-        return fail(B, &I, "global id out of range");
-      return check(B, I, I.Dst != NoReg, "loadg needs dst");
+        return fail(B, Idx, &I, "global id out of range");
+      return check(B, Idx, I, I.Dst != NoReg, "loadg needs dst");
     case Opcode::StoreG:
       if (I.Sym >= P.numGlobals())
-        return fail(B, &I, "global id out of range");
-      return check(B, I, !I.A.isNone(), "storeg needs a value");
+        return fail(B, Idx, &I, "global id out of range");
+      return check(B, Idx, I, !I.A.isNone(), "storeg needs a value");
     case Opcode::LoadIdx:
       if (I.Sym >= P.numGlobals())
-        return fail(B, &I, "global id out of range");
-      return check(B, I, I.Dst != NoReg && !I.A.isNone(),
+        return fail(B, Idx, &I, "global id out of range");
+      return check(B, Idx, I, I.Dst != NoReg && !I.A.isNone(),
                    "loadidx needs dst and index");
     case Opcode::StoreIdx:
       if (I.Sym >= P.numGlobals())
-        return fail(B, &I, "global id out of range");
-      return check(B, I, !I.A.isNone() && !I.B.isNone(),
+        return fail(B, Idx, &I, "global id out of range");
+      return check(B, Idx, I, !I.A.isNone() && !I.B.isNone(),
                    "storeidx needs index and value");
     case Opcode::Jmp:
-      return check(B, I, I.T1 < Body.Blocks.size(), "jmp target out of range");
+      return check(B, Idx, I, I.T1 < Body.Blocks.size(),
+                   "jmp target out of range");
     case Opcode::Br:
       if (I.A.isNone())
-        return fail(B, &I, "br needs a condition");
-      return check(B, I,
+        return fail(B, Idx, &I, "br needs a condition");
+      return check(B, Idx, I,
                    I.T1 < Body.Blocks.size() && I.T2 < Body.Blocks.size(),
                    "br target out of range");
     case Opcode::Ret:
-      return check(B, I, !I.A.isNone(), "ret needs a value");
+      return check(B, Idx, I, !I.A.isNone(), "ret needs a value");
     case Opcode::Call: {
       if (I.Sym >= P.numRoutines())
-        return fail(B, &I, "callee id out of range");
+        return fail(B, Idx, &I, "callee id out of range");
       const RoutineInfo &Callee = P.routine(I.Sym);
       if (I.NumArgs != Callee.NumParams)
-        return fail(B, &I, "call argument count mismatch");
+        return fail(B, Idx, &I, "call argument count mismatch");
       for (unsigned A = 0; A != I.NumArgs; ++A) {
         if (I.Args[A].isNone())
-          return fail(B, &I, "call passes a missing argument");
-        if (std::string E = checkOperand(B, I, I.Args[A]); !E.empty())
-          return E;
+          return fail(B, Idx, &I, "call passes a missing argument");
+        if (!checkOperand(B, Idx, I, I.Args[A]))
+          return false;
       }
-      return "";
+      return true;
     }
     case Opcode::Print:
-      return check(B, I, !I.A.isNone(), "print needs a value");
+      return check(B, Idx, I, !I.A.isNone(), "print needs a value");
     case Opcode::Probe:
-      return check(B, I, I.ProbeId != InvalidId, "probe without counter id");
+      if (I.ProbeId == InvalidId)
+        return fail(B, Idx, &I, "probe without counter id");
+      if (NumProbes != InvalidId && I.ProbeId >= NumProbes)
+        return fail(B, Idx, &I, "probe id out of range for probe table");
+      return true;
     case Opcode::Nop:
-      return "";
+      // ProbeId is deliberately not checked: the inliner retires Probe
+      // instructions to Nop while keeping the id for debugging.
+      return check(B, Idx, I,
+                   I.Dst == NoReg && I.A.isNone() && I.B.isNone() &&
+                       I.NumArgs == 0,
+                   "nop carries operands");
     }
     scmo_unreachable("invalid opcode");
   }
 
-  std::string checkOperand(BlockId B, const Instr &I, const Operand &O) {
+  bool checkOperand(BlockId B, uint32_t Idx, const Instr &I,
+                    const Operand &O) {
     if (O.isReg() && O.Reg >= Body.NextReg)
-      return fail(B, &I, "source register out of range");
-    return "";
+      return fail(B, Idx, &I, "source register out of range");
+    return true;
   }
 
-  std::string check(BlockId B, const Instr &I, bool Cond, const char *Msg) {
-    return Cond ? "" : fail(B, &I, Msg);
+  bool check(BlockId B, uint32_t Idx, const Instr &I, bool Cond,
+             const char *Msg) {
+    return Cond ? true : fail(B, Idx, &I, Msg);
   }
 
-  std::string fail(BlockId B, const Instr *I, const char *Msg) {
-    std::ostringstream OS;
-    OS << "verify failed in " << P.displayName(R) << " bb" << B;
+  bool fail(BlockId B, uint32_t Idx, const Instr *I, const char *Msg) {
+    First.Sev = Severity::Error;
+    First.Code = CheckCode::Verify;
+    First.Routine = R;
+    First.Block = B;
+    First.InstrIdx = Idx;
+    First.Line = I ? I->Line : 0;
+    First.Message = Msg;
     if (I)
-      OS << " (" << opcodeName(I->Op) << ")";
-    OS << ": " << Msg;
-    return OS.str();
+      First.Message = "(" + std::string(opcodeName(I->Op)) + ") " + Msg;
+    return false;
   }
 
   const Program &P;
   RoutineId R;
   const RoutineBody &Body;
+  uint32_t NumProbes;
+  Diagnostic First;
 };
+
+/// Renders a verifier diagnostic in the historical shim format.
+std::string renderShim(const Program &P, const Diagnostic &D) {
+  std::ostringstream OS;
+  OS << "verify failed in " << P.displayName(D.Routine) << " bb" << D.Block
+     << ": " << D.Message;
+  return OS.str();
+}
 
 } // namespace
 
-std::string scmo::verifyRoutine(const Program &P, RoutineId R,
-                                const RoutineBody &Body) {
-  return RoutineVerifier(P, R, Body).run();
+bool scmo::verifyRoutine(const Program &P, RoutineId R,
+                         const RoutineBody &Body, DiagnosticEngine &Diags,
+                         uint32_t NumProbes) {
+  return RoutineVerifier(P, R, Body, NumProbes).run(Diags);
 }
 
-std::string scmo::verifyProgram(Program &P) {
+std::string scmo::verifyRoutine(const Program &P, RoutineId R,
+                                const RoutineBody &Body) {
+  DiagnosticEngine Diags;
+  if (verifyRoutine(P, R, Body, Diags))
+    return "";
+  return renderShim(P, Diags.diagnostics().front());
+}
+
+std::string scmo::verifyProgram(const Program &P) {
   for (RoutineId R = 0; R != P.numRoutines(); ++R) {
     const RoutineInfo &RI = P.routine(R);
     if (RI.Slot.State != PoolState::Expanded)

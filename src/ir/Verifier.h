@@ -11,11 +11,17 @@
 /// (Section 6.3) depends on being able to localize which transformation
 /// broke a program, and the verifier is the first line of that defense.
 ///
+/// Violations are reported as structured Diagnostics (check code
+/// scmo-verify, severity error) so the analysis engine can merge them with
+/// lint findings; the original string-returning entry points remain as thin
+/// shims over the diagnostic form.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCMO_IR_VERIFIER_H
 #define SCMO_IR_VERIFIER_H
 
+#include "analysis/Diagnostic.h"
 #include "ir/Program.h"
 
 #include <string>
@@ -27,15 +33,28 @@ namespace scmo {
 ///  - terminators appear only at block ends,
 ///  - register, block, global and routine references are in range,
 ///  - calls pass the declared number of arguments,
-///  - operand kinds match each opcode's signature.
+///  - operand kinds match each opcode's signature,
+///  - probe counter ids are in range when the table size is known
+///    (\p NumProbes == InvalidId means "unknown, skip the range check"),
+///  - Nop carries no operands (transforms degrade instructions to Nop and
+///    must clear the value fields; a dangling ProbeId is permitted because
+///    the inliner deliberately keeps it when retiring a Probe).
 ///
-/// \returns an empty string if valid, otherwise a diagnostic naming the
-/// first violation.
+/// Records the first violation into \p Diags as an error-severity
+/// scmo-verify diagnostic. \returns true when the routine is well formed.
+bool verifyRoutine(const Program &P, RoutineId R, const RoutineBody &Body,
+                   DiagnosticEngine &Diags, uint32_t NumProbes = InvalidId);
+
+/// String shim: \returns an empty string if valid, otherwise a one-line
+/// rendering of the first violation.
 std::string verifyRoutine(const Program &P, RoutineId R,
                           const RoutineBody &Body);
 
 /// Verifies every expanded routine in \p P; returns first diagnostic or "".
-std::string verifyProgram(Program &P);
+/// Read-only: bodies already expanded are inspected in place, unexpanded
+/// ones are skipped (streaming whole-program verification goes through the
+/// analysis engine, which owns a loader).
+std::string verifyProgram(const Program &P);
 
 } // namespace scmo
 

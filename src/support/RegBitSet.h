@@ -24,11 +24,38 @@ namespace scmo {
 /// Fixed-universe bitset with the operations dataflow needs.
 class RegBitSet {
 public:
-  explicit RegBitSet(uint32_t Universe) : Words((Universe + 63) / 64, 0) {}
+  explicit RegBitSet(uint32_t Universe)
+      : N(Universe), Words((Universe + 63) / 64, 0) {}
+
+  uint32_t universe() const { return N; }
 
   void set(uint32_t R) { Words[R >> 6] |= 1ull << (R & 63); }
   void reset(uint32_t R) { Words[R >> 6] &= ~(1ull << (R & 63)); }
   bool test(uint32_t R) const { return Words[R >> 6] & (1ull << (R & 63)); }
+
+  /// Sets every bit in [0, universe) — the top element of a must-analysis
+  /// (intersection-meet) lattice.
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~0ull;
+    if (N & 63)
+      Words.back() &= (1ull << (N & 63)) - 1;
+  }
+
+  bool operator==(const RegBitSet &Other) const {
+    return Words == Other.Words;
+  }
+
+  /// this &= Other; returns true if any bit changed.
+  bool intersect(const RegBitSet &Other) {
+    bool Changed = false;
+    for (size_t W = 0; W != Words.size(); ++W) {
+      uint64_t New = Words[W] & Other.Words[W];
+      Changed |= New != Words[W];
+      Words[W] = New;
+    }
+    return Changed;
+  }
 
   /// this |= Other; returns true if any bit changed.
   bool merge(const RegBitSet &Other) {
@@ -63,6 +90,7 @@ public:
   uint64_t bytes() const { return Words.size() * 8; }
 
 private:
+  uint32_t N = 0;
   std::vector<uint64_t> Words;
 };
 

@@ -23,10 +23,20 @@
 ///     --emit-il <routine>    print a routine's optimized IL
 ///     --disasm <routine>     print a routine's machine code
 ///     --stats                print optimizer statistics and memory peaks
+///     --analyze              run the static-analysis engine instead of a
+///                            build; prints diagnostics, exits 1 on errors
+///     --analyze-filter <c,..> keep only these check codes (names like
+///                            scmo-dead-store)
+///     --gen-mcad <lines>     analyze/compile a generated MCAD-like program
+///                            of roughly this many lines (no input files
+///                            needed)
+///     --plant-defects        seed the generated program with one instance
+///                            of every lint defect (with --gen-mcad)
 ///
 /// Example session (the paper's deployment flow):
 ///   scmoc +O2 +I --profile app.prof --run app.mc lib.mc   # train
 ///   scmoc +O4 +P --profile app.prof --select 5 --run app.mc lib.mc
+///   scmoc --analyze app.mc lib.mc                         # lint
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,7 +59,8 @@ int usage(const char *Argv0) {
                "usage: %s [+O1|+O2|+O4] [+P] [+I] [--profile F] "
                "[--select PCT] [--multi-layered] [--machine-mem MIB] "
                "[--jobs N] [--run] [--emit-il R] [--disasm R] [--stats] "
-               "files...\n",
+               "[--analyze] [--analyze-filter CODES] [--gen-mcad LINES] "
+               "[--plant-defects] files...\n",
                Argv0);
   return 2;
 }
@@ -80,6 +91,9 @@ int main(int argc, char **argv) {
   std::string ProfilePath;
   std::string EmitIlRoutine, DisasmRoutine;
   bool Run = false, Stats = false;
+  bool Analyze = false, PlantDefects = false;
+  uint64_t GenMcadLines = 0;
+  std::vector<CheckCode> AnalyzeFilter;
 
   for (int A = 1; A < argc; ++A) {
     std::string Arg = argv[A];
@@ -119,12 +133,38 @@ int main(int argc, char **argv) {
       DisasmRoutine = takeValue("--disasm");
     else if (Arg == "--stats")
       Stats = true;
+    else if (Arg == "--analyze")
+      Analyze = true;
+    else if (Arg == "--analyze-filter") {
+      std::string Codes = takeValue("--analyze-filter");
+      size_t Start = 0;
+      while (Start <= Codes.size()) {
+        size_t Comma = Codes.find(',', Start);
+        std::string Name = Codes.substr(
+            Start, Comma == std::string::npos ? Comma : Comma - Start);
+        if (!Name.empty()) {
+          CheckCode Code;
+          if (!parseCheckCode(Name, Code)) {
+            std::fprintf(stderr, "scmoc: unknown check code '%s'\n",
+                         Name.c_str());
+            return 2;
+          }
+          AnalyzeFilter.push_back(Code);
+        }
+        if (Comma == std::string::npos)
+          break;
+        Start = Comma + 1;
+      }
+    } else if (Arg == "--gen-mcad")
+      GenMcadLines = uint64_t(std::atoll(takeValue("--gen-mcad")));
+    else if (Arg == "--plant-defects")
+      PlantDefects = true;
     else if (!Arg.empty() && Arg[0] == '-')
       return usage(argv[0]);
     else
       Files.push_back(Arg);
   }
-  if (Files.empty())
+  if (Files.empty() && !GenMcadLines)
     return usage(argv[0]);
   if (Opts.Instrument && Opts.Level == OptLevel::O4) {
     std::fprintf(stderr, "+I is a +O2-level build; ignoring +O4\n");
@@ -142,6 +182,32 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "scmoc: %s\n", Session.firstError().c_str());
       return 1;
     }
+  }
+  if (GenMcadLines) {
+    WorkloadParams Params = mcadLikeParams(GenMcadLines);
+    Params.PlantDefects = PlantDefects;
+    if (!Session.addGenerated(generateProgram(Params))) {
+      std::fprintf(stderr, "scmoc: %s\n", Session.firstError().c_str());
+      return 1;
+    }
+  }
+
+  if (Analyze) {
+    AnalysisOptions AOpts;
+    AOpts.Jobs = Opts.Jobs;
+    AOpts.Filter = std::move(AnalyzeFilter);
+    AnalysisResult AR = Session.runAnalysis(AOpts);
+    if (!AR.Ok) {
+      std::fprintf(stderr, "scmoc: %s\n", AR.Error.c_str());
+      return 1;
+    }
+    std::fputs(AR.Report.c_str(), stdout);
+    std::fprintf(stderr,
+                 "[analyzed %zu routines: %zu errors, %zu warnings, "
+                 "%zu notes; %.3fs, peak %.2f MiB]\n",
+                 AR.RoutinesAnalyzed, AR.Errors, AR.Warnings, AR.Notes,
+                 AR.Seconds, double(AR.PeakBytes) / 1048576.0);
+    return AR.Errors ? 1 : 0;
   }
 
   if (Opts.Pbo) {

@@ -39,6 +39,8 @@ public:
     GeneratedProgram Out;
     for (uint32_t M = 0; M != Params.NumModules; ++M)
       Out.Modules.push_back(buildModule(M));
+    if (Params.PlantDefects)
+      Out.Modules.push_back(buildLintbaitModule());
     for (const GeneratedModule &GM : Out.Modules)
       Out.TotalLines += GM.Lines;
     return Out;
@@ -378,6 +380,54 @@ private:
     }
     line("}");
     line("");
+  }
+
+  /// One module seeded with a known instance of every source-expressible
+  /// lint defect (def-before-use is not expressible: MiniC zero-initializes
+  /// every `var`). Nothing here is called from the rest of the program —
+  /// every check involved is either intraprocedural or whole-program
+  /// (unused-routine findings on these helpers are themselves planted
+  /// defects).
+  GeneratedModule buildLintbaitModule() {
+    std::ostringstream OS;
+    uint32_t Lines = 0;
+    auto line = [&](const std::string &Text) {
+      OS << Text << "\n";
+      ++Lines;
+    };
+    line("// planted analysis defects");
+    line("global lint_sink;"); // scmo-write-only-global: stored, never loaded.
+    line("global lint_zero;"); // scmo-never-written-global-load: the reverse.
+    line("");
+    line("func lint_unused(p0) {"); // scmo-unused-routine.
+    line("  return p0 + 1;");
+    line("}");
+    line("");
+    line("func lint_entry(p0) {");
+    line("  var a = 1;"); // scmo-dead-store: overwritten before any read.
+    line("  a = p0 + 2;");
+    line("  var t = p0 / 0;"); // scmo-constant-trap (Div).
+    line("  var u = p0 % 0;"); // scmo-constant-trap (Rem).
+    line("  lint_sink = a + t + u;");
+    line("  var z = lint_zero;");
+    line("  return a + z;");
+    line("}");
+    line("");
+    line("func lint_dead_code(p0) {");
+    line("  if (p0 > 0) {");
+    line("    return 1;");
+    line("  } else {");
+    line("    return 2;");
+    line("  }");
+    // Both arms returned: the merge block below is unreachable and carries
+    // real code, so it is not the suppressed lone-implicit-ret shape.
+    line("  lint_sink = 99;"); // scmo-unreachable-block.
+    line("}");
+    GeneratedModule GM;
+    GM.Name = "lintbait";
+    GM.Source = OS.str();
+    GM.Lines = Lines;
+    return GM;
   }
 
   void emitMain(std::ostringstream &OS, uint32_t &Lines, Prng &ModRng) {

@@ -72,6 +72,13 @@ struct WorkloadParams {
   /// the SPEC-like default; MCAD-likes concentrate the performance kernel
   /// so coarse-grained selectivity has something to select).
   double HotModuleFraction = 1.0;
+
+  /// Appends a "lintbait" module seeded with one instance of every
+  /// source-expressible analysis defect (dead store, constant trap,
+  /// unreachable code, unused routine, write-only global, never-written
+  /// global load) so `scmoc --analyze` acceptance runs have known findings
+  /// to flag. Off by default: benchmark programs stay clean.
+  bool PlantDefects = false;
 };
 
 /// One generated module: a name and MiniC source text.

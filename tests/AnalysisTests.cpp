@@ -1,0 +1,561 @@
+//===- tests/AnalysisTests.cpp --------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static-analysis engine: dataflow solver fixpoints, each lint check's
+/// positive and negative cases, the interprocedural checks' scope rules, and
+/// the `--analyze` engine's determinism and memory contracts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "analysis/Dataflow.h"
+#include "analysis/Passes.h"
+#include "driver/CompilerSession.h"
+#include "ir/Verifier.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace scmo;
+
+namespace {
+
+/// Appends a fresh instruction to block \p Blk of \p Body.
+Instr *push(RoutineBody &Body, BlockId Blk, Opcode Op) {
+  Instr *I = Body.newInstr(Op);
+  Body.Blocks[Blk].Instrs.push_back(I);
+  return I;
+}
+
+Instr *ret(RoutineBody &Body, BlockId Blk, Operand Val) {
+  Instr *I = push(Body, Blk, Opcode::Ret);
+  I->A = Val;
+  return I;
+}
+
+/// A body skeleton with \p NumBlocks empty blocks and \p NumRegs registers,
+/// the first \p NumParams of which are parameters.
+std::unique_ptr<RoutineBody> skeleton(uint32_t NumBlocks, uint32_t NumRegs,
+                                      uint32_t NumParams = 0) {
+  auto Body = std::make_unique<RoutineBody>();
+  Body->NumParams = NumParams;
+  Body->NextReg = NumRegs;
+  for (uint32_t B = 0; B != NumBlocks; ++B)
+    Body->newBlock();
+  return Body;
+}
+
+size_t countCode(const std::vector<Diagnostic> &Ds, CheckCode C) {
+  size_t N = 0;
+  for (const Diagnostic &D : Ds)
+    if (D.Code == C)
+      ++N;
+  return N;
+}
+
+/// Runs the local checks on a body installed into a one-routine program.
+RoutineFacts localFacts(std::unique_ptr<RoutineBody> Body,
+                        uint32_t NumGlobals = 0) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  for (uint32_t G = 0; G != NumGlobals; ++G)
+    P.addGlobal(M, "g" + std::to_string(G), 1, 0, false);
+  RoutineId R = P.declareRoutine(M, "f", Body->NumParams, false);
+  P.defineRoutine(R, M, std::move(Body));
+  EXPECT_EQ(verifyRoutine(P, R, P.body(R)), "");
+  RoutineFacts Facts;
+  runLocalChecks(P, R, P.body(R), Facts);
+  return Facts;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CFG and dataflow solver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// bb0 --br--> bb1 / bb2 --> bb3 (the classic diamond), r0 the condition.
+std::unique_ptr<RoutineBody> diamondBody() {
+  auto Body = skeleton(4, 3, /*NumParams=*/1);
+  Instr *Br = push(*Body, 0, Opcode::Br);
+  Br->A = Operand::reg(0);
+  Br->T1 = 1;
+  Br->T2 = 2;
+  for (BlockId B : {BlockId(1), BlockId(2)}) {
+    Instr *Mov = push(*Body, B, Opcode::Mov);
+    Mov->Dst = B; // r1 in bb1, r2 in bb2.
+    Mov->A = Operand::imm(B);
+    Instr *Jmp = push(*Body, B, Opcode::Jmp);
+    Jmp->T1 = 3;
+  }
+  ret(*Body, 3, Operand::reg(1));
+  return Body;
+}
+
+} // namespace
+
+TEST(Cfg, EdgesAndReachabilityFollowTerminators) {
+  auto Body = diamondBody();
+  Cfg C = Cfg::build(*Body);
+  ASSERT_EQ(C.Succs.size(), 4u);
+  EXPECT_EQ(C.Succs[0], (std::vector<BlockId>{1, 2}));
+  EXPECT_EQ(C.Succs[1], (std::vector<BlockId>{3}));
+  EXPECT_EQ(C.Preds[3], (std::vector<BlockId>{1, 2}));
+  EXPECT_TRUE(C.Succs[3].empty());
+  auto Reach = C.reachableFromEntry();
+  EXPECT_EQ(Reach, (std::vector<bool>{true, true, true, true}));
+}
+
+TEST(Cfg, UnreachableBlockHasNoEntryPath) {
+  auto Body = skeleton(2, 1);
+  ret(*Body, 0, Operand::imm(0));
+  ret(*Body, 1, Operand::imm(1));
+  Cfg C = Cfg::build(*Body);
+  auto Reach = C.reachableFromEntry();
+  EXPECT_TRUE(Reach[0]);
+  EXPECT_FALSE(Reach[1]);
+}
+
+TEST(Dataflow, ForwardUnionMergesBothDiamondArms) {
+  auto Body = diamondBody();
+  Cfg C = Cfg::build(*Body);
+  const uint32_t U = 3;
+  std::vector<BlockTransfer> T(4, BlockTransfer(U));
+  T[1].Gen.set(1);
+  T[2].Gen.set(2);
+  RegBitSet Boundary(U);
+  DataflowResult R = solveForward(C, T, Boundary, MeetOp::Union, U);
+  // May-analysis: the merge sees facts from either arm.
+  EXPECT_TRUE(R.In[3].test(1));
+  EXPECT_TRUE(R.In[3].test(2));
+  EXPECT_FALSE(R.In[3].test(0));
+  // Each arm sees only its own fact.
+  EXPECT_TRUE(R.Out[1].test(1));
+  EXPECT_FALSE(R.Out[1].test(2));
+}
+
+TEST(Dataflow, ForwardIntersectKeepsOnlyAllPathFacts) {
+  auto Body = diamondBody();
+  Cfg C = Cfg::build(*Body);
+  const uint32_t U = 3;
+  std::vector<BlockTransfer> T(4, BlockTransfer(U));
+  T[0].Gen.set(0); // Available on every path.
+  T[1].Gen.set(1); // Only through bb1.
+  T[2].Gen.set(2); // Only through bb2.
+  RegBitSet Boundary(U);
+  DataflowResult R = solveForward(C, T, Boundary, MeetOp::Intersect, U);
+  // Must-analysis: one-arm facts die at the merge, all-path facts survive.
+  EXPECT_TRUE(R.In[3].test(0));
+  EXPECT_FALSE(R.In[3].test(1));
+  EXPECT_FALSE(R.In[3].test(2));
+}
+
+TEST(Dataflow, BackwardLivenessCirculatesAroundLoop) {
+  // bb0 -> bb1 (loop: br back to bb1 or on to bb2) -> bb2.
+  auto Body = skeleton(3, 2);
+  Instr *Jmp = push(*Body, 0, Opcode::Jmp);
+  Jmp->T1 = 1;
+  Instr *Br = push(*Body, 1, Opcode::Br);
+  Br->A = Operand::reg(0);
+  Br->T1 = 1;
+  Br->T2 = 2;
+  ret(*Body, 2, Operand::reg(1));
+  Cfg C = Cfg::build(*Body);
+  const uint32_t U = 2;
+  std::vector<BlockTransfer> T(3, BlockTransfer(U));
+  T[1].Gen.set(0); // The loop reads r0 every iteration.
+  T[2].Gen.set(1); // The exit reads r1.
+  RegBitSet Boundary(U);
+  DataflowResult R = solveBackward(C, T, Boundary, MeetOp::Union, U);
+  // r0 is live around the back edge and into the preheader.
+  EXPECT_TRUE(R.Out[1].test(0));
+  EXPECT_TRUE(R.In[1].test(0));
+  EXPECT_TRUE(R.In[0].test(0));
+  // r1 is live through the loop (no kill) but dead after the exit reads it.
+  EXPECT_TRUE(R.Out[1].test(1));
+  EXPECT_TRUE(R.In[0].test(1));
+  EXPECT_FALSE(R.Out[2].test(1));
+}
+
+TEST(Dataflow, KillStopsPropagation) {
+  // Straight line bb0 -> bb1 -> bb2; bb1 kills bit 0.
+  auto Body = skeleton(3, 1);
+  push(*Body, 0, Opcode::Jmp)->T1 = 1;
+  push(*Body, 1, Opcode::Jmp)->T1 = 2;
+  ret(*Body, 2, Operand::imm(0));
+  Cfg C = Cfg::build(*Body);
+  const uint32_t U = 1;
+  std::vector<BlockTransfer> T(3, BlockTransfer(U));
+  T[0].Gen.set(0);
+  T[1].Kill.set(0);
+  RegBitSet Boundary(U);
+  DataflowResult R = solveForward(C, T, Boundary, MeetOp::Union, U);
+  EXPECT_TRUE(R.In[1].test(0));
+  EXPECT_FALSE(R.Out[1].test(0));
+  EXPECT_FALSE(R.In[2].test(0));
+}
+
+//===----------------------------------------------------------------------===//
+// Local checks: positive and negative per check code
+//===----------------------------------------------------------------------===//
+
+TEST(Checks, DefBeforeUseFlagsUninitializedRegister) {
+  // r0 is not a parameter and never written: "add r1 = r0 + 1" reads junk.
+  auto Body = skeleton(1, 2, /*NumParams=*/0);
+  Instr *Add = push(*Body, 0, Opcode::Add);
+  Add->Dst = 1;
+  Add->A = Operand::reg(0);
+  Add->B = Operand::imm(1);
+  ret(*Body, 0, Operand::reg(1));
+  RoutineFacts Facts = localFacts(std::move(Body));
+  EXPECT_EQ(countCode(Facts.Diags, CheckCode::DefBeforeUse), 1u);
+}
+
+TEST(Checks, DefBeforeUseSpareParamsAndDominatedReads) {
+  // Same shape but r0 is a parameter — defined at entry by the caller.
+  auto Body = skeleton(1, 2, /*NumParams=*/1);
+  Instr *Add = push(*Body, 0, Opcode::Add);
+  Add->Dst = 1;
+  Add->A = Operand::reg(0);
+  Add->B = Operand::imm(1);
+  ret(*Body, 0, Operand::reg(1));
+  RoutineFacts Facts = localFacts(std::move(Body));
+  EXPECT_EQ(countCode(Facts.Diags, CheckCode::DefBeforeUse), 0u);
+}
+
+TEST(Checks, DefBeforeUseSeesOneArmInitialization) {
+  // r1 is initialized on only one diamond arm, then read at the merge: a
+  // may-uninitialized read the union meet must catch.
+  auto Body = skeleton(4, 3, /*NumParams=*/1);
+  Instr *Br = push(*Body, 0, Opcode::Br);
+  Br->A = Operand::reg(0);
+  Br->T1 = 1;
+  Br->T2 = 2;
+  Instr *Mov = push(*Body, 1, Opcode::Mov);
+  Mov->Dst = 1;
+  Mov->A = Operand::imm(7);
+  push(*Body, 1, Opcode::Jmp)->T1 = 3;
+  push(*Body, 2, Opcode::Jmp)->T1 = 3;
+  ret(*Body, 3, Operand::reg(1));
+  RoutineFacts Facts = localFacts(std::move(Body));
+  EXPECT_EQ(countCode(Facts.Diags, CheckCode::DefBeforeUse), 1u);
+}
+
+TEST(Checks, DeadStoreFlagsOverwrittenRegister) {
+  auto Body = skeleton(1, 1);
+  Instr *M1 = push(*Body, 0, Opcode::Mov);
+  M1->Dst = 0;
+  M1->A = Operand::imm(5); // Dead: overwritten before any read.
+  Instr *M2 = push(*Body, 0, Opcode::Mov);
+  M2->Dst = 0;
+  M2->A = Operand::imm(6);
+  ret(*Body, 0, Operand::reg(0));
+  RoutineFacts Facts = localFacts(std::move(Body));
+  ASSERT_EQ(countCode(Facts.Diags, CheckCode::DeadStore), 1u);
+  // It names the first mov, not the second.
+  for (const Diagnostic &D : Facts.Diags)
+    if (D.Code == CheckCode::DeadStore) {
+      EXPECT_EQ(D.InstrIdx, 0u);
+    }
+}
+
+TEST(Checks, DeadStoreSparesReadValuesAndCalls) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId Callee = P.declareRoutine(M, "callee", 0, false);
+  {
+    auto CalleeBody = skeleton(1, 0);
+    ret(*CalleeBody, 0, Operand::imm(0));
+    P.defineRoutine(Callee, M, std::move(CalleeBody));
+  }
+  // "call r0 = callee(); ret #0": r0 is never read, but the call must run
+  // for its side effects — not a dead-store finding.
+  RoutineId R = P.declareRoutine(M, "f", 0, false);
+  auto Body = skeleton(1, 1);
+  Instr *Call = push(*Body, 0, Opcode::Call);
+  Call->Sym = Callee;
+  Call->Dst = 0;
+  Call->NumArgs = 0;
+  ret(*Body, 0, Operand::imm(0));
+  P.defineRoutine(R, M, std::move(Body));
+  ASSERT_EQ(verifyRoutine(P, R, P.body(R)), "");
+  RoutineFacts Facts;
+  runLocalChecks(P, R, P.body(R), Facts);
+  EXPECT_EQ(countCode(Facts.Diags, CheckCode::DeadStore), 0u);
+}
+
+TEST(Checks, DeadStoreSeesLivenessAcrossBlocks) {
+  // The store is read in a *later* block: local reasoning would flag it,
+  // the backward dataflow must not.
+  auto Body = skeleton(2, 1);
+  Instr *Mov = push(*Body, 0, Opcode::Mov);
+  Mov->Dst = 0;
+  Mov->A = Operand::imm(3);
+  push(*Body, 0, Opcode::Jmp)->T1 = 1;
+  ret(*Body, 1, Operand::reg(0));
+  RoutineFacts Facts = localFacts(std::move(Body));
+  EXPECT_EQ(countCode(Facts.Diags, CheckCode::DeadStore), 0u);
+}
+
+TEST(Checks, ConstantTrapFlagsLiteralZeroDivisors) {
+  auto Body = skeleton(1, 3, /*NumParams=*/1);
+  Instr *Div = push(*Body, 0, Opcode::Div);
+  Div->Dst = 1;
+  Div->A = Operand::reg(0);
+  Div->B = Operand::imm(0);
+  Instr *Rem = push(*Body, 0, Opcode::Rem);
+  Rem->Dst = 2;
+  Rem->A = Operand::reg(0);
+  Rem->B = Operand::imm(0);
+  Instr *Add = push(*Body, 0, Opcode::Add);
+  Add->Dst = 2;
+  Add->A = Operand::reg(1);
+  Add->B = Operand::reg(2);
+  ret(*Body, 0, Operand::reg(2));
+  RoutineFacts Facts = localFacts(std::move(Body));
+  EXPECT_EQ(countCode(Facts.Diags, CheckCode::ConstantTrap), 2u);
+}
+
+TEST(Checks, ConstantTrapIgnoresNonzeroAndRegisterDivisors) {
+  auto Body = skeleton(1, 3, /*NumParams=*/2);
+  Instr *Div = push(*Body, 0, Opcode::Div);
+  Div->Dst = 2;
+  Div->A = Operand::reg(0);
+  Div->B = Operand::imm(2); // Nonzero literal: fine.
+  Instr *Div2 = push(*Body, 0, Opcode::Div);
+  Div2->Dst = 2;
+  Div2->A = Operand::reg(2);
+  Div2->B = Operand::reg(1); // Register divisor: could be anything.
+  ret(*Body, 0, Operand::reg(2));
+  RoutineFacts Facts = localFacts(std::move(Body));
+  EXPECT_EQ(countCode(Facts.Diags, CheckCode::ConstantTrap), 0u);
+}
+
+TEST(Checks, UnreachableBlockFlagsOrphanCode) {
+  auto Body = skeleton(2, 1);
+  ret(*Body, 0, Operand::imm(0));
+  Instr *Mov = push(*Body, 1, Opcode::Mov); // Real code, no way to reach it.
+  Mov->Dst = 0;
+  Mov->A = Operand::imm(1);
+  ret(*Body, 1, Operand::reg(0));
+  RoutineFacts Facts = localFacts(std::move(Body));
+  EXPECT_EQ(countCode(Facts.Diags, CheckCode::UnreachableBlock), 1u);
+}
+
+TEST(Checks, UnreachableBlockSparesSynthesizedMergeRets) {
+  // The frontend synthesizes a lone-"ret 0" merge block after an if/else
+  // where both arms return; flagging it would make almost every MiniC
+  // routine noisy.
+  auto Body = skeleton(2, 1);
+  ret(*Body, 0, Operand::imm(0));
+  ret(*Body, 1, Operand::imm(0));
+  RoutineFacts Facts = localFacts(std::move(Body));
+  EXPECT_EQ(countCode(Facts.Diags, CheckCode::UnreachableBlock), 0u);
+}
+
+TEST(Checks, UnreachableCodeProducesNoSecondaryFindings) {
+  // An unreachable block that reads an uninitialized register and leaves a
+  // dead store: one unreachable-block finding, nothing else (the dataflow
+  // facts of a block no path reaches are vacuous).
+  auto Body = skeleton(2, 2);
+  ret(*Body, 0, Operand::imm(0));
+  Instr *Mov = push(*Body, 1, Opcode::Mov);
+  Mov->Dst = 1;
+  Mov->A = Operand::reg(0); // r0 uninitialized; r1 never read.
+  ret(*Body, 1, Operand::imm(0));
+  RoutineFacts Facts = localFacts(std::move(Body));
+  EXPECT_EQ(countCode(Facts.Diags, CheckCode::UnreachableBlock), 1u);
+  EXPECT_EQ(Facts.Diags.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural checks (MiniC sources through the session)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *InterprocSrc = R"(
+global sink;
+global ghost;
+
+func helper(x) {
+  return x + 1;
+}
+
+func orphan(x) {
+  return x * 2;
+}
+
+func main() {
+  sink = helper(1);
+  var z = ghost;
+  return z;
+}
+)";
+
+AnalysisResult analyzeSources(
+    const std::vector<std::pair<std::string, std::string>> &Sources,
+    AnalysisOptions AOpts = {}, CompileOptions Opts = {}) {
+  CompilerSession Session(Opts);
+  for (const auto &[Name, Src] : Sources)
+    EXPECT_TRUE(Session.addSource(Name, Src)) << Session.firstError();
+  return Session.runAnalysis(AOpts);
+}
+
+} // namespace
+
+TEST(Interproc, UnusedRoutineSparesMainAndCallees) {
+  AnalysisResult AR = analyzeSources({{"m", InterprocSrc}});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_NE(AR.Report.find("scmo-unused-routine] orphan"), std::string::npos)
+      << AR.Report;
+  EXPECT_EQ(AR.Report.find("scmo-unused-routine] helper"), std::string::npos);
+  EXPECT_EQ(AR.Report.find("scmo-unused-routine] main"), std::string::npos);
+}
+
+TEST(Interproc, GlobalSummaryChecksUseStoreFacts) {
+  AnalysisResult AR = analyzeSources({{"m", InterprocSrc}});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  // sink is stored (in main) and never loaded; ghost is the reverse.
+  EXPECT_NE(AR.Report.find("scmo-write-only-global]: global 'sink'"),
+            std::string::npos)
+      << AR.Report;
+  EXPECT_NE(AR.Report.find("scmo-never-written-global-load"),
+            std::string::npos);
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::WriteOnlyGlobal), 1u);
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::NeverWrittenGlobalLoad), 1u);
+}
+
+TEST(Interproc, StoreInAnyModuleClearsNeverWrittenLoad) {
+  // ghost gains a store in a second module: the whole-program summary must
+  // retire the finding even though the loading module never stores it.
+  const char *Extra = R"(
+global ghost;
+func init_ghost() {
+  ghost = 9;
+  return 0;
+}
+)";
+  AnalysisResult AR = analyzeSources({{"m", InterprocSrc}, {"init", Extra}});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::NeverWrittenGlobalLoad), 0u)
+      << AR.Report;
+}
+
+TEST(Interproc, VerifierFailureSuppressesLintForThatRoutine) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId Bad = P.declareRoutine(M, "bad", 0, false);
+  {
+    auto Body = skeleton(1, 1);
+    Instr *Mov = push(*Body, 0, Opcode::Mov);
+    Mov->Dst = 0;
+    Mov->A = Operand::imm(1); // Would be a dead store...
+    Instr *R = push(*Body, 0, Opcode::Ret);
+    R->A = Operand::reg(99); // ...but the routine is malformed.
+    P.defineRoutine(Bad, M, std::move(Body));
+  }
+  RoutineId Good = P.declareRoutine(M, "good", 0, false);
+  {
+    auto Body = skeleton(1, 1);
+    Instr *Mov = push(*Body, 0, Opcode::Mov);
+    Mov->Dst = 0;
+    Mov->A = Operand::imm(1);
+    Instr *Mov2 = push(*Body, 0, Opcode::Mov);
+    Mov2->Dst = 0;
+    Mov2->A = Operand::imm(2);
+    ret(*Body, 0, Operand::reg(0));
+    P.defineRoutine(Good, M, std::move(Body));
+  }
+  Loader L(P, NaimConfig{});
+  AnalysisResult AR = runAnalysis(P, L, nullptr, AnalysisOptions{});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_EQ(AR.Errors, 1u);
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::Verify), 1u);
+  // The malformed routine contributes no body-level lint findings (both
+  // routines are uncalled, so it still shows up as unused); the good one
+  // still gets its dead-store warning.
+  for (const Diagnostic &D : AR.Diagnostics)
+    if (D.Routine == Bad) {
+      EXPECT_TRUE(D.Code == CheckCode::Verify ||
+                  D.Code == CheckCode::UnusedRoutine)
+          << checkCodeName(D.Code);
+    }
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::DeadStore), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine contracts: determinism, filtering, memory
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+GeneratedProgram plantedProgram(uint64_t Lines) {
+  WorkloadParams WP = mcadLikeParams(Lines);
+  WP.PlantDefects = true;
+  return generateProgram(WP);
+}
+
+} // namespace
+
+TEST(AnalyzeE2E, ReportIsByteIdenticalAcrossJobWidths) {
+  GeneratedProgram GP = plantedProgram(3000);
+  std::string Ref;
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    CompilerSession Session{CompileOptions{}};
+    ASSERT_TRUE(Session.addGenerated(GP));
+    AnalysisOptions AOpts;
+    AOpts.Jobs = Jobs;
+    AnalysisResult AR = Session.runAnalysis(AOpts);
+    ASSERT_TRUE(AR.Ok) << AR.Error;
+    EXPECT_EQ(AR.Errors, 0u);
+    EXPECT_GT(AR.Warnings, 0u);
+    if (Jobs == 1)
+      Ref = AR.Report;
+    else
+      EXPECT_EQ(AR.Report, Ref) << "jobs=" << Jobs;
+  }
+  ASSERT_FALSE(Ref.empty());
+  // Every planted defect class is present.
+  for (const char *Code :
+       {"scmo-dead-store", "scmo-constant-trap", "scmo-unreachable-block",
+        "scmo-unused-routine", "scmo-write-only-global",
+        "scmo-never-written-global-load"})
+    EXPECT_NE(Ref.find(Code), std::string::npos) << Code;
+}
+
+TEST(AnalyzeE2E, FilterKeepsOnlyRequestedCodes) {
+  GeneratedProgram GP = plantedProgram(2000);
+  CompilerSession Session{CompileOptions{}};
+  ASSERT_TRUE(Session.addGenerated(GP));
+  AnalysisOptions AOpts;
+  AOpts.Filter = {CheckCode::ConstantTrap};
+  AnalysisResult AR = Session.runAnalysis(AOpts);
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  ASSERT_EQ(AR.Diagnostics.size(), 2u) << AR.Report; // The div and the rem.
+  for (const Diagnostic &D : AR.Diagnostics)
+    EXPECT_EQ(D.Code, CheckCode::ConstantTrap);
+  EXPECT_EQ(AR.Report.find("scmo-dead-store"), std::string::npos);
+}
+
+TEST(AnalyzeE2E, PeakMemoryStaysUnderNaimBudget) {
+  const uint64_t Budget = 64ull << 20;
+  CompileOptions Opts;
+  Opts.Naim = NaimConfig::autoFor(Budget);
+  CompilerSession Session(Opts);
+  ASSERT_TRUE(Session.addGenerated(generateProgram(mcadLikeParams(20000))));
+  AnalysisOptions AOpts;
+  AOpts.Jobs = 4;
+  AnalysisResult AR = Session.runAnalysis(AOpts);
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_GT(AR.RoutinesAnalyzed, 100u);
+  EXPECT_GT(AR.PeakBytes, 0u);
+  EXPECT_LT(AR.PeakBytes, Budget);
+}

@@ -260,6 +260,58 @@ TEST(Verifier, RejectsMissingBranchCondition) {
             std::string::npos);
 }
 
+TEST(Verifier, RejectsProbeIdOutOfRange) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId R = P.declareRoutine(M, "f", 0, false);
+  auto Body = trivialBody();
+  Instr *Probe = Body->newInstr(Opcode::Probe);
+  Probe->ProbeId = 5;
+  auto &Ins = Body->Blocks[0].Instrs;
+  Ins.insert(Ins.begin(), Probe);
+  P.defineRoutine(R, M, std::move(Body));
+  // Without a probe-table size the id is unchecked (pre-instrumentation IL).
+  EXPECT_EQ(verifyRoutine(P, R, P.body(R)), "");
+  // With a 3-entry table, probe id 5 is a corrupt reference.
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyRoutine(P, R, P.body(R), Diags, /*NumProbes=*/3));
+  ASSERT_EQ(Diags.diagnostics().size(), 1u);
+  EXPECT_NE(Diags.diagnostics()[0].Message.find("probe id out of range"),
+            std::string::npos);
+  // An in-range id passes.
+  DiagnosticEngine Ok;
+  EXPECT_TRUE(verifyRoutine(P, R, P.body(R), Ok, /*NumProbes=*/6));
+}
+
+TEST(Verifier, RejectsNopWithOperands) {
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId R = P.declareRoutine(M, "f", 0, false);
+  auto Body = trivialBody();
+  Instr *Nop = Body->newInstr(Opcode::Nop);
+  Nop->A = Operand::imm(1); // A nop must carry nothing.
+  auto &Ins = Body->Blocks[0].Instrs;
+  Ins.insert(Ins.begin(), Nop);
+  P.defineRoutine(R, M, std::move(Body));
+  EXPECT_NE(verifyRoutine(P, R, P.body(R)).find("nop carries operands"),
+            std::string::npos);
+}
+
+TEST(Verifier, AcceptsRetiredProbeNop) {
+  // The inliner retires Probe -> Nop but keeps ProbeId for debugging; the
+  // verifier must not treat the stale id as an operand.
+  Program P;
+  ModuleId M = P.addModule("m");
+  RoutineId R = P.declareRoutine(M, "f", 0, false);
+  auto Body = trivialBody();
+  Instr *Nop = Body->newInstr(Opcode::Nop);
+  Nop->ProbeId = 42;
+  auto &Ins = Body->Blocks[0].Instrs;
+  Ins.insert(Ins.begin(), Nop);
+  P.defineRoutine(R, M, std::move(Body));
+  EXPECT_EQ(verifyRoutine(P, R, P.body(R)), "");
+}
+
 //===----------------------------------------------------------------------===//
 // Printer
 //===----------------------------------------------------------------------===//
