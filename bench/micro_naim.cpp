@@ -129,8 +129,8 @@ void BM_RepositoryStoreFetch(benchmark::State &State) {
   std::vector<uint8_t> Payload(State.range(0), 0x5a);
   std::vector<uint8_t> Out;
   for (auto _ : State) {
-    uint64_t Off = Repo.store(Payload);
-    bool Ok = Repo.fetch(Off, Payload.size(), Out);
+    uint64_t Off = *Repo.store(Payload);
+    bool Ok = Repo.fetch(Off, Payload.size(), Out).ok();
     benchmark::DoNotOptimize(Ok);
   }
   State.SetBytesProcessed(State.iterations() * State.range(0) * 2);

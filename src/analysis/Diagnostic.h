@@ -65,6 +65,8 @@ enum class CheckCode : uint8_t {
   UnusedRoutine,          ///< scmo-unused-routine: defined, never called.
   WriteOnlyGlobal,        ///< scmo-write-only-global: stored, never loaded.
   NeverWrittenGlobalLoad, ///< scmo-never-written-global-load.
+  SpillDegraded,          ///< scmo-spill-degraded: NAIM offloading disabled.
+  RepoCorruption,         ///< scmo-repo-corruption: spilled pool unreadable.
   NumCheckCodes
 };
 
@@ -86,6 +88,10 @@ inline const char *checkCodeName(CheckCode C) {
     return "scmo-write-only-global";
   case CheckCode::NeverWrittenGlobalLoad:
     return "scmo-never-written-global-load";
+  case CheckCode::SpillDegraded:
+    return "scmo-spill-degraded";
+  case CheckCode::RepoCorruption:
+    return "scmo-repo-corruption";
   case CheckCode::NumCheckCodes:
     break;
   }
@@ -104,11 +110,14 @@ inline bool parseCheckCode(std::string_view Name, CheckCode &Out) {
   return false;
 }
 
-/// The severity a check emits at. Only verifier findings are errors: they
-/// mean the IL is malformed and every downstream result is suspect. The lint
-/// checks flag almost-surely-wrong but well-formed code.
+/// The severity a check emits at. Verifier findings are errors (the IL is
+/// malformed, every downstream result is suspect), and so is unrecovered
+/// repository corruption (some compiled bodies were replaced by stubs). The
+/// lint checks and spill degradation flag suspect-but-survivable conditions.
 inline Severity defaultSeverity(CheckCode C) {
-  return C == CheckCode::Verify ? Severity::Error : Severity::Warning;
+  return C == CheckCode::Verify || C == CheckCode::RepoCorruption
+             ? Severity::Error
+             : Severity::Warning;
 }
 
 /// One finding. Location precision degrades gracefully: instruction-level

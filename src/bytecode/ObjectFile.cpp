@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <map>
+#include <unistd.h>
 
 using namespace scmo;
 
@@ -139,7 +140,7 @@ std::vector<uint8_t> scmo::writeObject(Program &P, ModuleId M) {
 }
 
 ModuleId scmo::readObject(Program &P, const std::vector<uint8_t> &Bytes,
-                          std::string &Error) {
+                          std::string &Error, ObjectIndex *Index) {
   ByteReader Reader(Bytes);
   if (Reader.readVarUInt() != ObjectMagic) {
     Error = "bad object magic";
@@ -202,12 +203,16 @@ ModuleId scmo::readObject(Program &P, const std::vector<uint8_t> &Bytes,
     Error = "object body count mismatch";
     return InvalidId;
   }
+  std::vector<ObjectIndex::BodyRange> BodyRanges;
+  BodyRanges.reserve(NumBodies);
   for (uint64_t Idx = 0; Idx != NumBodies; ++Idx) {
     uint64_t Len = Reader.readVarUInt();
     if (Reader.hadError() || Len > Reader.remaining()) {
       Error = "truncated object body";
       return InvalidId;
     }
+    BodyRanges.push_back({Bytes.size() - Reader.remaining(),
+                          static_cast<size_t>(Len)});
     std::vector<uint8_t> BodyBytes(Len);
     Reader.readBytes(BodyBytes.data(), Len);
     auto Body = expandRoutine(BodyBytes, P.tracker(), Remap);
@@ -226,19 +231,56 @@ ModuleId scmo::readObject(Program &P, const std::vector<uint8_t> &Bytes,
     Error = "truncated object";
     return InvalidId;
   }
+  if (Index) {
+    Index->Globals = std::move(LocalGlobals);
+    Index->Routines = std::move(LocalRoutines);
+    Index->DefinedHere = std::move(DefinedHere);
+    Index->Bodies = std::move(BodyRanges);
+  }
   Error.clear();
   return M;
 }
 
+std::unique_ptr<RoutineBody> scmo::expandBodyFromObject(
+    const std::vector<uint8_t> &Bytes, const ObjectIndex &Index,
+    size_t BodyIdx, MemoryTracker *Tracker) {
+  if (BodyIdx >= Index.Bodies.size())
+    return nullptr;
+  ObjectIndex::BodyRange Range = Index.Bodies[BodyIdx];
+  if (Range.Offset > Bytes.size() || Range.Len > Bytes.size() - Range.Offset)
+    return nullptr;
+  SymRemap Remap;
+  Remap.Global = [&Index](uint32_t Local) -> uint32_t {
+    return Local < Index.Globals.size() ? Index.Globals[Local] : InvalidId;
+  };
+  Remap.Routine = [&Index](uint32_t Local) -> uint32_t {
+    return Local < Index.Routines.size() ? Index.Routines[Local] : InvalidId;
+  };
+  std::vector<uint8_t> BodyBytes(Bytes.begin() + Range.Offset,
+                                 Bytes.begin() + Range.Offset + Range.Len);
+  return expandRoutine(BodyBytes, Tracker, Remap);
+}
+
 bool scmo::writeFile(const std::string &Path,
                      const std::vector<uint8_t> &Bytes) {
-  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  // Crash-safe emission: write a process-unique temporary next to the
+  // target, flush it all the way to the platter, then atomically rename it
+  // into place. A build killed mid-write leaves at worst a stale .tmp file
+  // (cheap to ignore), never a truncated object a later link would trust.
+  std::string Tmp = Path + ".tmp." + std::to_string(uint64_t(::getpid()));
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F)
     return false;
   size_t Written = Bytes.empty() ? 0 : std::fwrite(Bytes.data(), 1,
                                                    Bytes.size(), F);
-  std::fclose(F);
-  return Written == Bytes.size();
+  bool Ok = Written == Bytes.size() && std::fflush(F) == 0 &&
+            ::fsync(::fileno(F)) == 0;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (Ok)
+    Ok = std::rename(Tmp.c_str(), Path.c_str()) == 0;
+  if (!Ok)
+    std::remove(Tmp.c_str());
+  return Ok;
 }
 
 bool scmo::readFile(const std::string &Path, std::vector<uint8_t> &Bytes) {

@@ -26,10 +26,32 @@
 
 #include "ir/Program.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace scmo {
+
+/// Where each piece of an object image landed in a Program, recorded while
+/// reading it. This is the driver's recovery map: when a spilled pool comes
+/// back from the repository corrupt, the routine's body can be re-expanded
+/// straight from the object image's body bytes (paper Section 6.1: object
+/// files are the persistent truth), as long as the in-memory IL has not been
+/// mutated since the objects were written.
+struct ObjectIndex {
+  /// Program ids in object-local symbol order (the SymRemap targets).
+  std::vector<GlobalId> Globals;
+  std::vector<RoutineId> Routines;
+  /// Routines whose bodies this object defines, in body-section order.
+  std::vector<RoutineId> DefinedHere;
+  /// Byte range of each body's compact encoding within the object image,
+  /// parallel to DefinedHere.
+  struct BodyRange {
+    size_t Offset = 0;
+    size_t Len = 0;
+  };
+  std::vector<BodyRange> Bodies;
+};
 
 /// Serializes module \p M of \p P (all bodies must be expanded) into an IL
 /// object image.
@@ -37,11 +59,24 @@ std::vector<uint8_t> writeObject(Program &P, ModuleId M);
 
 /// Reads an IL object image into \p P as a new module, merging external
 /// symbols by name. Returns the new module id, or InvalidId with \p Error
-/// set on malformed input.
+/// set on malformed input. When \p Index is non-null it is filled with the
+/// recovery map for the image.
 ModuleId readObject(Program &P, const std::vector<uint8_t> &Bytes,
-                    std::string &Error);
+                    std::string &Error, ObjectIndex *Index = nullptr);
 
-/// Convenience: writes \p Bytes to \p Path. Returns false on I/O failure.
+/// Re-expands body \p BodyIdx (an index into \p Index.DefinedHere) from the
+/// raw object image \p Bytes. Returns null if the image or index is
+/// inconsistent. Touches no loader state: safe to call from a loader
+/// recovery handler.
+std::unique_ptr<RoutineBody> expandBodyFromObject(
+    const std::vector<uint8_t> &Bytes, const ObjectIndex &Index,
+    size_t BodyIdx, MemoryTracker *Tracker);
+
+/// Convenience: writes \p Bytes to \p Path, crash-safely. The bytes go to a
+/// process-unique temporary in the same directory, are fsync'ed, and the
+/// temporary is atomically renamed over \p Path — a reader (or a re-run
+/// after SIGKILL) sees either the complete file or no file, never a torn
+/// prefix. Returns false on I/O failure.
 bool writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes);
 
 /// Convenience: reads all of \p Path. Returns false on I/O failure.

@@ -24,6 +24,14 @@
 using namespace scmo;
 
 CompilerSession::CompilerSession(CompileOptions Opts) : Opts(std::move(Opts)) {
+  if (!this->Opts.FaultInject.empty()) {
+    std::string Err;
+    this->Opts.Naim.Injector =
+        FaultInjector::fromSpec(this->Opts.FaultInject, Err);
+    if (!this->Opts.Naim.Injector)
+      FirstError = "invalid --fault-inject spec '" + this->Opts.FaultInject +
+                   "': " + Err;
+  }
   Tracker = std::make_unique<MemoryTracker>();
   Tracker->setHeapCap(this->Opts.HeapCapBytes);
   Prog = std::make_unique<Program>(Tracker.get());
@@ -128,6 +136,52 @@ bool CompilerSession::checkHeap(BuildResult &Result, const char *Phase) {
   return false;
 }
 
+bool CompilerSession::checkLoader(BuildResult &Result, const char *Phase) {
+  for (const LoaderEvent &E : Ldr->takeEvents()) {
+    Diagnostic D;
+    D.Routine = E.Routine;
+    D.Message = E.Detail;
+    switch (E.K) {
+    case LoaderEvent::Kind::SpillDegraded:
+      D.Code = CheckCode::SpillDegraded;
+      D.Sev = Severity::Warning;
+      break;
+    case LoaderEvent::Kind::FetchRetried:
+    case LoaderEvent::Kind::Recovered:
+      // The corruption was survived; the code remains suspect enough to
+      // mention but the compiled output is trustworthy.
+      D.Code = CheckCode::RepoCorruption;
+      D.Sev = Severity::Warning;
+      break;
+    case LoaderEvent::Kind::PoolPoisoned:
+      D.Code = CheckCode::RepoCorruption;
+      D.Sev = Severity::Error;
+      break;
+    }
+    Result.WarningsText += DiagnosticEngine::render(*Prog, D);
+    Result.WarningsText += '\n';
+    Result.Warnings.push_back(std::move(D));
+  }
+  Status Err = Ldr->firstError();
+  if (Err.ok())
+    return true;
+  // Some acquired bodies were stubs: every downstream result is invalid.
+  // Fail the build with the structured cause — an error exit, not an abort.
+  Result.Ok = false;
+  Result.Loader = Ldr->stats(); // Failure diagnostics want the counters.
+  Result.Error = std::string("repository failure during ") + Phase + ": " +
+                 Err.toString();
+  return false;
+}
+
+void CompilerSession::invalidateRecovery() {
+  if (RecoveryObjects.empty() && RecoveryBody.empty())
+    return;
+  RecoveryObjects.clear();
+  RecoveryBody.clear();
+  Ldr->setRecoveryHandler(nullptr);
+}
+
 void CompilerSession::rebuildFromObjects(BuildResult &Result) {
   // Dump every module to an IL object file, then re-read them into a fresh
   // program, the way the production pipeline hands IL objects from the
@@ -159,6 +213,8 @@ void CompilerSession::rebuildFromObjects(BuildResult &Result) {
   }
   auto NewProg = std::make_unique<Program>(Tracker.get());
   auto NewLdr = std::make_unique<Loader>(*NewProg, Opts.Naim);
+  RecoveryObjects.clear();
+  RecoveryBody.clear();
   for (const std::string &Path : Paths) {
     std::vector<uint8_t> Bytes;
     if (!readFile(Path, Bytes)) {
@@ -166,7 +222,8 @@ void CompilerSession::rebuildFromObjects(BuildResult &Result) {
       return;
     }
     std::string Err;
-    ModuleId M = readObject(*NewProg, Bytes, Err);
+    ObjectIndex Index;
+    ModuleId M = readObject(*NewProg, Bytes, Err, &Index);
     if (M == InvalidId) {
       Result.Error = "linker: " + Err;
       return;
@@ -174,11 +231,30 @@ void CompilerSession::rebuildFromObjects(BuildResult &Result) {
     for (RoutineId R : NewProg->module(M).Routines)
       if (NewProg->routine(R).IsDefined)
         NewLdr->release(R);
+    // Record where each body lives on disk: until the IL is first mutated,
+    // a pool that comes back from the repository corrupt can be re-expanded
+    // from its object file instead of failing the build.
+    size_t ObjIdx = RecoveryObjects.size();
+    for (size_t B = 0; B != Index.DefinedHere.size(); ++B)
+      RecoveryBody[Index.DefinedHere[B]] = {ObjIdx, B};
+    RecoveryObjects.push_back({Path, std::move(Index)});
   }
   // Swap in the re-read program. Order matters: the old loader references
   // the old program.
   Ldr = std::move(NewLdr);
   Prog = std::move(NewProg);
+  Ldr->setRecoveryHandler(
+      [this](RoutineId R) -> std::unique_ptr<RoutineBody> {
+        auto It = RecoveryBody.find(R);
+        if (It == RecoveryBody.end())
+          return nullptr;
+        const RecoverySource &Src = RecoveryObjects[It->second.first];
+        std::vector<uint8_t> Bytes;
+        if (!readFile(Src.Path, Bytes))
+          return nullptr;
+        return expandBodyFromObject(Bytes, Src.Index, It->second.second,
+                                    Tracker.get());
+      });
 }
 
 BuildResult CompilerSession::build() {
@@ -201,6 +277,8 @@ BuildResult CompilerSession::build() {
     if (!Result.Error.empty())
       return Result;
     computeChecksums(Pool);
+    if (!checkLoader(Result, "object rebuild"))
+      return Result;
   }
   Prog->chargeGlobalTables();
   if (!checkHeap(Result, "frontend"))
@@ -211,11 +289,14 @@ BuildResult CompilerSession::build() {
     Result.Error = verifyRoutines(Pool, /*EmittedOnly=*/false);
     if (!Result.Error.empty())
       return Result;
+    if (!checkLoader(Result, "verification"))
+      return Result;
   }
 
   // Instrumentation (+I) — on raw IL, before any optimization, so counters
   // correlate with the structural checksums.
   if (Opts.Instrument) {
+    invalidateRecovery();
     for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
       if (!Prog->routine(R).IsDefined)
         continue;
@@ -227,6 +308,7 @@ BuildResult CompilerSession::build() {
   // Profile correlation (+P).
   bool UsableProfile = Opts.Pbo && HasProfile;
   if (UsableProfile) {
+    invalidateRecovery(); // Correlation annotates bodies with counts.
     for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
       if (!Prog->routine(R).IsDefined)
         continue;
@@ -256,6 +338,7 @@ BuildResult CompilerSession::build() {
   // probe survives with its raw-IL meaning.
   Timer HloTimer;
   if (!Opts.Instrument && Opts.Level != OptLevel::O1) {
+    invalidateRecovery(); // HLO/cleanup rewrite bodies past their objects.
     if (CmoMode && !Result.Selectivity.CmoModules.empty()) {
       std::vector<RoutineId> Set;
       for (ModuleId M : Result.Selectivity.CmoModules)
@@ -303,6 +386,8 @@ BuildResult CompilerSession::build() {
         return Result;
       }
     }
+    if (!checkLoader(Result, "HLO"))
+      return Result;
   }
   Result.HloSeconds = HloTimer.seconds();
 
@@ -383,6 +468,8 @@ BuildResult CompilerSession::build() {
     Result.Llo.merge(S);
   if (!checkHeap(Result, "LLO"))
     return Result;
+  if (!checkLoader(Result, "LLO"))
+    return Result;
   Result.LloSeconds = LloTimer.seconds();
 
   // Link.
@@ -402,6 +489,10 @@ BuildResult CompilerSession::build() {
   Result.Loader = Ldr->stats();
   Result.Stats = Stats;
   Result.TotalSeconds = Total.seconds() + Result.FrontendSeconds;
+  // Final fault-path checkpoint: collects any warnings the last phases
+  // produced and fails the build if a poisoned pool slipped past them.
+  if (!checkLoader(Result, "link"))
+    return Result;
   Result.Ok = true;
   return Result;
 }

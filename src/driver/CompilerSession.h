@@ -32,6 +32,7 @@
 #define SCMO_DRIVER_COMPILERSESSION_H
 
 #include "analysis/Analysis.h"
+#include "bytecode/ObjectFile.h"
 #include "driver/Options.h"
 #include "hlo/Selectivity.h"
 #include "link/Linker.h"
@@ -42,8 +43,11 @@
 #include "vm/Vm.h"
 #include "workload/Generator.h"
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace scmo {
 
@@ -55,6 +59,14 @@ struct BuildResult {
   std::string Error;
   Executable Exe;
   ProbeTable Probes; ///< Valid for instrumented builds.
+
+  /// Structured fault-path diagnostics (scmo-spill-degraded,
+  /// scmo-repo-corruption). Warning-severity entries describe survivable
+  /// degradation or successful recovery — the build is still Ok, possibly
+  /// slower or fatter; an Error-severity entry accompanies a failed build.
+  /// WarningsText is the rendered one-per-line report.
+  std::vector<Diagnostic> Warnings;
+  std::string WarningsText;
 
   // Compile-time metrics (the y-axes of Figures 4/5/6).
   double FrontendSeconds = 0;
@@ -119,6 +131,15 @@ private:
   /// "" — so a single IL bug reports identically at any thread count.
   std::string verifyRoutines(ThreadPool &Pool, bool EmittedOnly);
   bool checkHeap(BuildResult &Result, const char *Phase);
+  /// Driver checkpoint for the loader's fault path: drains accumulated
+  /// loader events into Result.Warnings and, if a pool was poisoned, fails
+  /// the build with the latched error. Called after every phase that
+  /// acquires routine bodies.
+  bool checkLoader(BuildResult &Result, const char *Phase);
+  /// Drops the object-file recovery map and handler. Must run before any
+  /// phase that mutates IL bodies: recovery re-expands the on-disk object
+  /// bytes, which is only sound while the in-memory bodies still match them.
+  void invalidateRecovery();
 
   CompileOptions Opts;
   std::unique_ptr<MemoryTracker> Tracker;
@@ -129,6 +150,16 @@ private:
   bool HasProfile = false;
   std::string FirstError;
   double FrontendSeconds = 0;
+
+  /// Object-file recovery sources, populated by rebuildFromObjects and
+  /// valid until the first IL mutation (invalidateRecovery). RecoveryBody
+  /// maps a routine to (object index, body index) within RecoveryObjects.
+  struct RecoverySource {
+    std::string Path;
+    ObjectIndex Index;
+  };
+  std::vector<RecoverySource> RecoveryObjects;
+  std::map<RoutineId, std::pair<size_t, size_t>> RecoveryBody;
 };
 
 /// Convenience used everywhere in tests, benches and examples: builds the

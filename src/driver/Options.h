@@ -66,6 +66,13 @@ struct CompileOptions {
   /// NAIM configuration (memory management).
   NaimConfig Naim;
 
+  /// Deterministic fault-injection spec for the NAIM spill path (the scmoc
+  /// --fault-inject=<spec> knob; see support/FaultInjector.h for the
+  /// grammar). Parsed at session construction into Naim.Injector; a
+  /// malformed spec fails the build with a structured error. Empty = no
+  /// injection (SCMO_FAULT_INJECT in the environment still applies).
+  std::string FaultInject;
+
   /// Simulated hard heap cap in bytes (0 = unlimited). Models the HP-UX
   /// ~1GB virtual heap limit: compilations whose live optimizer data
   /// exceed it fail, as pure-CMO Mcad1 compiles did (paper Section 5).

@@ -13,7 +13,9 @@
 using namespace scmo;
 
 Loader::Loader(Program &P, const NaimConfig &Config)
-    : P(P), Config(Config), Repo(Config.RepositoryPath) {}
+    : P(P), Config(Config),
+      Repo(Config.RepositoryPath,
+           Config.Injector ? Config.Injector : FaultInjector::fromEnv()) {}
 
 // The threshold predicates read only the config and the (atomic) tracker
 // totals, so they need no lock of their own; the callers that act on them
@@ -90,9 +92,15 @@ RoutineBody &Loader::acquire(RoutineId R) {
     }
     break;
   case PoolState::Compact:
-  case PoolState::Offloaded:
-    expandPool(R);
+  case PoolState::Offloaded: {
+    Status S = expandPool(R);
+    // An unrecoverable pool is poisoned, never fatal: the caller gets a
+    // stub body so in-flight phases complete safely, and the driver fails
+    // the build with the latched error at its next checkpoint.
+    if (!S.ok())
+      poisonPoolLocked(R, std::move(S));
     break;
+  }
   case PoolState::None:
     scmo_unreachable("defined routine with no pool");
   }
@@ -154,7 +162,9 @@ void Loader::enforceBudgetLocked(bool Everything) {
     compactPool(Victim);
   }
   // Second stage: offload compact pools beyond the compact-residency budget.
-  if (!offloadEnabled() || !P.tracker())
+  // A degraded loader (earlier spill failure) keeps everything resident:
+  // the budget is lifted rather than enforced against a dead disk.
+  if (!offloadEnabled() || SpillDisabled || !P.tracker())
     return;
   if (P.tracker()->liveBytes(MemCategory::HloCompact) <=
       Config.CompactResidentBytes)
@@ -163,8 +173,9 @@ void Loader::enforceBudgetLocked(bool Everything) {
   // (their last-touch ordering died at compaction), and id order keeps the
   // pass reproducible.
   for (RoutineId R = 0; R != P.numRoutines(); ++R) {
-    if (P.tracker()->liveBytes(MemCategory::HloCompact) <=
-        Config.CompactResidentBytes)
+    if (SpillDisabled ||
+        P.tracker()->liveBytes(MemCategory::HloCompact) <=
+            Config.CompactResidentBytes)
       break;
     if (P.routine(R).Slot.State == PoolState::Compact)
       offloadPool(R);
@@ -202,19 +213,43 @@ void Loader::compactPool(RoutineId R) {
 void Loader::offloadPool(RoutineId R) {
   RoutineSlot &S = P.routine(R).Slot;
   assert(S.State == PoolState::Compact && "offloading a non-compact pool");
+  Expected<uint64_t> Off = Repo.store(S.CompactBytes.bytes());
+  if (!Off.ok()) {
+    // Degradation instead of death: the pool keeps its compact bytes, this
+    // loader stops spilling for good, and the compact-residency budget is
+    // lifted (enforceBudgetLocked checks SpillDisabled). A slower, fatter
+    // compile — not a dead one.
+    ++Stats.SpillFailures;
+    SpillDisabled = true;
+    Events.push_back(
+        {LoaderEvent::Kind::SpillDegraded, R,
+         "repository spill failed (" + Off.status().toString() +
+             "); offloading disabled, pools stay memory-resident"});
+    return;
+  }
   S.RepoSize = S.CompactBytes.size();
-  S.RepoOffset = Repo.store(S.CompactBytes.bytes());
+  S.RepoOffset = *Off;
   S.CompactBytes.clear();
   S.State = PoolState::Offloaded;
   ++Stats.Offloads;
 }
 
-void Loader::expandPool(RoutineId R) {
+Status Loader::expandPool(RoutineId R) {
   RoutineSlot &S = P.routine(R).Slot;
   std::vector<uint8_t> Bytes;
-  if (S.State == PoolState::Offloaded) {
-    if (!Repo.fetch(S.RepoOffset, S.RepoSize, Bytes))
-      reportFatalError("NAIM repository fetch failed");
+  bool FromRepo = S.State == PoolState::Offloaded;
+  if (FromRepo) {
+    Status FS = Repo.fetch(S.RepoOffset, S.RepoSize, Bytes);
+    if (!FS.ok() && FS.code() == StatusCode::Corruption) {
+      // One immediate re-read: corruption introduced between the platter
+      // and us (a flipped buffer, a racing cache) heals; bit-rot that made
+      // it to disk does not, and falls through to object-file recovery.
+      ++Stats.FetchRetries;
+      Events.push_back({LoaderEvent::Kind::FetchRetried, R, FS.message()});
+      FS = Repo.fetch(S.RepoOffset, S.RepoSize, Bytes);
+    }
+    if (!FS.ok())
+      return recoverPoolLocked(R, std::move(FS));
     ++Stats.Fetches;
   } else {
     assert(S.State == PoolState::Compact && "expanding a non-compact pool");
@@ -223,10 +258,51 @@ void Loader::expandPool(RoutineId R) {
   // Uncompaction: decode and eagerly swizzle PIDs back to in-memory form.
   auto Body = expandRoutine(Bytes, P.tracker());
   if (!Body)
-    reportFatalError("corrupt compact pool");
+    return recoverPoolLocked(
+        R, Status::error(StatusCode::Corruption,
+                         "corrupt compact pool for " + P.displayName(R)));
+  installBodyLocked(R, std::move(Body));
+  ++Stats.Expansions;
+  return Status();
+}
+
+Status Loader::recoverPoolLocked(RoutineId R, Status Cause) {
+  if (Recover) {
+    if (std::unique_ptr<RoutineBody> Body = Recover(R)) {
+      installBodyLocked(R, std::move(Body));
+      ++Stats.Recoveries;
+      Events.push_back({LoaderEvent::Kind::Recovered, R,
+                        Cause.message() + "; re-expanded " + P.displayName(R) +
+                            " from its object file"});
+      return Status();
+    }
+  }
+  return Cause;
+}
+
+void Loader::installBodyLocked(RoutineId R, std::unique_ptr<RoutineBody> Body) {
+  RoutineSlot &S = P.routine(R).Slot;
   S.Body = std::move(Body);
   S.CompactBytes.clear();
   S.State = PoolState::Expanded;
   S.UnloadPending = false;
-  ++Stats.Expansions;
+}
+
+void Loader::poisonPoolLocked(RoutineId R, Status Cause) {
+  ++Stats.PoisonedPools;
+  Events.push_back({LoaderEvent::Kind::PoolPoisoned, R, Cause.toString()});
+  if (FirstErr.ok())
+    FirstErr = std::move(Cause);
+  // Install a minimal valid stub (one Ret) so the acquiring phase can run
+  // to completion without dereferencing a dead pool; the latched FirstErr
+  // guarantees the driver discards the results.
+  const RoutineInfo &RI = P.routine(R);
+  auto Stub = std::make_unique<RoutineBody>(P.tracker());
+  Stub->NumParams = RI.NumParams;
+  Stub->NextReg = RI.NumParams + 1;
+  Stub->newBlock();
+  Instr *Ret = Stub->newInstr(Opcode::Ret);
+  Ret->A = Operand::imm(0);
+  Stub->Blocks[0].Instrs.push_back(Ret);
+  installBodyLocked(R, std::move(Stub));
 }

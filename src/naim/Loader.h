@@ -26,6 +26,23 @@
 /// Thresholding (Section 4.3): NAIM functionality turns on in stages tied to
 /// the configured "machine memory" so small compilations pay nothing.
 ///
+/// Failure model: the spill path is fallible by design and the loader never
+/// aborts the process. The degradation ladder, from cheapest to last resort:
+///
+///   1. transient store/fetch faults (EINTR/EAGAIN, short transfers) are
+///      retried inside the Repository and never surface;
+///   2. a failed spill (ENOSPC, EIO) permanently disables offloading for
+///      this loader — pools stay compact-resident, the compact budget is
+///      lifted, and a warning event records the slower-but-alive outcome;
+///   3. a corrupt fetch (checksum/magic/bounds mismatch) is re-read once —
+///      transient corruption between disk and memory heals, bit-rot does
+///      not — then falls back to re-expanding the routine from its source
+///      object file when the driver has installed a recovery handler;
+///   4. an unrecoverable pool is "poisoned": acquire() returns a trivial
+///      stub body (so in-flight phases finish safely), the first such error
+///      is latched, and the driver fails the build with a structured
+///      diagnostic at its next checkpoint — an exit code, not an abort.
+///
 /// Concurrency: the loader is safe to call from the parallel backend's
 /// worker threads. One mutex guards every state transition (pin counts, the
 /// LRU cache, budget enforcement, repository I/O and the activity
@@ -42,11 +59,15 @@
 
 #include "ir/Program.h"
 #include "naim/Repository.h"
+#include "support/Status.h"
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace scmo {
 
@@ -77,6 +98,11 @@ struct NaimConfig {
   /// Repository path ("" = a private temp file).
   std::string RepositoryPath;
 
+  /// Fault injector for the repository (tests / --fault-inject). When null,
+  /// the loader arms one from SCMO_FAULT_INJECT if that is set, so whole
+  /// test suites can run under injection without code changes.
+  std::shared_ptr<FaultInjector> Injector;
+
   /// Derives staged thresholds from MachineMemoryBytes (Auto mode).
   static NaimConfig autoFor(uint64_t MachineMemoryBytes) {
     NaimConfig C;
@@ -97,11 +123,37 @@ struct LoaderStats {
   uint64_t Offloads = 0;      ///< Compact -> repository.
   uint64_t Fetches = 0;       ///< Repository -> compact (read back).
   uint64_t SymtabCompactions = 0;
+
+  // Fault-path activity (all zero on a healthy disk).
+  uint64_t SpillFailures = 0; ///< Failed offload stores (degraded mode).
+  uint64_t FetchRetries = 0;  ///< Corrupt fetches re-read.
+  uint64_t Recoveries = 0;    ///< Pools rebuilt from their object file.
+  uint64_t PoisonedPools = 0; ///< Unrecoverable pools replaced by stubs.
+};
+
+/// One notable fault-path occurrence, for the driver to surface as a
+/// structured diagnostic (warnings for degradation/recovery, an error for a
+/// poisoned pool).
+struct LoaderEvent {
+  enum class Kind : uint8_t {
+    SpillDegraded, ///< Offloading disabled; pools stay resident.
+    FetchRetried,  ///< A corrupt fetch healed on immediate re-read.
+    Recovered,     ///< A corrupt pool was re-expanded from its object file.
+    PoolPoisoned,  ///< Unrecoverable; the build must fail structurally.
+  };
+  Kind K = Kind::SpillDegraded;
+  RoutineId Routine = InvalidId;
+  std::string Detail;
 };
 
 /// Manages residency for every transitory pool in a Program.
 class Loader {
 public:
+  /// Re-materializes the compact/expanded body of a routine from outside
+  /// the repository (in practice: from its IL object file). Returns null
+  /// when the routine has no recoverable source.
+  using RecoverFn = std::function<std::unique_ptr<RoutineBody>(RoutineId)>;
+
   Loader(Program &P, const NaimConfig &Config);
 
   /// Pins and returns the expanded body of \p R (must be defined). A pinned
@@ -149,6 +201,33 @@ public:
   const NaimConfig &config() const { return Config; }
   Repository &repository() { return Repo; }
 
+  /// Installs the corruption fallback (degradation rung 3). The handler is
+  /// invoked under the loader mutex and must not call back into the loader.
+  void setRecoveryHandler(RecoverFn F) {
+    std::lock_guard<std::mutex> Lock(M);
+    Recover = std::move(F);
+  }
+
+  /// True once a spill failure has switched this loader to resident mode.
+  bool degraded() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return SpillDisabled;
+  }
+
+  /// The first unrecoverable spill-path error (Ok while the loader is
+  /// healthy). Once set, some acquired bodies are stubs: the compilation's
+  /// results are invalid and the driver must fail the build with this.
+  Status firstError() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return FirstErr;
+  }
+
+  /// Drains the accumulated fault-path events (oldest first).
+  std::vector<LoaderEvent> takeEvents() {
+    std::lock_guard<std::mutex> Lock(M);
+    return std::exchange(Events, {});
+  }
+
   /// True if the effective mode compacts IR at all.
   bool irCompactionEnabled() const;
   /// True if the effective mode compacts symbol tables.
@@ -160,12 +239,21 @@ private:
   void enforceBudgetLocked(bool Everything);
   void compactPool(RoutineId R);
   void offloadPool(RoutineId R);
-  void expandPool(RoutineId R);
+  Status expandPool(RoutineId R);
+  Status recoverPoolLocked(RoutineId R, Status Cause);
+  void installBodyLocked(RoutineId R, std::unique_ptr<RoutineBody> Body);
+  void poisonPoolLocked(RoutineId R, Status Cause);
 
   Program &P;
   NaimConfig Config;
   Repository Repo;
   LoaderStats Stats;
+  RecoverFn Recover;
+  std::vector<LoaderEvent> Events;
+  Status FirstErr;
+  /// Set after the first failed spill: offloading is permanently off for
+  /// this loader and compact pools stay resident regardless of budget.
+  bool SpillDisabled = false;
 
   /// Guards every mutable member below, all pool state transitions and the
   /// activity counters. Cheap relative to any transition (compaction is an

@@ -7,11 +7,12 @@
 
 #include "naim/Repository.h"
 
-#include "support/Debug.h"
+#include "support/Hash.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -21,7 +22,26 @@ using namespace scmo;
 // positional I/O through a raw descriptor avoids the buffer flushing that
 // seek-based stdio would pay on every direction change.
 
-Repository::Repository(std::string Path) : FilePath(std::move(Path)) {}
+namespace {
+
+constexpr uint32_t FrameMagic = 0x53504631; // "SPF1"
+
+/// Bounded retry for EINTR/EAGAIN. Eight attempts with a short growing
+/// sleep: a genuinely wedged descriptor fails fast, a signal-interrupted or
+/// momentarily backpressured one recovers invisibly.
+constexpr int MaxTransientRetries = 8;
+
+void encodeHeader(uint8_t *H, uint32_t Size, uint64_t Checksum) {
+  std::memcpy(H, &FrameMagic, 4);
+  std::memcpy(H + 4, &Size, 4);
+  std::memcpy(H + 8, &Checksum, 8);
+}
+
+} // namespace
+
+Repository::Repository(std::string Path, std::shared_ptr<FaultInjector> FI)
+    : FilePath(std::move(Path)), Faults(std::move(FI)),
+      UserPath(!FilePath.empty()) {}
 
 Repository::~Repository() {
   if (Fd >= 0) {
@@ -30,54 +50,235 @@ Repository::~Repository() {
   }
 }
 
-void Repository::ensureOpen() {
+Status Repository::ensureOpenLocked() {
   if (Fd >= 0)
-    return;
+    return Status();
   if (FilePath.empty()) {
     // Unique-enough temp name without touching global RNG state.
     static std::atomic<unsigned> Counter{0};
     FilePath = "/tmp/scmo-repo-" + std::to_string(::getpid()) + "-" +
                std::to_string(Counter.fetch_add(1)) + ".bin";
   }
-  Fd = ::open(FilePath.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
-  if (Fd < 0)
-    reportFatalError("cannot create NAIM repository file");
+  // O_EXCL everywhere: the repository is private scratch state, so the file
+  // must be ours alone. In particular a user-supplied path pointing at an
+  // existing file is an error, not an invitation to truncate it.
+  Fd = ::open(FilePath.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (Fd < 0) {
+    int E = errno;
+    if (E == EEXIST && UserPath)
+      return Status::error(StatusCode::Exists,
+                           "repository path '" + FilePath +
+                               "' already exists; refusing to overwrite it");
+    return Status::error(E == ENOSPC ? StatusCode::NoSpace
+                                     : StatusCode::IoError,
+                         "cannot create repository file '" + FilePath +
+                             "': " + std::strerror(E));
+  }
+  return Status();
 }
 
-uint64_t Repository::store(const std::vector<uint8_t> &Bytes) {
-  std::lock_guard<std::mutex> Lock(M);
-  ensureOpen();
-  uint64_t Offset = AppendOffset;
+Status Repository::writeAllLocked(const uint8_t *Data, size_t Size,
+                                  uint64_t Offset,
+                                  FaultInjector::Action &Action) {
   size_t Done = 0;
-  while (Done < Bytes.size()) {
-    ssize_t N = ::pwrite(Fd, Bytes.data() + Done, Bytes.size() - Done,
-                         static_cast<off_t>(Offset + Done));
-    if (N <= 0)
-      reportFatalError("repository write failed (disk full?)");
+  int Transient = 0;
+  while (Done < Size) {
+    size_t Want = Size - Done;
+    // Injected faults are consumed by the first syscall of the operation.
+    if (Action == FaultInjector::Action::FailIo) {
+      Action = FaultInjector::Action::None;
+      errno = EIO;
+      return Status::error(StatusCode::IoError,
+                           "repository write failed: injected EIO");
+    }
+    if (Action == FaultInjector::Action::FailNoSpace) {
+      Action = FaultInjector::Action::None;
+      errno = ENOSPC;
+      return Status::error(StatusCode::NoSpace,
+                           "repository write failed: injected ENOSPC");
+    }
+    ssize_t N;
+    if (Action == FaultInjector::Action::Eintr) {
+      Action = FaultInjector::Action::None;
+      errno = EINTR;
+      N = -1;
+    } else if (Action == FaultInjector::Action::ShortWrite) {
+      Action = FaultInjector::Action::None;
+      N = ::pwrite(Fd, Data + Done, Want > 1 ? Want / 2 : Want,
+                   static_cast<off_t>(Offset + Done));
+      if (N > 0)
+        ++TransientRetries; // The resume loop absorbs the short transfer.
+    } else {
+      N = ::pwrite(Fd, Data + Done, Want, static_cast<off_t>(Offset + Done));
+    }
+    if (N < 0) {
+      int E = errno;
+      if ((E == EINTR || E == EAGAIN) && Transient < MaxTransientRetries) {
+        ++Transient;
+        ++TransientRetries;
+        if (E == EAGAIN)
+          ::usleep(1000u << Transient);
+        continue;
+      }
+      return Status::error(E == ENOSPC ? StatusCode::NoSpace
+                                       : StatusCode::IoError,
+                           std::string("repository write failed: ") +
+                               std::strerror(E));
+    }
+    if (N == 0)
+      return Status::error(StatusCode::IoError,
+                           "repository write made no progress");
     Done += static_cast<size_t>(N);
   }
-  AppendOffset += Bytes.size();
+  return Status();
+}
+
+Status Repository::readAllLocked(uint8_t *Data, size_t Size, uint64_t Offset,
+                                 FaultInjector::Action &Action) {
+  size_t Done = 0;
+  int Transient = 0;
+  while (Done < Size) {
+    if (Action == FaultInjector::Action::FailIo) {
+      Action = FaultInjector::Action::None;
+      errno = EIO;
+      return Status::error(StatusCode::IoError,
+                           "repository read failed: injected EIO");
+    }
+    ssize_t N;
+    if (Action == FaultInjector::Action::Eintr) {
+      Action = FaultInjector::Action::None;
+      errno = EINTR;
+      N = -1;
+    } else {
+      N = ::pread(Fd, Data + Done, Size - Done,
+                  static_cast<off_t>(Offset + Done));
+    }
+    if (N < 0) {
+      int E = errno;
+      if ((E == EINTR || E == EAGAIN) && Transient < MaxTransientRetries) {
+        ++Transient;
+        ++TransientRetries;
+        if (E == EAGAIN)
+          ::usleep(1000u << Transient);
+        continue;
+      }
+      return Status::error(StatusCode::IoError,
+                           std::string("repository read failed: ") +
+                               std::strerror(E));
+    }
+    if (N == 0)
+      return Status::error(StatusCode::Corruption,
+                           "repository read hit end of file (truncated "
+                           "record at offset " +
+                               std::to_string(Offset) + ")");
+    Done += static_cast<size_t>(N);
+  }
+  return Status();
+}
+
+Expected<uint64_t> Repository::store(const std::vector<uint8_t> &Bytes) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Bytes.size() > MaxRecordBytes)
+    return Status::error(StatusCode::IoError,
+                         "record of " + std::to_string(Bytes.size()) +
+                             " bytes exceeds the repository record cap");
+  Status S = ensureOpenLocked();
+  if (!S.ok())
+    return S;
+
+  FaultInjector::Action Action = FaultInjector::Action::None;
+  if (Faults)
+    Action = Faults->next(FaultInjector::Site::Store);
+
+  // The checksum always covers the payload the caller handed us; a
+  // store-side injected corruption therefore lands on disk checksummed
+  // "wrong", exactly like real bit-rot under the write path.
+  uint64_t Checksum = hashBytes(Bytes.data(), Bytes.size());
+  const std::vector<uint8_t> *Payload = &Bytes;
+  std::vector<uint8_t> Corrupted;
+  if (Action == FaultInjector::Action::Corrupt) {
+    Corrupted = Bytes;
+    Faults->corruptBytes(Corrupted.data(), Corrupted.size());
+    Payload = &Corrupted;
+    Action = FaultInjector::Action::None;
+  }
+
+  uint8_t Header[FrameHeaderBytes];
+  encodeHeader(Header, static_cast<uint32_t>(Bytes.size()), Checksum);
+
+  uint64_t Offset = AppendOffset;
+  S = writeAllLocked(Header, FrameHeaderBytes, Offset, Action);
+  if (S.ok())
+    S = writeAllLocked(Payload->data(), Payload->size(),
+                       Offset + FrameHeaderBytes, Action);
+  if (!S.ok())
+    return S; // Watermark unchanged: the torn frame is dead space that the
+              // next store overwrites.
+
+  AppendOffset += FrameHeaderBytes + Bytes.size();
   BytesStored += Bytes.size();
   ++Stores;
   return Offset;
 }
 
-bool Repository::fetch(uint64_t Offset, uint64_t Size,
-                       std::vector<uint8_t> &Out) {
+Status Repository::fetch(uint64_t Offset, uint64_t Size,
+                         std::vector<uint8_t> &Out) {
   // pread is positional, so reads would be safe unserialized; the lock keeps
   // the fetch counter exact and orders reads after the stores they follow.
   std::lock_guard<std::mutex> Lock(M);
   if (Fd < 0)
-    return false;
+    return Status::error(StatusCode::Unavailable,
+                         "repository has no backing file");
+
+  // Bounds first, before any allocation: a corrupt directory entry must not
+  // be able to trigger a multi-GiB resize or a read past the watermark.
+  if (Size > MaxRecordBytes)
+    return Status::error(StatusCode::Corruption,
+                         "fetch size " + std::to_string(Size) +
+                             " exceeds the repository record cap");
+  if (Offset > AppendOffset || FrameHeaderBytes + Size > AppendOffset ||
+      Offset + FrameHeaderBytes + Size > AppendOffset)
+    return Status::error(StatusCode::Corruption,
+                         "fetch of " + std::to_string(Size) + " bytes at " +
+                             std::to_string(Offset) +
+                             " is outside the append watermark " +
+                             std::to_string(AppendOffset));
+
+  FaultInjector::Action Action = FaultInjector::Action::None;
+  if (Faults)
+    Action = Faults->next(FaultInjector::Site::Read);
+
+  uint8_t Header[FrameHeaderBytes];
+  Status S = readAllLocked(Header, FrameHeaderBytes, Offset, Action);
+  if (!S.ok())
+    return S;
+  uint32_t Magic, StoredSize;
+  uint64_t Checksum;
+  std::memcpy(&Magic, Header, 4);
+  std::memcpy(&StoredSize, Header + 4, 4);
+  std::memcpy(&Checksum, Header + 8, 8);
+  if (Magic != FrameMagic)
+    return Status::error(StatusCode::Corruption,
+                         "bad frame magic at offset " +
+                             std::to_string(Offset));
+  if (StoredSize != Size)
+    return Status::error(StatusCode::Corruption,
+                         "frame at offset " + std::to_string(Offset) +
+                             " holds " + std::to_string(StoredSize) +
+                             " bytes, directory expects " +
+                             std::to_string(Size));
+
   Out.resize(Size);
-  size_t Done = 0;
-  while (Done < Size) {
-    ssize_t N = ::pread(Fd, Out.data() + Done, Size - Done,
-                        static_cast<off_t>(Offset + Done));
-    if (N <= 0)
-      return false;
-    Done += static_cast<size_t>(N);
-  }
+  S = readAllLocked(Out.data(), Size, Offset + FrameHeaderBytes, Action);
+  if (!S.ok())
+    return S;
+  if (Action == FaultInjector::Action::Corrupt && Faults)
+    Faults->corruptBytes(Out.data(), Out.size());
+  if (hashBytes(Out.data(), Out.size()) != Checksum)
+    return Status::error(StatusCode::Corruption,
+                         "frame checksum mismatch at offset " +
+                             std::to_string(Offset) +
+                             " (torn write or bit-rot)");
   ++Fetches;
-  return true;
+  return Status();
 }

@@ -17,12 +17,27 @@
 /// it is deleted when the session ends (persistent program state lives only
 /// in object files, per Section 6.1).
 ///
+/// The spill path is a first-class failure domain. Every record is framed:
+///
+///   [magic u32][payload size u32][xxh64(payload) u64][payload...]
+///
+/// so a fetch detects truncation, torn writes and bit-rot by construction
+/// instead of handing the uncompactor garbage. Offsets and sizes are
+/// validated against the append watermark before any allocation, transient
+/// EINTR/EAGAIN failures are retried with bounded backoff, and hard failures
+/// (ENOSPC, EIO, corruption) surface as structured Status values the loader
+/// turns into graceful degradation — never a process abort.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCMO_NAIM_REPOSITORY_H
 #define SCMO_NAIM_REPOSITORY_H
 
+#include "support/FaultInjector.h"
+#include "support/Status.h"
+
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -35,24 +50,46 @@ namespace scmo {
 /// append offset plus the activity counters must stay consistent.
 class Repository {
 public:
-  /// Opens (creating/truncating) the repository at \p Path. An empty path
-  /// defers creation until the first store (lazily created under /tmp).
-  explicit Repository(std::string Path = "");
+  /// Bytes of framing prepended to every stored record.
+  static constexpr size_t FrameHeaderBytes = 16;
+
+  /// Sanity cap on a single record: a directory entry or frame header
+  /// claiming more than this is corrupt, not large. Checked before any
+  /// allocation so a bad size can never trigger a multi-GiB resize.
+  static constexpr uint64_t MaxRecordBytes = 1ull << 30;
+
+  /// A repository at \p Path; an empty path defers creation until the first
+  /// store (lazily created under /tmp). A caller-supplied path that already
+  /// exists is NOT clobbered: the first store fails with StatusCode::Exists.
+  /// \p Faults, when non-null, is consulted on every store/fetch.
+  explicit Repository(std::string Path = "",
+                      std::shared_ptr<FaultInjector> Faults = nullptr);
 
   Repository(const Repository &) = delete;
   Repository &operator=(const Repository &) = delete;
 
   ~Repository();
 
-  /// Appends \p Bytes; returns their offset. Aborts the process on I/O
-  /// failure (disk-full during spill has no recovery in a compiler).
-  uint64_t store(const std::vector<uint8_t> &Bytes);
+  /// Appends \p Bytes as a framed record; returns the record's offset, or a
+  /// Status describing the failure (NoSpace / IoError / Exists). On failure
+  /// the append watermark does not advance: a partially written frame is
+  /// simply overwritten by the next store, so torn frames are never visible.
+  Expected<uint64_t> store(const std::vector<uint8_t> &Bytes);
 
-  /// Reads \p Size bytes at \p Offset into \p Out. Returns false on I/O
-  /// error or short read.
-  bool fetch(uint64_t Offset, uint64_t Size, std::vector<uint8_t> &Out);
+  /// Reads back the \p Size payload bytes of the record at \p Offset into
+  /// \p Out. Validates bounds against the append watermark before
+  /// allocating, then the frame magic, the stored size, and the payload
+  /// checksum. Corruption and I/O failures return a structured Status.
+  Status fetch(uint64_t Offset, uint64_t Size, std::vector<uint8_t> &Out);
 
-  /// Total bytes ever appended.
+  /// Replaces the fault injector (tests).
+  void setFaultInjector(std::shared_ptr<FaultInjector> FI) {
+    std::lock_guard<std::mutex> Lock(M);
+    Faults = std::move(FI);
+  }
+
+  /// Total payload bytes ever appended (framing overhead not counted, so
+  /// the NAIM statistics keep their paper meaning).
   uint64_t bytesStored() const {
     std::lock_guard<std::mutex> Lock(M);
     return BytesStored;
@@ -68,20 +105,38 @@ public:
     return Fetches;
   }
 
+  /// Transient faults (EINTR/EAGAIN, short transfers) absorbed by retry.
+  uint64_t transientRetryCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return TransientRetries;
+  }
+
   /// Path of the backing file ("" if never created).
   const std::string &path() const { return FilePath; }
 
 private:
-  void ensureOpen();
+  Status ensureOpenLocked();
+  /// pwrite/pread loops with EINTR/EAGAIN retry (bounded, with backoff) and
+  /// short-transfer resumption. \p Action carries the injected fault for
+  /// this operation, consumed by the first syscall.
+  Status writeAllLocked(const uint8_t *Data, size_t Size, uint64_t Offset,
+                        FaultInjector::Action &Action);
+  Status readAllLocked(uint8_t *Data, size_t Size, uint64_t Offset,
+                       FaultInjector::Action &Action);
 
   /// Serializes all repository I/O and guards the counters.
   mutable std::mutex M;
   std::string FilePath;
+  std::shared_ptr<FaultInjector> Faults;
   int Fd = -1;
+  /// True when the path came from the caller: such a file must not be
+  /// silently truncated if it already exists.
+  bool UserPath = false;
   uint64_t AppendOffset = 0;
   uint64_t BytesStored = 0;
   uint64_t Stores = 0;
   uint64_t Fetches = 0;
+  uint64_t TransientRetries = 0;
 };
 
 } // namespace scmo

@@ -1,0 +1,193 @@
+//===- support/FaultInjector.cpp ------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace scmo;
+
+namespace {
+
+bool parseSite(const std::string &Name, FaultInjector::Site &S) {
+  if (Name == "store") {
+    S = FaultInjector::Site::Store;
+    return true;
+  }
+  if (Name == "read") {
+    S = FaultInjector::Site::Read;
+    return true;
+  }
+  return false;
+}
+
+/// Maps an action name to the Action enum, validating the site it is legal
+/// on ('short'/'enospc'/'corrupt' only make sense for writes, 'flip' only
+/// for reads).
+bool parseAction(const std::string &Name, FaultInjector::Site S,
+                 FaultInjector::Action &A) {
+  using Site = FaultInjector::Site;
+  using Action = FaultInjector::Action;
+  if (Name == "fail") {
+    A = Action::FailIo;
+    return true;
+  }
+  if (Name == "eintr") {
+    A = Action::Eintr;
+    return true;
+  }
+  if (Name == "enospc" && S == Site::Store) {
+    A = Action::FailNoSpace;
+    return true;
+  }
+  if (Name == "short" && S == Site::Store) {
+    A = Action::ShortWrite;
+    return true;
+  }
+  if (Name == "corrupt" && S == Site::Store) {
+    A = Action::Corrupt;
+    return true;
+  }
+  if (Name == "flip" && S == Site::Read) {
+    A = Action::Corrupt;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+std::shared_ptr<FaultInjector> FaultInjector::fromSpec(const std::string &Spec,
+                                                       std::string &Error) {
+  Error.clear();
+  if (Spec.empty())
+    return nullptr;
+  // Can't use make_shared: the constructor is private.
+  std::shared_ptr<FaultInjector> FI(new FaultInjector());
+  uint64_t Seed = 1;
+  size_t Start = 0;
+  while (Start <= Spec.size()) {
+    size_t Comma = Spec.find(',', Start);
+    size_t End = Comma == std::string::npos ? Spec.size() : Comma;
+    std::string Clause = Spec.substr(Start, End - Start);
+    if (!Clause.empty()) {
+      size_t Eq = Clause.find('=');
+      if (Eq == std::string::npos || Eq + 1 >= Clause.size()) {
+        Error = "fault clause '" + Clause + "' has no value";
+        return nullptr;
+      }
+      std::string Key = Clause.substr(0, Eq);
+      std::string Value = Clause.substr(Eq + 1);
+      if (Key == "seed") {
+        Seed = std::strtoull(Value.c_str(), nullptr, 10);
+      } else {
+        size_t Colon = Key.find(':');
+        if (Colon == std::string::npos) {
+          Error = "fault clause '" + Clause + "' is not site:action-kind=value";
+          return nullptr;
+        }
+        FaultInjector::Clause C;
+        if (!parseSite(Key.substr(0, Colon), C.S)) {
+          Error = "unknown fault site in '" + Clause + "' (store|read)";
+          return nullptr;
+        }
+        std::string ActionKind = Key.substr(Colon + 1);
+        size_t Dash = ActionKind.rfind('-');
+        if (Dash == std::string::npos) {
+          Error = "fault clause '" + Clause + "' needs -nth= or -rate=";
+          return nullptr;
+        }
+        std::string Kind = ActionKind.substr(Dash + 1);
+        if (!parseAction(ActionKind.substr(0, Dash), C.S, C.A)) {
+          Error = "unknown or site-invalid fault action in '" + Clause + "'";
+          return nullptr;
+        }
+        if (Kind == "nth") {
+          C.Nth = std::strtoull(Value.c_str(), nullptr, 10);
+          if (!C.Nth) {
+            Error = "fault clause '" + Clause + "': nth is 1-based";
+            return nullptr;
+          }
+        } else if (Kind == "rate") {
+          C.Rate = std::strtod(Value.c_str(), nullptr);
+          if (C.Rate <= 0.0 || C.Rate > 1.0) {
+            Error = "fault clause '" + Clause + "': rate must be in (0, 1]";
+            return nullptr;
+          }
+        } else {
+          Error = "fault clause '" + Clause + "' needs -nth= or -rate=";
+          return nullptr;
+        }
+        FI->Clauses.push_back(C);
+      }
+    }
+    if (Comma == std::string::npos)
+      break;
+    Start = Comma + 1;
+  }
+  if (FI->Clauses.empty()) {
+    Error = "fault spec '" + Spec + "' contains no fault clause";
+    return nullptr;
+  }
+  FI->Rng = Prng(Seed);
+  return FI;
+}
+
+std::shared_ptr<FaultInjector> FaultInjector::fromEnv() {
+  const char *Env = std::getenv("SCMO_FAULT_INJECT");
+  if (!Env || !*Env)
+    return nullptr;
+  std::string Error;
+  auto FI = fromSpec(Env, Error);
+  if (!FI) {
+    // Warn exactly once per process: a typo'd spec silently injecting
+    // nothing would defeat the CI sweep.
+    static bool Warned = false;
+    if (!Warned) {
+      Warned = true;
+      std::fprintf(stderr, "scmo: ignoring SCMO_FAULT_INJECT: %s\n",
+                   Error.c_str());
+    }
+  }
+  return FI;
+}
+
+FaultInjector::Action FaultInjector::next(Site S) {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t &Ops = S == Site::Store ? StoreOps : ReadOps;
+  ++Ops;
+  for (const Clause &C : Clauses) {
+    if (C.S != S)
+      continue;
+    bool Fires = C.Nth ? Ops == C.Nth : Rng.nextBool(C.Rate);
+    if (Fires) {
+      ++Injected;
+      return C.A;
+    }
+  }
+  return Action::None;
+}
+
+void FaultInjector::corruptBytes(uint8_t *Data, size_t Size) {
+  if (!Size)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t Flips = 1 + Rng.nextBelow(4);
+  for (uint64_t I = 0; I != Flips; ++I)
+    Data[Rng.nextBelow(Size)] ^= uint8_t(1 + Rng.nextBelow(255));
+}
+
+uint64_t FaultInjector::injectedCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Injected;
+}
+
+uint64_t FaultInjector::opCount(Site S) const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S == Site::Store ? StoreOps : ReadOps;
+}

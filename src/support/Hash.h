@@ -1,0 +1,117 @@
+//===- support/Hash.h -------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fast 64-bit content hash (the XXH64 algorithm) used to checksum NAIM
+/// repository frames. Requirements: byte-stable across platforms (the frame
+/// format is a contract between store and fetch), strong enough that torn
+/// writes and flipped bits are detected with ~2^-64 miss probability, and
+/// cheap enough that checksumming stays in the noise next to the pwrite it
+/// protects (measured <5% of offload+reload cost; see bench/fault_overhead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_HASH_H
+#define SCMO_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <stddef.h>
+
+namespace scmo {
+
+namespace hash_detail {
+
+constexpr uint64_t P1 = 0x9e3779b185ebca87ull;
+constexpr uint64_t P2 = 0xc2b2ae3d27d4eb4full;
+constexpr uint64_t P3 = 0x165667b19e3779f9ull;
+constexpr uint64_t P4 = 0x85ebca77c2b2ae63ull;
+constexpr uint64_t P5 = 0x27d4eb2f165667c5ull;
+
+inline uint64_t rotl(uint64_t X, unsigned R) {
+  return (X << R) | (X >> (64 - R));
+}
+
+inline uint64_t read64(const uint8_t *P) {
+  uint64_t V;
+  std::memcpy(&V, P, 8);
+  return V;
+}
+
+inline uint32_t read32(const uint8_t *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return V;
+}
+
+inline uint64_t round64(uint64_t Acc, uint64_t Lane) {
+  Acc += Lane * P2;
+  Acc = rotl(Acc, 31);
+  return Acc * P1;
+}
+
+inline uint64_t mergeRound(uint64_t Acc, uint64_t Lane) {
+  Acc ^= round64(0, Lane);
+  return Acc * P1 + P4;
+}
+
+} // namespace hash_detail
+
+/// XXH64 over \p Len bytes with the given seed.
+inline uint64_t hashBytes(const uint8_t *Data, size_t Len, uint64_t Seed = 0) {
+  using namespace hash_detail;
+  const uint8_t *P = Data;
+  const uint8_t *End = Data + Len;
+  uint64_t H;
+  if (Len >= 32) {
+    uint64_t V1 = Seed + P1 + P2;
+    uint64_t V2 = Seed + P2;
+    uint64_t V3 = Seed;
+    uint64_t V4 = Seed - P1;
+    const uint8_t *Limit = End - 32;
+    do {
+      V1 = round64(V1, read64(P));
+      V2 = round64(V2, read64(P + 8));
+      V3 = round64(V3, read64(P + 16));
+      V4 = round64(V4, read64(P + 24));
+      P += 32;
+    } while (P <= Limit);
+    H = rotl(V1, 1) + rotl(V2, 7) + rotl(V3, 12) + rotl(V4, 18);
+    H = mergeRound(H, V1);
+    H = mergeRound(H, V2);
+    H = mergeRound(H, V3);
+    H = mergeRound(H, V4);
+  } else {
+    H = Seed + P5;
+  }
+  H += static_cast<uint64_t>(Len);
+  while (P + 8 <= End) {
+    H ^= round64(0, read64(P));
+    H = rotl(H, 27) * P1 + P4;
+    P += 8;
+  }
+  if (P + 4 <= End) {
+    H ^= static_cast<uint64_t>(read32(P)) * P1;
+    H = rotl(H, 23) * P2 + P3;
+    P += 4;
+  }
+  while (P < End) {
+    H ^= *P * P5;
+    H = rotl(H, 11) * P1;
+    ++P;
+  }
+  H ^= H >> 33;
+  H *= P2;
+  H ^= H >> 29;
+  H *= P3;
+  H ^= H >> 32;
+  return H;
+}
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_HASH_H

@@ -1,0 +1,118 @@
+//===- support/Status.h -----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured, recoverable error propagation for the fault domains the
+/// compiler must survive rather than abort on — above all the NAIM spill
+/// path, where disk-full, torn writes and bit-rot are expected operating
+/// conditions at production scale, not invariant violations. SCMO uses no
+/// exceptions: fallible operations return a Status (or an Expected<T>), and
+/// the caller decides between retry, degradation and structured failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_STATUS_H
+#define SCMO_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace scmo {
+
+/// Coarse failure classification. The class, not the message, drives the
+/// recovery policy: transient faults are retried, NoSpace/IoError on a spill
+/// degrades to resident mode, Corruption triggers re-read / object-file
+/// recovery before giving up.
+enum class StatusCode : uint8_t {
+  Ok,
+  IoError,     ///< Unclassified I/O failure (EIO and friends).
+  NoSpace,     ///< ENOSPC/EDQUOT: the spill device is full.
+  Corruption,  ///< Checksum/magic/bounds mismatch: the bytes are not trusted.
+  Exists,      ///< Refusing to clobber an existing user-supplied file.
+  Unavailable, ///< The resource was never opened / is gone.
+};
+
+inline const char *statusCodeName(StatusCode C) {
+  switch (C) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::IoError:
+    return "I/O error";
+  case StatusCode::NoSpace:
+    return "no space";
+  case StatusCode::Corruption:
+    return "corruption";
+  case StatusCode::Exists:
+    return "already exists";
+  case StatusCode::Unavailable:
+    return "unavailable";
+  }
+  return "?";
+}
+
+/// A success/error value. Cheap to return by value: the success case carries
+/// no allocation.
+class Status {
+public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  static Status error(StatusCode C, std::string Msg) {
+    assert(C != StatusCode::Ok && "error status with Ok code");
+    Status S;
+    S.C = C;
+    S.Msg = std::move(Msg);
+    return S;
+  }
+
+  bool ok() const { return C == StatusCode::Ok; }
+  StatusCode code() const { return C; }
+  const std::string &message() const { return Msg; }
+
+  /// "corruption: frame checksum mismatch at offset 4096".
+  std::string toString() const {
+    if (ok())
+      return "ok";
+    return std::string(statusCodeName(C)) + ": " + Msg;
+  }
+
+private:
+  StatusCode C = StatusCode::Ok;
+  std::string Msg;
+};
+
+/// A value or the Status explaining its absence.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Val(std::move(Value)) {}
+  Expected(Status S) : St(std::move(S)) {
+    assert(!St.ok() && "Expected error built from an Ok status");
+  }
+
+  bool ok() const { return St.ok(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status &status() const { return St; }
+
+  T &operator*() {
+    assert(ok() && "dereferencing an errored Expected");
+    return Val;
+  }
+  const T &operator*() const {
+    assert(ok() && "dereferencing an errored Expected");
+    return Val;
+  }
+
+private:
+  Status St;
+  T Val{};
+};
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_STATUS_H

@@ -32,6 +32,13 @@
 ///                            needed)
 ///     --plant-defects        seed the generated program with one instance
 ///                            of every lint defect (with --gen-mcad)
+///     --write-objects <dir>  round-trip all IL through object files in
+///                            <dir> before linking (the production flow)
+///     --fault-inject <spec>  deterministically inject faults into the NAIM
+///                            spill path (see support/FaultInjector.h for
+///                            the grammar, e.g. store:fail-nth=3 or
+///                            seed=7,read:flip-rate=0.1); the environment
+///                            variable SCMO_FAULT_INJECT does the same
 ///
 /// Example session (the paper's deployment flow):
 ///   scmoc +O2 +I --profile app.prof --run app.mc lib.mc   # train
@@ -60,7 +67,8 @@ int usage(const char *Argv0) {
                "[--select PCT] [--multi-layered] [--machine-mem MIB] "
                "[--jobs N] [--run] [--emit-il R] [--disasm R] [--stats] "
                "[--analyze] [--analyze-filter CODES] [--gen-mcad LINES] "
-               "[--plant-defects] files...\n",
+               "[--plant-defects] [--write-objects DIR] "
+               "[--fault-inject SPEC] files...\n",
                Argv0);
   return 2;
 }
@@ -159,6 +167,11 @@ int main(int argc, char **argv) {
       GenMcadLines = uint64_t(std::atoll(takeValue("--gen-mcad")));
     else if (Arg == "--plant-defects")
       PlantDefects = true;
+    else if (Arg == "--write-objects") {
+      Opts.WriteObjects = true;
+      Opts.ObjectDir = takeValue("--write-objects");
+    } else if (Arg == "--fault-inject")
+      Opts.FaultInject = takeValue("--fault-inject");
     else if (!Arg.empty() && Arg[0] == '-')
       return usage(argv[0]);
     else
@@ -220,6 +233,10 @@ int main(int argc, char **argv) {
   }
 
   BuildResult Build = Session.build();
+  // Fault-path diagnostics (spill degradation, recovered corruption) are
+  // warnings: the build may still be Ok, just slower or fatter.
+  if (!Build.WarningsText.empty())
+    std::fputs(Build.WarningsText.c_str(), stderr);
   if (!Build.Ok) {
     std::fprintf(stderr, "scmoc: %s\n", Build.Error.c_str());
     return 1;

@@ -30,16 +30,16 @@ TEST(Repository, StoreAndFetchRoundTrip) {
   Repository Repo;
   std::vector<uint8_t> A = {1, 2, 3, 4};
   std::vector<uint8_t> B = {9, 8, 7};
-  uint64_t OffA = Repo.store(A);
-  uint64_t OffB = Repo.store(B);
+  uint64_t OffA = *Repo.store(A);
+  uint64_t OffB = *Repo.store(B);
   EXPECT_NE(OffA, OffB);
   std::vector<uint8_t> Out;
-  ASSERT_TRUE(Repo.fetch(OffA, A.size(), Out));
+  ASSERT_TRUE(Repo.fetch(OffA, A.size(), Out).ok());
   EXPECT_EQ(Out, A);
-  ASSERT_TRUE(Repo.fetch(OffB, B.size(), Out));
+  ASSERT_TRUE(Repo.fetch(OffB, B.size(), Out).ok());
   EXPECT_EQ(Out, B);
   // Random re-reads work (not just last-written).
-  ASSERT_TRUE(Repo.fetch(OffA, A.size(), Out));
+  ASSERT_TRUE(Repo.fetch(OffA, A.size(), Out).ok());
   EXPECT_EQ(Out, A);
   EXPECT_EQ(Repo.storeCount(), 2u);
   EXPECT_EQ(Repo.fetchCount(), 3u);
@@ -49,7 +49,9 @@ TEST(Repository, StoreAndFetchRoundTrip) {
 TEST(Repository, FetchBeforeAnyStoreFails) {
   Repository Repo;
   std::vector<uint8_t> Out;
-  EXPECT_FALSE(Repo.fetch(0, 4, Out));
+  Status S = Repo.fetch(0, 4, Out);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::Unavailable);
 }
 
 TEST(Repository, BackingFileIsRemovedOnDestruction) {
@@ -265,4 +267,247 @@ TEST(Loader, BodiesIdenticalAfterCompactionRoundTrip) {
   L.releaseAll();
   RoutineBody &Body = L.acquire(F.Routines[1]);
   EXPECT_EQ(compactRoutine(Body), Bytes0);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault tolerance: framing, injection, retry, degradation, recovery
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::shared_ptr<FaultInjector> injector(const std::string &Spec) {
+  std::string Error;
+  auto FI = FaultInjector::fromSpec(Spec, Error);
+  EXPECT_TRUE(FI) << Error;
+  return FI;
+}
+
+} // namespace
+
+TEST(FaultInjector, RejectsMalformedSpecs) {
+  std::string Error;
+  EXPECT_FALSE(FaultInjector::fromSpec("bogus", Error));
+  EXPECT_FALSE(FaultInjector::fromSpec("store:explode-nth=1", Error));
+  EXPECT_FALSE(FaultInjector::fromSpec("read:enospc-nth=1", Error));
+  EXPECT_FALSE(FaultInjector::fromSpec("store:flip-nth=1", Error));
+  EXPECT_FALSE(FaultInjector::fromSpec("store:fail-nth=0", Error));
+  EXPECT_FALSE(FaultInjector::fromSpec("store:fail-rate=2.0", Error));
+  EXPECT_TRUE(FaultInjector::fromSpec(
+      "seed=7,store:fail-nth=3,read:flip-rate=0.25", Error))
+      << Error;
+  // An empty spec means "no injection", not an error.
+  EXPECT_FALSE(FaultInjector::fromSpec("", Error));
+  EXPECT_TRUE(Error.empty());
+}
+
+TEST(Repository, ChecksumDetectsOnDiskBitRot) {
+  Repository Repo;
+  std::vector<uint8_t> Payload(256, 0x2a);
+  uint64_t Off = *Repo.store(Payload);
+  // Flip one payload byte directly in the backing file, as a dying disk
+  // would, bypassing the injector entirely.
+  std::FILE *F = std::fopen(Repo.path().c_str(), "r+b");
+  ASSERT_NE(F, nullptr);
+  std::fseek(F, long(Off + Repository::FrameHeaderBytes + 17), SEEK_SET);
+  std::fputc(0x55, F);
+  std::fclose(F);
+  std::vector<uint8_t> Out;
+  Status S = Repo.fetch(Off, Payload.size(), Out);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::Corruption);
+}
+
+TEST(Repository, TruncatedFrameIsDetected) {
+  Repository Repo;
+  std::vector<uint8_t> Payload(128, 7);
+  uint64_t Off = *Repo.store(Payload);
+  std::vector<uint8_t> Out;
+  // Lying about the size (beyond the watermark) must fail before any
+  // allocation, and an oversized claim is corruption, not an allocation.
+  EXPECT_EQ(Repo.fetch(Off, Payload.size() + 1, Out).code(),
+            StatusCode::Corruption);
+  EXPECT_EQ(Repo.fetch(Off, Repository::MaxRecordBytes + 1, Out).code(),
+            StatusCode::Corruption);
+  EXPECT_EQ(Repo.fetch(Off + 1, Payload.size(), Out).code(),
+            StatusCode::Corruption);
+}
+
+TEST(Repository, UserPathIsNeverClobbered) {
+  std::string Path = "/tmp/scmo-precious-" + std::to_string(::getpid());
+  ASSERT_TRUE(writeFile(Path, {'k', 'e', 'e', 'p'}));
+  {
+    Repository Repo(Path);
+    Expected<uint64_t> Off = Repo.store({1, 2, 3});
+    ASSERT_FALSE(Off.ok());
+    EXPECT_EQ(Off.status().code(), StatusCode::Exists);
+  }
+  // The pre-existing file survives, byte for byte.
+  std::vector<uint8_t> Probe;
+  ASSERT_TRUE(readFile(Path, Probe));
+  EXPECT_EQ(Probe, (std::vector<uint8_t>{'k', 'e', 'e', 'p'}));
+  std::remove(Path.c_str());
+}
+
+TEST(Repository, EintrAndShortWritesAreAbsorbed) {
+  Repository Repo("", injector("store:eintr-nth=1,store:short-nth=2,"
+                               "read:eintr-nth=1"));
+  std::vector<uint8_t> A(512, 1), B(512, 2);
+  uint64_t OffA = *Repo.store(A); // EINTR on the header write, retried.
+  uint64_t OffB = *Repo.store(B); // Short first write, resumed.
+  std::vector<uint8_t> Out;
+  ASSERT_TRUE(Repo.fetch(OffA, A.size(), Out).ok()); // EINTR, retried.
+  EXPECT_EQ(Out, A);
+  ASSERT_TRUE(Repo.fetch(OffB, B.size(), Out).ok());
+  EXPECT_EQ(Out, B);
+  EXPECT_GE(Repo.transientRetryCount(), 3u);
+}
+
+TEST(Repository, FailedStoreDoesNotAdvanceTheWatermark) {
+  Repository Repo("", injector("store:enospc-nth=2"));
+  std::vector<uint8_t> A(64, 1), B(64, 2), C(64, 3);
+  uint64_t OffA = *Repo.store(A);
+  Expected<uint64_t> Fail = Repo.store(B); // Injected disk-full.
+  ASSERT_FALSE(Fail.ok());
+  EXPECT_EQ(Fail.status().code(), StatusCode::NoSpace);
+  // The next store overwrites the torn frame and everything reads back.
+  uint64_t OffC = *Repo.store(C);
+  std::vector<uint8_t> Out;
+  ASSERT_TRUE(Repo.fetch(OffA, A.size(), Out).ok());
+  EXPECT_EQ(Out, A);
+  ASSERT_TRUE(Repo.fetch(OffC, C.size(), Out).ok());
+  EXPECT_EQ(Out, C);
+  EXPECT_EQ(Repo.storeCount(), 2u); // Failed stores are not counted.
+}
+
+TEST(Repository, InjectedStoreCorruptionFailsTheChecksum) {
+  Repository Repo("", injector("store:corrupt-nth=1"));
+  std::vector<uint8_t> Payload(256, 0x3c);
+  uint64_t Off = *Repo.store(Payload); // Store "succeeds"; disk is wrong.
+  std::vector<uint8_t> Out;
+  Status S = Repo.fetch(Off, Payload.size(), Out);
+  EXPECT_EQ(S.code(), StatusCode::Corruption);
+  // Persistent: a re-read sees the same rotten bytes.
+  EXPECT_EQ(Repo.fetch(Off, Payload.size(), Out).code(),
+            StatusCode::Corruption);
+}
+
+TEST(Repository, InjectedReadFlipIsTransient) {
+  Repository Repo("", injector("read:flip-nth=1"));
+  std::vector<uint8_t> Payload(256, 0x51);
+  uint64_t Off = *Repo.store(Payload);
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(Repo.fetch(Off, Payload.size(), Out).code(),
+            StatusCode::Corruption);
+  // The flip happened in memory; the platter is fine and a re-read heals.
+  ASSERT_TRUE(Repo.fetch(Off, Payload.size(), Out).ok());
+  EXPECT_EQ(Out, Payload);
+}
+
+TEST(Loader, SpillFailureDegradesToResidentMode) {
+  LoaderFixture F(6);
+  NaimConfig C;
+  C.Mode = NaimMode::Offload;
+  C.ExpandedCacheBytes = 0;
+  C.CompactResidentBytes = 0;
+  C.Injector = injector("store:fail-nth=2");
+  Loader L(F.P, C);
+  for (RoutineId R : F.Routines) {
+    L.acquire(R);
+    L.release(R);
+  }
+  // One spill landed, the second failed, and the loader gave up on the
+  // repository: every remaining pool stays compact in memory.
+  EXPECT_TRUE(L.degraded());
+  EXPECT_EQ(L.stats().SpillFailures, 1u);
+  EXPECT_EQ(L.stats().Offloads, 1u);
+  EXPECT_TRUE(L.firstError().ok()); // Degradation is not an error.
+  std::vector<LoaderEvent> Events = L.takeEvents();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].K, LoaderEvent::Kind::SpillDegraded);
+  // Every body — offloaded, resident or never spilled — reads back intact.
+  for (unsigned I = 0; I != 6; ++I) {
+    EXPECT_EQ(retValueOf(L.acquire(F.Routines[I])), int64_t(I));
+    L.release(F.Routines[I]);
+  }
+}
+
+TEST(Loader, TransientFetchCorruptionHealsByRetry) {
+  LoaderFixture F(4);
+  NaimConfig C;
+  C.Mode = NaimMode::Offload;
+  C.ExpandedCacheBytes = 0;
+  C.CompactResidentBytes = 0;
+  C.Injector = injector("read:flip-nth=1");
+  Loader L(F.P, C);
+  for (RoutineId R : F.Routines) {
+    L.acquire(R);
+    L.release(R);
+  }
+  for (unsigned I = 0; I != 4; ++I) {
+    EXPECT_EQ(retValueOf(L.acquire(F.Routines[I])), int64_t(I));
+    L.release(F.Routines[I]);
+  }
+  EXPECT_EQ(L.stats().FetchRetries, 1u);
+  EXPECT_EQ(L.stats().PoisonedPools, 0u);
+  EXPECT_TRUE(L.firstError().ok());
+}
+
+TEST(Loader, PersistentCorruptionRecoversThroughHandler) {
+  LoaderFixture F(4);
+  // A pristine twin provides the "object file" bytes the handler returns.
+  LoaderFixture Clean(4);
+  NaimConfig C;
+  C.Mode = NaimMode::Offload;
+  C.ExpandedCacheBytes = 0;
+  C.CompactResidentBytes = 0;
+  C.Injector = injector("store:corrupt-nth=1");
+  Loader L(F.P, C);
+  unsigned Recovered = 0;
+  L.setRecoveryHandler([&](RoutineId R) {
+    ++Recovered;
+    std::vector<uint8_t> Bytes =
+        compactRoutine(*Clean.P.routine(R).Slot.Body);
+    return expandRoutine(Bytes, F.P.tracker());
+  });
+  for (RoutineId R : F.Routines) {
+    L.acquire(R);
+    L.release(R);
+  }
+  for (unsigned I = 0; I != 4; ++I) {
+    EXPECT_EQ(retValueOf(L.acquire(F.Routines[I])), int64_t(I));
+    L.release(F.Routines[I]);
+  }
+  EXPECT_EQ(Recovered, 1u);
+  EXPECT_EQ(L.stats().Recoveries, 1u);
+  EXPECT_EQ(L.stats().PoisonedPools, 0u);
+  EXPECT_TRUE(L.firstError().ok());
+  bool SawRecovery = false;
+  for (const LoaderEvent &E : L.takeEvents())
+    SawRecovery |= E.K == LoaderEvent::Kind::Recovered;
+  EXPECT_TRUE(SawRecovery);
+}
+
+TEST(Loader, UnrecoverableCorruptionPoisonsInsteadOfAborting) {
+  LoaderFixture F(4);
+  NaimConfig C;
+  C.Mode = NaimMode::Offload;
+  C.ExpandedCacheBytes = 0;
+  C.CompactResidentBytes = 0;
+  C.Injector = injector("store:corrupt-nth=1");
+  Loader L(F.P, C); // No recovery handler installed.
+  for (RoutineId R : F.Routines) {
+    L.acquire(R);
+    L.release(R);
+  }
+  // Acquiring the rotten pool yields a safe stub — the process survives —
+  // and the latched error tells the driver the results are unusable.
+  for (RoutineId R : F.Routines)
+    L.acquire(R);
+  EXPECT_EQ(L.stats().PoisonedPools, 1u);
+  EXPECT_FALSE(L.firstError().ok());
+  EXPECT_EQ(L.firstError().code(), StatusCode::Corruption);
+  bool SawPoison = false;
+  for (const LoaderEvent &E : L.takeEvents())
+    SawPoison |= E.K == LoaderEvent::Kind::PoolPoisoned;
+  EXPECT_TRUE(SawPoison);
 }
