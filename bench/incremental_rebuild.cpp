@@ -1,0 +1,146 @@
+//===- bench/incremental_rebuild.cpp --------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental-rebuild scenario the artifact cache exists for: a
+/// developer edits ONE module of an Mcad1-like application and rebuilds at
+/// O4+P. A cold build optimizes and lowers everything; a warm build against
+/// a primed cache recompiles only the edited module's unit (the whole CMO
+/// set if it is a CMO member, just the module if it is default-set) and
+/// relinks. Reported per --jobs width: cold seconds, warm seconds, speedup,
+/// cache hit rate — and a hard byte-identity check of the two executables
+/// (the cache must buy time, never different code).
+///
+/// Prints a human table, then one JSON line per configuration on stdout
+/// ("{"bench":"incremental_rebuild",...}") for machine consumption.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "link/Linker.h"
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace scmo;
+using namespace scmo::bench;
+
+namespace {
+
+std::string freshCacheDir() {
+  char Dir[] = "/tmp/scmo-bench-cache-XXXXXX";
+  if (!mkdtemp(Dir)) {
+    std::fprintf(stderr, "cannot create cache dir\n");
+    std::exit(1);
+  }
+  return Dir;
+}
+
+/// The one-module edit: a new routine appended to the last module (the hot
+/// set lives in the leading modules, so under selectivity this is a
+/// default-set module and the CMO unit stays cached).
+GeneratedProgram editLastModule(GeneratedProgram GP) {
+  GP.Modules.back().Source += "\nfunc bench_edit_probe(x, k) {\n"
+                              "  var t = x * 5 + k * 3;\n"
+                              "  return t % 8191;\n"
+                              "}\n";
+  return GP;
+}
+
+} // namespace
+
+int main() {
+  double Scale = scaleFactor();
+  uint64_t Lines = static_cast<uint64_t>(60000 * Scale);
+  std::printf("Incremental rebuild: cold vs warm after a 1-module edit\n"
+              "(scale %.2f; %llu-line Mcad1-like application, O4+P, "
+              "select 20%%)\n\n",
+              Scale, (unsigned long long)Lines);
+
+  GeneratedProgram GP = generateProgram(mcadLikeParams(Lines, 1));
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "training failed: %s\n", Error.c_str());
+    return 1;
+  }
+  GeneratedProgram Edited = editLastModule(GP);
+
+  std::printf("%6s %10s %10s %9s %10s %9s\n", "jobs", "cold s", "warm s",
+              "speedup", "hit rate", "identical");
+
+  std::vector<unsigned> Widths = {1, 8};
+  int Failures = 0;
+  for (unsigned Jobs : Widths) {
+    CompileOptions Opts = optionsFor(OptLevel::O4, true);
+    Opts.Jobs = Jobs;
+    Opts.SelectivityPercent = 20;
+    Opts.Incremental = true;
+    Opts.CacheDir = freshCacheDir();
+
+    // Prime: the build of the pre-edit tree (its cost is not the scenario;
+    // every developer has built before they edit).
+    Measured Prime = measure(GP, Opts, &Db, /*RunIt=*/false);
+    if (!Prime.Ok) {
+      std::fprintf(stderr, "prime build failed: %s\n", Prime.Error.c_str());
+      return 1;
+    }
+
+    // Cold: the edited tree with no usable cache.
+    CompileOptions ColdOpts = Opts;
+    ColdOpts.Incremental = false;
+    ColdOpts.CacheDir.clear();
+    Measured Cold = measure(Edited, ColdOpts, &Db, /*RunIt=*/false);
+    // Warm: the edited tree against the primed cache.
+    Measured Warm = measure(Edited, Opts, &Db, /*RunIt=*/false);
+    if (!Cold.Ok || !Warm.Ok) {
+      std::fprintf(stderr, "build failed: %s%s\n", Cold.Error.c_str(),
+                   Warm.Error.c_str());
+      return 1;
+    }
+
+    uint64_t Hits = Warm.Build.Stats.get("cache.hits");
+    uint64_t Misses = Warm.Build.Stats.get("cache.misses");
+    double HitRate =
+        Hits + Misses ? double(Hits) / double(Hits + Misses) : 0.0;
+    bool Identical =
+        hashExecutable(Cold.Build.Exe) == hashExecutable(Warm.Build.Exe);
+    double Speedup = Warm.CompileSeconds > 0
+                         ? Cold.CompileSeconds / Warm.CompileSeconds
+                         : 0.0;
+    if (!Identical) {
+      std::fprintf(stderr,
+                   "FAIL: warm executable differs from cold at jobs=%u\n",
+                   Jobs);
+      ++Failures;
+    }
+    if (Speedup < 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: warm rebuild only %.2fx faster than cold at "
+                   "jobs=%u (need >= 3x)\n",
+                   Speedup, Jobs);
+      ++Failures;
+    }
+
+    std::printf("%6u %9.3fs %9.3fs %8.2fx %9.0f%% %9s\n", Jobs,
+                Cold.CompileSeconds, Warm.CompileSeconds, Speedup,
+                HitRate * 100.0, Identical ? "yes" : "NO");
+    std::printf("{\"bench\":\"incremental_rebuild\",\"jobs\":%u,"
+                "\"lines\":%llu,\"cold_seconds\":%.4f,\"warm_seconds\":%.4f,"
+                "\"speedup\":%.3f,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+                "\"skip_hlo\":%llu,\"skip_llo\":%llu,\"identical\":%s}\n",
+                Jobs, (unsigned long long)Lines, Cold.CompileSeconds,
+                Warm.CompileSeconds, Speedup, (unsigned long long)Hits,
+                (unsigned long long)Misses,
+                (unsigned long long)Warm.Build.Stats.get("cache.skip.hlo"),
+                (unsigned long long)Warm.Build.Stats.get("cache.skip.llo"),
+                Identical ? "true" : "false");
+  }
+  return Failures ? 1 : 0;
+}

@@ -1,0 +1,702 @@
+//===- cache/ArtifactCache.cpp --------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/ArtifactCache.h"
+
+#include "bytecode/ObjectFile.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sys/stat.h>
+
+using namespace scmo;
+
+namespace {
+
+/// Artifact frame: magic, payload size, XXH64 of the payload — the NAIM
+/// repository's framing discipline applied to a whole file.
+constexpr uint32_t ArtifactMagic = 0x53434131; // "SCA1"
+constexpr size_t FrameBytes = 16;
+
+/// Current payload format. Bump on any layout change: an old artifact then
+/// fails the version check and reads as a miss.
+constexpr uint32_t FormatVersion = 1;
+
+//===----------------------------------------------------------------------===//
+// Byte-level encode / decode
+//===----------------------------------------------------------------------===//
+
+struct Sink {
+  std::vector<uint8_t> Bytes;
+
+  void u8(uint8_t V) { Bytes.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Bytes.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Bytes.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Bytes.insert(Bytes.end(), S.begin(), S.end());
+  }
+};
+
+/// Bounds-checked reader; any overrun latches Bad and every subsequent read
+/// returns zero, so a truncated payload can't walk off the buffer.
+struct Reader {
+  const uint8_t *P;
+  const uint8_t *End;
+  bool Bad = false;
+
+  Reader(const std::vector<uint8_t> &B, size_t Offset)
+      : P(B.data() + Offset), End(B.data() + B.size()) {}
+
+  bool need(size_t N) {
+    if (Bad || static_cast<size_t>(End - P) < N) {
+      Bad = true;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return *P++;
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(*P++) << (I * 8);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(*P++) << (I * 8);
+    return V;
+  }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  std::string str() {
+    uint32_t N = u32();
+    if (!need(N))
+      return "";
+    std::string S(reinterpret_cast<const char *>(P), N);
+    P += N;
+    return S;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Symbol reference tables
+//===----------------------------------------------------------------------===//
+
+/// A routine reference: by (owner, name, linkage) for routines the frontend
+/// declared, by creation index for the cloner's declarations (clone names
+/// are synthesized and their ids replayed, so the index is the stable part).
+struct RoutineRef {
+  uint8_t Kind = 0; ///< 0 = named, 1 = clone.
+  std::string Owner;
+  std::string Name;
+  bool IsStatic = false;
+  uint32_t CloneIdx = 0;
+};
+
+struct GlobalRef {
+  std::string Owner;
+  std::string Name;
+  bool IsStatic = false;
+};
+
+struct CloneDecl {
+  std::string Owner;
+  std::string Name;
+  uint32_t NumParams = 0;
+};
+
+/// Builds reference tables while serializing: RoutineId -> table index.
+struct RefBuilder {
+  const Program &P;
+  RoutineId CloneBase;
+  std::vector<RoutineRef> Routines;
+  std::vector<GlobalRef> Globals;
+  std::map<RoutineId, uint32_t> RIdx;
+  std::map<GlobalId, uint32_t> GIdx;
+
+  RefBuilder(const Program &Prog, RoutineId CloneBase)
+      : P(Prog), CloneBase(CloneBase) {}
+
+  uint32_t routineRef(RoutineId R) {
+    auto It = RIdx.find(R);
+    if (It != RIdx.end())
+      return It->second;
+    RoutineRef Ref;
+    if (R >= CloneBase) {
+      Ref.Kind = 1;
+      Ref.CloneIdx = R - CloneBase;
+    } else {
+      const RoutineInfo &RI = P.routine(R);
+      Ref.Name = P.Strings.text(RI.Name);
+      Ref.IsStatic = RI.IsStatic;
+      if (RI.Owner != InvalidId)
+        Ref.Owner = P.Strings.text(P.module(RI.Owner).Name);
+    }
+    uint32_t Idx = static_cast<uint32_t>(Routines.size());
+    Routines.push_back(std::move(Ref));
+    RIdx.emplace(R, Idx);
+    return Idx;
+  }
+
+  uint32_t globalRef(GlobalId G) {
+    auto It = GIdx.find(G);
+    if (It != GIdx.end())
+      return It->second;
+    const GlobalVar &GV = P.global(G);
+    GlobalRef Ref;
+    Ref.Name = P.Strings.text(GV.Name);
+    Ref.IsStatic = GV.IsStatic;
+    if (GV.Owner != InvalidId)
+      Ref.Owner = P.Strings.text(P.module(GV.Owner).Name);
+    uint32_t Idx = static_cast<uint32_t>(Globals.size());
+    Globals.push_back(std::move(Ref));
+    GIdx.emplace(G, Idx);
+    return Idx;
+  }
+};
+
+ModuleId findModule(const Program &P, const std::string &Name) {
+  StrId Id = P.Strings.lookup(Name);
+  if (Id == InvalidStr)
+    return InvalidId;
+  for (ModuleId M = 0; M != P.numModules(); ++M)
+    if (P.module(M).Name == Id)
+      return M;
+  return InvalidId;
+}
+
+/// Resolves a named routine reference against the current program.
+RoutineId resolveRoutine(const Program &P, const RoutineRef &Ref) {
+  if (Ref.IsStatic) {
+    ModuleId M = findModule(P, Ref.Owner);
+    if (M == InvalidId)
+      return InvalidId;
+    return P.findRoutineInModule(M, Ref.Name);
+  }
+  return P.findRoutine(Ref.Name);
+}
+
+GlobalId resolveGlobal(const Program &P, const GlobalRef &Ref) {
+  if (Ref.IsStatic) {
+    ModuleId M = findModule(P, Ref.Owner);
+    if (M == InvalidId)
+      return InvalidId;
+    StrId NameId = P.Strings.lookup(Ref.Name);
+    if (NameId == InvalidStr)
+      return InvalidId;
+    for (GlobalId G : P.module(M).Globals) {
+      const GlobalVar &GV = P.global(G);
+      if (GV.IsStatic && GV.Owner == M && GV.Name == NameId)
+        return G;
+    }
+    return InvalidId;
+  }
+  return P.findGlobal(Ref.Name);
+}
+
+/// Whether this machine opcode's Sym is a routine, a global, or unused.
+enum class SymKind : uint8_t { None, Routine, Global };
+
+SymKind symKind(MOp Op) {
+  switch (Op) {
+  case MOp::Call:
+    return SymKind::Routine;
+  case MOp::LoadG:
+  case MOp::StoreG:
+  case MOp::LoadIdx:
+  case MOp::StoreIdx:
+    return SymKind::Global;
+  default:
+    return SymKind::None;
+  }
+}
+
+void putOperand(Sink &S, const MOperand &O) {
+  S.u8(O.IsImm ? 1 : 0);
+  S.u8(O.Reg);
+  S.i64(O.Imm);
+}
+
+MOperand getOperand(Reader &R) {
+  MOperand O;
+  O.IsImm = R.u8() != 0;
+  O.Reg = R.u8();
+  O.Imm = R.i64();
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// IL content hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void hashOperand(Sink &S, const Operand &O) {
+  S.u8(static_cast<uint8_t>(O.K));
+  if (O.isReg())
+    S.u64(O.asReg());
+  else if (O.isImm())
+    S.i64(O.asImm());
+}
+
+void hashSymbol(Sink &S, const Program &P, Opcode Op, uint32_t Sym) {
+  // Reference by name + linkage + owner: stable across the id shifts that
+  // editing *other* modules causes.
+  if (Op == Opcode::Call) {
+    const RoutineInfo &RI = P.routine(Sym);
+    S.str(P.Strings.text(RI.Name));
+    S.u8(RI.IsStatic ? 1 : 0);
+    if (RI.IsStatic && RI.Owner != InvalidId)
+      S.str(P.Strings.text(P.module(RI.Owner).Name));
+  } else {
+    const GlobalVar &GV = P.global(Sym);
+    S.str(P.Strings.text(GV.Name));
+    S.u8(GV.IsStatic ? 1 : 0);
+    if (GV.IsStatic && GV.Owner != InvalidId)
+      S.str(P.Strings.text(P.module(GV.Owner).Name));
+  }
+}
+
+} // namespace
+
+uint64_t scmo::contentHash(const Program &P, const RoutineBody &Body) {
+  Sink S;
+  S.u32(Body.NumParams);
+  S.u32(static_cast<uint32_t>(Body.Blocks.size()));
+  for (const BasicBlock &B : Body.Blocks) {
+    S.u32(static_cast<uint32_t>(B.Instrs.size()));
+    for (const Instr *I : B.Instrs) {
+      S.u8(static_cast<uint8_t>(I->Op));
+      S.u64(I->Dst);
+      hashOperand(S, I->A);
+      hashOperand(S, I->B);
+      if (I->Op == Opcode::Call || I->Op == Opcode::LoadG ||
+          I->Op == Opcode::StoreG || I->Op == Opcode::LoadIdx ||
+          I->Op == Opcode::StoreIdx)
+        hashSymbol(S, P, I->Op, I->Sym);
+      S.u32(I->T1);
+      S.u32(I->T2);
+      S.u32(I->NumArgs);
+      for (uint16_t A = 0; A != I->NumArgs; ++A)
+        hashOperand(S, I->Args[A]);
+    }
+  }
+  return hashBytes(S.Bytes.data(), S.Bytes.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Key material
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<uint8_t> keyMaterial(const Program &P, const CacheUnit &U,
+                                 const std::vector<uint64_t> &ContentHashes,
+                                 uint64_t OptFingerprint,
+                                 uint64_t ProfileEpoch) {
+  Sink S;
+  S.str(U.IsCmoUnit ? "unit" : "module");
+  S.u64(OptFingerprint);
+  S.u64(ProfileEpoch);
+  S.u8(U.WholeProgram ? 1 : 0);
+  S.u32(static_cast<uint32_t>(U.Modules.size()));
+  for (ModuleId M : U.Modules) {
+    const ModuleInfo &MI = P.module(M);
+    S.str(P.Strings.text(MI.Name));
+    // Owned routines only: foreign routines this module references are
+    // covered by the owned bodies' content hashes (callee names).
+    for (RoutineId R : MI.Routines) {
+      const RoutineInfo &RI = P.routine(R);
+      if (RI.Owner != M)
+        continue;
+      S.str(P.Strings.text(RI.Name));
+      S.u64(R < ContentHashes.size() ? ContentHashes[R] : 0);
+      S.u32(RI.NumParams);
+      S.u8(RI.IsStatic ? 1 : 0);
+      S.u8(RI.IsDefined ? 1 : 0);
+      S.u8(RI.Selected ? 1 : 0);
+      S.u8(static_cast<uint8_t>(RI.Tier));
+    }
+    S.str("|globals");
+    for (GlobalId G : MI.Globals) {
+      const GlobalVar &GV = P.global(G);
+      if (GV.Owner != M)
+        continue;
+      S.str(P.Strings.text(GV.Name));
+      S.u32(GV.Size);
+      S.i64(GV.Init);
+      S.u8(GV.IsStatic ? 1 : 0);
+    }
+    S.str("|end");
+  }
+  return std::move(S.Bytes);
+}
+
+std::string hex(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ArtifactCache
+//===----------------------------------------------------------------------===//
+
+ArtifactCache::ArtifactCache(std::string Dir,
+                             std::shared_ptr<FaultInjector> Injector,
+                             Statistics &Stats)
+    : Dir(std::move(Dir)), Injector(std::move(Injector)), Stats(Stats) {
+  ::mkdir(this->Dir.c_str(), 0755); // Best-effort; writes report failures.
+}
+
+std::string ArtifactCache::pathFor(const CacheUnit &U, uint64_t Key) const {
+  return Dir + "/" + (U.IsCmoUnit ? "unit-" : "mod-") + hex(Key) + ".art";
+}
+
+ArtifactCache::UnitKey
+ArtifactCache::keys(const Program &P, const CacheUnit &U,
+                    const std::vector<uint64_t> &ContentHashes,
+                    uint64_t OptFingerprint, uint64_t ProfileEpoch) const {
+  std::vector<uint8_t> Material =
+      keyMaterial(P, U, ContentHashes, OptFingerprint, ProfileEpoch);
+  UnitKey K;
+  K.Key = hashBytes(Material.data(), Material.size(), /*Seed=*/0);
+  K.Check = hashBytes(Material.data(), Material.size(), /*Seed=*/1);
+  return K;
+}
+
+bool ArtifactCache::load(Program &P, const CacheUnit &U, const UnitKey &K,
+                         CachedUnit &Out) {
+  std::string Path = pathFor(U, K.Key);
+
+  auto Miss = [&] {
+    Stats.add("cache.misses");
+    return false;
+  };
+
+  // Fault hooks on the read path: an injected I/O failure is a miss; an
+  // injected EINTR is transparent (the read loop retries the syscall); an
+  // injected in-memory flip is caught by the frame checksum below and
+  // degrades to a miss.
+  FaultInjector::Action ReadAct = FaultInjector::Action::None;
+  if (Injector)
+    ReadAct = Injector->next(FaultInjector::Site::Read);
+  if (ReadAct == FaultInjector::Action::FailIo ||
+      ReadAct == FaultInjector::Action::FailNoSpace)
+    return Miss();
+  std::vector<uint8_t> Bytes;
+  if (!readFile(Path, Bytes))
+    return Miss();
+  if (ReadAct == FaultInjector::Action::Corrupt && Injector)
+    Injector->corruptBytes(Bytes.data(), Bytes.size());
+
+  // Frame validation.
+  if (Bytes.size() < FrameBytes)
+    return Miss();
+  Reader F(Bytes, 0);
+  if (F.u32() != ArtifactMagic)
+    return Miss();
+  uint32_t PayloadSize = F.u32();
+  uint64_t Sum = F.u64();
+  if (Bytes.size() != FrameBytes + PayloadSize)
+    return Miss();
+  if (hashBytes(Bytes.data() + FrameBytes, PayloadSize) != Sum)
+    return Miss();
+
+  Reader R(Bytes, FrameBytes);
+  if (R.u32() != FormatVersion)
+    return Miss();
+  if (R.u64() != K.Check) // Key collision or stale content: not ours.
+    return Miss();
+
+  // Reference tables.
+  std::vector<RoutineRef> RRefs(R.u32());
+  if (RRefs.size() > PayloadSize)
+    return Miss();
+  for (RoutineRef &Ref : RRefs) {
+    Ref.Kind = R.u8();
+    if (Ref.Kind == 0) {
+      Ref.Name = R.str();
+      Ref.IsStatic = R.u8() != 0;
+      Ref.Owner = R.str();
+    } else {
+      Ref.CloneIdx = R.u32();
+    }
+  }
+  std::vector<GlobalRef> GRefs(R.u32());
+  if (GRefs.size() > PayloadSize)
+    return Miss();
+  for (GlobalRef &Ref : GRefs) {
+    Ref.Name = R.str();
+    Ref.IsStatic = R.u8() != 0;
+    Ref.Owner = R.str();
+  }
+  std::vector<CloneDecl> Clones(R.u32());
+  if (Clones.size() > PayloadSize)
+    return Miss();
+  for (CloneDecl &C : Clones) {
+    C.Owner = R.str();
+    C.Name = R.str();
+    C.NumParams = R.u32();
+  }
+  if (R.Bad)
+    return Miss();
+
+  // Phase 1 — resolve everything read-only. Named references resolve
+  // against the current program; clone references resolve to the ids the
+  // phase-2 replay *will* assign. Nothing is declared until every
+  // resolution has succeeded, so a failed load leaves the program
+  // untouched.
+  RoutineId CloneStart = static_cast<RoutineId>(P.numRoutines());
+  std::vector<RoutineId> RMap(RRefs.size(), InvalidId);
+  for (size_t I = 0; I != RRefs.size(); ++I) {
+    if (RRefs[I].Kind == 1) {
+      if (RRefs[I].CloneIdx >= Clones.size())
+        return Miss();
+      RMap[I] = CloneStart + RRefs[I].CloneIdx;
+    } else {
+      RMap[I] = resolveRoutine(P, RRefs[I]);
+      if (RMap[I] == InvalidId)
+        return Miss();
+    }
+  }
+  std::vector<GlobalId> GMap(GRefs.size(), InvalidId);
+  std::vector<ModuleId> CloneOwner(Clones.size(), InvalidId);
+  for (size_t I = 0; I != GRefs.size(); ++I) {
+    GMap[I] = resolveGlobal(P, GRefs[I]);
+    if (GMap[I] == InvalidId)
+      return Miss();
+  }
+  for (size_t I = 0; I != Clones.size(); ++I) {
+    CloneOwner[I] = findModule(P, Clones[I].Owner);
+    if (CloneOwner[I] == InvalidId)
+      return Miss();
+  }
+
+  // Machine code.
+  uint32_t NumMachines = R.u32();
+  if (NumMachines > PayloadSize)
+    return Miss();
+  std::vector<MachineRoutine> Machines;
+  Machines.reserve(NumMachines);
+  for (uint32_t MI = 0; MI != NumMachines; ++MI) {
+    MachineRoutine MR;
+    uint32_t Ref = R.u32();
+    if (Ref >= RMap.size())
+      return Miss();
+    MR.Routine = RMap[Ref];
+    MR.Name = R.str();
+    MR.SpillSlots = R.u32();
+    MR.EntryFreq = R.u64();
+    MR.SourceLines = R.u32();
+    uint32_t NumInstr = R.u32();
+    if (NumInstr > PayloadSize)
+      return Miss();
+    MR.Code.reserve(NumInstr);
+    for (uint32_t II = 0; II != NumInstr; ++II) {
+      MInstr I;
+      I.Op = static_cast<MOp>(R.u8());
+      if (static_cast<unsigned>(I.Op) >= NumMOps)
+        return Miss();
+      I.Rd = R.u8();
+      I.A = getOperand(R);
+      I.B = getOperand(R);
+      uint32_t Sym = R.u32();
+      switch (symKind(I.Op)) {
+      case SymKind::Routine:
+        if (Sym >= RMap.size())
+          return Miss();
+        I.Sym = RMap[Sym];
+        break;
+      case SymKind::Global:
+        if (Sym >= GMap.size())
+          return Miss();
+        I.Sym = GMap[Sym];
+        break;
+      case SymKind::None:
+        I.Sym = Sym;
+        break;
+      }
+      I.Target = R.u32();
+      I.Probe = R.u32();
+      I.Slot = R.u32();
+      MR.Code.push_back(I);
+    }
+    Machines.push_back(std::move(MR));
+  }
+
+  // Edge-weight contributions.
+  uint32_t NumEdges = R.u32();
+  if (NumEdges > PayloadSize)
+    return Miss();
+  std::vector<CallEdgeWeight> Edges;
+  Edges.reserve(NumEdges);
+  for (uint32_t EI = 0; EI != NumEdges; ++EI) {
+    uint32_t From = R.u32();
+    uint32_t To = R.u32();
+    uint64_t W = R.u64();
+    if (From >= RMap.size() || To >= RMap.size())
+      return Miss();
+    Edges.push_back({RMap[From], RMap[To], W});
+  }
+  if (R.Bad)
+    return Miss();
+
+  // Phase 2 — commit. Replay the cloner's declarations in creation order:
+  // the frontend left the routine table exactly as it was when the cold
+  // build ran HLO, so each declareRoutine here hands back the same id the
+  // cold cloner got, and the ascending-id link order reproduces.
+  for (size_t I = 0; I != Clones.size(); ++I)
+    P.declareRoutine(CloneOwner[I], Clones[I].Name, Clones[I].NumParams,
+                     /*IsStatic=*/true);
+
+  Out.Machines = std::move(Machines);
+  Out.Edges = std::move(Edges);
+  Out.ClonesReplayed = static_cast<uint32_t>(Clones.size());
+  Stats.add("cache.hits");
+  return true;
+}
+
+void ArtifactCache::store(const Program &P, const CacheUnit &U,
+                          const UnitKey &K,
+                          const std::vector<MachineRoutine> &Machines,
+                          RoutineId CloneBase,
+                          const std::vector<CallEdgeWeight> &Edges) {
+  // Build the reference tables by walking everything that names a symbol.
+  RefBuilder Refs(P, CloneBase);
+  Sink Body;
+  Body.u32(static_cast<uint32_t>(Machines.size()));
+  for (const MachineRoutine &MR : Machines) {
+    Body.u32(Refs.routineRef(MR.Routine));
+    Body.str(MR.Name);
+    Body.u32(MR.SpillSlots);
+    Body.u64(MR.EntryFreq);
+    Body.u32(MR.SourceLines);
+    Body.u32(static_cast<uint32_t>(MR.Code.size()));
+    for (const MInstr &I : MR.Code) {
+      Body.u8(static_cast<uint8_t>(I.Op));
+      Body.u8(I.Rd);
+      putOperand(Body, I.A);
+      putOperand(Body, I.B);
+      switch (symKind(I.Op)) {
+      case SymKind::Routine:
+        Body.u32(Refs.routineRef(I.Sym));
+        break;
+      case SymKind::Global:
+        Body.u32(Refs.globalRef(I.Sym));
+        break;
+      case SymKind::None:
+        Body.u32(I.Sym);
+        break;
+      }
+      Body.u32(I.Target);
+      Body.u32(I.Probe);
+      Body.u32(I.Slot);
+    }
+  }
+  Body.u32(static_cast<uint32_t>(Edges.size()));
+  for (const CallEdgeWeight &E : Edges) {
+    Body.u32(Refs.routineRef(E.From));
+    Body.u32(Refs.routineRef(E.To));
+    Body.u64(E.Weight);
+  }
+
+  // Clone declarations, creation order == id order.
+  Sink CloneSec;
+  uint32_t NumClones = 0;
+  for (RoutineId R = CloneBase; R < P.numRoutines(); ++R) {
+    const RoutineInfo &RI = P.routine(R);
+    CloneSec.str(RI.Owner != InvalidId
+                     ? P.Strings.text(P.module(RI.Owner).Name)
+                     : "");
+    CloneSec.str(P.Strings.text(RI.Name));
+    CloneSec.u32(RI.NumParams);
+    ++NumClones;
+  }
+
+  // Assemble the payload: header, ref tables, clones, machines+edges.
+  Sink Payload;
+  Payload.u32(FormatVersion);
+  Payload.u64(K.Check);
+  Payload.u32(static_cast<uint32_t>(Refs.Routines.size()));
+  for (const RoutineRef &Ref : Refs.Routines) {
+    Payload.u8(Ref.Kind);
+    if (Ref.Kind == 0) {
+      Payload.str(Ref.Name);
+      Payload.u8(Ref.IsStatic ? 1 : 0);
+      Payload.str(Ref.Owner);
+    } else {
+      Payload.u32(Ref.CloneIdx);
+    }
+  }
+  Payload.u32(static_cast<uint32_t>(Refs.Globals.size()));
+  for (const GlobalRef &Ref : Refs.Globals) {
+    Payload.str(Ref.Name);
+    Payload.u8(Ref.IsStatic ? 1 : 0);
+    Payload.str(Ref.Owner);
+  }
+  Payload.u32(NumClones);
+  Payload.Bytes.insert(Payload.Bytes.end(), CloneSec.Bytes.begin(),
+                       CloneSec.Bytes.end());
+  Payload.Bytes.insert(Payload.Bytes.end(), Body.Bytes.begin(),
+                       Body.Bytes.end());
+
+  // Frame it. The checksum is computed over the *clean* payload before any
+  // injected corruption lands, mirroring real silent disk corruption: the
+  // frame looks intact, the checksum catches it at read time.
+  Sink File;
+  File.u32(ArtifactMagic);
+  File.u32(static_cast<uint32_t>(Payload.Bytes.size()));
+  File.u64(hashBytes(Payload.Bytes.data(), Payload.Bytes.size()));
+
+  if (Injector) {
+    switch (Injector->next(FaultInjector::Site::Store)) {
+    case FaultInjector::Action::FailIo:
+    case FaultInjector::Action::FailNoSpace:
+    case FaultInjector::Action::ShortWrite:
+      Stats.add("cache.store_failures");
+      return; // The cache is an accelerator: a lost store is not an error.
+    case FaultInjector::Action::Corrupt:
+      Injector->corruptBytes(Payload.Bytes.data(), Payload.Bytes.size());
+      break;
+    case FaultInjector::Action::Eintr: // Transient; the write proceeds.
+    default:
+      break;
+    }
+  }
+  File.Bytes.insert(File.Bytes.end(), Payload.Bytes.begin(),
+                    Payload.Bytes.end());
+
+  if (!writeFile(pathFor(U, K.Key), File.Bytes)) {
+    Stats.add("cache.store_failures");
+    return;
+  }
+  Stats.add("cache.stores");
+}

@@ -1,0 +1,144 @@
+//===- cache/ArtifactCache.h ------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed artifact cache for incremental CMO rebuilds (the scmoc
+/// --incremental / --cache-dir knobs). The unit of caching matches the unit
+/// of optimization:
+///
+///  - the whole CMO module set is ONE cache unit — HLO is interprocedural
+///    across exactly that set, so any member edit invalidates the set's
+///    artifact but nothing else;
+///  - every default-set (module-at-a-time) module is its own unit — its
+///    cleanup and lowering read nothing outside the module.
+///
+/// An artifact stores the unit's pre-link machine code: exactly what a cold
+/// build's HLO+LLO would produce for those modules, with every cross-unit
+/// symbol reference (call targets, global loads/stores) recorded by *name*
+/// so a cached unit relinks correctly after other modules' ids shifted. The
+/// CMO unit artifact additionally records the cloner's declarations in
+/// creation order — replaying them gives warm clones the same RoutineIds a
+/// cold build assigns, which keeps the link order and therefore the final
+/// executable byte-identical — and the unit's profiled call-edge weights for
+/// the linker's clustering.
+///
+/// Keys are content hashes over everything that can influence the unit's
+/// machine code: the member modules' full IL content (contentHash() below —
+/// NOT the structural profile-correlation checksum, which deliberately
+/// ignores immediates and symbols), their symbol surfaces and selectivity
+/// decisions, the option fingerprint (CompileOptions::fingerprint()), the
+/// profile-database epoch, and the whole-program flag. A second hash of the
+/// same material under a different seed is stored *inside* the artifact and
+/// checked on load, so a key collision degrades to a miss, never to wrong
+/// code. Artifacts are framed like NAIM repository records (magic, size,
+/// XXH64) and written crash-safely; any validation failure — torn frame,
+/// checksum mismatch, unresolvable symbol — is a miss that falls back to
+/// recompilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_CACHE_ARTIFACTCACHE_H
+#define SCMO_CACHE_ARTIFACTCACHE_H
+
+#include "ir/Program.h"
+#include "link/Linker.h"
+#include "llo/MachineCode.h"
+#include "support/FaultInjector.h"
+#include "support/Statistics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace scmo {
+
+/// Content-grade hash of one routine body: opcodes, operands, immediates,
+/// branch shape, and every symbol reference *by name* (ids shift when other
+/// modules are edited; names don't). Insensitive to profile annotations —
+/// the profile epoch is separate key material. This is the cache's notion
+/// of "the IL didn't change"; contrast computeChecksum(), which only sees
+/// structure and would alias e.g. a changed constant.
+uint64_t contentHash(const Program &P, const RoutineBody &Body);
+
+/// One cache unit: a set of modules whose machine code rises and falls
+/// together. Either the whole CMO set or a single default-set module.
+struct CacheUnit {
+  std::vector<ModuleId> Modules; ///< Members, ascending module id.
+  bool IsCmoUnit = false;        ///< True for the CMO module set.
+  bool WholeProgram = false;     ///< HLO had whole-program visibility
+                                 ///< (key material; CMO unit only).
+};
+
+/// A successfully loaded artifact, resolved against the current program.
+struct CachedUnit {
+  /// The unit's machine routines with Routine and every instruction Sym
+  /// rebound to current program ids. Ascending RoutineId.
+  std::vector<MachineRoutine> Machines;
+  /// The unit's contribution to the linker's profiled call-edge weights
+  /// (caller-side slice), rebound to current ids.
+  std::vector<CallEdgeWeight> Edges;
+  /// Number of clone declarations replayed into the program.
+  uint32_t ClonesReplayed = 0;
+};
+
+/// Directory-backed artifact store. One instance per build; not
+/// thread-safe (the driver's cache stages are serial).
+class ArtifactCache {
+public:
+  /// \p Dir must exist or be creatable; \p Injector (may be null) drives
+  /// the fault-injection hooks on every artifact read and write; \p Stats
+  /// receives the cache.* counters.
+  ArtifactCache(std::string Dir, std::shared_ptr<FaultInjector> Injector,
+                Statistics &Stats);
+
+  /// A unit's cache identity: the key names the artifact file, the check
+  /// (same material, different hash seed) is stored inside it and verified
+  /// on load so a key collision reads as a miss.
+  struct UnitKey {
+    uint64_t Key = 0;
+    uint64_t Check = 0;
+  };
+
+  /// Computes \p U's key under the given option fingerprint and profile
+  /// epoch. \p ContentHashes is indexed by RoutineId (contentHash() per
+  /// defined routine; 0 otherwise). MUST be called before HLO runs: the key
+  /// material includes each member module's routine list, which the cloner
+  /// grows — the driver computes keys at cache-planning time and passes the
+  /// same UnitKey to load() and store().
+  UnitKey keys(const Program &P, const CacheUnit &U,
+               const std::vector<uint64_t> &ContentHashes,
+               uint64_t OptFingerprint, uint64_t ProfileEpoch) const;
+
+  /// Attempts to load the artifact for \p U. On a hit, resolves every
+  /// symbol reference against \p P, replays clone declarations (CMO unit),
+  /// fills \p Out, and returns true. Any failure — absent file, bad frame,
+  /// checksum or key-check mismatch, unresolvable name — is a miss; the
+  /// program is left untouched on every miss path.
+  bool load(Program &P, const CacheUnit &U, const UnitKey &K, CachedUnit &Out);
+
+  /// Stores \p U's artifact after a cold compile. \p Machines is the unit's
+  /// slice of lowered routines (ascending RoutineId, clones included);
+  /// \p CloneBase is the first clone RoutineId (== the routine count before
+  /// HLO; clones are every routine id >= CloneBase, in creation order);
+  /// \p Edges is the unit's caller-side slice of profiled call-edge
+  /// weights. A store failure only counts against cache.store_failures —
+  /// the build carries on.
+  void store(const Program &P, const CacheUnit &U, const UnitKey &K,
+             const std::vector<MachineRoutine> &Machines, RoutineId CloneBase,
+             const std::vector<CallEdgeWeight> &Edges);
+
+private:
+  std::string pathFor(const CacheUnit &U, uint64_t Key) const;
+
+  std::string Dir;
+  std::shared_ptr<FaultInjector> Injector;
+  Statistics &Stats;
+};
+
+} // namespace scmo
+
+#endif // SCMO_CACHE_ARTIFACTCACHE_H

@@ -8,6 +8,7 @@
 #include "driver/CompilerSession.h"
 
 #include "bytecode/ObjectFile.h"
+#include "cache/ArtifactCache.h"
 #include "frontend/Frontend.h"
 #include "hlo/Hlo.h"
 #include "hlo/RoutinePasses.h"
@@ -15,8 +16,10 @@
 #include "ir/Checksum.h"
 #include "ir/Verifier.h"
 #include "profile/Probes.h"
+#include "support/Hash.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <unistd.h>
@@ -89,13 +92,16 @@ void CompilerSession::computeChecksums(ThreadPool &Pool) {
   });
 }
 
-std::string CompilerSession::verifyRoutines(ThreadPool &Pool,
-                                            bool EmittedOnly) {
+std::string CompilerSession::verifyRoutines(ThreadPool &Pool, bool EmittedOnly,
+                                            const std::vector<bool> *SkipOwner) {
   std::vector<RoutineId> Ids;
   for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
     const RoutineInfo &RI = Prog->routine(R);
-    if (RI.IsDefined && (!EmittedOnly || RI.Emit))
-      Ids.push_back(R);
+    if (!RI.IsDefined || (EmittedOnly && !RI.Emit))
+      continue;
+    if (SkipOwner && RI.Owner != InvalidId && (*SkipOwner)[RI.Owner])
+      continue;
+    Ids.push_back(R);
   }
   // Each task writes its own slot; the first failure (by routine id, not by
   // completion order) is reported, so diagnostics match the serial compiler.
@@ -257,244 +263,611 @@ void CompilerSession::rebuildFromObjects(BuildResult &Result) {
       });
 }
 
-BuildResult CompilerSession::build() {
+//===----------------------------------------------------------------------===//
+// The staged pipeline
+//===----------------------------------------------------------------------===//
+
+/// Everything one build() invocation owns: the result under construction,
+/// the worker pool, the incremental-cache plan, and the stage objects
+/// themselves. Each stage closes over this state; the Pipeline runner owns
+/// timing, memory sampling and stop-on-failure.
+struct CompilerSession::BuildState {
+  CompilerSession &S;
   BuildResult Result;
   Timer Total;
-  Result.FrontendSeconds = FrontendSeconds;
-  if (!FirstError.empty()) {
-    Result.Error = FirstError;
-    return Result;
-  }
-  Result.SourceLines = Prog->totalSourceLines();
+  /// The worker pool for the per-routine backend phases (verification,
+  /// checksums, content hashes, LLO). HLO stays serial: it is the
+  /// interprocedural sequential section of the pipeline.
+  ThreadPool Pool;
 
-  // The worker pool for the per-routine backend phases (verification,
-  // checksums, LLO). HLO stays serial: it is the interprocedural sequential
-  // section of the pipeline.
-  ThreadPool Pool(Opts.Jobs);
+  bool UsableProfile = false;
+  bool CmoMode = false;
 
-  if (Opts.WriteObjects) {
-    rebuildFromObjects(Result);
-    if (!Result.Error.empty())
-      return Result;
-    computeChecksums(Pool);
-    if (!checkLoader(Result, "object rebuild"))
-      return Result;
-  }
-  Prog->chargeGlobalTables();
-  if (!checkHeap(Result, "frontend"))
-    return Result;
+  // The incremental-cache plan (cache-plan stage; absent when caching is
+  // off). Units[0] is the CMO set when one exists; the rest are one unit
+  // per default-set module.
+  std::unique_ptr<ArtifactCache> Cache;
+  std::vector<CacheUnit> Units;
+  std::vector<ArtifactCache::UnitKey> Keys;
+  std::vector<CachedUnit> Loaded;   ///< Parallel to Units; empty on miss.
+  std::vector<char> UnitHit;        ///< Parallel to Units.
+  std::vector<bool> ModuleCached;   ///< Per ModuleId: covered by a hit.
+  std::vector<std::vector<CallEdgeWeight>> UnitEdges; ///< Store slices.
+  RoutineId CloneBase = 0; ///< Routine count before HLO; clones are >= this.
 
-  // Verify the raw IL.
-  if (Opts.VerifyIl) {
-    Result.Error = verifyRoutines(Pool, /*EmittedOnly=*/false);
-    if (!Result.Error.empty())
-      return Result;
-    if (!checkLoader(Result, "verification"))
-      return Result;
-  }
-
-  // Instrumentation (+I) — on raw IL, before any optimization, so counters
-  // correlate with the structural checksums.
-  if (Opts.Instrument) {
-    invalidateRecovery();
-    for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
-      if (!Prog->routine(R).IsDefined)
-        continue;
-      instrumentRoutine(R, Ldr->acquire(R), Result.Probes);
-      Ldr->release(R);
-    }
-  }
-
-  // Profile correlation (+P).
-  bool UsableProfile = Opts.Pbo && HasProfile;
-  if (UsableProfile) {
-    invalidateRecovery(); // Correlation annotates bodies with counts.
-    for (RoutineId R = 0; R != Prog->numRoutines(); ++R) {
-      if (!Prog->routine(R).IsDefined)
-        continue;
-      Profile.correlate(*Prog, R, Ldr->acquire(R), Result.Correlation);
-      Ldr->release(R);
-    }
-  }
-
-  // Coarse-grained selectivity decides the CMO / default split.
-  bool CmoMode = Opts.Level == OptLevel::O4 && !Opts.Instrument;
-  if (CmoMode) {
-    if (UsableProfile && Opts.SelectivityPercent < 100.0)
-      Result.Selectivity = applySelectivity(*Prog, *Ldr,
-                                            Opts.SelectivityPercent,
-                                            Opts.FineHotThreshold,
-                                            Opts.MultiLayered);
-    else
-      Result.Selectivity = selectEverything(*Prog);
-  } else {
-    for (ModuleId M = 0; M != Prog->numModules(); ++M) {
-      Prog->module(M).InCmoSet = false;
-      Result.Selectivity.DefaultModules.push_back(M);
-    }
-  }
-
-  // HLO. Instrumented builds skip IL transformation entirely so that every
-  // probe survives with its raw-IL meaning.
-  Timer HloTimer;
-  if (!Opts.Instrument && Opts.Level != OptLevel::O1) {
-    invalidateRecovery(); // HLO/cleanup rewrite bodies past their objects.
-    if (CmoMode && !Result.Selectivity.CmoModules.empty()) {
-      std::vector<RoutineId> Set;
-      for (ModuleId M : Result.Selectivity.CmoModules)
-        for (RoutineId R : Prog->module(M).Routines)
-          if (Prog->routine(R).IsDefined && Prog->routine(R).Owner == M)
-            Set.push_back(R);
-      HloContext Ctx(*Prog, *Ldr, Stats);
-      Ctx.OpLimit = Opts.HloOpLimit;
-      HloOptions HOpts;
-      HOpts.Interprocedural = true;
-      HOpts.WholeProgram = Result.Selectivity.DefaultModules.empty();
-      HOpts.Pbo = UsableProfile && Opts.PboInlining;
-      HOpts.EnableIpcp = Opts.EnableIpcp;
-      HOpts.EnableCloning = Opts.EnableCloning;
-      HOpts.Inline = Opts.Inline;
-      HOpts.Clone = Opts.Clone;
-      runHlo(Ctx, Set, HOpts);
-      if (!checkHeap(Result, "HLO"))
-        return Result;
-    }
-    // Default-set modules: intraprocedural cleanup only (the O2 pipeline),
-    // graded by tier when multi-layered selectivity is active.
-    for (ModuleId M : Result.Selectivity.DefaultModules) {
-      for (RoutineId R : Prog->module(M).Routines) {
-        const RoutineInfo &RI = Prog->routine(R);
-        if (!RI.IsDefined || RI.Owner != M)
-          continue;
-        if (RI.Tier == OptTier::None)
-          continue; // Quick codegen only (Section 8 layering).
-        RoutineBody &Body = Ldr->acquire(R);
-        if (RI.Tier == OptTier::Basic)
-          runBasicCleanup(*Prog, Body, Stats);
-        else
-          runCleanupPipeline(*Prog, Body, Stats);
-        Ldr->release(R);
-        Tracker->takeHloSample();
-      }
-      if (!checkHeap(Result, "O2 cleanup"))
-        return Result;
-    }
-    if (Opts.VerifyIl) {
-      std::string Err = verifyRoutines(Pool, /*EmittedOnly=*/true);
-      if (!Err.empty()) {
-        Result.Error = "after HLO: " + Err;
-        return Result;
-      }
-    }
-    if (!checkLoader(Result, "HLO"))
-      return Result;
-  }
-  Result.HloSeconds = HloTimer.seconds();
-
-  // Gather call-edge weights for the linker's routine clustering before
-  // lowering (the IL is the last place the counts are visible).
   LinkOptions LinkOpts;
-  LinkOpts.NumProbes = static_cast<uint32_t>(Result.Probes.size());
-  if (UsableProfile && Opts.PboClustering) {
-    LinkOpts.ClusterByProfile = true;
-    std::vector<RoutineId> EmitSet;
-    for (RoutineId R = 0; R != Prog->numRoutines(); ++R)
-      if (Prog->routine(R).IsDefined && Prog->routine(R).Emit)
-        EmitSet.push_back(R);
-    CallGraph Graph = CallGraph::build(
-        *Prog, EmitSet,
-        [this](RoutineId R) -> const RoutineBody * {
-          return Ldr->acquireIfDefined(R);
-        },
-        [this](RoutineId R) { Ldr->release(R); });
-    std::map<std::pair<RoutineId, RoutineId>, uint64_t> EdgeSum;
-    for (const CallSite &S : Graph.sites())
-      EdgeSum[{S.Caller, S.Callee}] += S.Count;
-    for (const auto &[Edge, Weight] : EdgeSum)
-      if (Weight)
-        LinkOpts.EdgeWeights.push_back({Edge.first, Edge.second, Weight});
+  std::vector<MachineRoutine> Machines; ///< Merged, ascending RoutineId.
+  uint64_t MachineBytes = 0;
+
+  explicit BuildState(CompilerSession &Session)
+      : S(Session), Pool(Session.Opts.Jobs) {}
+
+  bool cacheOn() const { return Cache != nullptr; }
+  bool moduleCached(ModuleId M) const {
+    return Cache != nullptr && M != InvalidId && ModuleCached[M];
+  }
+  bool cmoUnitCached() const {
+    return Cache != nullptr && !Units.empty() && Units[0].IsCmoUnit &&
+           UnitHit[0];
   }
 
-  // LLO: lower every emitted routine.
-  Timer LloTimer;
-  LloOptions LOpts;
-  if (Opts.Level == OptLevel::O1) {
-    LOpts.RegAlloc = false;
-    LOpts.Schedule = false;
-    LOpts.ProfileLayout = false;
-  } else {
-    LOpts.RegAlloc = true;
-    LOpts.Schedule = true;
-    LOpts.ProfileLayout = UsableProfile && Opts.PboLayout;
-    LOpts.ProfileSpillWeights = UsableProfile && Opts.PboRegWeights;
-  }
-  std::vector<RoutineId> EmitIds;
-  for (RoutineId R = 0; R != Prog->numRoutines(); ++R)
-    if (Prog->routine(R).IsDefined && Prog->routine(R).Emit)
-      EmitIds.push_back(R);
-  // Each task lowers one routine into its own slot and accumulates into its
-  // own LloStats; slots keep the link order (ascending routine id) and the
-  // merged stats identical at any --jobs width. Once the heap cap trips,
-  // remaining tasks are skipped and the post-join checkHeap reports it.
-  std::vector<MachineRoutine> Machines(EmitIds.size());
-  std::vector<LloStats> TaskStats(EmitIds.size());
-  std::atomic<uint64_t> MachineBytes{0};
-  std::atomic<bool> Stop{false};
-  Pool.parallelFor(EmitIds.size(), [&](size_t I) {
-    if (Stop.load(std::memory_order_relaxed))
-      return;
-    RoutineId R = EmitIds[I];
-    RoutineBody &Body = Ldr->acquire(R);
-    LloOptions RoutineOpts = LOpts;
-    if (Prog->routine(R).Tier == OptTier::None) {
-      // Never-executed code under multi-layered selectivity: quick, cheap
-      // codegen (no allocation, scheduling or layout work).
-      RoutineOpts.RegAlloc = false;
-      RoutineOpts.Schedule = false;
-      RoutineOpts.ProfileLayout = false;
+  /// Object round-trip (when enabled), global-table accounting, heap check.
+  struct FrontendStage final : PipelineStage {
+    BuildState &B;
+    explicit FrontendStage(BuildState &B)
+        : PipelineStage("frontend", "source modules",
+                        "IL program, object files, checksums"),
+          B(B) {}
+    bool run(bool &) override {
+      CompilerSession &S = B.S;
+      if (S.Opts.WriteObjects) {
+        S.rebuildFromObjects(B.Result);
+        if (!B.Result.Error.empty())
+          return false;
+        S.computeChecksums(B.Pool);
+        if (!S.checkLoader(B.Result, "object rebuild"))
+          return false;
+      }
+      S.Prog->chargeGlobalTables();
+      return S.checkHeap(B.Result, "frontend");
     }
-    Machines[I] = lowerRoutine(*Prog, R, Body, RoutineOpts, &TaskStats[I]);
-    Ldr->release(R);
-    // The generated machine code accumulates until link time: the linear
-    // component of "overall compiler" memory in Figure 4.
-    uint64_t Bytes = Machines[I].Code.size() * sizeof(MInstr);
-    MachineBytes.fetch_add(Bytes, std::memory_order_relaxed);
-    Tracker->allocate(MemCategory::Other, Bytes);
-    Tracker->takeHloSample();
-    if (Tracker->heapExhausted())
-      Stop.store(true, std::memory_order_relaxed);
-  });
-  for (const LloStats &S : TaskStats)
-    Result.Llo.merge(S);
-  if (!checkHeap(Result, "LLO"))
-    return Result;
-  if (!checkLoader(Result, "LLO"))
-    return Result;
-  Result.LloSeconds = LloTimer.seconds();
+  };
 
-  // Link.
-  Timer LinkTimer;
-  std::string LinkError;
-  Result.Exe = linkProgram(*Prog, std::move(Machines), LinkOpts, LinkError);
-  Result.LinkSeconds = LinkTimer.seconds();
-  if (!LinkError.empty()) {
-    Result.Error = LinkError;
-    return Result;
+  /// Verify the IL. Runs after the cache plan so warm builds never pay for
+  /// verifying modules whose machine code was loaded from the cache — their
+  /// IL is dead weight past this point. With caching off the verified set
+  /// is exactly the monolithic compiler's.
+  struct VerifyStage final : PipelineStage {
+    BuildState &B;
+    explicit VerifyStage(BuildState &B)
+        : PipelineStage("verify", "IL program, cache plan", "verified IL"),
+          B(B) {}
+    bool run(bool &Skipped) override {
+      CompilerSession &S = B.S;
+      if (!S.Opts.VerifyIl) {
+        Skipped = true;
+        return true;
+      }
+      B.Result.Error = S.verifyRoutines(
+          B.Pool, /*EmittedOnly=*/false, B.Cache ? &B.ModuleCached : nullptr);
+      if (!B.Result.Error.empty())
+        return false;
+      return S.checkLoader(B.Result, "verification");
+    }
+  };
+
+  /// Instrumentation (+I) — on raw IL, before any optimization, so counters
+  /// correlate with the structural checksums.
+  struct InstrumentStage final : PipelineStage {
+    BuildState &B;
+    explicit InstrumentStage(BuildState &B)
+        : PipelineStage("instrument", "IL program", "probes, probe table"),
+          B(B) {}
+    bool run(bool &Skipped) override {
+      CompilerSession &S = B.S;
+      if (!S.Opts.Instrument) {
+        Skipped = true;
+        return true;
+      }
+      S.invalidateRecovery();
+      for (RoutineId R = 0; R != S.Prog->numRoutines(); ++R) {
+        if (!S.Prog->routine(R).IsDefined)
+          continue;
+        instrumentRoutine(R, S.Ldr->acquire(R), B.Result.Probes);
+        S.Ldr->release(R);
+      }
+      // Probe insertion rewrote every body: a shared call graph's site
+      // (block, instruction) coordinates are stale.
+      S.Prog->invalidateCallGraph();
+      return true;
+    }
+  };
+
+  /// Profile correlation (+P).
+  struct CorrelateStage final : PipelineStage {
+    BuildState &B;
+    explicit CorrelateStage(BuildState &B)
+        : PipelineStage("correlate", "IL program, profile db",
+                        "block frequencies"),
+          B(B) {}
+    bool run(bool &Skipped) override {
+      CompilerSession &S = B.S;
+      B.UsableProfile = S.Opts.Pbo && S.HasProfile;
+      if (!B.UsableProfile) {
+        Skipped = true;
+        return true;
+      }
+      S.invalidateRecovery(); // Correlation annotates bodies with counts.
+      for (RoutineId R = 0; R != S.Prog->numRoutines(); ++R) {
+        if (!S.Prog->routine(R).IsDefined)
+          continue;
+        S.Profile.correlate(*S.Prog, R, S.Ldr->acquire(R),
+                            B.Result.Correlation);
+        S.Ldr->release(R);
+      }
+      // Correlation changed block frequencies, which a shared call graph
+      // carries as per-site counts.
+      S.Prog->invalidateCallGraph();
+      return true;
+    }
+  };
+
+  /// Coarse-grained selectivity decides the CMO / default split.
+  struct SelectivityStage final : PipelineStage {
+    BuildState &B;
+    explicit SelectivityStage(BuildState &B)
+        : PipelineStage("selectivity", "block frequencies",
+                        "CMO/default module split, tiers"),
+          B(B) {}
+    bool run(bool &) override {
+      CompilerSession &S = B.S;
+      B.CmoMode = S.Opts.Level == OptLevel::O4 && !S.Opts.Instrument;
+      if (B.CmoMode) {
+        if (B.UsableProfile && S.Opts.SelectivityPercent < 100.0)
+          B.Result.Selectivity = applySelectivity(
+              *S.Prog, *S.Ldr, S.Opts.SelectivityPercent,
+              S.Opts.FineHotThreshold, S.Opts.MultiLayered);
+        else
+          B.Result.Selectivity = selectEverything(*S.Prog);
+      } else {
+        for (ModuleId M = 0; M != S.Prog->numModules(); ++M) {
+          S.Prog->module(M).InCmoSet = false;
+          B.Result.Selectivity.DefaultModules.push_back(M);
+        }
+      }
+      return true;
+    }
+  };
+
+  /// Incremental mode: hash content, compute unit keys (before HLO can grow
+  /// the routine tables — see ArtifactCache::keys), and load what hits.
+  struct CachePlanStage final : PipelineStage {
+    BuildState &B;
+    explicit CachePlanStage(BuildState &B)
+        : PipelineStage("cache-plan", "IL program, selectivity, options",
+                        "unit keys, loaded artifacts, replayed clones"),
+          B(B) {}
+    bool run(bool &Skipped) override {
+      CompilerSession &S = B.S;
+      B.CloneBase = static_cast<RoutineId>(S.Prog->numRoutines());
+      // HloOpLimit truncates HLO non-deterministically relative to content;
+      // instrumented builds never reach HLO/LLO with cacheable output.
+      if (!S.Opts.Incremental || S.Opts.CacheDir.empty() ||
+          S.Opts.Instrument || S.Opts.HloOpLimit != UINT64_MAX) {
+        Skipped = true;
+        return true;
+      }
+      B.Cache = std::make_unique<ArtifactCache>(
+          S.Opts.CacheDir, S.Opts.Naim.Injector, S.Stats);
+      uint64_t Fp = S.Opts.fingerprint();
+      uint64_t Epoch = 0;
+      if (B.UsableProfile) {
+        std::string Ser = S.Profile.serialize();
+        Epoch = hashBytes(reinterpret_cast<const uint8_t *>(Ser.data()),
+                          Ser.size());
+      }
+      // Content hashes of every defined routine, fanned out like checksums.
+      std::vector<uint64_t> ContentHashes(S.Prog->numRoutines(), 0);
+      std::vector<RoutineId> Ids;
+      for (RoutineId R = 0; R != S.Prog->numRoutines(); ++R)
+        if (S.Prog->routine(R).IsDefined)
+          Ids.push_back(R);
+      B.Pool.parallelFor(Ids.size(), [&](size_t I) {
+        RoutineId R = Ids[I];
+        ContentHashes[R] = contentHash(*S.Prog, S.Ldr->acquire(R));
+        S.Ldr->release(R);
+      });
+      // The unit plan: CMO set first — its clone replay must precede
+      // anything that looks at routine ids — then one unit per default
+      // module, ascending.
+      if (B.CmoMode && !B.Result.Selectivity.CmoModules.empty()) {
+        CacheUnit U;
+        U.Modules = B.Result.Selectivity.CmoModules;
+        std::sort(U.Modules.begin(), U.Modules.end());
+        U.IsCmoUnit = true;
+        U.WholeProgram = B.Result.Selectivity.DefaultModules.empty();
+        B.Units.push_back(std::move(U));
+      }
+      std::vector<ModuleId> Defaults = B.Result.Selectivity.DefaultModules;
+      std::sort(Defaults.begin(), Defaults.end());
+      for (ModuleId M : Defaults) {
+        CacheUnit U;
+        U.Modules.push_back(M);
+        B.Units.push_back(std::move(U));
+      }
+      B.Keys.resize(B.Units.size());
+      B.Loaded.resize(B.Units.size());
+      B.UnitHit.assign(B.Units.size(), 0);
+      B.UnitEdges.resize(B.Units.size());
+      B.ModuleCached.assign(S.Prog->numModules(), false);
+      for (size_t I = 0; I != B.Units.size(); ++I) {
+        B.Keys[I] =
+            B.Cache->keys(*S.Prog, B.Units[I], ContentHashes, Fp, Epoch);
+        if (B.Cache->load(*S.Prog, B.Units[I], B.Keys[I], B.Loaded[I])) {
+          B.UnitHit[I] = 1;
+          for (ModuleId M : B.Units[I].Modules)
+            B.ModuleCached[M] = true;
+        }
+      }
+      return S.checkLoader(B.Result, "cache plan");
+    }
+  };
+
+  /// HLO. Instrumented builds skip IL transformation entirely so that every
+  /// probe survives with its raw-IL meaning; cached units skip it because
+  /// their machine code was already loaded.
+  struct HloStage final : PipelineStage {
+    BuildState &B;
+    explicit HloStage(BuildState &B)
+        : PipelineStage("hlo", "IL program, CMO set, profile",
+                        "optimized IL, clones"),
+          B(B) {}
+    bool run(bool &Skipped) override {
+      CompilerSession &S = B.S;
+      if (S.Opts.Instrument || S.Opts.Level == OptLevel::O1) {
+        Skipped = true;
+        return true;
+      }
+      S.invalidateRecovery(); // HLO/cleanup rewrite bodies past their objects.
+      bool RanAny = false;
+      if (B.CmoMode && !B.Result.Selectivity.CmoModules.empty()) {
+        if (B.cmoUnitCached()) {
+          S.Stats.add("cache.skip.hlo");
+        } else {
+          std::vector<RoutineId> Set;
+          for (ModuleId M : B.Result.Selectivity.CmoModules)
+            for (RoutineId R : S.Prog->module(M).Routines)
+              if (S.Prog->routine(R).IsDefined &&
+                  S.Prog->routine(R).Owner == M)
+                Set.push_back(R);
+          HloContext Ctx(*S.Prog, *S.Ldr, S.Stats);
+          Ctx.OpLimit = S.Opts.HloOpLimit;
+          HloOptions HOpts;
+          HOpts.Interprocedural = true;
+          HOpts.WholeProgram = B.Result.Selectivity.DefaultModules.empty();
+          HOpts.Pbo = B.UsableProfile && S.Opts.PboInlining;
+          HOpts.EnableIpcp = S.Opts.EnableIpcp;
+          HOpts.EnableCloning = S.Opts.EnableCloning;
+          HOpts.Inline = S.Opts.Inline;
+          HOpts.Clone = S.Opts.Clone;
+          runHlo(Ctx, Set, HOpts);
+          if (!S.checkHeap(B.Result, "HLO"))
+            return false;
+          RanAny = true;
+        }
+      }
+      // Default-set modules: intraprocedural cleanup only (the O2 pipeline),
+      // graded by tier when multi-layered selectivity is active.
+      for (ModuleId M : B.Result.Selectivity.DefaultModules) {
+        if (B.moduleCached(M)) {
+          S.Stats.add("cache.skip.cleanup");
+          continue;
+        }
+        for (RoutineId R : S.Prog->module(M).Routines) {
+          const RoutineInfo &RI = S.Prog->routine(R);
+          if (!RI.IsDefined || RI.Owner != M)
+            continue;
+          if (RI.Tier == OptTier::None)
+            continue; // Quick codegen only (Section 8 layering).
+          RoutineBody &Body = S.Ldr->acquire(R);
+          if (RI.Tier == OptTier::Basic)
+            runBasicCleanup(*S.Prog, Body, S.Stats);
+          else
+            runCleanupPipeline(*S.Prog, Body, S.Stats);
+          S.Ldr->release(R);
+          S.Tracker->takeHloSample();
+        }
+        RanAny = true;
+        if (!S.checkHeap(B.Result, "O2 cleanup"))
+          return false;
+      }
+      if (S.Opts.VerifyIl) {
+        // A cached module's bodies were never re-optimized; the post-HLO
+        // check has nothing new to see there.
+        std::string Err =
+            S.verifyRoutines(B.Pool, /*EmittedOnly=*/true,
+                             B.cacheOn() ? &B.ModuleCached : nullptr);
+        if (!Err.empty()) {
+          B.Result.Error = "after HLO: " + Err;
+          return false;
+        }
+      }
+      if (!S.checkLoader(B.Result, "HLO"))
+        return false;
+      Skipped = B.cacheOn() && !RanAny;
+      return true;
+    }
+  };
+
+  /// Gather call-edge weights for the linker's routine clustering before
+  /// lowering (the IL is the last place the counts are visible). Cached
+  /// units contribute their stored caller-side slices; the merge happens in
+  /// one id-ordered map, so the linker sees the same edges in the same
+  /// order a cold build produces.
+  struct EdgeWeightsStage final : PipelineStage {
+    BuildState &B;
+    explicit EdgeWeightsStage(BuildState &B)
+        : PipelineStage("edge-weights", "optimized IL, profile",
+                        "linker edge weights"),
+          B(B) {}
+    bool run(bool &Skipped) override {
+      CompilerSession &S = B.S;
+      B.LinkOpts.NumProbes = static_cast<uint32_t>(B.Result.Probes.size());
+      if (!B.UsableProfile || !S.Opts.PboClustering) {
+        Skipped = true;
+        return true;
+      }
+      B.LinkOpts.ClusterByProfile = true;
+      // The fresh slice: emitted routines whose owner was recompiled this
+      // build.
+      std::vector<RoutineId> EmitSet;
+      for (RoutineId R = 0; R != S.Prog->numRoutines(); ++R) {
+        const RoutineInfo &RI = S.Prog->routine(R);
+        if (RI.IsDefined && RI.Emit && !B.moduleCached(RI.Owner))
+          EmitSet.push_back(R);
+      }
+      CallGraph Graph = CallGraph::build(
+          *S.Prog, EmitSet,
+          [&S](RoutineId R) -> const RoutineBody * {
+            return S.Ldr->acquireIfDefined(R);
+          },
+          [&S](RoutineId R) { S.Ldr->release(R); });
+      std::map<std::pair<RoutineId, RoutineId>, uint64_t> EdgeSum;
+      for (size_t I = 0; I != B.Units.size(); ++I)
+        if (B.UnitHit[I])
+          for (const CallEdgeWeight &E : B.Loaded[I].Edges)
+            EdgeSum[{E.From, E.To}] += E.Weight;
+      for (const CallSite &CS : Graph.sites())
+        EdgeSum[{CS.Caller, CS.Callee}] += CS.Count;
+      for (const auto &[Edge, Weight] : EdgeSum)
+        if (Weight)
+          B.LinkOpts.EdgeWeights.push_back({Edge.first, Edge.second, Weight});
+      // Caller-side slices for the units this build will store.
+      if (B.cacheOn()) {
+        std::vector<size_t> OwnerUnit(S.Prog->numModules(), SIZE_MAX);
+        for (size_t I = 0; I != B.Units.size(); ++I)
+          for (ModuleId M : B.Units[I].Modules)
+            OwnerUnit[M] = I;
+        std::vector<std::map<std::pair<RoutineId, RoutineId>, uint64_t>>
+            PerUnit(B.Units.size());
+        for (const CallSite &CS : Graph.sites()) {
+          ModuleId Owner = S.Prog->routine(CS.Caller).Owner;
+          if (Owner == InvalidId || OwnerUnit[Owner] == SIZE_MAX)
+            continue;
+          PerUnit[OwnerUnit[Owner]][{CS.Caller, CS.Callee}] += CS.Count;
+        }
+        for (size_t I = 0; I != B.Units.size(); ++I)
+          for (const auto &[Edge, Weight] : PerUnit[I])
+            if (Weight)
+              B.UnitEdges[I].push_back({Edge.first, Edge.second, Weight});
+      }
+      return true;
+    }
+  };
+
+  /// LLO: lower every emitted routine that isn't covered by a cache hit,
+  /// then merge with the cached machine code in ascending RoutineId order —
+  /// identical to a cold build's emit order, so the executable bytes cannot
+  /// depend on what was cached.
+  struct LloStage final : PipelineStage {
+    BuildState &B;
+    explicit LloStage(BuildState &B)
+        : PipelineStage("llo", "optimized IL, tiers", "machine routines"),
+          B(B) {}
+    bool run(bool &Skipped) override {
+      CompilerSession &S = B.S;
+      LloOptions LOpts;
+      if (S.Opts.Level == OptLevel::O1) {
+        LOpts.RegAlloc = false;
+        LOpts.Schedule = false;
+        LOpts.ProfileLayout = false;
+      } else {
+        LOpts.RegAlloc = true;
+        LOpts.Schedule = true;
+        LOpts.ProfileLayout = B.UsableProfile && S.Opts.PboLayout;
+        LOpts.ProfileSpillWeights = B.UsableProfile && S.Opts.PboRegWeights;
+      }
+      std::vector<RoutineId> EmitIds;
+      for (RoutineId R = 0; R != S.Prog->numRoutines(); ++R) {
+        const RoutineInfo &RI = S.Prog->routine(R);
+        if (RI.IsDefined && RI.Emit && !B.moduleCached(RI.Owner))
+          EmitIds.push_back(R);
+      }
+      // Each task lowers one routine into its own slot and accumulates into
+      // its own LloStats; slots keep the link order (ascending routine id)
+      // and the merged stats identical at any --jobs width. Once the heap
+      // cap trips, remaining tasks are skipped and the post-join checkHeap
+      // reports it.
+      std::vector<MachineRoutine> Lowered(EmitIds.size());
+      std::vector<LloStats> TaskStats(EmitIds.size());
+      std::atomic<uint64_t> LoweredBytes{0};
+      std::atomic<bool> Stop{false};
+      B.Pool.parallelFor(EmitIds.size(), [&](size_t I) {
+        if (Stop.load(std::memory_order_relaxed))
+          return;
+        RoutineId R = EmitIds[I];
+        RoutineBody &Body = S.Ldr->acquire(R);
+        LloOptions RoutineOpts = LOpts;
+        if (S.Prog->routine(R).Tier == OptTier::None) {
+          // Never-executed code under multi-layered selectivity: quick,
+          // cheap codegen (no allocation, scheduling or layout work).
+          RoutineOpts.RegAlloc = false;
+          RoutineOpts.Schedule = false;
+          RoutineOpts.ProfileLayout = false;
+        }
+        Lowered[I] = lowerRoutine(*S.Prog, R, Body, RoutineOpts, &TaskStats[I]);
+        S.Ldr->release(R);
+        // The generated machine code accumulates until link time: the
+        // linear component of "overall compiler" memory in Figure 4.
+        uint64_t Bytes = Lowered[I].Code.size() * sizeof(MInstr);
+        LoweredBytes.fetch_add(Bytes, std::memory_order_relaxed);
+        S.Tracker->allocate(MemCategory::Other, Bytes);
+        S.Tracker->takeHloSample();
+        if (S.Tracker->heapExhausted())
+          Stop.store(true, std::memory_order_relaxed);
+      });
+      for (const LloStats &St : TaskStats)
+        B.Result.Llo.merge(St);
+      if (!S.checkHeap(B.Result, "LLO"))
+        return false;
+      if (!S.checkLoader(B.Result, "LLO"))
+        return false;
+      B.MachineBytes = LoweredBytes.load(std::memory_order_relaxed);
+      B.Machines = std::move(Lowered);
+      for (size_t I = 0; I != B.Units.size(); ++I) {
+        if (!B.UnitHit[I])
+          continue;
+        for (MachineRoutine &MR : B.Loaded[I].Machines) {
+          uint64_t Bytes = MR.Code.size() * sizeof(MInstr);
+          B.MachineBytes += Bytes;
+          S.Tracker->allocate(MemCategory::Other, Bytes);
+          S.Stats.add("cache.skip.llo");
+          B.Machines.push_back(std::move(MR));
+        }
+      }
+      std::sort(B.Machines.begin(), B.Machines.end(),
+                [](const MachineRoutine &A, const MachineRoutine &C) {
+                  return A.Routine < C.Routine;
+                });
+      S.Tracker->takeHloSample();
+      Skipped = B.cacheOn() && EmitIds.empty();
+      return true;
+    }
+  };
+
+  /// Store an artifact for every unit this build compiled cold.
+  struct CacheStoreStage final : PipelineStage {
+    BuildState &B;
+    explicit CacheStoreStage(BuildState &B)
+        : PipelineStage("cache-store", "machine routines, unit keys",
+                        "artifacts on disk"),
+          B(B) {}
+    bool run(bool &Skipped) override {
+      CompilerSession &S = B.S;
+      if (!B.cacheOn()) {
+        Skipped = true;
+        return true;
+      }
+      bool AnyMiss = false;
+      for (size_t I = 0; I != B.Units.size(); ++I) {
+        if (B.UnitHit[I])
+          continue;
+        AnyMiss = true;
+        std::vector<bool> InUnit(S.Prog->numModules(), false);
+        for (ModuleId M : B.Units[I].Modules)
+          InUnit[M] = true;
+        // The unit's slice of the merged machine code, order preserved
+        // (clones belong to the CMO unit: their owner is a CMO module).
+        std::vector<MachineRoutine> Slice;
+        for (const MachineRoutine &MR : B.Machines) {
+          ModuleId Owner = S.Prog->routine(MR.Routine).Owner;
+          if (Owner != InvalidId && InUnit[Owner])
+            Slice.push_back(MR);
+        }
+        B.Cache->store(*S.Prog, B.Units[I], B.Keys[I], Slice, B.CloneBase,
+                       B.UnitEdges[I]);
+      }
+      Skipped = !AnyMiss;
+      return true;
+    }
+  };
+
+  /// Link, then close out the result: memory peaks, loader stats, totals.
+  struct LinkStage final : PipelineStage {
+    BuildState &B;
+    explicit LinkStage(BuildState &B)
+        : PipelineStage("link", "machine routines, edge weights",
+                        "executable"),
+          B(B) {}
+    bool run(bool &) override {
+      CompilerSession &S = B.S;
+      std::string LinkError;
+      B.Result.Exe =
+          linkProgram(*S.Prog, std::move(B.Machines), B.LinkOpts, LinkError);
+      if (!LinkError.empty()) {
+        B.Result.Error = LinkError;
+        return false;
+      }
+      if (B.MachineBytes)
+        S.Tracker->release(MemCategory::Other, B.MachineBytes);
+      B.Result.HloPeakBytes = S.Tracker->hloPeakBytes();
+      B.Result.TotalPeakBytes = S.Tracker->totalPeakBytes();
+      B.Result.Loader = S.Ldr->stats();
+      B.Result.TotalSeconds = B.Total.seconds() + B.Result.FrontendSeconds;
+      // Final fault-path checkpoint: collects any warnings the last phases
+      // produced and fails the build if a poisoned pool slipped past them.
+      if (!S.checkLoader(B.Result, "link"))
+        return false;
+      B.Result.Ok = true;
+      return true;
+    }
+  };
+
+  FrontendStage Frontend{*this};
+  VerifyStage Verify{*this};
+  InstrumentStage Instrument{*this};
+  CorrelateStage Correlate{*this};
+  SelectivityStage Select{*this};
+  CachePlanStage CachePlan{*this};
+  HloStage Hlo{*this};
+  EdgeWeightsStage Edges{*this};
+  LloStage Llo{*this};
+  CacheStoreStage CacheStore{*this};
+  LinkStage Link{*this};
+};
+
+BuildResult CompilerSession::build() {
+  BuildState B(*this);
+  B.Result.FrontendSeconds = FrontendSeconds;
+  if (!FirstError.empty()) {
+    B.Result.Error = FirstError;
+    return std::move(B.Result);
   }
+  B.Result.SourceLines = Prog->totalSourceLines();
 
-  if (uint64_t Bytes = MachineBytes.load(std::memory_order_relaxed))
-    Tracker->release(MemCategory::Other, Bytes);
-  Result.HloPeakBytes = Tracker->hloPeakBytes();
-  Result.TotalPeakBytes = Tracker->totalPeakBytes();
-  Result.Loader = Ldr->stats();
-  Result.Stats = Stats;
-  Result.TotalSeconds = Total.seconds() + Result.FrontendSeconds;
-  // Final fault-path checkpoint: collects any warnings the last phases
-  // produced and fails the build if a poisoned pool slipped past them.
-  if (!checkLoader(Result, "link"))
-    return Result;
-  Result.Ok = true;
-  return Result;
+  Pipeline P(Tracker.get());
+  P.add(B.Frontend)
+      .add(B.Instrument)
+      .add(B.Correlate)
+      .add(B.Select)
+      .add(B.CachePlan)
+      .add(B.Verify)
+      .add(B.Hlo)
+      .add(B.Edges)
+      .add(B.Llo)
+      .add(B.CacheStore)
+      .add(B.Link);
+  P.run(B.Result.Stages);
+  for (const StageMetrics &M : B.Result.Stages) {
+    if (M.Name == "hlo")
+      B.Result.HloSeconds = M.Seconds;
+    else if (M.Name == "llo")
+      B.Result.LloSeconds = M.Seconds;
+    else if (M.Name == "link")
+      B.Result.LinkSeconds = M.Seconds;
+  }
+  B.Result.Stats = Stats;
+  return std::move(B.Result);
 }
 
 ProfileDb scmo::trainProfile(const GeneratedProgram &GP, std::string &Error,

@@ -34,6 +34,7 @@
 #include "analysis/Analysis.h"
 #include "bytecode/ObjectFile.h"
 #include "driver/Options.h"
+#include "driver/Pipeline.h"
 #include "hlo/Selectivity.h"
 #include "link/Linker.h"
 #include "llo/Codegen.h"
@@ -84,6 +85,12 @@ struct BuildResult {
   LoaderStats Loader;
   LloStats Llo;
   Statistics Stats;
+
+  /// Per-stage timing, memory and skip accounting, in pipeline order
+  /// (scmoc --stats prints the table). A skipped entry means the stage ran
+  /// and declared itself not applicable — e.g. HLO under --incremental when
+  /// every unit was cached.
+  std::vector<StageMetrics> Stages;
 };
 
 /// One compilation session over one program.
@@ -128,8 +135,16 @@ private:
   void computeChecksums(ThreadPool &Pool);
   /// Verifies every defined (and, when \p EmittedOnly, emitted) routine in
   /// parallel. Returns the failing routine's message with the lowest id, or
-  /// "" — so a single IL bug reports identically at any thread count.
-  std::string verifyRoutines(ThreadPool &Pool, bool EmittedOnly);
+  /// "" — so a single IL bug reports identically at any thread count. When
+  /// \p SkipOwner is non-null, routines owned by a flagged module are
+  /// exempt (incremental rebuilds: a cached module's bodies were never
+  /// re-optimized, so the post-HLO check has nothing new to see).
+  std::string verifyRoutines(ThreadPool &Pool, bool EmittedOnly,
+                             const std::vector<bool> *SkipOwner = nullptr);
+
+  /// Everything one build() invocation owns, including the stage objects;
+  /// defined in CompilerSession.cpp (stages are implementation detail).
+  struct BuildState;
   bool checkHeap(BuildResult &Result, const char *Phase);
   /// Driver checkpoint for the loader's fault path: drains accumulated
   /// loader events into Result.Warnings and, if a pool was poisoned, fails

@@ -105,6 +105,22 @@ struct CompileOptions {
   CloneParams Clone;
   bool EnableIpcp = true;
   bool EnableCloning = true;
+
+  /// Incremental rebuilds (the scmoc --incremental / --cache-dir knobs):
+  /// persist post-HLO machine code per cache unit in CacheDir, keyed by
+  /// structural IL checksums + option fingerprint + profile epoch, and skip
+  /// HLO/LLO for units whose key is unchanged. Off by default; requires a
+  /// cache directory.
+  bool Incremental = false;
+  std::string CacheDir;
+
+  /// Hash of every option that can change generated machine code. Two
+  /// sessions with equal fingerprints and equal IL produce byte-identical
+  /// executables, so the fingerprint is cache-key material. Deliberately
+  /// excludes knobs that only affect resource usage or diagnostics (Jobs,
+  /// Naim, FaultInject, HeapCapBytes, VerifyIl, ObjectDir/WriteObjects,
+  /// Incremental/CacheDir themselves).
+  uint64_t fingerprint() const;
 };
 
 } // namespace scmo

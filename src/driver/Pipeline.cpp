@@ -1,0 +1,28 @@
+//===- driver/Pipeline.cpp ------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+using namespace scmo;
+
+bool Pipeline::run(std::vector<StageMetrics> &Metrics) {
+  for (PipelineStage *Stage : Stages) {
+    StageMetrics M;
+    M.Name = Stage->name();
+    Timer T;
+    bool Skipped = false;
+    bool Ok = Stage->run(Skipped);
+    M.Seconds = T.seconds();
+    M.Skipped = Skipped;
+    if (Tracker)
+      M.LiveBytesAfter = Tracker->totalLiveBytes();
+    Metrics.push_back(std::move(M));
+    if (!Ok)
+      return false;
+  }
+  return true;
+}

@@ -53,7 +53,10 @@ CloneResult scmo::runCloner(HloContext &Ctx, std::vector<RoutineId> &Set,
   Program &P = Ctx.P;
   CloneResult Result;
 
-  CallGraph Graph = CallGraph::build(
+  // Shared with IPCP when IPCP applied nothing; invalidation keeps the
+  // object alive (not destroyed) so this reference survives the clone
+  // definitions below.
+  const CallGraph &Graph = CallGraph::shared(
       P, Set,
       [&Ctx](RoutineId R) -> const RoutineBody * {
         return Ctx.L.acquireIfDefined(R);

@@ -8,6 +8,7 @@
 #include "hlo/Hlo.h"
 
 #include "hlo/Interprocedural.h"
+#include "hlo/PassManager.h"
 #include "hlo/RoutinePasses.h"
 
 #include <set>
@@ -25,7 +26,7 @@ void eliminateDeadRoutines(HloContext &Ctx,
   RoutineId Main = P.findRoutine("main");
   if (Main == InvalidId || !P.routine(Main).IsDefined)
     return;
-  CallGraph Graph = CallGraph::build(
+  const CallGraph &Graph = CallGraph::shared(
       P, Set,
       [&Ctx](RoutineId R) -> const RoutineBody * {
         return Ctx.L.acquireIfDefined(R);
@@ -58,55 +59,72 @@ void eliminateDeadRoutines(HloContext &Ctx,
 
 void scmo::runHlo(HloContext &Ctx, std::vector<RoutineId> &Set,
                   const HloOptions &Opts) {
-  Program &P = Ctx.P;
-  MemoryTracker *Tracker = P.tracker();
-  auto Sample = [&] {
-    if (Tracker)
-      Tracker->takeHloSample();
-  };
+  // The whole HLO phase order in one place, sequenced by the pass manager
+  // (which also owns the per-pass counters and memory sampling).
+  HloPassManager PM;
 
   // Phase 0: read in all code and data in the set, computing summaries
   // (fine-grained selectivity requires scanning even unselected bodies).
-  computeGlobalSummaries(Ctx, Set, Opts.WholeProgram);
-  Sample();
+  PM.add("summaries", [&Opts](HloContext &C, std::vector<RoutineId> &S) {
+    computeGlobalSummaries(C, S, Opts.WholeProgram);
+  });
 
-  if (Opts.Interprocedural) {
-    if (Opts.EnableIpcp) {
-      CallGraph Graph = CallGraph::build(
-          P, Set,
-          [&Ctx](RoutineId R) -> const RoutineBody * {
-            return Ctx.L.acquireIfDefined(R);
-          },
-          [&Ctx](RoutineId R) { Ctx.L.release(R); });
-      runIpcp(Ctx, Set, Graph, Opts.WholeProgram);
-      Sample();
-    }
-    if (Opts.EnableCloning && Opts.Pbo) {
-      runCloner(Ctx, Set, Opts.Clone);
-      Sample();
-    }
-    InlineParams Inline = Opts.Inline;
-    Inline.UseProfile = Opts.Pbo;
-    runInliner(Ctx, Set, Inline);
-    Sample();
-  }
+  PM.add(
+      "ipcp",
+      [&Opts](HloContext &C, std::vector<RoutineId> &S) {
+        const CallGraph &Graph = CallGraph::shared(
+            C.P, S,
+            [&C](RoutineId R) -> const RoutineBody * {
+              return C.L.acquireIfDefined(R);
+            },
+            [&C](RoutineId R) { C.L.release(R); });
+        runIpcp(C, S, Graph, Opts.WholeProgram);
+      },
+      Opts.Interprocedural && Opts.EnableIpcp);
+
+  PM.add(
+      "clone",
+      [&Opts](HloContext &C, std::vector<RoutineId> &S) {
+        runCloner(C, S, Opts.Clone);
+      },
+      Opts.Interprocedural && Opts.EnableCloning && Opts.Pbo);
+
+  PM.add(
+      "inline",
+      [&Opts](HloContext &C, std::vector<RoutineId> &S) {
+        InlineParams Inline = Opts.Inline;
+        Inline.UseProfile = Opts.Pbo;
+        runInliner(C, S, Inline);
+      },
+      Opts.Interprocedural);
 
   // Per-routine cleanup over the selected routines. The loader keeps memory
   // bounded: each body is acquired, optimized, released.
-  for (RoutineId R : Set) {
-    RoutineInfo &RI = P.routine(R);
-    if (!RI.IsDefined || !RI.Selected)
-      continue;
-    RoutineBody &Body = Ctx.L.acquire(R);
-    runCleanupPipeline(P, Body, Ctx.Stats);
-    Ctx.Stats.add("hlo.routines_optimized");
-    Ctx.L.release(R);
-    Sample();
-  }
+  PM.add("cleanup", [](HloContext &C, std::vector<RoutineId> &S) {
+    MemoryTracker *Tracker = C.P.tracker();
+    for (RoutineId R : S) {
+      RoutineInfo &RI = C.P.routine(R);
+      if (!RI.IsDefined || !RI.Selected)
+        continue;
+      RoutineBody &Body = C.L.acquire(R);
+      RoutinePassPipeline::cleanup().run(C.P, Body, C.Stats);
+      C.Stats.add("hlo.routines_optimized");
+      C.L.release(R);
+      if (Tracker)
+        Tracker->takeHloSample();
+    }
+  });
 
-  if (Opts.Interprocedural && Opts.WholeProgram)
-    eliminateDeadRoutines(Ctx, Set);
+  PM.add(
+      "deadfn",
+      [](HloContext &C, std::vector<RoutineId> &S) {
+        eliminateDeadRoutines(C, S);
+      },
+      Opts.Interprocedural && Opts.WholeProgram);
 
-  Ctx.L.maybeCompactSymtabs();
-  Sample();
+  PM.add("compact-symtabs", [](HloContext &C, std::vector<RoutineId> &) {
+    C.L.maybeCompactSymtabs();
+  });
+
+  PM.run(Ctx, Set);
 }

@@ -131,6 +131,7 @@ bool scmo::inlineCallSite(Program &P, RoutineBody &CallerBody,
     JmpI->Line = Call->Line;
     CallBB.Instrs.push_back(JmpI);
   }
+  P.invalidateCallGraph(); // A call edge was consumed; shared graphs are stale.
   return true;
 }
 
@@ -157,8 +158,10 @@ InlineResult scmo::runInliner(HloContext &Ctx,
   uint64_t GrowthBudget = Params.MaxProgramGrowth;
 
   for (unsigned Round = 0; Round != Params.Rounds; ++Round) {
-    // Fresh derived data each round (the paper's recompute discipline).
-    CallGraph Graph = CallGraph::build(
+    // Fresh derived data each round (the paper's recompute discipline) —
+    // through the shared cache, so an unchanged graph from the earlier
+    // interprocedural phases is reused rather than rebuilt.
+    const CallGraph &Graph = CallGraph::shared(
         P, Set,
         [&Ctx](RoutineId R) -> const RoutineBody * {
           return Ctx.L.acquireIfDefined(R);

@@ -124,6 +124,7 @@ void scmo::runIpcp(HloContext &Ctx, const std::vector<RoutineId> &Set,
   // Apply after all sites were read: inserting at a routine entry must not
   // shift instruction indices while the (derived, not incrementally
   // maintained) call graph is still being consulted.
+  bool Applied = false;
   for (const PlannedConst &PC : Planned) {
     if (!Ctx.allowOp())
       break;
@@ -134,5 +135,8 @@ void scmo::runIpcp(HloContext &Ctx, const std::vector<RoutineId> &Set,
     Body.Blocks[0].Instrs.insert(Body.Blocks[0].Instrs.begin(), MovI);
     Ctx.L.release(PC.Routine);
     Ctx.Stats.add("ipcp.params_propagated");
+    Applied = true;
   }
+  if (Applied)
+    Ctx.P.invalidateCallGraph(); // Entry inserts shifted instruction indices.
 }

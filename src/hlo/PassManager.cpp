@@ -1,0 +1,78 @@
+//===- hlo/PassManager.cpp ------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hlo/PassManager.h"
+
+#include "hlo/RoutinePasses.h"
+
+using namespace scmo;
+
+bool RoutinePassPipeline::run(Program &P, RoutineBody &Body,
+                              Statistics &Stats) const {
+  bool Any = false;
+  for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    bool Changed = false;
+    for (const RoutinePass &Pass : Passes)
+      Changed |= Pass.Run(P, Body, Stats);
+    Any |= Changed;
+    if (!Changed)
+      break;
+  }
+  if (Any)
+    P.invalidateCallGraph();
+  return Any;
+}
+
+const RoutinePassPipeline &RoutinePassPipeline::cleanup() {
+  static const RoutinePassPipeline Pipeline = [] {
+    RoutinePassPipeline PL;
+    PL.add({"constprop", runConstProp})
+        .add({"simplifycfg", runSimplifyCfg})
+        .add({"dce", runDce})
+        .iterate(4);
+    return PL;
+  }();
+  return Pipeline;
+}
+
+const RoutinePassPipeline &RoutinePassPipeline::basicCleanup() {
+  static const RoutinePassPipeline Pipeline = [] {
+    RoutinePassPipeline PL;
+    PL.add({"constprop", runConstProp}).add({"dce", runDce});
+    return PL;
+  }();
+  return Pipeline;
+}
+
+// The legacy entry points every pass consumer calls; now thin veneers over
+// the shared pipelines so there is exactly one definition of each sequence.
+void scmo::runCleanupPipeline(Program &P, RoutineBody &Body,
+                              Statistics &Stats) {
+  RoutinePassPipeline::cleanup().run(P, Body, Stats);
+}
+
+void scmo::runBasicCleanup(Program &P, RoutineBody &Body, Statistics &Stats) {
+  RoutinePassPipeline::basicCleanup().run(P, Body, Stats);
+}
+
+HloPassManager &HloPassManager::add(std::string Name, SetPassFn Fn,
+                                    bool Enabled) {
+  Passes.push_back({std::move(Name), std::move(Fn), Enabled});
+  return *this;
+}
+
+void HloPassManager::run(HloContext &Ctx, std::vector<RoutineId> &Set) const {
+  MemoryTracker *Tracker = Ctx.P.tracker();
+  for (const SetPass &Pass : Passes) {
+    if (!Pass.Enabled)
+      continue;
+    Pass.Fn(Ctx, Set);
+    Ctx.Stats.add("hlo.pass." + Pass.Name);
+    if (Tracker)
+      Tracker->takeHloSample();
+  }
+}

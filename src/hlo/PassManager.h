@@ -1,0 +1,101 @@
+//===- hlo/PassManager.h ----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HLO pass manager: one interface sequencing both kinds of HLO work —
+/// whole-set interprocedural phases (summaries, IPCP, cloning, inlining,
+/// dead-routine elimination) and per-routine transformation pipelines
+/// (constprop / CFG simplification / DCE). Before this existed, runHlo
+/// hard-coded the phase order inline and the cleanup pipelines were
+/// hand-rolled loops; now every consumer — the CMO path, the default-module
+/// O2 path, and tests — sequences passes through the same machinery, which
+/// also centralizes the bookkeeping each phase used to repeat by hand:
+/// per-pass run counters and memory sampling, and shared-call-graph
+/// invalidation when a routine pipeline changed a body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_HLO_PASSMANAGER_H
+#define SCMO_HLO_PASSMANAGER_H
+
+#include "hlo/HloContext.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace scmo {
+
+/// One per-routine transformation pass (the RoutinePasses.h functions all
+/// have this shape). Returns true when the body changed.
+struct RoutinePass {
+  const char *Name;
+  bool (*Run)(Program &, RoutineBody &, Statistics &);
+};
+
+/// An ordered per-routine pipeline, optionally iterated to a bounded
+/// fixpoint. Running it handles the invariant every caller used to own:
+/// when any pass changed the body, the program's shared call graph is
+/// invalidated.
+class RoutinePassPipeline {
+public:
+  RoutinePassPipeline &add(RoutinePass Pass) {
+    Passes.push_back(Pass);
+    return *this;
+  }
+
+  /// Repeats the whole pipeline until no pass reports a change, at most
+  /// \p Rounds times (default: a single round).
+  RoutinePassPipeline &iterate(unsigned Rounds) {
+    MaxRounds = Rounds;
+    return *this;
+  }
+
+  /// Runs the pipeline over \p Body. Returns true when anything changed.
+  bool run(Program &P, RoutineBody &Body, Statistics &Stats) const;
+
+  /// The standard cleanup pipeline (constprop -> simplify -> constprop ->
+  /// dce to a small fixpoint) run on every fully optimized routine.
+  static const RoutinePassPipeline &cleanup();
+
+  /// One light round (constprop + dce, no CFG rewriting) for routines in
+  /// the Basic tier of multi-layered selectivity.
+  static const RoutinePassPipeline &basicCleanup();
+
+private:
+  std::vector<RoutinePass> Passes;
+  unsigned MaxRounds = 1;
+};
+
+/// The whole-set pass manager used by runHlo. Set passes receive the HLO
+/// context and the (growable — cloning appends) routine set; the manager
+/// times nothing itself but counts runs ("hlo.pass.<name>") and takes a
+/// memory-tracker sample after each pass, the accounting runHlo previously
+/// inlined after every phase by hand.
+class HloPassManager {
+public:
+  using SetPassFn = std::function<void(HloContext &, std::vector<RoutineId> &)>;
+
+  /// Appends a set pass; \p Enabled=false registers it as configured-off
+  /// (still listed, never run — diagnostics show the full pipeline shape).
+  HloPassManager &add(std::string Name, SetPassFn Fn, bool Enabled = true);
+
+  /// Runs every enabled pass in order.
+  void run(HloContext &Ctx, std::vector<RoutineId> &Set) const;
+
+private:
+  struct SetPass {
+    std::string Name;
+    SetPassFn Fn;
+    bool Enabled;
+  };
+  std::vector<SetPass> Passes;
+};
+
+} // namespace scmo
+
+#endif // SCMO_HLO_PASSMANAGER_H

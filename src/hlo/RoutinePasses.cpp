@@ -412,19 +412,6 @@ bool scmo::runDce(Program &P, RoutineBody &Body, Statistics &Stats) {
   return Changed;
 }
 
-void scmo::runCleanupPipeline(Program &P, RoutineBody &Body,
-                              Statistics &Stats) {
-  for (unsigned Round = 0; Round != 4; ++Round) {
-    bool Changed = false;
-    Changed |= runConstProp(P, Body, Stats);
-    Changed |= runSimplifyCfg(P, Body, Stats);
-    Changed |= runDce(P, Body, Stats);
-    if (!Changed)
-      break;
-  }
-}
-
-void scmo::runBasicCleanup(Program &P, RoutineBody &Body, Statistics &Stats) {
-  runConstProp(P, Body, Stats);
-  runDce(P, Body, Stats);
-}
+// runCleanupPipeline / runBasicCleanup live in PassManager.cpp: both are
+// expressed as RoutinePassPipeline sequences so the pass manager owns every
+// pipeline definition.

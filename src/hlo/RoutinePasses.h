@@ -38,11 +38,13 @@ bool runSimplifyCfg(Program &P, RoutineBody &Body, Statistics &Stats);
 bool runDce(Program &P, RoutineBody &Body, Statistics &Stats);
 
 /// The standard cleanup pipeline run on every optimized routine:
-/// constprop -> simplify -> constprop -> dce, iterated to a small fixpoint.
+/// constprop -> simplify -> dce, iterated to a small fixpoint. Defined as
+/// RoutinePassPipeline::cleanup() in PassManager.h; this is the veneer.
 void runCleanupPipeline(Program &P, RoutineBody &Body, Statistics &Stats);
 
 /// One light round (constprop + dce, no CFG rewriting) for routines in the
-/// Basic tier of multi-layered selectivity.
+/// Basic tier of multi-layered selectivity
+/// (RoutinePassPipeline::basicCleanup()).
 void runBasicCleanup(Program &P, RoutineBody &Body, Statistics &Stats);
 
 } // namespace scmo

@@ -26,7 +26,9 @@ SelectivityResult scmo::applySelectivity(Program &P, Loader &L,
     if (P.routine(R).IsDefined)
       All.push_back(R);
 
-  CallGraph Graph = CallGraph::build(
+  // Built through the shared cache: selectivity mutates nothing, so the
+  // graph stays valid for the driver's summary and cache-planning stages.
+  const CallGraph &Graph = CallGraph::shared(
       P, All,
       [&L](RoutineId R) -> const RoutineBody * {
         return L.acquireIfDefined(R);

@@ -59,6 +59,21 @@ CallGraph CallGraph::buildResident(Program &P) {
       nullptr);
 }
 
+const CallGraph &CallGraph::shared(Program &P,
+                                   const std::vector<RoutineId> &RoutineSet,
+                                   const BodyProvider &Acquire,
+                                   const BodyRelease &Release) {
+  if (const CallGraph *Cached = P.cachedCallGraph(RoutineSet)) {
+    P.noteCallGraphReuse();
+    return *Cached;
+  }
+  auto Graph = std::make_unique<CallGraph>(
+      build(P, RoutineSet, Acquire, Release));
+  const CallGraph *Raw = Graph.get();
+  P.setCachedCallGraph(std::move(Graph), RoutineSet);
+  return *Raw;
+}
+
 uint64_t CallGraph::totalCallsTo(RoutineId R) const {
   uint64_t Total = 0;
   for (uint32_t SiteIdx : sitesTo(R))

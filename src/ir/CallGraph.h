@@ -9,8 +9,11 @@
 /// The program call graph — a "global object" in the paper's Figure 3,
 /// always memory resident, while the bodies it summarizes may be compacted
 /// or offloaded. Following the paper's discipline for derived data, the call
-/// graph is always recomputed from scratch rather than incrementally updated;
-/// passes that invalidate it simply rebuild it.
+/// graph is never incrementally updated: passes that mutate bodies
+/// invalidate it (Program::invalidateCallGraph) and the next consumer
+/// rebuilds from scratch. Within one build, consumers that need the graph
+/// over the same routine set share a single instance through
+/// CallGraph::shared() instead of each recomputing it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +60,16 @@ public:
 
   /// Builds over every defined routine, assuming all bodies are expanded.
   static CallGraph buildResident(Program &P);
+
+  /// Returns the build-wide shared graph for \p RoutineSet, building and
+  /// installing it on \p P if no valid instance for that exact set exists.
+  /// The returned reference stays valid until the next body-mutating pass
+  /// calls Program::invalidateCallGraph(). Consumers that mutate bodies
+  /// while holding the reference must invalidate afterwards.
+  static const CallGraph &shared(Program &P,
+                                 const std::vector<RoutineId> &RoutineSet,
+                                 const BodyProvider &Acquire,
+                                 const BodyRelease &Release = nullptr);
 
   /// All call sites in deterministic (caller, block, instr) order.
   const std::vector<CallSite> &sites() const { return Sites; }

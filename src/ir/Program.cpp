@@ -7,6 +7,7 @@
 
 #include "ir/Program.h"
 
+#include "ir/CallGraph.h"
 #include "support/VarInt.h"
 
 using namespace scmo;
@@ -172,29 +173,69 @@ void Program::defineRoutine(RoutineId R, ModuleId M,
   }
   RI.Slot.Body = std::move(Body);
   RI.Slot.State = PoolState::Expanded;
+  // A new body changes the program's call edges; any shared graph is stale.
+  invalidateCallGraph();
+}
+
+//===----------------------------------------------------------------------===//
+// Shared call-graph cache
+//===----------------------------------------------------------------------===//
+
+// Out-of-line: CallGraph is only forward-declared in the header.
+Program::Program(MemoryTracker *Tracker) : Tracker(Tracker) {}
+Program::~Program() = default;
+
+const CallGraph *
+Program::cachedCallGraph(const std::vector<RoutineId> &Set) const {
+  if (!GraphValid || !CachedGraph || CachedGraphSet != Set)
+    return nullptr;
+  return CachedGraph.get();
+}
+
+void Program::setCachedCallGraph(std::unique_ptr<CallGraph> Graph,
+                                 std::vector<RoutineId> Set) {
+  CachedGraph = std::move(Graph);
+  CachedGraphSet = std::move(Set);
+  GraphValid = CachedGraph != nullptr;
+}
+
+void Program::invalidateCallGraph() {
+  // Mark stale without destroying: a pass that obtained the shared graph
+  // may still be iterating it while mutating bodies (the cloner's
+  // define-and-redirect loop, the inliner's site loop). The object lives
+  // until the next shared build replaces it.
+  GraphValid = false;
 }
 
 RoutineId Program::findRoutine(std::string_view Name) const {
-  // Interning mutates; use a lookup that does not intern new names.
-  for (const auto &[N, R] : ExternRoutines)
-    if (Strings.text(N) == Name)
-      return R;
-  return InvalidId;
+  // A name that was never interned cannot name a routine; the non-interning
+  // probe keeps this const and turns the lookup into two map probes (cache
+  // loads resolve thousands of references through here).
+  StrId Id = Strings.lookup(Name);
+  if (Id == InvalidStr)
+    return InvalidId;
+  auto It = ExternRoutines.find(Id);
+  return It == ExternRoutines.end() ? InvalidId : It->second;
 }
 
 GlobalId Program::findGlobal(std::string_view Name) const {
-  for (const auto &[N, G] : ExternGlobals)
-    if (Strings.text(N) == Name)
-      return G;
-  return InvalidId;
+  StrId Id = Strings.lookup(Name);
+  if (Id == InvalidStr)
+    return InvalidId;
+  auto It = ExternGlobals.find(Id);
+  return It == ExternGlobals.end() ? InvalidId : It->second;
 }
 
 RoutineId Program::findRoutineInModule(ModuleId M,
                                        std::string_view Name) const {
+  StrId Id = Strings.lookup(Name);
+  if (Id == InvalidStr)
+    return InvalidId;
   for (RoutineId R : Modules[M].Routines)
-    if (Strings.text(Routines[R].Name) == Name)
+    if (Routines[R].Name == Id)
       return R;
-  return findRoutine(Name);
+  auto It = ExternRoutines.find(Id);
+  return It == ExternRoutines.end() ? InvalidId : It->second;
 }
 
 std::string Program::displayName(RoutineId R) const {

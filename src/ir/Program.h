@@ -29,6 +29,8 @@
 
 namespace scmo {
 
+class CallGraph;
+
 /// Residency state of a transitory object pool (paper Section 4.2).
 enum class PoolState : uint8_t {
   None,     ///< No body (external declaration only).
@@ -177,7 +179,8 @@ struct ModuleInfo {
 /// transitory state.
 class Program {
 public:
-  explicit Program(MemoryTracker *Tracker = nullptr) : Tracker(Tracker) {}
+  explicit Program(MemoryTracker *Tracker = nullptr);
+  ~Program();
 
   Program(const Program &) = delete;
   Program &operator=(const Program &) = delete;
@@ -249,6 +252,36 @@ public:
   /// the program is fully built; idempotent refresh).
   void chargeGlobalTables();
 
+  /// \name Shared call graph
+  /// One CallGraph instance per build, shared by every consumer that asks
+  /// for the same routine set (selectivity, the interprocedural passes, the
+  /// driver's summary/cache stages) instead of each recomputing it from
+  /// scratch. The cache carries a validity flag: any pass that mutates a
+  /// body (or defines a routine) calls invalidateCallGraph(), and the next
+  /// consumer rebuilds. See CallGraph::shared() for the build-or-reuse
+  /// entry point.
+  /// @{
+
+  /// The cached graph, or null when none is valid for \p RoutineSet (the
+  /// cache holds exactly one graph, keyed by the set it was built over).
+  const CallGraph *cachedCallGraph(const std::vector<RoutineId> &Set) const;
+
+  /// Installs \p Graph as the shared instance for \p Set.
+  void setCachedCallGraph(std::unique_ptr<CallGraph> Graph,
+                          std::vector<RoutineId> Set);
+
+  /// Drops the shared instance. Called by every body-mutating pass.
+  void invalidateCallGraph();
+
+  /// True while a shared instance is installed (diagnostics and tests).
+  bool callGraphValid() const { return GraphValid; }
+
+  /// Builds (or reuses) the shared graph counter — how often consumers hit
+  /// the cache this session (diagnostics and tests).
+  uint64_t callGraphReuses() const { return GraphReuses; }
+  void noteCallGraphReuse() { ++GraphReuses; }
+  /// @}
+
 private:
   MemoryTracker *Tracker = nullptr;
   std::vector<ModuleInfo> Modules;
@@ -260,6 +293,12 @@ private:
   std::map<std::pair<ModuleId, StrId>, RoutineId> StaticRoutines;
   std::map<std::pair<ModuleId, StrId>, GlobalId> StaticGlobals;
   uint64_t GlobalTableCharge = 0;
+
+  // Shared call-graph cache (see the accessor group above).
+  std::unique_ptr<CallGraph> CachedGraph;
+  std::vector<RoutineId> CachedGraphSet;
+  bool GraphValid = false;
+  uint64_t GraphReuses = 0;
 };
 
 } // namespace scmo

@@ -7,6 +7,8 @@
 
 #include "link/Linker.h"
 
+#include "support/Hash.h"
+
 #include <algorithm>
 #include <deque>
 #include <map>
@@ -202,4 +204,47 @@ Executable scmo::linkProgram(const Program &P,
   }
   Exe.NumProbes = Opts.NumProbes;
   return Exe;
+}
+
+uint64_t scmo::hashExecutable(const Executable &Exe) {
+  // Field-by-field so struct padding never leaks into the hash.
+  std::vector<uint8_t> S;
+  auto U64 = [&S](uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      S.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  };
+  auto Op = [&U64](const MOperand &O) {
+    U64(O.IsImm ? 1 : 0);
+    U64(O.Reg);
+    U64(static_cast<uint64_t>(O.Imm));
+  };
+  U64(Exe.Code.size());
+  for (const MInstr &I : Exe.Code) {
+    U64(static_cast<uint64_t>(I.Op));
+    U64(I.Rd);
+    Op(I.A);
+    Op(I.B);
+    U64(I.Sym);
+    U64(I.Target);
+    U64(I.Probe);
+    U64(I.Slot);
+  }
+  U64(Exe.Routines.size());
+  for (const ExeRoutine &R : Exe.Routines) {
+    for (char C : R.Name)
+      S.push_back(static_cast<uint8_t>(C));
+    U64(R.Name.size());
+    U64(R.CodeStart);
+    U64(R.CodeLen);
+    U64(R.SpillSlots);
+  }
+  U64(Exe.Data.size());
+  for (int64_t D : Exe.Data)
+    U64(static_cast<uint64_t>(D));
+  U64(Exe.GlobalOffset.size());
+  for (uint32_t G : Exe.GlobalOffset)
+    U64(G);
+  U64(Exe.Entry);
+  U64(Exe.NumProbes);
+  return hashBytes(S.data(), S.size());
 }

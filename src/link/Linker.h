@@ -72,6 +72,13 @@ struct LinkOptions {
 Executable linkProgram(const Program &P, std::vector<MachineRoutine> Machines,
                        const LinkOptions &Opts, std::string &Error);
 
+/// Content hash (XXH64) over every byte-identity-relevant field of \p Exe:
+/// the code stream, routine placement, data image, entry point and probe
+/// count. Two executables compare equal under this iff a byte-level
+/// comparison of those fields would. Printed by scmoc --stats so CI can
+/// assert that a warm incremental rebuild linked the same binary as cold.
+uint64_t hashExecutable(const Executable &Exe);
+
 } // namespace scmo
 
 #endif // SCMO_LINK_LINKER_H

@@ -30,6 +30,9 @@ namespace scmo {
 /// Dense id for an interned string. Id 0 is the empty string.
 using StrId = uint32_t;
 
+/// Sentinel for "never interned" (see StringInterner::lookup).
+constexpr StrId InvalidStr = UINT32_MAX;
+
 /// Insertion-ordered string table.
 class StringInterner {
 public:
@@ -44,6 +47,14 @@ public:
     Strings.emplace_back(S);
     Ids.emplace(Strings.back(), Id);
     return Id;
+  }
+
+  /// Returns the id for \p S if it was ever interned, InvalidStr otherwise.
+  /// Const: name lookups (symbol resolution, cache loads) must not grow the
+  /// table as a side effect of probing for absent names.
+  StrId lookup(std::string_view S) const {
+    auto It = Ids.find(std::string(S));
+    return It == Ids.end() ? InvalidStr : It->second;
   }
 
   /// Returns the string for \p Id.

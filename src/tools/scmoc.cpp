@@ -34,6 +34,10 @@
 ///                            of every lint defect (with --gen-mcad)
 ///     --write-objects <dir>  round-trip all IL through object files in
 ///                            <dir> before linking (the production flow)
+///     --incremental          reuse cached HLO+LLO artifacts across builds;
+///                            unaffected modules skip optimization and
+///                            lowering entirely (needs --cache-dir)
+///     --cache-dir <dir>      artifact cache directory for --incremental
 ///     --fault-inject <spec>  deterministically inject faults into the NAIM
 ///                            spill path (see support/FaultInjector.h for
 ///                            the grammar, e.g. store:fail-nth=3 or
@@ -52,7 +56,9 @@
 #include "llo/MachinePrinter.h"
 #include "profile/ProfileDb.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -68,9 +74,46 @@ int usage(const char *Argv0) {
                "[--jobs N] [--run] [--emit-il R] [--disasm R] [--stats] "
                "[--analyze] [--analyze-filter CODES] [--gen-mcad LINES] "
                "[--plant-defects] [--write-objects DIR] "
+               "[--incremental] [--cache-dir DIR] "
                "[--fault-inject SPEC] files...\n",
                Argv0);
   return 2;
+}
+
+/// Unified option-error reporting: every malformed invocation names the
+/// offending flag, says what is wrong with it, and exits 2 — the same
+/// contract for a missing value, a malformed number, an out-of-range
+/// percentage, or an inconsistent flag pair.
+[[noreturn]] void optionError(const std::string &Flag,
+                              const std::string &Why) {
+  std::fprintf(stderr, "scmoc: invalid option '%s': %s\n", Flag.c_str(),
+               Why.c_str());
+  std::exit(2);
+}
+
+/// Strict integer parse for flag values: the whole token must be a
+/// non-negative decimal number no smaller than \p Min.
+uint64_t parseCount(const char *Flag, const std::string &Text,
+                    uint64_t Min) {
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(Text.c_str(), &End, 10);
+  if (Text.empty() || *End != '\0' || Text[0] == '-' || errno == ERANGE)
+    optionError(Flag, "expected a number, got '" + Text + "'");
+  if (V < Min)
+    optionError(Flag, "must be at least " + std::to_string(Min));
+  return V;
+}
+
+/// Strict percentage parse: a full-token decimal in [0, 100].
+double parsePercent(const char *Flag, const std::string &Text) {
+  char *End = nullptr;
+  double V = std::strtod(Text.c_str(), &End);
+  if (Text.empty() || *End != '\0')
+    optionError(Flag, "expected a number, got '" + Text + "'");
+  if (V < 0.0 || V > 100.0)
+    optionError(Flag, "must be between 0 and 100");
+  return V;
 }
 
 bool readSource(const std::string &Path, std::string &Out) {
@@ -105,11 +148,23 @@ int main(int argc, char **argv) {
 
   for (int A = 1; A < argc; ++A) {
     std::string Arg = argv[A];
-    auto takeValue = [&](const char *Flag) -> const char * {
-      if (A + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", Flag);
-        std::exit(2);
+    // Both "--flag value" and "--flag=value" spellings are accepted.
+    std::string Inline;
+    bool HasInline = false, TookValue = false;
+    if (Arg.size() > 2 && Arg[0] == '-' && Arg[1] == '-') {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        Inline = Arg.substr(Eq + 1);
+        Arg.resize(Eq);
+        HasInline = true;
       }
+    }
+    auto takeValue = [&](const char *Flag) -> std::string {
+      TookValue = true;
+      if (HasInline)
+        return Inline;
+      if (A + 1 >= argc)
+        optionError(Flag, "missing value");
       return argv[++A];
     };
     if (Arg == "+O1")
@@ -125,14 +180,16 @@ int main(int argc, char **argv) {
     else if (Arg == "--profile")
       ProfilePath = takeValue("--profile");
     else if (Arg == "--select")
-      Opts.SelectivityPercent = std::atof(takeValue("--select"));
+      Opts.SelectivityPercent =
+          parsePercent("--select", takeValue("--select"));
     else if (Arg == "--multi-layered")
       Opts.MultiLayered = true;
     else if (Arg == "--machine-mem")
       Opts.Naim = NaimConfig::autoFor(
-          uint64_t(std::atoll(takeValue("--machine-mem"))) << 20);
+          parseCount("--machine-mem", takeValue("--machine-mem"), 1) << 20);
     else if (Arg == "--jobs")
-      Opts.Jobs = static_cast<unsigned>(std::atoi(takeValue("--jobs")));
+      Opts.Jobs = static_cast<unsigned>(
+          parseCount("--jobs", takeValue("--jobs"), 0));
     else if (Arg == "--run")
       Run = true;
     else if (Arg == "--emit-il")
@@ -152,11 +209,9 @@ int main(int argc, char **argv) {
             Start, Comma == std::string::npos ? Comma : Comma - Start);
         if (!Name.empty()) {
           CheckCode Code;
-          if (!parseCheckCode(Name, Code)) {
-            std::fprintf(stderr, "scmoc: unknown check code '%s'\n",
-                         Name.c_str());
-            return 2;
-          }
+          if (!parseCheckCode(Name, Code))
+            optionError("--analyze-filter",
+                        "unknown check code '" + Name + "'");
           AnalyzeFilter.push_back(Code);
         }
         if (Comma == std::string::npos)
@@ -164,19 +219,28 @@ int main(int argc, char **argv) {
         Start = Comma + 1;
       }
     } else if (Arg == "--gen-mcad")
-      GenMcadLines = uint64_t(std::atoll(takeValue("--gen-mcad")));
+      GenMcadLines = parseCount("--gen-mcad", takeValue("--gen-mcad"), 1);
     else if (Arg == "--plant-defects")
       PlantDefects = true;
     else if (Arg == "--write-objects") {
       Opts.WriteObjects = true;
       Opts.ObjectDir = takeValue("--write-objects");
-    } else if (Arg == "--fault-inject")
+    } else if (Arg == "--incremental")
+      Opts.Incremental = true;
+    else if (Arg == "--cache-dir")
+      Opts.CacheDir = takeValue("--cache-dir");
+    else if (Arg == "--fault-inject")
       Opts.FaultInject = takeValue("--fault-inject");
-    else if (!Arg.empty() && Arg[0] == '-')
+    else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "scmoc: unknown flag '%s'\n", Arg.c_str());
       return usage(argv[0]);
-    else
+    } else
       Files.push_back(Arg);
+    if (HasInline && !TookValue)
+      optionError(Arg, "does not take a value");
   }
+  if (Opts.Incremental && Opts.CacheDir.empty())
+    optionError("--incremental", "needs --cache-dir <dir>");
   if (Files.empty() && !GenMcadLines)
     return usage(argv[0]);
   if (Opts.Instrument && Opts.Level == OptLevel::O4) {
@@ -275,9 +339,18 @@ int main(int argc, char **argv) {
                 (unsigned long long)Build.Loader.Compactions,
                 (unsigned long long)Build.Loader.Offloads,
                 (unsigned long long)Build.Loader.CacheHits);
+    for (const StageMetrics &M : Build.Stages)
+      std::printf("; stage %-12s %8.3fs  live %8.2f MiB%s\n",
+                  M.Name.c_str(), M.Seconds,
+                  double(M.LiveBytesAfter) / 1048576.0,
+                  M.Skipped ? "  (skipped)" : "");
     for (const auto &[Name, Value] : Build.Stats.all())
       std::printf(";   %-32s %llu\n", Name.c_str(),
                   (unsigned long long)Value);
+    // A stable content hash of the linked executable: CI builds twice with
+    // --incremental and asserts the two lines match.
+    std::printf("; exe xxh64 %016llx\n",
+                (unsigned long long)hashExecutable(Build.Exe));
   }
 
   if (Run) {

@@ -1,0 +1,398 @@
+//===- tests/IncrementalTests.cpp -----------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental-rebuild contract of the artifact cache (scmoc
+/// --incremental --cache-dir): a warm build is byte-identical to a cold one
+/// at any worker count; editing one module invalidates exactly that
+/// module's unit (the whole CMO set if it is a CMO member, just the module
+/// if it is default-set); a profile-database change invalidates every
+/// profile-dependent unit; an option change invalidates everything; a
+/// corrupt cache entry degrades to recompilation, never to wrong code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+using namespace scmo;
+using namespace scmo::test;
+
+namespace {
+
+GeneratedProgram testProgram(uint64_t Seed = 31) {
+  WorkloadParams Params;
+  Params.Seed = Seed;
+  Params.NumModules = 6;
+  Params.ColdRoutinesPerModule = 5;
+  Params.HotRoutines = 6;
+  Params.OuterIterations = 200;
+  return generateProgram(Params);
+}
+
+/// A fresh cache directory under /tmp; leaked on purpose (tests are
+/// short-lived and the driver cleans /tmp).
+std::string freshCacheDir() {
+  char Dir[] = "/tmp/scmo-cache-XXXXXX";
+  EXPECT_NE(mkdtemp(Dir), nullptr);
+  return Dir;
+}
+
+/// One build against \p CacheDir (empty = caching off). Returns the result
+/// plus the session's shared-call-graph reuse counter.
+struct IncBuild {
+  BuildResult Build;
+  uint64_t GraphReuses = 0;
+};
+
+IncBuild buildWithCache(const GeneratedProgram &GP,
+                        const std::string &CacheDir, CompileOptions Opts,
+                        const ProfileDb *Db = nullptr) {
+  if (!CacheDir.empty()) {
+    Opts.Incremental = true;
+    Opts.CacheDir = CacheDir;
+  }
+  CompilerSession Session(Opts);
+  EXPECT_TRUE(Session.addGenerated(GP)) << Session.firstError();
+  if (Db)
+    Session.attachProfile(*Db);
+  IncBuild Out;
+  Out.Build = Session.build();
+  Out.GraphReuses = Session.program().callGraphReuses();
+  return Out;
+}
+
+/// Byte-level equality of two executables (mirrors ParallelTests).
+bool exesIdentical(const Executable &X, const Executable &Y) {
+  if (X.Code.size() != Y.Code.size() || X.Data != Y.Data ||
+      X.Entry != Y.Entry)
+    return false;
+  for (size_t I = 0; I != X.Code.size(); ++I) {
+    const MInstr &A = X.Code[I];
+    const MInstr &B = Y.Code[I];
+    if (A.Op != B.Op || A.Rd != B.Rd || A.Sym != B.Sym ||
+        A.Target != B.Target || A.Slot != B.Slot ||
+        A.A.IsImm != B.A.IsImm || A.A.Reg != B.A.Reg || A.A.Imm != B.A.Imm ||
+        A.B.IsImm != B.B.IsImm || A.B.Reg != B.B.Reg || A.B.Imm != B.B.Imm)
+      return false;
+  }
+  return true;
+}
+
+/// Appends a small well-formed routine to module \p Idx — the canonical
+/// "developer edited one file" event.
+GeneratedProgram editModule(GeneratedProgram GP, size_t Idx) {
+  GP.Modules[Idx].Source += "\nfunc edit_probe(x, k) {\n"
+                            "  var t = x * 3 + k;\n"
+                            "  return t % 97;\n"
+                            "}\n";
+  return GP;
+}
+
+uint64_t stat(const BuildResult &B, const char *Name) {
+  return B.Stats.get(Name);
+}
+
+const StageMetrics *stage(const BuildResult &B, const char *Name) {
+  for (const StageMetrics &M : B.Stages)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Warm == cold, at every worker count
+//===----------------------------------------------------------------------===//
+
+TEST(Incremental, WarmBuildIsByteIdenticalAndSkipsOptimization) {
+  GeneratedProgram GP = testProgram();
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  Opts.Pbo = true;
+  Opts.Jobs = 1;
+
+  std::string Dir = freshCacheDir();
+  IncBuild Cold = buildWithCache(GP, Dir, Opts, &Db);
+  ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
+  EXPECT_GT(stat(Cold.Build, "cache.misses"), 0u);
+  EXPECT_GT(stat(Cold.Build, "cache.stores"), 0u);
+  EXPECT_EQ(stat(Cold.Build, "cache.hits"), 0u);
+
+  // The warm rebuild must skip HLO and LLO entirely and reproduce the cold
+  // executable bit for bit — at the serial width and at a wide one.
+  for (unsigned Jobs : {1u, 8u}) {
+    CompileOptions WOpts = Opts;
+    WOpts.Jobs = Jobs;
+    IncBuild Warm = buildWithCache(GP, Dir, WOpts, &Db);
+    ASSERT_TRUE(Warm.Build.Ok) << Warm.Build.Error;
+    EXPECT_TRUE(exesIdentical(Cold.Build.Exe, Warm.Build.Exe))
+        << "jobs=" << Jobs;
+    EXPECT_GT(stat(Warm.Build, "cache.hits"), 0u) << "jobs=" << Jobs;
+    EXPECT_EQ(stat(Warm.Build, "cache.misses"), 0u) << "jobs=" << Jobs;
+    EXPECT_GT(stat(Warm.Build, "cache.skip.hlo"), 0u) << "jobs=" << Jobs;
+    EXPECT_GT(stat(Warm.Build, "cache.skip.llo"), 0u) << "jobs=" << Jobs;
+    const StageMetrics *Hlo = stage(Warm.Build, "hlo");
+    const StageMetrics *Llo = stage(Warm.Build, "llo");
+    ASSERT_NE(Hlo, nullptr);
+    ASSERT_NE(Llo, nullptr);
+    EXPECT_TRUE(Hlo->Skipped) << "jobs=" << Jobs;
+    EXPECT_TRUE(Llo->Skipped) << "jobs=" << Jobs;
+  }
+}
+
+TEST(Incremental, CachedBuildMatchesUncachedBuild) {
+  // The cache must be invisible in the output: cold-with-cache, warm, and
+  // never-cached builds all produce the same bytes.
+  GeneratedProgram GP = testProgram(32);
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  IncBuild Plain = buildWithCache(GP, "", Opts);
+  ASSERT_TRUE(Plain.Build.Ok) << Plain.Build.Error;
+  std::string Dir = freshCacheDir();
+  IncBuild Cold = buildWithCache(GP, Dir, Opts);
+  ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
+  IncBuild Warm = buildWithCache(GP, Dir, Opts);
+  ASSERT_TRUE(Warm.Build.Ok) << Warm.Build.Error;
+  EXPECT_TRUE(exesIdentical(Plain.Build.Exe, Cold.Build.Exe));
+  EXPECT_TRUE(exesIdentical(Plain.Build.Exe, Warm.Build.Exe));
+}
+
+//===----------------------------------------------------------------------===//
+// Invalidation granularity
+//===----------------------------------------------------------------------===//
+
+TEST(Incremental, ModuleEditInvalidatesOnlyItsUnit) {
+  // At O2 every module is its own cache unit: editing one module must miss
+  // exactly one unit and hit all the others.
+  GeneratedProgram GP = testProgram(33);
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O2;
+  std::string Dir = freshCacheDir();
+  IncBuild Cold = buildWithCache(GP, Dir, Opts);
+  ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
+  uint64_t Units = stat(Cold.Build, "cache.misses");
+  ASSERT_EQ(Units, GP.Modules.size());
+
+  GeneratedProgram Edited = editModule(GP, 2);
+  IncBuild Warm = buildWithCache(Edited, Dir, Opts);
+  ASSERT_TRUE(Warm.Build.Ok) << Warm.Build.Error;
+  EXPECT_EQ(stat(Warm.Build, "cache.misses"), 1u);
+  EXPECT_EQ(stat(Warm.Build, "cache.hits"), Units - 1);
+
+  // Correctness of the mixed (cached + recompiled) link: identical to a
+  // from-scratch build of the edited program.
+  IncBuild Fresh = buildWithCache(Edited, "", Opts);
+  ASSERT_TRUE(Fresh.Build.Ok) << Fresh.Build.Error;
+  EXPECT_TRUE(exesIdentical(Fresh.Build.Exe, Warm.Build.Exe));
+}
+
+TEST(Incremental, CmoMemberEditInvalidatesTheWholeSet) {
+  // At O4 without selectivity the entire program is one CMO unit — HLO is
+  // interprocedural across it, so any member edit invalidates the set.
+  GeneratedProgram GP = testProgram(34);
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  std::string Dir = freshCacheDir();
+  IncBuild Cold = buildWithCache(GP, Dir, Opts);
+  ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
+  ASSERT_EQ(stat(Cold.Build, "cache.misses"), 1u);
+
+  GeneratedProgram Edited = editModule(GP, 0);
+  IncBuild Warm = buildWithCache(Edited, Dir, Opts);
+  ASSERT_TRUE(Warm.Build.Ok) << Warm.Build.Error;
+  EXPECT_EQ(stat(Warm.Build, "cache.misses"), 1u);
+  EXPECT_EQ(stat(Warm.Build, "cache.hits"), 0u);
+
+  IncBuild Fresh = buildWithCache(Edited, "", Opts);
+  ASSERT_TRUE(Fresh.Build.Ok) << Fresh.Build.Error;
+  EXPECT_TRUE(exesIdentical(Fresh.Build.Exe, Warm.Build.Exe));
+}
+
+TEST(Incremental, ProfileChangeInvalidatesEverything) {
+  // The profile epoch is key material for every unit (block counts steer
+  // inlining, layout, spill weights): a different database must miss.
+  GeneratedProgram GP = testProgram(35);
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  Opts.Pbo = true;
+  std::string Dir = freshCacheDir();
+  IncBuild Cold = buildWithCache(GP, Dir, Opts, &Db);
+  ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
+  uint64_t Units = stat(Cold.Build, "cache.misses");
+  ASSERT_GT(Units, 0u);
+
+  // Same IL, same options, doubled counts: a different epoch.
+  ProfileDb Doubled = Db;
+  Doubled.merge(Db);
+  IncBuild Warm = buildWithCache(GP, Dir, Opts, &Doubled);
+  ASSERT_TRUE(Warm.Build.Ok) << Warm.Build.Error;
+  EXPECT_EQ(stat(Warm.Build, "cache.misses"), Units);
+  EXPECT_EQ(stat(Warm.Build, "cache.hits"), 0u);
+
+  // And the original database still hits its own artifacts.
+  IncBuild Back = buildWithCache(GP, Dir, Opts, &Db);
+  ASSERT_TRUE(Back.Build.Ok) << Back.Build.Error;
+  EXPECT_EQ(stat(Back.Build, "cache.hits"), Units);
+  EXPECT_TRUE(exesIdentical(Cold.Build.Exe, Back.Build.Exe));
+}
+
+TEST(Incremental, OptionChangeInvalidatesEverything) {
+  GeneratedProgram GP = testProgram(36);
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  std::string Dir = freshCacheDir();
+  IncBuild Cold = buildWithCache(GP, Dir, Opts);
+  ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
+  uint64_t Units = stat(Cold.Build, "cache.misses");
+  ASSERT_GT(Units, 0u);
+
+  CompileOptions Changed = Opts;
+  Changed.Inline.MaxCalleeInstrs += 7; // Any fingerprinted knob will do.
+  IncBuild Warm = buildWithCache(GP, Dir, Changed);
+  ASSERT_TRUE(Warm.Build.Ok) << Warm.Build.Error;
+  EXPECT_EQ(stat(Warm.Build, "cache.hits"), 0u);
+  EXPECT_EQ(stat(Warm.Build, "cache.misses"), Units);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault tolerance
+//===----------------------------------------------------------------------===//
+
+TEST(Incremental, CorruptArtifactFallsBackToRecompilation) {
+  // Persistently corrupt the first artifact written (the cache's Store
+  // fault site; NAIM is off so no spill traffic shares it). The warm build
+  // must detect the bad frame, treat it as a miss, recompile, and still
+  // produce the cold executable.
+  GeneratedProgram GP = testProgram(37);
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  Opts.Naim.Mode = NaimMode::Off;
+  Opts.Jobs = 1;
+
+  IncBuild Plain = buildWithCache(GP, "", Opts);
+  ASSERT_TRUE(Plain.Build.Ok) << Plain.Build.Error;
+
+  std::string Dir = freshCacheDir();
+  CompileOptions Inject = Opts;
+  Inject.FaultInject = "store:corrupt-nth=1";
+  IncBuild Cold = buildWithCache(GP, Dir, Inject);
+  ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
+  ASSERT_GT(stat(Cold.Build, "cache.stores"), 0u);
+  EXPECT_TRUE(exesIdentical(Plain.Build.Exe, Cold.Build.Exe));
+
+  IncBuild Warm = buildWithCache(GP, Dir, Opts);
+  ASSERT_TRUE(Warm.Build.Ok) << Warm.Build.Error;
+  EXPECT_GT(stat(Warm.Build, "cache.misses"), 0u);
+  EXPECT_TRUE(exesIdentical(Plain.Build.Exe, Warm.Build.Exe));
+
+  // The recompile overwrote the bad artifact: the next build hits.
+  IncBuild Healed = buildWithCache(GP, Dir, Opts);
+  ASSERT_TRUE(Healed.Build.Ok) << Healed.Build.Error;
+  EXPECT_GT(stat(Healed.Build, "cache.hits"), 0u);
+  EXPECT_TRUE(exesIdentical(Plain.Build.Exe, Healed.Build.Exe));
+}
+
+TEST(Incremental, StoreFailureDegradesGracefully) {
+  // A cache that cannot write (full disk) must not fail the build — it
+  // just stays cold.
+  GeneratedProgram GP = testProgram(38);
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  Opts.Naim.Mode = NaimMode::Off;
+  Opts.Jobs = 1;
+  Opts.FaultInject = "store:fail-nth=1";
+  std::string Dir = freshCacheDir();
+  IncBuild Cold = buildWithCache(GP, Dir, Opts);
+  ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
+  EXPECT_GT(stat(Cold.Build, "cache.store_failures"), 0u);
+  IncBuild Plain = buildWithCache(GP, "", Opts);
+  ASSERT_TRUE(Plain.Build.Ok);
+  EXPECT_TRUE(exesIdentical(Plain.Build.Exe, Cold.Build.Exe));
+}
+
+//===----------------------------------------------------------------------===//
+// Shared call graph (the HLO passes reuse one Program-cached graph)
+//===----------------------------------------------------------------------===//
+
+TEST(Incremental, SharedCallGraphReusesUntilInvalidated) {
+  // The mechanism itself: same routine set and no intervening mutation is
+  // a reuse; a different set or an invalidation is a rebuild.
+  GeneratedProgram GP = testProgram(39);
+  CompileOptions Opts;
+  CompilerSession Session(Opts);
+  ASSERT_TRUE(Session.addGenerated(GP)) << Session.firstError();
+  Program &P = Session.program();
+  Loader &L = Session.loader();
+  std::vector<RoutineId> Set;
+  for (RoutineId R = 0; R != P.numRoutines(); ++R)
+    if (P.routine(R).IsDefined)
+      Set.push_back(R);
+  ASSERT_GT(Set.size(), 2u);
+  auto Acquire = [&](RoutineId R) -> const RoutineBody * {
+    return L.acquireIfDefined(R);
+  };
+  auto Release = [&](RoutineId R) { L.release(R); };
+
+  const CallGraph &G1 = CallGraph::shared(P, Set, Acquire, Release);
+  EXPECT_TRUE(P.callGraphValid());
+  EXPECT_EQ(P.callGraphReuses(), 0u);
+  const CallGraph &G2 = CallGraph::shared(P, Set, Acquire, Release);
+  EXPECT_EQ(&G1, &G2);
+  EXPECT_EQ(P.callGraphReuses(), 1u);
+
+  // A different routine set is a different graph: no cross-set reuse.
+  std::vector<RoutineId> Partial(Set.begin(), Set.begin() + Set.size() / 2);
+  CallGraph::shared(P, Partial, Acquire, Release);
+  EXPECT_EQ(P.callGraphReuses(), 1u);
+
+  // Invalidation (what every body-mutating pass calls) forces a rebuild.
+  P.invalidateCallGraph();
+  EXPECT_FALSE(P.callGraphValid());
+  CallGraph::shared(P, Set, Acquire, Release);
+  EXPECT_EQ(P.callGraphReuses(), 1u);
+  EXPECT_TRUE(P.callGraphValid());
+}
+
+TEST(Incremental, HloPassesReuseTheSharedCallGraph) {
+  // End-to-end: when IPCP finds nothing to rewrite (no constant-valued
+  // globals or call arguments), the graph it built stays valid and the
+  // inliner's first round reuses it instead of rescanning every body.
+  std::vector<std::pair<std::string, std::string>> Sources = {
+      {"util", "func helper(x, k) {\n"
+               "  var y = x * 2 + k;\n"
+               "  return y % 1013;\n"
+               "}\n"},
+      {"app", "func main() {\n"
+              "  var i = 0;\n"
+              "  var acc = 0;\n"
+              "  while (i < 50) {\n"
+              "    acc = acc + helper(i, acc);\n"
+              "    i = i + 1;\n"
+              "  }\n"
+              "  return acc;\n"
+              "}\n"}};
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  CompilerSession Session(Opts);
+  for (const auto &[Name, Src] : Sources)
+    ASSERT_TRUE(Session.addSource(Name, Src)) << Session.firstError();
+  BuildResult Build = Session.build();
+  ASSERT_TRUE(Build.Ok) << Build.Error;
+  EXPECT_GT(Session.program().callGraphReuses(), 0u);
+}
