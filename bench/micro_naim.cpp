@@ -18,6 +18,8 @@
 #include "naim/Loader.h"
 #include "naim/Repository.h"
 #include "support/Arena.h"
+#include "support/Compress.h"
+#include "support/MemoryTracker.h"
 #include "workload/Generator.h"
 
 #include <benchmark/benchmark.h>
@@ -26,9 +28,12 @@ using namespace scmo;
 
 namespace {
 
-/// A representative routine body (mid-size cold routine).
+/// A representative routine body (mid-size cold routine). The program gets a
+/// memory tracker: stage-2 offload (the path BM_Loader*Offload* exercises)
+/// only engages when the program can account residency.
 std::unique_ptr<Program> makeProgram() {
-  auto P = std::make_unique<Program>();
+  static MemoryTracker Tracker; // Benches run serially; shared is fine.
+  auto P = std::make_unique<Program>(&Tracker);
   WorkloadParams Params;
   Params.Seed = 1;
   Params.NumModules = 1;
@@ -123,6 +128,60 @@ void BM_LoaderOffloadRoundTrip(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_LoaderOffloadRoundTrip);
+
+void BM_LoaderCompressedOffloadRoundTrip(benchmark::State &State) {
+  // The read-only round trip is the hot shape of the overhauled I/O path:
+  // the store is elided (clean pool) and the fetch decompresses.
+  auto P = makeProgram();
+  NaimConfig C;
+  C.Mode = NaimMode::Offload;
+  C.ExpandedCacheBytes = 0;
+  C.CompactResidentBytes = 0;
+  C.Compress = NaimCompress::Fast;
+  Loader L(*P, C);
+  RoutineId R = firstDefined(*P);
+  L.acquire(R);
+  L.release(R);
+  L.drainSpills();
+  for (auto _ : State) {
+    const RoutineBody &Body = L.acquireRead(R);
+    benchmark::DoNotOptimize(&Body);
+    L.release(R);
+  }
+  L.drainSpills();
+  LoaderStats S = L.stats();
+  State.counters["raw_bytes"] = double(S.RawBytes);
+  State.counters["stored_bytes"] = double(S.CompressedBytes);
+  State.counters["elisions"] = double(S.SpillElisions);
+}
+BENCHMARK(BM_LoaderCompressedOffloadRoundTrip);
+
+void BM_LzCompressCompactIl(benchmark::State &State) {
+  // Compression throughput on real compact IL (not synthetic payloads).
+  auto P = makeProgram();
+  auto Bytes = compactRoutine(*P->routine(firstDefined(*P)).Slot.Body);
+  for (auto _ : State) {
+    auto Z = lzCompress(Bytes);
+    benchmark::DoNotOptimize(Z.data());
+  }
+  auto Z = lzCompress(Bytes);
+  State.SetBytesProcessed(State.iterations() * Bytes.size());
+  State.counters["ratio"] = double(Z.size()) / double(Bytes.size());
+}
+BENCHMARK(BM_LzCompressCompactIl);
+
+void BM_LzDecompressCompactIl(benchmark::State &State) {
+  auto P = makeProgram();
+  auto Bytes = compactRoutine(*P->routine(firstDefined(*P)).Slot.Body);
+  auto Z = lzCompress(Bytes);
+  std::vector<uint8_t> Out;
+  for (auto _ : State) {
+    bool Ok = lzDecompress(Z, Out, Bytes.size());
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetBytesProcessed(State.iterations() * Bytes.size());
+}
+BENCHMARK(BM_LzDecompressCompactIl);
 
 void BM_RepositoryStoreFetch(benchmark::State &State) {
   Repository Repo;

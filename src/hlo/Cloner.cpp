@@ -57,11 +57,9 @@ CloneResult scmo::runCloner(HloContext &Ctx, std::vector<RoutineId> &Set,
   // object alive (not destroyed) so this reference survives the clone
   // definitions below.
   const CallGraph &Graph = CallGraph::shared(
-      P, Set,
-      [&Ctx](RoutineId R) -> const RoutineBody * {
-        return Ctx.L.acquireIfDefined(R);
-      },
-      [&Ctx](RoutineId R) { Ctx.L.release(R); });
+      P, Set, [&Ctx](RoutineId R) -> const RoutineIlSummary * {
+        return Ctx.L.routineSummary(R);
+      });
 
   uint64_t TotalCalls = 0;
   for (const CallSite &S : Graph.sites())
@@ -101,7 +99,7 @@ CloneResult scmo::runCloner(HloContext &Ctx, std::vector<RoutineId> &Set,
       continue;
     }
 
-    const RoutineBody &CalleeBody = Ctx.L.acquire(S.Callee);
+    const RoutineBody &CalleeBody = Ctx.L.acquireRead(S.Callee);
     uint32_t CalleeSize = CalleeBody.instrCount();
     if (CalleeSize < Params.MinCalleeInstrs ||
         CalleeSize > Params.MaxCalleeInstrs) {

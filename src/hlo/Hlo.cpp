@@ -27,11 +27,9 @@ void eliminateDeadRoutines(HloContext &Ctx,
   if (Main == InvalidId || !P.routine(Main).IsDefined)
     return;
   const CallGraph &Graph = CallGraph::shared(
-      P, Set,
-      [&Ctx](RoutineId R) -> const RoutineBody * {
-        return Ctx.L.acquireIfDefined(R);
-      },
-      [&Ctx](RoutineId R) { Ctx.L.release(R); });
+      P, Set, [&Ctx](RoutineId R) -> const RoutineIlSummary * {
+        return Ctx.L.routineSummary(R);
+      });
   std::set<RoutineId> Reached;
   std::vector<RoutineId> Stack = {Main};
   Reached.insert(Main);
@@ -73,11 +71,9 @@ void scmo::runHlo(HloContext &Ctx, std::vector<RoutineId> &Set,
       "ipcp",
       [&Opts](HloContext &C, std::vector<RoutineId> &S) {
         const CallGraph &Graph = CallGraph::shared(
-            C.P, S,
-            [&C](RoutineId R) -> const RoutineBody * {
-              return C.L.acquireIfDefined(R);
-            },
-            [&C](RoutineId R) { C.L.release(R); });
+            C.P, S, [&C](RoutineId R) -> const RoutineIlSummary * {
+              return C.L.routineSummary(R);
+            });
         runIpcp(C, S, Graph, Opts.WholeProgram);
       },
       Opts.Interprocedural && Opts.EnableIpcp);

@@ -162,11 +162,9 @@ InlineResult scmo::runInliner(HloContext &Ctx,
     // through the shared cache, so an unchanged graph from the earlier
     // interprocedural phases is reused rather than rebuilt.
     const CallGraph &Graph = CallGraph::shared(
-        P, Set,
-        [&Ctx](RoutineId R) -> const RoutineBody * {
-          return Ctx.L.acquireIfDefined(R);
-        },
-        [&Ctx](RoutineId R) { Ctx.L.release(R); });
+        P, Set, [&Ctx](RoutineId R) -> const RoutineIlSummary * {
+          return Ctx.L.routineSummary(R);
+        });
 
     uint64_t TotalCalls = 0;
     for (const CallSite &S : Graph.sites())
@@ -174,19 +172,12 @@ InlineResult scmo::runInliner(HloContext &Ctx,
 
     // One SCC pass answers every recursion query for this round.
     std::set<RoutineId> RecursiveSet = Graph.recursiveRoutines();
-    std::map<RoutineId, uint32_t> SizeCache;
     auto isRecursive = [&](RoutineId R) { return RecursiveSet.count(R) != 0; };
-    auto sizeOf = [&](RoutineId R) {
-      auto It = SizeCache.find(R);
-      if (It != SizeCache.end())
-        return It->second;
-      uint32_t Size = 0;
-      if (const RoutineBody *Body = Ctx.L.acquireIfDefined(R)) {
-        Size = Body->instrCount();
-        Ctx.L.release(R);
-      }
-      SizeCache.emplace(R, Size);
-      return Size;
+    // Size queries ride the loader's summary cache — no body expansion, and
+    // the cache survives across rounds for untouched routines.
+    auto sizeOf = [&](RoutineId R) -> uint32_t {
+      const RoutineIlSummary *Sum = Ctx.L.routineSummary(R);
+      return Sum ? Sum->InstrCount : 0;
     };
 
     // Select candidates.
@@ -248,13 +239,19 @@ InlineResult scmo::runInliner(HloContext &Ctx,
     if (Candidates.empty())
       break;
 
-    // Plant site tokens so candidates survive instruction-index shifts as
-    // earlier inlines rewrite the same caller.
+    // Track every candidate site's current position in a side table instead
+    // of planting marker tokens in the bodies: a position only moves when an
+    // earlier inline rewrites the same caller, and inlineCallSite's shift is
+    // exact — the instructions after the consumed call move to the fresh
+    // continuation block. Bodies stay untouched until a site is actually
+    // inlined, so skipped callers remain clean for the loader (their
+    // eviction is a store-elided no-op instead of two token-churn stores).
+    std::map<uint32_t, std::pair<BlockId, uint32_t>> SitePos;
+    std::map<RoutineId, std::vector<uint32_t>> CallerSites;
     for (const Candidate &C : Candidates) {
       const CallSite &S = Graph.sites()[C.Token];
-      RoutineBody &CallerBody = Ctx.L.acquire(S.Caller);
-      CallerBody.Blocks[S.Block].Instrs[S.InstrIdx]->ProbeId = C.Token;
-      Ctx.L.release(S.Caller);
+      SitePos.emplace(C.Token, std::make_pair(S.Block, S.InstrIdx));
+      CallerSites[C.Caller].push_back(C.Token);
     }
 
     // Cache-aware scheduling (Section 4.3): group operations by (caller
@@ -282,59 +279,56 @@ InlineResult scmo::runInliner(HloContext &Ctx,
         break;
       if (!Ctx.allowOp())
         break;
+      auto PosIt = SitePos.find(C.Token);
+      if (PosIt == SitePos.end())
+        continue; // Site consumed (shouldn't happen; be safe).
+      // Caller growth re-check against the budget. Both sizes come from the
+      // loader's summaries — a caller inlined into earlier in the round was
+      // re-summarized at its release — so a rejected candidate costs no
+      // body expansion at all.
+      uint32_t CalleeSize = sizeOf(C.Callee);
+      if (sizeOf(C.Caller) + CalleeSize > Params.MaxCallerInstrs ||
+          CalleeSize > GrowthBudget)
+        continue;
       RoutineBody &CallerBody = Ctx.L.acquire(C.Caller);
-      // Locate the tokened call.
-      BlockId FoundB = InvalidId;
-      uint32_t FoundIdx = 0;
-      for (BlockId B = 0; B != CallerBody.Blocks.size() && FoundB == InvalidId;
-           ++B) {
-        const BasicBlock &BB = CallerBody.Blocks[B];
-        for (uint32_t Idx = 0; Idx != BB.Instrs.size(); ++Idx) {
-          const Instr *I = BB.Instrs[Idx];
-          if (I->Op == Opcode::Call && I->ProbeId == C.Token) {
-            FoundB = B;
-            FoundIdx = Idx;
-            break;
-          }
-        }
-      }
-      if (FoundB == InvalidId) {
+      auto [FoundB, FoundIdx] = PosIt->second;
+      const Instr *Site =
+          FoundB < CallerBody.Blocks.size() &&
+                  FoundIdx < CallerBody.Blocks[FoundB].Instrs.size()
+              ? CallerBody.Blocks[FoundB].Instrs[FoundIdx]
+              : nullptr;
+      if (!Site || Site->Op != Opcode::Call || Site->Sym != C.Callee) {
         Ctx.L.release(C.Caller);
         continue; // Site disappeared (e.g. caller was rewritten).
       }
-      // Caller growth re-check against the budget.
-      uint32_t CalleeSize = sizeOf(C.Callee);
-      if (CallerBody.instrCount() + CalleeSize > Params.MaxCallerInstrs ||
-          CalleeSize > GrowthBudget) {
-        CallerBody.Blocks[FoundB].Instrs[FoundIdx]->ProbeId = InvalidId;
-        Ctx.L.release(C.Caller);
-        continue;
-      }
-      const RoutineBody &CalleeBody = Ctx.L.acquire(C.Callee);
+      const RoutineBody &CalleeBody = Ctx.L.acquireRead(C.Callee);
+      // inlineCallSite creates the continuation block first, so its id is
+      // the caller's block count at this point.
+      BlockId ContB = static_cast<BlockId>(CallerBody.Blocks.size());
       if (inlineCallSite(P, CallerBody, CalleeBody, FoundB, FoundIdx)) {
         ++Result.SitesInlined;
         ++RoundInlined;
         Result.InstrsAdded += CalleeSize;
         GrowthBudget -= std::min<uint64_t>(GrowthBudget, CalleeSize);
-        SizeCache[C.Caller] = CallerBody.instrCount();
+        // The split moved everything after the consumed call into the
+        // continuation block; slide the caller's remaining tracked sites.
+        SitePos.erase(PosIt);
+        for (uint32_t Tok : CallerSites[C.Caller]) {
+          auto It = SitePos.find(Tok);
+          if (It == SitePos.end())
+            continue;
+          auto &[PB, PI] = It->second;
+          if (PB == FoundB && PI > FoundIdx) {
+            PB = ContB;
+            PI -= FoundIdx + 1;
+          }
+        }
         Ctx.Stats.add("inline.sites");
         if (C.CallerMod != C.CalleeMod)
           Ctx.Stats.add("inline.cross_module_sites");
       }
       Ctx.L.release(C.Callee);
       Ctx.L.release(C.Caller);
-    }
-
-    // Clear leftover tokens (sites skipped by budget/limits).
-    for (RoutineId R : Set) {
-      RoutineBody *Body = Ctx.L.acquireIfDefined(R);
-      if (!Body)
-        continue;
-      for (BasicBlock &BB : Body->Blocks)
-        for (Instr *I : BB.Instrs)
-          if (I->Op == Opcode::Call)
-            I->ProbeId = InvalidId;
-      Ctx.L.release(R);
     }
     if (!RoundInlined)
       break;

@@ -27,14 +27,13 @@ void scmo::computeGlobalSummaries(HloContext &Ctx,
     if (!RI.IsDefined)
       continue;
     ModulesInSet.insert(RI.Owner);
-    const RoutineBody *Body = Ctx.L.acquireIfDefined(R);
-    if (!Body)
+    // Served from the loader's summary cache: after the first computation
+    // only routines whose bodies changed cost a body expansion here.
+    const RoutineIlSummary *Sum = Ctx.L.routineSummary(R);
+    if (!Sum)
       continue;
-    for (const BasicBlock &BB : Body->Blocks)
-      for (const Instr *I : BB.Instrs)
-        if (I->Op == Opcode::StoreG || I->Op == Opcode::StoreIdx)
-          P.global(I->Sym).EverStored = true;
-    Ctx.L.release(R);
+    for (GlobalId G : Sum->StoredGlobals)
+      P.global(G).EverStored = true;
     Ctx.Stats.add("summary.routines_scanned");
   }
   // Validity scope. A module counts as fully covered when every defined
@@ -92,7 +91,7 @@ void scmo::runIpcp(HloContext &Ctx, const std::vector<RoutineId> &Set,
     std::vector<bool> Seeded(RI.NumParams, false);
     for (uint32_t SiteIdx : Sites) {
       const CallSite &S = Graph.sites()[SiteIdx];
-      const RoutineBody *CallerBody = Ctx.L.acquireIfDefined(S.Caller);
+      const RoutineBody *CallerBody = Ctx.L.acquireReadIfDefined(S.Caller);
       if (!CallerBody) {
         std::fill(AllConst.begin(), AllConst.end(), false);
         break;

@@ -28,12 +28,12 @@ SelectivityResult scmo::applySelectivity(Program &P, Loader &L,
 
   // Built through the shared cache: selectivity mutates nothing, so the
   // graph stays valid for the driver's summary and cache-planning stages.
+  // Summary-served: this primes the loader's per-routine summaries, which
+  // also carry the block frequencies the fine-grained pass below needs.
   const CallGraph &Graph = CallGraph::shared(
-      P, All,
-      [&L](RoutineId R) -> const RoutineBody * {
-        return L.acquireIfDefined(R);
-      },
-      [&L](RoutineId R) { L.release(R); });
+      P, All, [&L](RoutineId R) -> const RoutineIlSummary * {
+        return L.routineSummary(R);
+      });
 
   // Order sites by dynamic count, descending; deterministic tie-break.
   std::vector<uint32_t> Order(Graph.sites().size());
@@ -78,16 +78,12 @@ SelectivityResult scmo::applySelectivity(Program &P, Loader &L,
     bool Hot = InCmo && TouchedRoutines.count(R) != 0;
     uint64_t MaxFreq = 0;
     if (!Hot || MultiLayered) {
-      const RoutineBody *Body = L.acquireIfDefined(R);
-      if (Body && Body->HasProfile) {
-        for (const BasicBlock &BB : Body->Blocks) {
-          MaxFreq = std::max(MaxFreq, BB.Freq);
-          if (InCmo && BB.Freq >= FineHotThreshold)
-            Hot = true;
-        }
+      const RoutineIlSummary *Sum = L.routineSummary(R);
+      if (Sum && Sum->HasProfile) {
+        MaxFreq = Sum->MaxBlockFreq;
+        if (InCmo && MaxFreq >= FineHotThreshold)
+          Hot = true;
       }
-      if (Body)
-        L.release(R);
     }
     RI.Selected = Hot;
     // The Section 8 tiers: "the most critical code can be compiled using

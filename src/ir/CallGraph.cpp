@@ -46,6 +46,30 @@ CallGraph CallGraph::build(const Program &P,
   return G;
 }
 
+CallGraph CallGraph::build(const Program &P,
+                           const std::vector<RoutineId> &RoutineSet,
+                           const SummaryProvider &Summaries) {
+  CallGraph G;
+  for (RoutineId R : RoutineSet) {
+    const RoutineIlSummary *Sum = Summaries(R);
+    if (!Sum)
+      continue;
+    for (const RoutineIlSummary::Site &Site : Sum->Sites) {
+      CallSite S;
+      S.Caller = R;
+      S.Block = Site.Block;
+      S.InstrIdx = Site.InstrIdx;
+      S.Callee = Site.Callee;
+      S.Count = Site.Count;
+      uint32_t SiteIdx = static_cast<uint32_t>(G.Sites.size());
+      G.Sites.push_back(S);
+      G.Out[R].push_back(SiteIdx);
+      G.In[S.Callee].push_back(SiteIdx);
+    }
+  }
+  return G;
+}
+
 CallGraph CallGraph::buildResident(Program &P) {
   std::vector<RoutineId> All;
   for (RoutineId R = 0; R != P.numRoutines(); ++R)
@@ -69,6 +93,20 @@ const CallGraph &CallGraph::shared(Program &P,
   }
   auto Graph = std::make_unique<CallGraph>(
       build(P, RoutineSet, Acquire, Release));
+  const CallGraph *Raw = Graph.get();
+  P.setCachedCallGraph(std::move(Graph), RoutineSet);
+  return *Raw;
+}
+
+const CallGraph &CallGraph::shared(Program &P,
+                                   const std::vector<RoutineId> &RoutineSet,
+                                   const SummaryProvider &Summaries) {
+  if (const CallGraph *Cached = P.cachedCallGraph(RoutineSet)) {
+    P.noteCallGraphReuse();
+    return *Cached;
+  }
+  auto Graph = std::make_unique<CallGraph>(
+      build(P, RoutineSet, Summaries));
   const CallGraph *Raw = Graph.get();
   P.setCachedCallGraph(std::move(Graph), RoutineSet);
   return *Raw;

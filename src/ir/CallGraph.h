@@ -51,12 +51,25 @@ public:
   /// loader mark it unload-pending.
   using BodyRelease = std::function<void(RoutineId)>;
 
+  /// Provides the cached IL summary of a routine (Loader::routineSummary);
+  /// null when the routine has no body. Building from summaries skips body
+  /// expansion entirely for unchanged routines and yields a graph bit-equal
+  /// to a body scan — a summary is recomputed from content whenever the
+  /// body changed.
+  using SummaryProvider =
+      std::function<const RoutineIlSummary *(RoutineId)>;
+
   /// Builds the graph over the routines in \p RoutineSet (deterministic
   /// order). If \p Release is null, bodies are assumed resident.
   static CallGraph build(const Program &P,
                          const std::vector<RoutineId> &RoutineSet,
                          const BodyProvider &Acquire,
                          const BodyRelease &Release = nullptr);
+
+  /// As build(), but from cached per-routine summaries.
+  static CallGraph build(const Program &P,
+                         const std::vector<RoutineId> &RoutineSet,
+                         const SummaryProvider &Summaries);
 
   /// Builds over every defined routine, assuming all bodies are expanded.
   static CallGraph buildResident(Program &P);
@@ -70,6 +83,11 @@ public:
                                  const std::vector<RoutineId> &RoutineSet,
                                  const BodyProvider &Acquire,
                                  const BodyRelease &Release = nullptr);
+
+  /// As shared(), but building from cached per-routine summaries.
+  static const CallGraph &shared(Program &P,
+                                 const std::vector<RoutineId> &RoutineSet,
+                                 const SummaryProvider &Summaries);
 
   /// All call sites in deterministic (caller, block, instr) order.
   const std::vector<CallSite> &sites() const { return Sites; }

@@ -173,6 +173,7 @@ void Program::defineRoutine(RoutineId R, ModuleId M,
   }
   RI.Slot.Body = std::move(Body);
   RI.Slot.State = PoolState::Expanded;
+  RI.Slot.Summary.reset();
   // A new body changes the program's call edges; any shared graph is stale.
   invalidateCallGraph();
 }

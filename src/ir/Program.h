@@ -56,6 +56,28 @@ struct GlobalVar {
   bool SummaryValid = false;
 };
 
+/// Derived per-routine IL facts the interprocedural phases keep re-reading
+/// bodies for: the call sites (for CallGraph builds), the stored globals
+/// (for the mod/ref summaries), the instruction count (inliner size
+/// heuristics) and the hottest block frequency (fine-grained selectivity).
+/// The loader caches one per routine so repeated whole-set scans are served
+/// without expanding parked pools; any mutable acquire invalidates it.
+/// Because it is recomputed from body content alone, a cached summary is
+/// always bit-equal to a fresh scan — consumers see identical graphs.
+struct RoutineIlSummary {
+  struct Site {
+    BlockId Block = 0;
+    uint32_t InstrIdx = 0;
+    RoutineId Callee = InvalidId;
+    uint64_t Count = 0; ///< BB.Freq when the body has a profile, else 0.
+  };
+  std::vector<Site> Sites;            ///< Call sites in block/instr order.
+  std::vector<GlobalId> StoredGlobals; ///< Sorted, deduplicated.
+  uint32_t InstrCount = 0;
+  uint64_t MaxBlockFreq = 0; ///< 0 unless the body has a profile.
+  bool HasProfile = false;
+};
+
 /// The "handle object" through which the loader tracks a routine body's
 /// residency (paper Figure 3: downward pointers are allowed only in handles).
 struct RoutineSlot {
@@ -73,6 +95,45 @@ struct RoutineSlot {
   /// 0; its first release moves it into the cache.
   uint32_t Pins = 0;
   bool UnloadPending = false;          ///< In the loader cache, evictable.
+
+  /// A loader worker is encoding/decoding this pool outside the loader
+  /// mutex; every other path must wait (acquire) or skip (eviction,
+  /// prefetch) the slot until the transition lands.
+  bool InTransition = false;
+  /// The resident body was installed by readahead and has not yet been
+  /// acquired; resolves to a PrefetchHit (on acquire) or a PrefetchWasted
+  /// (on eviction).
+  bool WasPrefetched = false;
+  /// Nonzero while a write-behind spill for this pool is still in the
+  /// loader's queue or in the writer's hands: the payload can be served
+  /// from the queue, and RepoOffset/RepoSize are not yet valid.
+  uint64_t SpillTicket = 0;
+  /// Hash of CompactBytes (valid when State == Compact): lets the offload
+  /// stage detect that the pool's content already matches its last stored
+  /// record and elide the store.
+  uint64_t CompactHash = 0;
+  /// The most recent repository record holding this pool, surviving across
+  /// re-expansion (RepoOffset/RepoSize are reset on fetch). LastRepoSize ==
+  /// 0 means no record. LastRawHash/LastRawSize describe the record's
+  /// *decompressed* compact bytes, for content-addressed store elision.
+  uint64_t LastRepoOffset = 0;
+  uint64_t LastRepoSize = 0;
+  uint64_t LastRawHash = 0;
+  uint64_t LastRawSize = 0;
+  /// True while the expanded body is provably bit-equal to what
+  /// decode(record at LastRepoOffset / queued spill) produces: set when a
+  /// body is expanded from its record, cleared by any mutable acquire.
+  /// Lets eviction drop a clean pool straight back to its record with no
+  /// re-encode and no store.
+  bool CleanSinceRepo = false;
+  /// Cached derived facts, served by Loader::routineSummary() without
+  /// expanding the pool. Null = not computed (or invalidated by a mutable
+  /// acquire / body replacement).
+  std::unique_ptr<RoutineIlSummary> Summary;
+  /// Set when a mutable acquire discarded a cached summary: the release
+  /// recomputes it from the still-resident body (a cheap scan) so the next
+  /// consumer is not forced to re-expand the pool.
+  bool ResummarizeOnRelease = false;
 };
 
 /// Optimization tier under multi-layered selectivity (the paper's

@@ -8,18 +8,73 @@
 #include "naim/Loader.h"
 
 #include "bytecode/Compact.h"
+#include "support/Compress.h"
 #include "support/Debug.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cassert>
 
 using namespace scmo;
+
+namespace {
+constexpr std::memory_order Relaxed = std::memory_order_relaxed;
+
+/// Spill envelope kinds (the first byte of every stored record).
+constexpr uint8_t EnvelopeRaw = 0;
+constexpr uint8_t EnvelopeLz = 1;
+
+/// One pass over a resident body collecting the facts routineSummary()
+/// serves. Must mirror exactly what the consumers used to read off the body
+/// themselves: CallGraph::build's site scan (Count = block frequency under a
+/// profile, else 0), computeGlobalSummaries' store scan, the inliner's
+/// instrCount() and selectivity's hottest-block search.
+std::unique_ptr<RoutineIlSummary> summarizeBody(const RoutineBody &Body) {
+  auto Sum = std::make_unique<RoutineIlSummary>();
+  Sum->HasProfile = Body.HasProfile;
+  for (BlockId B = 0; B != Body.Blocks.size(); ++B) {
+    const BasicBlock &BB = Body.Blocks[B];
+    Sum->InstrCount += static_cast<uint32_t>(BB.Instrs.size());
+    if (Body.HasProfile)
+      Sum->MaxBlockFreq = std::max(Sum->MaxBlockFreq, BB.Freq);
+    for (uint32_t Idx = 0; Idx != BB.Instrs.size(); ++Idx) {
+      const Instr *I = BB.Instrs[Idx];
+      if (I->Op == Opcode::Call)
+        Sum->Sites.push_back(
+            {B, Idx, I->Sym, Body.HasProfile ? BB.Freq : 0});
+      else if (I->Op == Opcode::StoreG || I->Op == Opcode::StoreIdx)
+        Sum->StoredGlobals.push_back(I->Sym);
+    }
+  }
+  std::sort(Sum->StoredGlobals.begin(), Sum->StoredGlobals.end());
+  Sum->StoredGlobals.erase(
+      std::unique(Sum->StoredGlobals.begin(), Sum->StoredGlobals.end()),
+      Sum->StoredGlobals.end());
+  return Sum;
+}
+} // namespace
 
 Loader::Loader(Program &P, const NaimConfig &Config)
     : P(P), Config(Config),
       Repo(Config.RepositoryPath,
            Config.Injector ? Config.Injector : FaultInjector::fromEnv()) {}
 
+Loader::~Loader() {
+  {
+    std::lock_guard<std::mutex> Q(QM);
+    StopIo = true;
+    // Queued spills still get stored (the writer drains before exiting);
+    // readahead is pointless now and is simply dropped.
+    PrefetchQ.clear();
+    QWorkCv.notify_all();
+  }
+  if (IoThread.joinable())
+    IoThread.join();
+}
+
 // The threshold predicates read only the config and the (atomic) tracker
 // totals, so they need no lock of their own; the callers that act on them
-// (enforceBudgetLocked) already hold the loader mutex.
+// (enforceBudgetImpl) already hold the loader mutex.
 
 bool Loader::irCompactionEnabled() const {
   switch (Config.Mode) {
@@ -74,18 +129,40 @@ RoutineBody *Loader::acquireIfDefined(RoutineId R) {
   return &acquire(R);
 }
 
+const RoutineBody *Loader::acquireReadIfDefined(RoutineId R) {
+  if (!P.routine(R).IsDefined)
+    return nullptr;
+  return &acquireRead(R);
+}
+
 RoutineBody &Loader::acquire(RoutineId R) {
-  std::lock_guard<std::mutex> Lock(M);
+  return acquireImpl(R, /*Mutable=*/true);
+}
+
+const RoutineBody &Loader::acquireRead(RoutineId R) {
+  return acquireImpl(R, /*Mutable=*/false);
+}
+
+RoutineBody &Loader::acquireImpl(RoutineId R, bool Mutable) {
+  Stats.Acquires.fetch_add(1, Relaxed);
+  std::unique_lock<std::mutex> L(M);
   RoutineInfo &RI = P.routine(R);
   RoutineSlot &S = RI.Slot;
   assert(RI.IsDefined && "acquiring an undefined routine");
-  ++Stats.Acquires;
+  // A transition (decode/encode outside the mutex) owns the slot; wait for
+  // it to land rather than observing a half-moved state.
+  while (S.InTransition)
+    TransitionCv.wait(L);
   switch (S.State) {
   case PoolState::Expanded:
     if (S.UnloadPending) {
       // Cache hit: just flip the state back; no loading work at all — the
       // payoff of the lazy unloader (paper Section 4.3).
-      ++Stats.CacheHits;
+      Stats.CacheHits.fetch_add(1, Relaxed);
+      if (S.WasPrefetched) {
+        Stats.PrefetchHits.fetch_add(1, Relaxed);
+        S.WasPrefetched = false;
+      }
       CacheOrder.erase({S.LruTick, R});
       CachedBytes -= S.Body->irBytes();
       S.UnloadPending = false;
@@ -93,73 +170,162 @@ RoutineBody &Loader::acquire(RoutineId R) {
     break;
   case PoolState::Compact:
   case PoolState::Offloaded: {
-    Status S = expandPool(R);
+    Status St = expandPool(R, L);
     // An unrecoverable pool is poisoned, never fatal: the caller gets a
     // stub body so in-flight phases complete safely, and the driver fails
     // the build with the latched error at its next checkpoint.
-    if (!S.ok())
-      poisonPoolLocked(R, std::move(S));
+    if (!St.ok())
+      poisonPoolLocked(R, std::move(St));
     break;
   }
   case PoolState::None:
     scmo_unreachable("defined routine with no pool");
   }
+  if (Mutable) {
+    S.CleanSinceRepo = false;
+    // The body may change under this pin: the cached summary is stale. The
+    // matching release recomputes it while the body is still resident.
+    if (S.Summary) {
+      S.Summary.reset();
+      S.ResummarizeOnRelease = true;
+    }
+  }
   ++S.Pins;
   S.LruTick = ++Tick;
-  return *S.Body;
+  RoutineBody &Body = *S.Body;
+
+  // Slide the readahead window: acquire #N uncovers schedule position
+  // N + PrefetchDepth. The Schedule vector is immutable while active, so
+  // reading it outside QM is safe.
+  if (Config.PrefetchDepth &&
+      ScheduleActive.load(std::memory_order_acquire)) {
+    size_t Idx = SchedPos.fetch_add(1, Relaxed) + Config.PrefetchDepth;
+    if (Idx < Schedule.size()) {
+      std::lock_guard<std::mutex> Q(QM);
+      if (ScheduleActive.load(Relaxed)) {
+        PrefetchQ.push_back(Schedule[Idx]);
+        QWorkCv.notify_one();
+      }
+    }
+  }
+  return Body;
 }
 
 void Loader::release(RoutineId R) {
-  std::lock_guard<std::mutex> Lock(M);
+  std::unique_lock<std::mutex> L(M);
   RoutineInfo &RI = P.routine(R);
   RoutineSlot &S = RI.Slot;
-  if (S.State != PoolState::Expanded || S.UnloadPending)
+  if (S.State != PoolState::Expanded || S.UnloadPending || S.InTransition)
     return;
   // Drop one pin; the pool stays resident while any worker still holds it.
   // (Pins == 0 here means a "born pinned" body the frontend installed and
   // nobody ever acquired: its first release unpins it.)
   if (S.Pins > 0 && --S.Pins > 0)
     return;
+  // Summarize while the body is still resident (a scan, not a decode): a
+  // mutable pin-cycle just ended and discarded the summary, or — when pools
+  // can park at all — this body has never been summarized and the next
+  // whole-set consumer would otherwise have to re-expand it.
+  if (S.ResummarizeOnRelease || (!S.Summary && irCompactionEnabled())) {
+    S.Summary = summarizeBody(*S.Body);
+    S.ResummarizeOnRelease = false;
+  }
   // Mark unload-pending and place in the cache; actual compaction happens
   // only if the budget demands it.
   S.UnloadPending = true;
   S.LruTick = ++Tick;
   CacheOrder.insert({S.LruTick, R});
   CachedBytes += S.Body->irBytes();
-  enforceBudgetLocked(/*Everything=*/false);
+  enforceBudgetImpl(L, /*Everything=*/false);
 }
 
 void Loader::releaseAll() {
-  std::lock_guard<std::mutex> Lock(M);
+  std::unique_lock<std::mutex> L(M);
   for (RoutineId R = 0; R != P.numRoutines(); ++R) {
     RoutineSlot &S = P.routine(R).Slot;
-    if (S.State == PoolState::Expanded && !S.UnloadPending) {
+    if (S.State == PoolState::Expanded && !S.UnloadPending &&
+        !S.InTransition) {
       // Phase boundary: forcibly forget any outstanding pins — no worker
       // may hold a body across a phase.
       S.Pins = 0;
+      if (S.ResummarizeOnRelease || (!S.Summary && irCompactionEnabled())) {
+        S.Summary = summarizeBody(*S.Body);
+        S.ResummarizeOnRelease = false;
+      }
       S.UnloadPending = true;
       S.LruTick = ++Tick;
       CacheOrder.insert({S.LruTick, R});
       CachedBytes += S.Body->irBytes();
     }
   }
-  enforceBudgetLocked(/*Everything=*/false);
+  enforceBudgetImpl(L, /*Everything=*/false);
 }
 
 void Loader::enforceBudget(bool Everything) {
-  std::lock_guard<std::mutex> Lock(M);
-  enforceBudgetLocked(Everything);
+  std::unique_lock<std::mutex> L(M);
+  enforceBudgetImpl(L, Everything);
 }
 
-void Loader::enforceBudgetLocked(bool Everything) {
+const RoutineIlSummary *Loader::routineSummary(RoutineId R) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    const RoutineSlot &S = P.routine(R).Slot;
+    if (S.Summary)
+      return S.Summary.get();
+  }
+  const RoutineBody *Body = acquireReadIfDefined(R);
+  if (!Body)
+    return nullptr;
+  auto Sum = summarizeBody(*Body);
+  const RoutineIlSummary *Raw;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    RoutineSlot &S = P.routine(R).Slot;
+    S.Summary = std::move(Sum);
+    Raw = S.Summary.get();
+  }
+  release(R);
+  return Raw;
+}
+
+void Loader::enforceBudgetImpl(std::unique_lock<std::mutex> &L,
+                               bool Everything) {
   if (!irCompactionEnabled())
     return;
   uint64_t SoftCap = Everything ? 0 : Config.ExpandedCacheBytes;
   // Evict least-recently-used pools until under budget. Only unpinned pools
   // live in CacheOrder, so a pool another worker holds can never be chosen.
+  // compactPool drops the mutex around the encode; the loop re-reads the
+  // cache state afterwards, so concurrent releases/evictions interleave
+  // correctly.
   while (CachedBytes > SoftCap && !CacheOrder.empty()) {
     RoutineId Victim = CacheOrder.begin()->second;
-    compactPool(Victim);
+    RoutineSlot &S = P.routine(Victim).Slot;
+    CacheOrder.erase(CacheOrder.begin());
+    CachedBytes -= S.Body->irBytes();
+    if (S.WasPrefetched) {
+      Stats.PrefetchWasted.fetch_add(1, Relaxed);
+      S.WasPrefetched = false;
+    }
+    // Clean fast path: a pool that was never mutably acquired since it was
+    // expanded from its repository record (or from its still-queued spill)
+    // drops straight back to that record — no re-encode, no store, no
+    // compact residency. Content-equal by history, so deterministic.
+    if (S.CleanSinceRepo && offloadEnabled() && !SpillDisabled &&
+        (S.SpillTicket != 0 || S.LastRepoSize != 0)) {
+      S.Body.reset();
+      S.UnloadPending = false;
+      S.State = PoolState::Offloaded;
+      // A pending write-behind entry means the record's offset arrives at
+      // writer finalize; until then fetches are served from the queue.
+      S.RepoOffset = S.SpillTicket ? 0 : S.LastRepoOffset;
+      S.RepoSize = S.SpillTicket ? 0 : S.LastRepoSize;
+      Stats.Compactions.fetch_add(1, Relaxed);
+      Stats.Offloads.fetch_add(1, Relaxed);
+      Stats.SpillElisions.fetch_add(1, Relaxed);
+      continue;
+    }
+    compactPool(Victim, L);
   }
   // Second stage: offload compact pools beyond the compact-residency budget.
   // A degraded loader (earlier spill failure) keeps everything resident:
@@ -177,8 +343,9 @@ void Loader::enforceBudgetLocked(bool Everything) {
         P.tracker()->liveBytes(MemCategory::HloCompact) <=
             Config.CompactResidentBytes)
       break;
-    if (P.routine(R).Slot.State == PoolState::Compact)
-      offloadPool(R);
+    RoutineSlot &S = P.routine(R).Slot;
+    if (S.State == PoolState::Compact && !S.InTransition)
+      offloadPool(R, L);
   }
 }
 
@@ -190,79 +357,286 @@ void Loader::maybeCompactSymtabs() {
     ModuleSymtab &St = P.module(MI).Symtab;
     if (St.state() == PoolState::Expanded && St.expandedBytes()) {
       St.compact(P.tracker());
-      ++Stats.SymtabCompactions;
+      Stats.SymtabCompactions.fetch_add(1, Relaxed);
     }
   }
 }
 
-void Loader::compactPool(RoutineId R) {
+void Loader::compactPool(RoutineId R, std::unique_lock<std::mutex> &L) {
   RoutineSlot &S = P.routine(R).Slot;
   assert(S.State == PoolState::Expanded && S.UnloadPending &&
          "compacting a pinned pool");
-  CacheOrder.erase({S.LruTick, R});
-  CachedBytes -= S.Body->irBytes();
-  std::vector<uint8_t> Bytes = compactRoutine(*S.Body);
-  S.Body.reset();
+  assert(!S.InTransition && "compacting a transitioning pool");
+  // The caller already removed the pool from the cache. Detach the body and
+  // encode outside the mutex: the swizzle is CPU work other workers need
+  // not serialize on.
+  std::unique_ptr<RoutineBody> Body = std::move(S.Body);
+  S.UnloadPending = false;
+  S.InTransition = true;
+  L.unlock();
+  std::vector<uint8_t> Bytes = compactRoutine(*Body);
+  Body.reset();
+  uint64_t Hash = hashBytes(Bytes.data(), Bytes.size());
+  L.lock();
+  S.InTransition = false;
+  TransitionCv.notify_all();
   S.CompactBytes = TrackedBuffer(P.tracker(), MemCategory::HloCompact);
   S.CompactBytes.assign(std::move(Bytes));
+  S.CompactHash = Hash;
   S.State = PoolState::Compact;
-  S.UnloadPending = false;
-  ++Stats.Compactions;
+  Stats.Compactions.fetch_add(1, Relaxed);
 }
 
-void Loader::offloadPool(RoutineId R) {
+std::vector<uint8_t> Loader::buildEnvelope(const std::vector<uint8_t> &Raw) {
+  std::vector<uint8_t> Env;
+  if (Config.Compress == NaimCompress::Fast) {
+    std::vector<uint8_t> Z = lzCompress(Raw);
+    // Incompressible records stay raw: the envelope kind is per-record, so
+    // the flag never makes a record bigger than `off` would.
+    if (Z.size() < Raw.size()) {
+      Env.reserve(Z.size() + 1);
+      Env.push_back(EnvelopeLz);
+      Env.insert(Env.end(), Z.begin(), Z.end());
+      return Env;
+    }
+  }
+  Env.reserve(Raw.size() + 1);
+  Env.push_back(EnvelopeRaw);
+  Env.insert(Env.end(), Raw.begin(), Raw.end());
+  return Env;
+}
+
+void Loader::offloadPool(RoutineId R, std::unique_lock<std::mutex> &L) {
   RoutineSlot &S = P.routine(R).Slot;
   assert(S.State == PoolState::Compact && "offloading a non-compact pool");
-  Expected<uint64_t> Off = Repo.store(S.CompactBytes.bytes());
-  if (!Off.ok()) {
-    // Degradation instead of death: the pool keeps its compact bytes, this
-    // loader stops spilling for good, and the compact-residency budget is
-    // lifted (enforceBudgetLocked checks SpillDisabled). A slower, fatter
-    // compile — not a dead one.
-    ++Stats.SpillFailures;
-    SpillDisabled = true;
-    Events.push_back(
-        {LoaderEvent::Kind::SpillDegraded, R,
-         "repository spill failed (" + Off.status().toString() +
-             "); offloading disabled, pools stay memory-resident"});
+  // Content-addressed store elision: if these exact compact bytes already
+  // live in the repository (the pool round-tripped without changing), reuse
+  // the record instead of storing a duplicate.
+  if (S.LastRepoSize != 0 && S.CompactHash == S.LastRawHash &&
+      S.CompactBytes.size() == S.LastRawSize) {
+    S.CompactBytes.clear();
+    S.State = PoolState::Offloaded;
+    S.RepoOffset = S.LastRepoOffset;
+    S.RepoSize = S.LastRepoSize;
+    Stats.Offloads.fetch_add(1, Relaxed);
+    Stats.SpillElisions.fetch_add(1, Relaxed);
     return;
   }
-  S.RepoSize = S.CompactBytes.size();
-  S.RepoOffset = *Off;
-  S.CompactBytes.clear();
-  S.State = PoolState::Offloaded;
-  ++Stats.Offloads;
+  std::vector<uint8_t> Raw = S.CompactBytes.take();
+  uint64_t Hash = S.CompactHash;
+  if (Config.SpillQueueDepth != 0) {
+    std::lock_guard<std::mutex> Q(QM);
+    if (SpillQ.size() < Config.SpillQueueDepth) {
+      // Write-behind: park the bytes on the queue and move on; the writer
+      // builds the envelope and stores without holding M. The pool is
+      // Offloaded-pending (ticket set, RepoSize 0) until finalize.
+      ensureIoThreadLocked();
+      auto E = std::make_shared<SpillEntry>();
+      E->R = R;
+      E->Ticket = ++NextTicket;
+      E->Raw = std::move(Raw);
+      E->RawHash = Hash;
+      S.SpillTicket = E->Ticket;
+      S.State = PoolState::Offloaded;
+      S.RepoOffset = 0;
+      S.RepoSize = 0;
+      SpillQ.push_back(std::move(E));
+      Stats.Offloads.fetch_add(1, Relaxed);
+      QWorkCv.notify_all();
+      return;
+    }
+  }
+  // Queue full (backpressure) or write-behind disabled: store synchronously.
+  storeSyncLocked(R, std::move(Raw), Hash);
 }
 
-Status Loader::expandPool(RoutineId R) {
+void Loader::storeSyncLocked(RoutineId R, std::vector<uint8_t> Raw,
+                             uint64_t RawHash) {
   RoutineSlot &S = P.routine(R).Slot;
-  std::vector<uint8_t> Bytes;
-  bool FromRepo = S.State == PoolState::Offloaded;
-  if (FromRepo) {
-    Status FS = Repo.fetch(S.RepoOffset, S.RepoSize, Bytes);
-    if (!FS.ok() && FS.code() == StatusCode::Corruption) {
-      // One immediate re-read: corruption introduced between the platter
-      // and us (a flipped buffer, a racing cache) heals; bit-rot that made
-      // it to disk does not, and falls through to object-file recovery.
-      ++Stats.FetchRetries;
-      Events.push_back({LoaderEvent::Kind::FetchRetried, R, FS.message()});
-      FS = Repo.fetch(S.RepoOffset, S.RepoSize, Bytes);
+  // This store supersedes any still-queued older record for the pool: the
+  // ticket must die here, or a later fetch would see it and serve the stale
+  // queue entry instead of the record stored below.
+  S.SpillTicket = 0;
+  std::vector<uint8_t> Env = buildEnvelope(Raw);
+  Expected<uint64_t> Off = Repo.store(Env, Raw.size());
+  if (!Off.ok()) {
+    degradeSpillsLocked(R, Off.status());
+    // Degradation instead of death: the pool keeps its compact bytes, this
+    // loader stops spilling for good, and the compact-residency budget is
+    // lifted (enforceBudgetImpl checks SpillDisabled). A slower, fatter
+    // compile — not a dead one.
+    S.CompactBytes = TrackedBuffer(P.tracker(), MemCategory::HloCompact);
+    S.CompactBytes.assign(std::move(Raw));
+    S.CompactHash = RawHash;
+    S.State = PoolState::Compact;
+    return;
+  }
+  S.State = PoolState::Offloaded;
+  S.RepoOffset = *Off;
+  S.RepoSize = Env.size();
+  S.LastRepoOffset = *Off;
+  S.LastRepoSize = Env.size();
+  S.LastRawHash = RawHash;
+  S.LastRawSize = Raw.size();
+  Stats.Offloads.fetch_add(1, Relaxed);
+}
+
+void Loader::degradeSpillsLocked(RoutineId R, const Status &Cause) {
+  if (!SpillDisabled) {
+    SpillDisabled = true;
+    Stats.SpillFailures.fetch_add(1, Relaxed);
+    Events.push_back(
+        {LoaderEvent::Kind::SpillDegraded, R,
+         "repository spill failed (" + Cause.toString() +
+             "); offloading disabled, pools stay memory-resident"});
+  }
+  // Restore every queued (not in-flight) spill to compact residency: their
+  // stores would fail against the same dead disk. The in-flight front entry
+  // stays — the writer owns it and applies its own outcome.
+  std::lock_guard<std::mutex> Q(QM);
+  while (SpillQ.size() > (SpillBusy ? 1u : 0u)) {
+    std::shared_ptr<SpillEntry> E = std::move(SpillQ.back());
+    SpillQ.pop_back();
+    Stats.Offloads.fetch_sub(1, Relaxed);
+    RoutineSlot &S = P.routine(E->R).Slot;
+    if (S.SpillTicket == E->Ticket) {
+      S.SpillTicket = 0;
+      if (S.State == PoolState::Offloaded && S.RepoSize == 0) {
+        S.CompactBytes = TrackedBuffer(P.tracker(), MemCategory::HloCompact);
+        S.CompactBytes.assign(std::move(E->Raw));
+        S.CompactHash = E->RawHash;
+        S.State = PoolState::Compact;
+      }
     }
+  }
+  QIdleCv.notify_all();
+}
+
+Status Loader::fetchRecord(uint64_t Offset, uint64_t Size,
+                           std::vector<uint8_t> &Raw,
+                           std::string &RetryDetail) {
+  auto ReadOnce = [&](std::vector<uint8_t> &Out) -> Status {
+    std::vector<uint8_t> Env;
+    Status FS = Repo.fetch(Offset, Size, Env);
     if (!FS.ok())
-      return recoverPoolLocked(R, std::move(FS));
-    ++Stats.Fetches;
+      return FS;
+    if (Env.empty())
+      return Status::error(StatusCode::Corruption,
+                           "empty spill envelope at offset " +
+                               std::to_string(Offset));
+    if (Env[0] == EnvelopeRaw) {
+      Out.assign(Env.begin() + 1, Env.end());
+      return Status();
+    }
+    if (Env[0] == EnvelopeLz) {
+      if (!lzDecompress(Env.data() + 1, Env.size() - 1, Out,
+                        Repository::MaxRecordBytes))
+        return Status::error(StatusCode::Corruption,
+                             "corrupt compressed spill payload at offset " +
+                                 std::to_string(Offset));
+      return Status();
+    }
+    return Status::error(StatusCode::Corruption,
+                         "unknown spill envelope kind at offset " +
+                             std::to_string(Offset));
+  };
+  Status FS = ReadOnce(Raw);
+  if (!FS.ok() && FS.code() == StatusCode::Corruption) {
+    // One immediate re-read: corruption introduced between the platter and
+    // us (a flipped buffer, a racing cache) heals; bit-rot that made it to
+    // disk does not, and falls through to object-file recovery. A corrupt
+    // compressed payload rides the same rung.
+    RetryDetail = FS.message();
+    FS = ReadOnce(Raw);
+  }
+  return FS;
+}
+
+Status Loader::expandPool(RoutineId R, std::unique_lock<std::mutex> &L) {
+  RoutineSlot &S = P.routine(R).Slot;
+  assert(!S.InTransition && "expanding a transitioning pool");
+  std::vector<uint8_t> Raw;
+  bool FromRepo = false;
+  bool FromQueue = false;
+  uint64_t Off = 0, Sz = 0;
+  uint64_t QueueRawHash = 0;
+  if (S.State == PoolState::Offloaded) {
+    if (S.SpillTicket != 0) {
+      // The record is still in the write-behind queue (or in the writer's
+      // hands — it stays in the deque until finalized, and finalize needs
+      // M, which we hold). Serve the payload straight from the entry; the
+      // store itself proceeds untouched.
+      std::lock_guard<std::mutex> Q(QM);
+      for (const auto &E : SpillQ) {
+        if (E->Ticket == S.SpillTicket) {
+          Raw = E->Raw;
+          QueueRawHash = E->RawHash;
+          FromQueue = true;
+          break;
+        }
+      }
+      assert(FromQueue && "pending spill ticket without a queue entry");
+      if (FromQueue) {
+        Stats.SpillQueueHits.fetch_add(1, Relaxed);
+        Stats.Fetches.fetch_add(1, Relaxed);
+      }
+    }
+    if (!FromQueue) {
+      FromRepo = true;
+      Off = S.RepoOffset;
+      Sz = S.RepoSize;
+    }
   } else {
     assert(S.State == PoolState::Compact && "expanding a non-compact pool");
-    Bytes = S.CompactBytes.take();
+    Raw = S.CompactBytes.take();
   }
-  // Uncompaction: decode and eagerly swizzle PIDs back to in-memory form.
-  auto Body = expandRoutine(Bytes, P.tracker());
+  // Fetch and decode outside the mutex; the transition flag owns the slot.
+  S.InTransition = true;
+  L.unlock();
+  Status Err;
+  std::string RetryDetail;
+  if (FromRepo)
+    Err = fetchRecord(Off, Sz, Raw, RetryDetail);
+  std::unique_ptr<RoutineBody> Body;
+  uint64_t RawHash = QueueRawHash;
+  uint64_t RawSize = 0;
+  if (Err.ok()) {
+    RawSize = Raw.size();
+    if (FromRepo)
+      RawHash = hashBytes(Raw.data(), Raw.size());
+    // Uncompaction: decode and eagerly swizzle PIDs back to in-memory form.
+    Body = expandRoutine(Raw, P.tracker());
+  }
+  L.lock();
+  S.InTransition = false;
+  TransitionCv.notify_all();
+  if (!RetryDetail.empty()) {
+    Stats.FetchRetries.fetch_add(1, Relaxed);
+    Events.push_back({LoaderEvent::Kind::FetchRetried, R, RetryDetail});
+  }
+  if (!Err.ok())
+    return recoverPoolLocked(R, std::move(Err));
+  if (FromRepo)
+    Stats.Fetches.fetch_add(1, Relaxed);
   if (!Body)
     return recoverPoolLocked(
         R, Status::error(StatusCode::Corruption,
                          "corrupt compact pool for " + P.displayName(R)));
   installBodyLocked(R, std::move(Body));
-  ++Stats.Expansions;
+  if (FromRepo) {
+    // Remember the record: if the body round-trips unmutated, eviction can
+    // reuse it (clean fast path / store elision).
+    S.LastRepoOffset = Off;
+    S.LastRepoSize = Sz;
+    S.LastRawHash = RawHash;
+    S.LastRawSize = RawSize;
+    S.CleanSinceRepo = true;
+  } else if (FromQueue) {
+    // The pending record holds exactly these bytes; the writer fills in
+    // LastRepoOffset/Size at finalize (ticket match).
+    S.CleanSinceRepo = true;
+  }
+  Stats.Expansions.fetch_add(1, Relaxed);
   return Status();
 }
 
@@ -270,7 +644,12 @@ Status Loader::recoverPoolLocked(RoutineId R, Status Cause) {
   if (Recover) {
     if (std::unique_ptr<RoutineBody> Body = Recover(R)) {
       installBodyLocked(R, std::move(Body));
-      ++Stats.Recoveries;
+      // The object-file body is not what was summarized (the pool may have
+      // been optimized since); expand/prefetch installs, by contrast, decode
+      // the very bytes the summary described, so they keep it.
+      P.routine(R).Slot.Summary.reset();
+      P.routine(R).Slot.ResummarizeOnRelease = false;
+      Stats.Recoveries.fetch_add(1, Relaxed);
       Events.push_back({LoaderEvent::Kind::Recovered, R,
                         Cause.message() + "; re-expanded " + P.displayName(R) +
                             " from its object file"});
@@ -286,10 +665,18 @@ void Loader::installBodyLocked(RoutineId R, std::unique_ptr<RoutineBody> Body) {
   S.CompactBytes.clear();
   S.State = PoolState::Expanded;
   S.UnloadPending = false;
+  // The installed body's provenance decides cleanliness; expandPool re-sets
+  // the flag for record-sourced bodies. A recovered (object-file) body in
+  // particular must never reuse a record that just proved corrupt.
+  S.CleanSinceRepo = false;
+  S.LastRepoSize = 0;
+  S.LastRepoOffset = 0;
+  S.LastRawHash = 0;
+  S.LastRawSize = 0;
 }
 
 void Loader::poisonPoolLocked(RoutineId R, Status Cause) {
-  ++Stats.PoisonedPools;
+  Stats.PoisonedPools.fetch_add(1, Relaxed);
   Events.push_back({LoaderEvent::Kind::PoolPoisoned, R, Cause.toString()});
   if (FirstErr.ok())
     FirstErr = std::move(Cause);
@@ -305,4 +692,236 @@ void Loader::poisonPoolLocked(RoutineId R, Status Cause) {
   Ret->A = Operand::imm(0);
   Stub->Blocks[0].Instrs.push_back(Ret);
   installBodyLocked(R, std::move(Stub));
+  P.routine(R).Slot.Summary.reset();
+  P.routine(R).Slot.ResummarizeOnRelease = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Write-behind / prefetch I/O thread
+//===----------------------------------------------------------------------===//
+
+void Loader::ensureIoThreadLocked() {
+  if (!IoThread.joinable())
+    IoThread = std::thread([this] { ioThreadMain(); });
+}
+
+void Loader::ioThreadMain() {
+  std::unique_lock<std::mutex> Q(QM);
+  for (;;) {
+    QWorkCv.wait(Q, [&] {
+      return StopIo || !SpillQ.empty() || !PrefetchQ.empty();
+    });
+    if (!SpillQ.empty()) {
+      // Claim the front entry but leave it in the deque: a racing fetch
+      // finds the payload there for as long as the slot's ticket stands.
+      std::shared_ptr<SpillEntry> E = SpillQ.front();
+      SpillBusy = true;
+      Q.unlock();
+      std::vector<uint8_t> Env = buildEnvelope(E->Raw);
+      Expected<uint64_t> Off = Repo.store(Env, E->Raw.size());
+      {
+        std::unique_lock<std::mutex> LM(M);
+        {
+          std::lock_guard<std::mutex> Q2(QM);
+          SpillQ.pop_front();
+          SpillBusy = false;
+        }
+        RoutineSlot &S = P.routine(E->R).Slot;
+        // A dirtied pool may have re-spilled under a newer ticket while we
+        // stored; then this record is simply dead space in the repository.
+        bool Mine = S.SpillTicket == E->Ticket;
+        if (!Off.ok()) {
+          // The offload was counted when it was decided; it did not happen.
+          Stats.Offloads.fetch_sub(1, Relaxed);
+          degradeSpillsLocked(E->R, Off.status());
+          if (Mine) {
+            S.SpillTicket = 0;
+            if (S.State == PoolState::Offloaded && S.RepoSize == 0) {
+              S.CompactBytes =
+                  TrackedBuffer(P.tracker(), MemCategory::HloCompact);
+              S.CompactBytes.assign(std::move(E->Raw));
+              S.CompactHash = E->RawHash;
+              S.State = PoolState::Compact;
+            }
+          }
+        } else if (Mine) {
+          S.SpillTicket = 0;
+          S.LastRepoOffset = *Off;
+          S.LastRepoSize = Env.size();
+          S.LastRawHash = E->RawHash;
+          S.LastRawSize = E->Raw.size();
+          if (S.State == PoolState::Offloaded && S.RepoSize == 0) {
+            S.RepoOffset = *Off;
+            S.RepoSize = Env.size();
+          }
+        }
+      }
+      QIdleCv.notify_all();
+      Q.lock();
+      continue;
+    }
+    if (!PrefetchQ.empty()) {
+      RoutineId R = PrefetchQ.front();
+      PrefetchQ.pop_front();
+      PrefetchBusy = true;
+      Q.unlock();
+      prefetchOne(R);
+      Q.lock();
+      PrefetchBusy = false;
+      QIdleCv.notify_all();
+      continue;
+    }
+    if (StopIo)
+      return;
+  }
+}
+
+void Loader::prefetchOne(RoutineId R) {
+  if (R >= P.numRoutines() || !P.routine(R).IsDefined)
+    return;
+  std::unique_lock<std::mutex> L(M);
+  RoutineSlot &S = P.routine(R).Slot;
+  // Only a parked compact/offloaded pool is worth readahead; anything
+  // resident, transitioning, or racing ahead of us is left alone. Also stop
+  // filling a cache that is already at budget — prefetch must not thrash.
+  if (S.InTransition || S.State == PoolState::Expanded ||
+      S.State == PoolState::None)
+    return;
+  if (CachedBytes >= Config.ExpandedCacheBytes)
+    return;
+  std::vector<uint8_t> Raw;
+  bool FromRepo = false;
+  bool FromQueue = false;
+  uint64_t Off = 0, Sz = 0;
+  uint64_t QueueRawHash = 0;
+  if (S.State == PoolState::Offloaded) {
+    if (S.SpillTicket != 0) {
+      std::lock_guard<std::mutex> Q(QM);
+      for (const auto &E : SpillQ) {
+        if (E->Ticket == S.SpillTicket) {
+          Raw = E->Raw;
+          QueueRawHash = E->RawHash;
+          FromQueue = true;
+          break;
+        }
+      }
+      if (!FromQueue)
+        return;
+    } else {
+      FromRepo = true;
+      Off = S.RepoOffset;
+      Sz = S.RepoSize;
+    }
+  } else {
+    Raw = S.CompactBytes.take();
+  }
+  S.InTransition = true;
+  L.unlock();
+  Status Err;
+  std::string RetryDetail;
+  if (FromRepo)
+    Err = fetchRecord(Off, Sz, Raw, RetryDetail);
+  std::unique_ptr<RoutineBody> Body;
+  uint64_t RawHash = QueueRawHash;
+  uint64_t RawSize = Raw.size();
+  if (Err.ok()) {
+    RawSize = Raw.size();
+    if (FromRepo)
+      RawHash = hashBytes(Raw.data(), Raw.size());
+    Body = expandRoutine(Raw, P.tracker());
+  }
+  L.lock();
+  S.InTransition = false;
+  TransitionCv.notify_all();
+  if (!RetryDetail.empty()) {
+    Stats.FetchRetries.fetch_add(1, Relaxed);
+    Events.push_back({LoaderEvent::Kind::FetchRetried, R, RetryDetail});
+  }
+  if (!Err.ok() || !Body) {
+    // Readahead never poisons: put the source back (for compact pools) and
+    // let the real acquire drive the full degradation ladder — that path is
+    // deterministic, this one is opportunistic.
+    if (!FromRepo && !FromQueue) {
+      S.CompactBytes = TrackedBuffer(P.tracker(), MemCategory::HloCompact);
+      S.CompactBytes.assign(std::move(Raw));
+    }
+    return;
+  }
+  installBodyLocked(R, std::move(Body));
+  if (FromRepo) {
+    S.LastRepoOffset = Off;
+    S.LastRepoSize = Sz;
+    S.LastRawHash = RawHash;
+    S.LastRawSize = RawSize;
+    S.CleanSinceRepo = true;
+    Stats.Fetches.fetch_add(1, Relaxed);
+  } else if (FromQueue) {
+    S.CleanSinceRepo = true;
+    Stats.Fetches.fetch_add(1, Relaxed);
+    Stats.SpillQueueHits.fetch_add(1, Relaxed);
+  }
+  // Park the body in the cache as an unpinned, prefetched resident: the
+  // acquire it anticipates is a cache hit (and a PrefetchHit).
+  S.WasPrefetched = true;
+  S.UnloadPending = true;
+  S.LruTick = ++Tick;
+  CacheOrder.insert({S.LruTick, R});
+  CachedBytes += S.Body->irBytes();
+  Stats.Expansions.fetch_add(1, Relaxed);
+}
+
+void Loader::drainSpills() {
+  std::unique_lock<std::mutex> Q(QM);
+  QIdleCv.wait(Q, [&] { return SpillQ.empty() && !SpillBusy; });
+}
+
+void Loader::drainPrefetches() {
+  std::unique_lock<std::mutex> Q(QM);
+  QIdleCv.wait(Q, [&] { return PrefetchQ.empty() && !PrefetchBusy; });
+}
+
+void Loader::setAcquisitionSchedule(std::vector<RoutineId> Order) {
+  if (Config.PrefetchDepth == 0 || Order.empty() || !irCompactionEnabled())
+    return;
+  std::lock_guard<std::mutex> Q(QM);
+  Schedule = std::move(Order);
+  SchedPos.store(0, Relaxed);
+  PrefetchQ.clear();
+  for (size_t I = 0; I < Config.PrefetchDepth && I < Schedule.size(); ++I)
+    PrefetchQ.push_back(Schedule[I]);
+  ScheduleActive.store(true, std::memory_order_release);
+  ensureIoThreadLocked();
+  QWorkCv.notify_all();
+}
+
+void Loader::clearAcquisitionSchedule() {
+  std::unique_lock<std::mutex> Q(QM);
+  if (!ScheduleActive.load(Relaxed) && PrefetchQ.empty() && !PrefetchBusy)
+    return;
+  ScheduleActive.store(false, std::memory_order_release);
+  PrefetchQ.clear();
+  QIdleCv.wait(Q, [&] { return !PrefetchBusy; });
+  Schedule.clear();
+}
+
+LoaderStats Loader::stats() const {
+  LoaderStats S;
+  S.Acquires = Stats.Acquires.load(Relaxed);
+  S.CacheHits = Stats.CacheHits.load(Relaxed);
+  S.Expansions = Stats.Expansions.load(Relaxed);
+  S.Compactions = Stats.Compactions.load(Relaxed);
+  S.Offloads = Stats.Offloads.load(Relaxed);
+  S.Fetches = Stats.Fetches.load(Relaxed);
+  S.SymtabCompactions = Stats.SymtabCompactions.load(Relaxed);
+  S.SpillElisions = Stats.SpillElisions.load(Relaxed);
+  S.SpillQueueHits = Stats.SpillQueueHits.load(Relaxed);
+  S.PrefetchHits = Stats.PrefetchHits.load(Relaxed);
+  S.PrefetchWasted = Stats.PrefetchWasted.load(Relaxed);
+  S.RawBytes = Repo.rawBytesStored();
+  S.CompressedBytes = Repo.bytesStored();
+  S.SpillFailures = Stats.SpillFailures.load(Relaxed);
+  S.FetchRetries = Stats.FetchRetries.load(Relaxed);
+  S.Recoveries = Stats.Recoveries.load(Relaxed);
+  S.PoisonedPools = Stats.PoisonedPools.load(Relaxed);
+  return S;
 }

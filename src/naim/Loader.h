@@ -26,6 +26,34 @@
 /// Thresholding (Section 4.3): NAIM functionality turns on in stages tied to
 /// the configured "machine memory" so small compilations pay nothing.
 ///
+/// The spill hot path (the I/O-path overhaul, DESIGN.md §5f):
+///
+///  - Records are stored inside a one-byte envelope `[kind][payload]`;
+///    with `--naim-compress=fast` the payload is LZ-compressed
+///    (support/Compress.h) and a failed decompression feeds the same
+///    degradation ladder as a checksum mismatch.
+///  - Offloads are write-behind: the raw compact bytes move onto a bounded
+///    spill queue drained by a dedicated I/O thread, and a fetch of a
+///    record still in flight is served straight from the queue. When the
+///    queue is full the offload falls back to a synchronous store
+///    (backpressure), so memory stays bounded.
+///  - Store elision: a pool whose compact bytes hash-match its most recent
+///    repository record reuses that record instead of storing a duplicate;
+///    a pool that was never mutably acquired since it was expanded from its
+///    record ("clean") is dropped straight back to that record with no
+///    re-encode and no store at all. Both checks are content-/history-based
+///    and therefore deterministic.
+///  - Prefetch: the driver hands the loader the acquisition schedule of the
+///    next stage and the I/O thread expands the next K scheduled routines
+///    ahead of the optimizer (`--naim-prefetch=K`).
+///  - Compaction encode and expansion decode run *outside* the loader mutex
+///    on per-pool transition states; the mutex keeps guarding metadata, the
+///    LRU cache and budgets.
+///
+/// Residency and counter *decisions* stay deterministic (they are made in
+/// program order under the mutex), so executables are byte-identical at any
+/// jobs × compress × prefetch combination.
+///
 /// Failure model: the spill path is fallible by design and the loader never
 /// aborts the process. The degradation ladder, from cheapest to last resort:
 ///
@@ -33,24 +61,26 @@
 ///      retried inside the Repository and never surface;
 ///   2. a failed spill (ENOSPC, EIO) permanently disables offloading for
 ///      this loader — pools stay compact-resident, the compact budget is
-///      lifted, and a warning event records the slower-but-alive outcome;
-///   3. a corrupt fetch (checksum/magic/bounds mismatch) is re-read once —
-///      transient corruption between disk and memory heals, bit-rot does
-///      not — then falls back to re-expanding the routine from its source
-///      object file when the driver has installed a recovery handler;
+///      lifted, and a warning event records the slower-but-alive outcome.
+///      Write-behind failures are latched into the event queue and the
+///      in-flight payloads restored to residency; the driver observes them
+///      at its next checkpoint (after drainSpills()).
+///   3. a corrupt fetch (checksum/magic/bounds/decompression mismatch) is
+///      re-read once — transient corruption between disk and memory heals,
+///      bit-rot does not — then falls back to re-expanding the routine from
+///      its source object file when the driver has installed a recovery
+///      handler;
 ///   4. an unrecoverable pool is "poisoned": acquire() returns a trivial
 ///      stub body (so in-flight phases finish safely), the first such error
 ///      is latched, and the driver fails the build with a structured
 ///      diagnostic at its next checkpoint — an exit code, not an abort.
 ///
 /// Concurrency: the loader is safe to call from the parallel backend's
-/// worker threads. One mutex guards every state transition (pin counts, the
-/// LRU cache, budget enforcement, repository I/O and the activity
-/// counters), so a pool can never be compacted or offloaded while another
-/// worker holds it: pinned pools (Pins > 0) are simply not in the cache,
-/// and only cached pools are eviction candidates. The returned RoutineBody
-/// references are NOT guarded — the backend's fan-out gives each routine to
-/// exactly one worker, which is what makes unsynchronized body access safe.
+/// worker threads. The mutex M guards all pool metadata and transitions;
+/// the queue mutex QM guards the spill/prefetch queues (lock order always
+/// M → QM). The returned RoutineBody references are NOT guarded — the
+/// backend's fan-out gives each routine to exactly one worker, which is
+/// what makes unsynchronized body access safe.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,12 +91,16 @@
 #include "naim/Repository.h"
 #include "support/Status.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace scmo {
@@ -78,6 +112,12 @@ enum class NaimMode : uint8_t {
   CompactIrSt,  ///< IR and module symbol tables compact.
   Offload,      ///< Compact pools additionally spill to the disk repository.
   Auto          ///< Thresholds tied to MachineMemoryBytes enable the stages.
+};
+
+/// Spill-record compression (`--naim-compress`).
+enum class NaimCompress : uint8_t {
+  Off,  ///< Records store the raw compact bytes.
+  Fast  ///< LZ-compressed payloads (support/Compress.h).
 };
 
 /// Loader configuration.
@@ -98,6 +138,19 @@ struct NaimConfig {
   /// Repository path ("" = a private temp file).
   std::string RepositoryPath;
 
+  /// Spill-record payload compression.
+  NaimCompress Compress = NaimCompress::Off;
+
+  /// Readahead depth for schedule-driven prefetch (0 = off): the loader
+  /// keeps up to this many upcoming scheduled routines expanding ahead of
+  /// the optimizer.
+  unsigned PrefetchDepth = 0;
+
+  /// Capacity of the write-behind spill queue. A full queue makes offloads
+  /// fall back to synchronous stores (backpressure); 0 disables write-behind
+  /// entirely and every offload stores synchronously.
+  unsigned SpillQueueDepth = 8;
+
   /// Fault injector for the repository (tests / --fault-inject). When null,
   /// the loader arms one from SCMO_FAULT_INJECT if that is set, so whole
   /// test suites can run under injection without code changes.
@@ -114,15 +167,26 @@ struct NaimConfig {
   }
 };
 
-/// Loader activity counters (reported by the driver's diagnostics).
+/// Loader activity counters (reported by the driver's diagnostics). stats()
+/// returns a snapshot of the loader's internal relaxed-atomic counters:
+/// safe to read while workers are active, exact once they have joined and
+/// the spill queue is drained.
 struct LoaderStats {
   uint64_t Acquires = 0;
   uint64_t CacheHits = 0;     ///< Acquire found the pool still expanded.
   uint64_t Expansions = 0;    ///< Compact/offloaded -> expanded.
   uint64_t Compactions = 0;   ///< Expanded -> compact.
-  uint64_t Offloads = 0;      ///< Compact -> repository.
+  uint64_t Offloads = 0;      ///< Compact -> repository (stored or elided).
   uint64_t Fetches = 0;       ///< Repository -> compact (read back).
   uint64_t SymtabCompactions = 0;
+
+  // I/O-path activity (DESIGN.md §5f).
+  uint64_t SpillElisions = 0;  ///< Offloads that reused an existing record.
+  uint64_t SpillQueueHits = 0; ///< Fetches served from the in-flight queue.
+  uint64_t PrefetchHits = 0;   ///< Acquires that found a prefetched body.
+  uint64_t PrefetchWasted = 0; ///< Prefetched bodies evicted unacquired.
+  uint64_t RawBytes = 0;        ///< Uncompressed payload bytes stored.
+  uint64_t CompressedBytes = 0; ///< On-disk payload bytes stored.
 
   // Fault-path activity (all zero on a healthy disk).
   uint64_t SpillFailures = 0; ///< Failed offload stores (degraded mode).
@@ -156,13 +220,25 @@ public:
 
   Loader(Program &P, const NaimConfig &Config);
 
+  /// Joins the I/O thread after draining outstanding spills.
+  ~Loader();
+
   /// Pins and returns the expanded body of \p R (must be defined). A pinned
   /// pool is never evicted until released. Acquires nest: each acquire
   /// increments the pool's pin count and must be matched by one release.
+  /// A mutable acquire marks the pool dirty: its repository record (if any)
+  /// no longer matches and eviction must re-encode.
   RoutineBody &acquire(RoutineId R);
 
-  /// As acquire(), but returns null for undefined routines.
+  /// As acquire(), but the caller promises not to mutate the body: the pool
+  /// stays "clean", so eviction can drop it straight back to its existing
+  /// repository record without re-encoding or re-storing. Read-only phases
+  /// (verification, checksums, lowering) use this.
+  const RoutineBody &acquireRead(RoutineId R);
+
+  /// As acquire()/acquireRead(), but return null for undefined routines.
   RoutineBody *acquireIfDefined(RoutineId R);
+  const RoutineBody *acquireReadIfDefined(RoutineId R);
 
   /// Drops one pin from \p R. When the last pin drops, the pool becomes
   /// unload-pending and joins the cache; the loader then enforces budgets
@@ -172,12 +248,40 @@ public:
   /// Releases every pinned routine (phase boundaries).
   void releaseAll();
 
+  /// Derived IL facts for \p R (call sites, stored globals, size, hottest
+  /// block), computed at most once per body version: a cached summary is
+  /// served without touching the pool; a missing one costs a single read
+  /// acquire. Mutable acquires invalidate, and the matching release
+  /// recomputes from the still-resident body, so the interprocedural phases'
+  /// repeated whole-set scans (call-graph builds, global summaries, inliner
+  /// size queries) stop forcing parked pools back through decode. Returns
+  /// null for undefined routines. The pointer stays valid until the next
+  /// mutable acquire of \p R; single-threaded phases only.
+  const RoutineIlSummary *routineSummary(RoutineId R);
+
   /// Enforces budgets immediately; with \p Everything, compacts all
   /// unpinned pools regardless of budget (end-of-phase cleanup in tests).
   void enforceBudget(bool Everything = false);
 
   /// Compacts module symbol tables if the mode/thresholds call for it.
   void maybeCompactSymtabs();
+
+  /// Blocks until every queued write-behind spill has been stored (or has
+  /// failed and been restored to residency). The driver calls this at its
+  /// checkpoints so writer errors latch before stats/events are read; tests
+  /// call it before exact-count assertions.
+  void drainSpills();
+
+  /// Blocks until the prefetch queue is idle (deterministic tests).
+  void drainPrefetches();
+
+  /// Hands the loader the acquisition order of the upcoming stage; with
+  /// PrefetchDepth > 0 the I/O thread keeps the next K scheduled routines
+  /// expanding ahead of the optimizer. Replaces any previous schedule.
+  void setAcquisitionSchedule(std::vector<RoutineId> Order);
+
+  /// Drops the schedule and any queued readahead (end of stage).
+  void clearAcquisitionSchedule();
 
   /// Bytes of expanded IR currently sitting unpinned in the cache.
   uint64_t cacheBytes() const {
@@ -193,11 +297,9 @@ public:
   }
 
   /// Activity counters. Returns a snapshot: safe to call while workers are
-  /// active, exact once they have joined.
-  LoaderStats stats() const {
-    std::lock_guard<std::mutex> Lock(M);
-    return Stats;
-  }
+  /// active, exact once they have joined and drainSpills() has run.
+  LoaderStats stats() const;
+
   const NaimConfig &config() const { return Config; }
   Repository &repository() { return Repo; }
 
@@ -236,18 +338,60 @@ public:
   bool offloadEnabled() const;
 
 private:
-  void enforceBudgetLocked(bool Everything);
-  void compactPool(RoutineId R);
-  void offloadPool(RoutineId R);
-  Status expandPool(RoutineId R);
+  /// Relaxed-atomic twins of LoaderStats: the hot counters are bumped from
+  /// worker threads and the I/O thread without contending on M.
+  struct AtomicStats {
+    std::atomic<uint64_t> Acquires{0}, CacheHits{0}, Expansions{0},
+        Compactions{0}, Offloads{0}, Fetches{0}, SymtabCompactions{0},
+        SpillElisions{0}, SpillQueueHits{0}, PrefetchHits{0},
+        PrefetchWasted{0}, SpillFailures{0}, FetchRetries{0}, Recoveries{0},
+        PoisonedPools{0};
+  };
+
+  /// One queued write-behind spill. The raw compact bytes live here
+  /// (uncharged — they left the compact-residency budget when the offload
+  /// was decided) until the writer has stored them; a fetch racing the
+  /// writer copies them out instead of reading the repository.
+  struct SpillEntry {
+    RoutineId R = InvalidId;
+    uint64_t Ticket = 0;
+    std::vector<uint8_t> Raw;
+    uint64_t RawHash = 0;
+  };
+
+  RoutineBody &acquireImpl(RoutineId R, bool Mutable);
+  void enforceBudgetImpl(std::unique_lock<std::mutex> &L, bool Everything);
+  void compactPool(RoutineId R, std::unique_lock<std::mutex> &L);
+  void offloadPool(RoutineId R, std::unique_lock<std::mutex> &L);
+  Status expandPool(RoutineId R, std::unique_lock<std::mutex> &L);
   Status recoverPoolLocked(RoutineId R, Status Cause);
   void installBodyLocked(RoutineId R, std::unique_ptr<RoutineBody> Body);
   void poisonPoolLocked(RoutineId R, Status Cause);
 
+  /// Wraps \p Raw in the spill envelope, compressing per Config.
+  std::vector<uint8_t> buildEnvelope(const std::vector<uint8_t> &Raw);
+  /// Fetches and unwraps the record at Offset/Size with the one-retry rung
+  /// of the ladder. Runs without M; retry events are appended under M by
+  /// the caller via \p RetryDetail.
+  Status fetchRecord(uint64_t Offset, uint64_t Size,
+                     std::vector<uint8_t> &Raw, std::string &RetryDetail);
+  /// Stores \p Raw synchronously and applies the outcome to slot \p R
+  /// (success: record bookkeeping; failure: degradation). Called under M.
+  void storeSyncLocked(RoutineId R, std::vector<uint8_t> Raw,
+                       uint64_t RawHash);
+  /// Marks the spill path degraded and restores every queued entry to
+  /// compact residency. Called under M (takes QM internally).
+  void degradeSpillsLocked(RoutineId R, const Status &Cause);
+  /// Lazily starts the I/O thread (first spill enqueue / first schedule).
+  void ensureIoThreadLocked();
+  void ioThreadMain();
+  /// Expands one scheduled routine ahead of the optimizer (I/O thread).
+  void prefetchOne(RoutineId R);
+
   Program &P;
   NaimConfig Config;
   Repository Repo;
-  LoaderStats Stats;
+  mutable AtomicStats Stats;
   RecoverFn Recover;
   std::vector<LoaderEvent> Events;
   Status FirstErr;
@@ -256,10 +400,11 @@ private:
   bool SpillDisabled = false;
 
   /// Guards every mutable member below, all pool state transitions and the
-  /// activity counters. Cheap relative to any transition (compaction is an
-  /// encode, expansion a decode, offload real I/O) and to the per-routine
-  /// backend work between acquire/release pairs.
+  /// event queue. Encode/decode and repository reads run outside it on
+  /// per-pool transition states (RoutineSlot::InTransition).
   mutable std::mutex M;
+  /// Woken when a pool's InTransition clears.
+  std::condition_variable TransitionCv;
 
   /// Unpinned expanded pools ordered by (LruTick, RoutineId): deterministic
   /// LRU. Determinism of eviction order matters for reproducible compile
@@ -267,6 +412,26 @@ private:
   std::set<std::pair<uint64_t, RoutineId>> CacheOrder;
   uint64_t CachedBytes = 0;
   uint64_t Tick = 0;
+
+  /// Queue state. Lock order is always M → QM; the I/O thread never holds
+  /// QM while storing or decoding.
+  std::mutex QM;
+  std::condition_variable QWorkCv;  ///< Wakes the I/O thread.
+  std::condition_variable QIdleCv;  ///< Wakes drainSpills/drainPrefetches.
+  std::deque<std::shared_ptr<SpillEntry>> SpillQ;
+  std::deque<RoutineId> PrefetchQ;
+  /// Immutable while ScheduleActive; set/clear must not race acquires (the
+  /// driver brackets parallel regions with them).
+  std::vector<RoutineId> Schedule;
+  std::atomic<bool> ScheduleActive{false};
+  /// Count of acquires since the schedule was set: acquire #N pushes
+  /// schedule position N + PrefetchDepth into the readahead window.
+  std::atomic<size_t> SchedPos{0};
+  bool SpillBusy = false;    ///< Writer is storing the front entry.
+  bool PrefetchBusy = false; ///< I/O thread is expanding a prefetch.
+  bool StopIo = false;
+  uint64_t NextTicket = 0;
+  std::thread IoThread;
 };
 
 } // namespace scmo

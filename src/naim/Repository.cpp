@@ -77,9 +77,9 @@ Status Repository::ensureOpenLocked() {
   return Status();
 }
 
-Status Repository::writeAllLocked(const uint8_t *Data, size_t Size,
-                                  uint64_t Offset,
-                                  FaultInjector::Action &Action) {
+Status Repository::writeAll(const uint8_t *Data, size_t Size,
+                            uint64_t Offset,
+                            FaultInjector::Action &Action) {
   size_t Done = 0;
   int Transient = 0;
   while (Done < Size) {
@@ -133,8 +133,8 @@ Status Repository::writeAllLocked(const uint8_t *Data, size_t Size,
   return Status();
 }
 
-Status Repository::readAllLocked(uint8_t *Data, size_t Size, uint64_t Offset,
-                                 FaultInjector::Action &Action) {
+Status Repository::readAll(int File, uint8_t *Data, size_t Size,
+                           uint64_t Offset, FaultInjector::Action &Action) {
   size_t Done = 0;
   int Transient = 0;
   while (Done < Size) {
@@ -150,7 +150,7 @@ Status Repository::readAllLocked(uint8_t *Data, size_t Size, uint64_t Offset,
       errno = EINTR;
       N = -1;
     } else {
-      N = ::pread(Fd, Data + Done, Size - Done,
+      N = ::pread(File, Data + Done, Size - Done,
                   static_cast<off_t>(Offset + Done));
     }
     if (N < 0) {
@@ -176,7 +176,8 @@ Status Repository::readAllLocked(uint8_t *Data, size_t Size, uint64_t Offset,
   return Status();
 }
 
-Expected<uint64_t> Repository::store(const std::vector<uint8_t> &Bytes) {
+Expected<uint64_t> Repository::store(const std::vector<uint8_t> &Bytes,
+                                     uint64_t RawSize) {
   std::lock_guard<std::mutex> Lock(M);
   if (Bytes.size() > MaxRecordBytes)
     return Status::error(StatusCode::IoError,
@@ -207,49 +208,59 @@ Expected<uint64_t> Repository::store(const std::vector<uint8_t> &Bytes) {
   encodeHeader(Header, static_cast<uint32_t>(Bytes.size()), Checksum);
 
   uint64_t Offset = AppendOffset;
-  S = writeAllLocked(Header, FrameHeaderBytes, Offset, Action);
+  S = writeAll(Header, FrameHeaderBytes, Offset, Action);
   if (S.ok())
-    S = writeAllLocked(Payload->data(), Payload->size(),
-                       Offset + FrameHeaderBytes, Action);
+    S = writeAll(Payload->data(), Payload->size(), Offset + FrameHeaderBytes,
+                 Action);
   if (!S.ok())
     return S; // Watermark unchanged: the torn frame is dead space that the
               // next store overwrites.
 
   AppendOffset += FrameHeaderBytes + Bytes.size();
   BytesStored += Bytes.size();
+  RawBytesStored += RawSize ? RawSize : Bytes.size();
   ++Stores;
   return Offset;
 }
 
 Status Repository::fetch(uint64_t Offset, uint64_t Size,
                          std::vector<uint8_t> &Out) {
-  // pread is positional, so reads would be safe unserialized; the lock keeps
-  // the fetch counter exact and orders reads after the stores they follow.
-  std::lock_guard<std::mutex> Lock(M);
-  if (Fd < 0)
-    return Status::error(StatusCode::Unavailable,
-                         "repository has no backing file");
+  // Validate and snapshot under the lock, then read unlocked: records below
+  // the watermark are immutable, pread is positional, and the counters are
+  // atomic, so concurrent fetches at distinct offsets need not serialize on
+  // each other or on appends.
+  int File = -1;
+  std::shared_ptr<FaultInjector> FI;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Fd < 0)
+      return Status::error(StatusCode::Unavailable,
+                           "repository has no backing file");
 
-  // Bounds first, before any allocation: a corrupt directory entry must not
-  // be able to trigger a multi-GiB resize or a read past the watermark.
-  if (Size > MaxRecordBytes)
-    return Status::error(StatusCode::Corruption,
-                         "fetch size " + std::to_string(Size) +
-                             " exceeds the repository record cap");
-  if (Offset > AppendOffset || FrameHeaderBytes + Size > AppendOffset ||
-      Offset + FrameHeaderBytes + Size > AppendOffset)
-    return Status::error(StatusCode::Corruption,
-                         "fetch of " + std::to_string(Size) + " bytes at " +
-                             std::to_string(Offset) +
-                             " is outside the append watermark " +
-                             std::to_string(AppendOffset));
+    // Bounds first, before any allocation: a corrupt directory entry must
+    // not be able to trigger a multi-GiB resize or a read past the
+    // watermark.
+    if (Size > MaxRecordBytes)
+      return Status::error(StatusCode::Corruption,
+                           "fetch size " + std::to_string(Size) +
+                               " exceeds the repository record cap");
+    if (Offset > AppendOffset || FrameHeaderBytes + Size > AppendOffset ||
+        Offset + FrameHeaderBytes + Size > AppendOffset)
+      return Status::error(StatusCode::Corruption,
+                           "fetch of " + std::to_string(Size) + " bytes at " +
+                               std::to_string(Offset) +
+                               " is outside the append watermark " +
+                               std::to_string(AppendOffset));
+    File = Fd;
+    FI = Faults;
+  }
 
   FaultInjector::Action Action = FaultInjector::Action::None;
-  if (Faults)
-    Action = Faults->next(FaultInjector::Site::Read);
+  if (FI)
+    Action = FI->next(FaultInjector::Site::Read);
 
   uint8_t Header[FrameHeaderBytes];
-  Status S = readAllLocked(Header, FrameHeaderBytes, Offset, Action);
+  Status S = readAll(File, Header, FrameHeaderBytes, Offset, Action);
   if (!S.ok())
     return S;
   uint32_t Magic, StoredSize;
@@ -269,11 +280,11 @@ Status Repository::fetch(uint64_t Offset, uint64_t Size,
                              std::to_string(Size));
 
   Out.resize(Size);
-  S = readAllLocked(Out.data(), Size, Offset + FrameHeaderBytes, Action);
+  S = readAll(File, Out.data(), Size, Offset + FrameHeaderBytes, Action);
   if (!S.ok())
     return S;
-  if (Action == FaultInjector::Action::Corrupt && Faults)
-    Faults->corruptBytes(Out.data(), Out.size());
+  if (Action == FaultInjector::Action::Corrupt && FI)
+    FI->corruptBytes(Out.data(), Out.size());
   if (hashBytes(Out.data(), Out.size()) != Checksum)
     return Status::error(StatusCode::Corruption,
                          "frame checksum mismatch at offset " +

@@ -36,6 +36,7 @@
 #include "support/FaultInjector.h"
 #include "support/Status.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -44,10 +45,12 @@
 
 namespace scmo {
 
-/// Append-only spill file for compacted pools. store() and fetch() are
-/// serialized by an internal mutex: the parallel backend's workers may
-/// trigger offloads and fetches concurrently through the loader, and the
-/// append offset plus the activity counters must stay consistent.
+/// Append-only spill file for compacted pools. Appends are serialized by an
+/// internal mutex (the append watermark must advance atomically), but
+/// fetches only take it briefly to validate bounds and snapshot state: the
+/// pread loop itself runs unlocked, so concurrent reads at distinct offsets
+/// proceed in parallel. Records are immutable once the watermark covers
+/// them, which is what makes the unlocked reads safe.
 class Repository {
 public:
   /// Bytes of framing prepended to every stored record.
@@ -74,7 +77,11 @@ public:
   /// Status describing the failure (NoSpace / IoError / Exists). On failure
   /// the append watermark does not advance: a partially written frame is
   /// simply overwritten by the next store, so torn frames are never visible.
-  Expected<uint64_t> store(const std::vector<uint8_t> &Bytes);
+  /// \p RawSize is the record's uncompressed payload size for the
+  /// raw-vs-stored accounting (0 means "not compressed": Bytes.size() is
+  /// counted).
+  Expected<uint64_t> store(const std::vector<uint8_t> &Bytes,
+                           uint64_t RawSize = 0);
 
   /// Reads back the \p Size payload bytes of the record at \p Offset into
   /// \p Out. Validates bounds against the append watermark before
@@ -95,20 +102,24 @@ public:
     return BytesStored;
   }
 
+  /// Total *uncompressed* payload bytes behind the stored records: equal to
+  /// bytesStored() with compression off, larger with it on. The
+  /// bytesStored()/rawBytesStored() ratio is the fig5 compression axis.
+  uint64_t rawBytesStored() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return RawBytesStored;
+  }
+
   /// Number of store / fetch operations (for the NAIM statistics).
   uint64_t storeCount() const {
     std::lock_guard<std::mutex> Lock(M);
     return Stores;
   }
-  uint64_t fetchCount() const {
-    std::lock_guard<std::mutex> Lock(M);
-    return Fetches;
-  }
+  uint64_t fetchCount() const { return Fetches.load(std::memory_order_relaxed); }
 
   /// Transient faults (EINTR/EAGAIN, short transfers) absorbed by retry.
   uint64_t transientRetryCount() const {
-    std::lock_guard<std::mutex> Lock(M);
-    return TransientRetries;
+    return TransientRetries.load(std::memory_order_relaxed);
   }
 
   /// Path of the backing file ("" if never created).
@@ -118,13 +129,16 @@ private:
   Status ensureOpenLocked();
   /// pwrite/pread loops with EINTR/EAGAIN retry (bounded, with backoff) and
   /// short-transfer resumption. \p Action carries the injected fault for
-  /// this operation, consumed by the first syscall.
-  Status writeAllLocked(const uint8_t *Data, size_t Size, uint64_t Offset,
-                        FaultInjector::Action &Action);
-  Status readAllLocked(uint8_t *Data, size_t Size, uint64_t Offset,
-                       FaultInjector::Action &Action);
+  /// this operation, consumed by the first syscall. writeAll runs under M
+  /// (appends are serialized); readAll runs unlocked (positional reads of
+  /// immutable records).
+  Status writeAll(const uint8_t *Data, size_t Size, uint64_t Offset,
+                  FaultInjector::Action &Action);
+  Status readAll(int File, uint8_t *Data, size_t Size, uint64_t Offset,
+                 FaultInjector::Action &Action);
 
-  /// Serializes all repository I/O and guards the counters.
+  /// Serializes appends and guards the file/watermark state. Fetches take
+  /// it only to validate bounds and snapshot Fd/injector state.
   mutable std::mutex M;
   std::string FilePath;
   std::shared_ptr<FaultInjector> Faults;
@@ -134,9 +148,11 @@ private:
   bool UserPath = false;
   uint64_t AppendOffset = 0;
   uint64_t BytesStored = 0;
+  uint64_t RawBytesStored = 0;
   uint64_t Stores = 0;
-  uint64_t Fetches = 0;
-  uint64_t TransientRetries = 0;
+  /// Bumped from unlocked fetches; relaxed atomics keep them exact.
+  std::atomic<uint64_t> Fetches{0};
+  std::atomic<uint64_t> TransientRetries{0};
 };
 
 } // namespace scmo

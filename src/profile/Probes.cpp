@@ -32,6 +32,7 @@ ProbeTable scmo::instrumentProgram(Program &P) {
     if (!RI.IsDefined || RI.Slot.State != PoolState::Expanded)
       continue;
     instrumentRoutine(R, *RI.Slot.Body, Table);
+    RI.Slot.Summary.reset(); // Probes mutated the body behind the loader.
   }
   return Table;
 }

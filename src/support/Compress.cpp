@@ -1,0 +1,135 @@
+//===- support/Compress.cpp -----------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Compress.h"
+
+#include "support/VarInt.h"
+
+#include <cstring>
+
+namespace scmo {
+
+namespace {
+
+// Greedy single-probe matcher in the LZ4 family: one hash-table slot per
+// 4-byte prefix, most recent position wins. MinMatch keeps a token cheaper
+// than the literals it replaces (worst case 3 varint bytes for len+dist).
+constexpr size_t MinMatch = 4;
+constexpr size_t MaxDistance = 65535;
+constexpr unsigned HashBits = 13;
+constexpr size_t HashSize = size_t(1) << HashBits;
+
+inline uint32_t load32(const uint8_t *P) {
+  uint32_t V;
+  std::memcpy(&V, P, sizeof(V));
+  return V;
+}
+
+inline uint32_t hash32(uint32_t V) {
+  return (V * 2654435761u) >> (32 - HashBits);
+}
+
+} // namespace
+
+std::vector<uint8_t> lzCompress(const uint8_t *Data, size_t Size) {
+  std::vector<uint8_t> Out;
+  Out.reserve(Size / 2 + 16);
+  encodeVarUInt(Out, Size);
+  if (Size == 0)
+    return Out;
+
+  // Positions are stored +1 so 0 means "empty slot".
+  uint32_t Table[HashSize] = {0};
+
+  size_t Pos = 0;
+  size_t LitStart = 0;
+  // The last MinMatch-1 bytes can never start a match (load32 would read
+  // past the end); they flush as part of the final literal run.
+  const size_t MatchLimit = Size >= MinMatch ? Size - MinMatch + 1 : 0;
+
+  auto flushLiterals = [&](size_t End) {
+    encodeVarUInt(Out, End - LitStart);
+    Out.insert(Out.end(), Data + LitStart, Data + End);
+  };
+
+  while (Pos < MatchLimit) {
+    const uint32_t Probe = load32(Data + Pos);
+    const uint32_t H = hash32(Probe);
+    const uint32_t Prev = Table[H];
+    Table[H] = uint32_t(Pos) + 1;
+
+    if (Prev == 0 || Pos + 1 - Prev > MaxDistance ||
+        load32(Data + Prev - 1) != Probe) {
+      ++Pos;
+      continue;
+    }
+
+    const size_t MatchPos = Prev - 1;
+    size_t Len = MinMatch;
+    while (Pos + Len < Size && Data[MatchPos + Len] == Data[Pos + Len])
+      ++Len;
+
+    flushLiterals(Pos);
+    encodeVarUInt(Out, Len - MinMatch);
+    encodeVarUInt(Out, Pos - MatchPos);
+
+    // Seed the table across the matched region so immediately repeating
+    // patterns keep finding recent candidates.
+    const size_t Next = Pos + Len;
+    for (size_t P = Pos + 1; P < Next && P < MatchLimit; P += 2)
+      Table[hash32(load32(Data + P))] = uint32_t(P) + 1;
+
+    Pos = Next;
+    LitStart = Next;
+  }
+
+  // No trailing token when a match consumed the final byte: the decoder
+  // stops at RawSize and treats leftover bytes as corruption.
+  if (LitStart < Size)
+    flushLiterals(Size);
+  return Out;
+}
+
+bool lzDecompress(const uint8_t *Data, size_t Size, std::vector<uint8_t> &Out,
+                  uint64_t MaxRawBytes) {
+  ByteReader R(Data, Size);
+  const uint64_t RawSize = R.readVarUInt();
+  if (R.hadError() || RawSize > MaxRawBytes)
+    return false;
+
+  Out.clear();
+  Out.reserve(RawSize);
+
+  while (Out.size() < RawSize) {
+    const uint64_t LitLen = R.readVarUInt();
+    if (R.hadError() || LitLen > RawSize - Out.size() || LitLen > R.remaining())
+      return false;
+    const size_t OldSize = Out.size();
+    Out.resize(OldSize + LitLen);
+    if (!R.readBytes(Out.data() + OldSize, LitLen))
+      return false;
+
+    if (Out.size() == RawSize)
+      break;
+
+    const uint64_t LenCode = R.readVarUInt();
+    const uint64_t Dist = R.readVarUInt();
+    if (R.hadError())
+      return false;
+    const uint64_t Len = LenCode + MinMatch;
+    if (Len > RawSize - Out.size() || Dist == 0 || Dist > Out.size())
+      return false;
+    // Overlapping copies are the RLE case; byte-at-a-time is required.
+    size_t Src = Out.size() - size_t(Dist);
+    for (uint64_t I = 0; I < Len; ++I)
+      Out.push_back(Out[Src++]);
+  }
+
+  return R.atEnd();
+}
+
+} // namespace scmo

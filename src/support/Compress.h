@@ -1,0 +1,61 @@
+//===- support/Compress.h ---------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-oriented LZ compression for repository spill records. Compact pools
+/// are varint streams full of repeated opcode/operand patterns, so even a
+/// single-probe greedy matcher recovers a large fraction of the redundancy
+/// the compact encoding leaves behind — the "fast" point of the classic
+/// speed/ratio curve (GCC's LTO streams its IL the same way).
+///
+/// Stream layout: a varint raw (decompressed) size, then a token stream of
+///
+///   [varint LitLen][LitLen literal bytes]
+///   [varint MatchLen - MinMatch][varint Distance]
+///
+/// repeated until RawSize bytes have been produced; a stream may end after
+/// a literal run. Every length and distance is validated during decode, so
+/// a corrupt payload yields a clean failure, never out-of-bounds access —
+/// the loader feeds decode failures into the PR 3 degradation ladder
+/// exactly like a checksum mismatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_COMPRESS_H
+#define SCMO_SUPPORT_COMPRESS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scmo {
+
+/// Compresses \p Size bytes at \p Data. The result always decompresses to
+/// the input; it is not guaranteed to be smaller (callers keep the raw form
+/// when compression does not pay — see the spill envelope in the loader).
+std::vector<uint8_t> lzCompress(const uint8_t *Data, size_t Size);
+
+inline std::vector<uint8_t> lzCompress(const std::vector<uint8_t> &Bytes) {
+  return lzCompress(Bytes.data(), Bytes.size());
+}
+
+/// Decompresses a lzCompress() stream into \p Out. Returns false on any
+/// malformed input: truncated varint, literal run or match past the declared
+/// raw size, invalid distance, trailing garbage, or a declared raw size
+/// beyond \p MaxRawBytes (checked before any allocation, mirroring the
+/// repository's bounds-before-allocation rule).
+bool lzDecompress(const uint8_t *Data, size_t Size, std::vector<uint8_t> &Out,
+                  uint64_t MaxRawBytes);
+
+inline bool lzDecompress(const std::vector<uint8_t> &Bytes,
+                         std::vector<uint8_t> &Out, uint64_t MaxRawBytes) {
+  return lzDecompress(Bytes.data(), Bytes.size(), Out, MaxRawBytes);
+}
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_COMPRESS_H

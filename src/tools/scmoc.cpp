@@ -71,6 +71,7 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [+O1|+O2|+O4] [+P] [+I] [--profile F] "
                "[--select PCT] [--multi-layered] [--machine-mem MIB] "
+               "[--naim-compress off|fast] [--naim-prefetch K] "
                "[--jobs N] [--run] [--emit-il R] [--disasm R] [--stats] "
                "[--analyze] [--analyze-filter CODES] [--gen-mcad LINES] "
                "[--plant-defects] [--write-objects DIR] "
@@ -145,6 +146,12 @@ int main(int argc, char **argv) {
   bool Analyze = false, PlantDefects = false;
   uint64_t GenMcadLines = 0;
   std::vector<CheckCode> AnalyzeFilter;
+  // I/O-path knobs are collected here and applied after the loop:
+  // --machine-mem replaces Opts.Naim wholesale, so applying them in flag
+  // order would make the outcome depend on flag position.
+  NaimCompress Compress = NaimCompress::Off;
+  unsigned PrefetchDepth = 0;
+  bool SawCompress = false, SawPrefetch = false;
 
   for (int A = 1; A < argc; ++A) {
     std::string Arg = argv[A];
@@ -187,7 +194,21 @@ int main(int argc, char **argv) {
     else if (Arg == "--machine-mem")
       Opts.Naim = NaimConfig::autoFor(
           parseCount("--machine-mem", takeValue("--machine-mem"), 1) << 20);
-    else if (Arg == "--jobs")
+    else if (Arg == "--naim-compress") {
+      std::string Mode = takeValue("--naim-compress");
+      if (Mode == "off")
+        Compress = NaimCompress::Off;
+      else if (Mode == "fast")
+        Compress = NaimCompress::Fast;
+      else
+        optionError("--naim-compress",
+                    "expected 'off' or 'fast', got '" + Mode + "'");
+      SawCompress = true;
+    } else if (Arg == "--naim-prefetch") {
+      PrefetchDepth = static_cast<unsigned>(
+          parseCount("--naim-prefetch", takeValue("--naim-prefetch"), 0));
+      SawPrefetch = true;
+    } else if (Arg == "--jobs")
       Opts.Jobs = static_cast<unsigned>(
           parseCount("--jobs", takeValue("--jobs"), 0));
     else if (Arg == "--run")
@@ -239,6 +260,10 @@ int main(int argc, char **argv) {
     if (HasInline && !TookValue)
       optionError(Arg, "does not take a value");
   }
+  if (SawCompress)
+    Opts.Naim.Compress = Compress;
+  if (SawPrefetch)
+    Opts.Naim.PrefetchDepth = PrefetchDepth;
   if (Opts.Incremental && Opts.CacheDir.empty())
     optionError("--incremental", "needs --cache-dir <dir>");
   if (Files.empty() && !GenMcadLines)
@@ -339,6 +364,14 @@ int main(int argc, char **argv) {
                 (unsigned long long)Build.Loader.Compactions,
                 (unsigned long long)Build.Loader.Offloads,
                 (unsigned long long)Build.Loader.CacheHits);
+    std::printf("; naim io: %llu elided stores, %llu queue hits, %llu "
+                "prefetch hits, %llu wasted, %llu/%llu stored/raw bytes\n",
+                (unsigned long long)Build.Loader.SpillElisions,
+                (unsigned long long)Build.Loader.SpillQueueHits,
+                (unsigned long long)Build.Loader.PrefetchHits,
+                (unsigned long long)Build.Loader.PrefetchWasted,
+                (unsigned long long)Build.Loader.CompressedBytes,
+                (unsigned long long)Build.Loader.RawBytes);
     for (const StageMetrics &M : Build.Stages)
       std::printf("; stage %-12s %8.3fs  live %8.2f MiB%s\n",
                   M.Name.c_str(), M.Seconds,

@@ -157,6 +157,7 @@ TEST(FaultDriver, FetchCorruptionRecoversFromObjectFiles) {
   Opts.Level = OptLevel::O1; // No IL mutation: recovery stays armed.
   Opts.WriteObjects = true;
   Opts.Naim = spillEverything();
+  Opts.Naim.SpillQueueDepth = 0; // Sync stores: nth below counts disk ops.
   Opts.Jobs = 1;
   char Dir[] = "/tmp/scmo-fault-obj-XXXXXX";
   ASSERT_NE(mkdtemp(Dir), nullptr);
@@ -165,12 +166,13 @@ TEST(FaultDriver, FetchCorruptionRecoversFromObjectFiles) {
   BuildResult Clean = buildGP(GP, Opts);
   ASSERT_TRUE(Clean.Ok) << Clean.Error;
 
-  // Store-op layout at Jobs=1 is deterministic: N frontend spills, N
-  // re-spills while the object writer drains the old program, then the
-  // rebuilt loader's first spill at op 2N+1 — corrupt that one.
+  // Store-op layout at Jobs=1 is deterministic: N frontend spills (the
+  // object-writer drain re-offloads are elided — the pools are clean since
+  // the repository), then the rebuilt loader's first spill at op N+1 —
+  // corrupt that one.
   size_t N = countDefinedRoutines(GP, Opts);
   ASSERT_GT(N, 0u);
-  Opts.FaultInject = "store:corrupt-nth=" + std::to_string(2 * N + 1);
+  Opts.FaultInject = "store:corrupt-nth=" + std::to_string(N + 1);
   BuildResult Injected = buildGP(GP, Opts);
   ASSERT_TRUE(Injected.Ok)
       << Injected.Error << "\n" << Injected.WarningsText;

@@ -202,6 +202,48 @@ TEST(Parallel, LoaderActivityTotalsMatchAcrossJobCounts) {
   }
 }
 
+TEST(Parallel, IoPathKnobsNeverChangeTheExecutable) {
+  // The whole I/O-path matrix — worker count × spill compression × prefetch
+  // depth — must be invisible in the output: residency decisions are made
+  // in program order under the loader mutex, and compression/prefetch only
+  // change how bytes move, never which bytes the optimizer sees.
+  GeneratedProgram GP = testProgram(26);
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  Opts.Naim.Mode = NaimMode::Offload;
+  Opts.Naim.ExpandedCacheBytes = 16 << 10;
+  Opts.Naim.CompactResidentBytes = 8 << 10;
+  JobsBuild Ref = buildAtJobs(GP, 1, Opts);
+  ASSERT_TRUE(Ref.Build.Ok) << Ref.Build.Error;
+  ASSERT_GT(Ref.Build.Loader.Offloads, 0u); // The matrix must be exercised.
+  for (unsigned Jobs : {1u, 8u}) {
+    for (NaimCompress Z : {NaimCompress::Off, NaimCompress::Fast}) {
+      for (unsigned Prefetch : {0u, 8u}) {
+        CompileOptions O = Opts;
+        O.Naim.Compress = Z;
+        O.Naim.PrefetchDepth = Prefetch;
+        JobsBuild Out = buildAtJobs(GP, Jobs, O);
+        ASSERT_TRUE(Out.Build.Ok) << Out.Build.Error;
+        EXPECT_TRUE(exesIdentical(Ref.Build.Exe, Out.Build.Exe))
+            << "jobs=" << Jobs << " compress=" << unsigned(Z)
+            << " prefetch=" << Prefetch;
+        EXPECT_EQ(Ref.Checksums, Out.Checksums)
+            << "jobs=" << Jobs << " compress=" << unsigned(Z)
+            << " prefetch=" << Prefetch;
+        // Readahead and worker interleaving legitimately change residency
+        // *traffic*: a prefetched body can be evicted and re-offloaded, and
+        // at jobs > 1 which boundary pools are still compact (not yet
+        // offloaded) at build end depends on release order. Only the output
+        // must not move. Single-threaded without prefetch, the totals are
+        // exact.
+        if (Jobs == 1 && Prefetch == 0)
+          EXPECT_EQ(Ref.Build.Loader.Offloads, Out.Build.Loader.Offloads)
+              << "compress=" << unsigned(Z);
+      }
+    }
+  }
+}
+
 TEST(Parallel, FailureReportsIdenticallyAcrossJobCounts) {
   // The error path must be as deterministic as the success path: heap
   // exhaustion is detected per-task but reported once after the join, so
