@@ -302,8 +302,9 @@ struct CompilerSession::BuildState {
   BuildResult Result;
   Timer Total;
   /// The worker pool for the per-routine backend phases (verification,
-  /// checksums, content hashes, LLO). HLO stays serial: it is the
-  /// interprocedural sequential section of the pipeline.
+  /// checksums, content hashes, LTRANS partitions, LLO). Only WPA planning
+  /// stays serial: it is the interprocedural sequential section of the
+  /// pipeline.
   ThreadPool Pool;
 
   bool UsableProfile = false;
@@ -320,6 +321,14 @@ struct CompilerSession::BuildState {
   std::vector<bool> ModuleCached;   ///< Per ModuleId: covered by a hit.
   std::vector<std::vector<CallEdgeWeight>> UnitEdges; ///< Store slices.
   RoutineId CloneBase = 0; ///< Routine count before HLO; clones are >= this.
+
+  // The WPA → LTRANS handoff: the CMO routine set (clones included once
+  // planning appends them), the HLO context whose loader/op-limit state
+  // both phases share, and the finished plan. Absent when the build has no
+  // CMO work or the CMO unit came out of the incremental cache.
+  std::vector<RoutineId> CmoSet;
+  std::unique_ptr<HloContext> HloCtx;
+  std::unique_ptr<HloPlan> Plan;
 
   LinkOptions LinkOpts;
   std::vector<MachineRoutine> Machines; ///< Merged, ascending RoutineId.
@@ -542,14 +551,16 @@ struct CompilerSession::BuildState {
     }
   };
 
-  /// HLO. Instrumented builds skip IL transformation entirely so that every
-  /// probe survives with its raw-IL meaning; cached units skip it because
-  /// their machine code was already loaded.
-  struct HloStage final : PipelineStage {
+  /// WPA: serial whole-program planning over the CMO set's summaries.
+  /// Instrumented builds skip IL transformation entirely so that every
+  /// probe survives with its raw-IL meaning; a cached CMO unit skips it
+  /// because its machine code was already loaded. No routine body is
+  /// mutated here — only the plan, clone declarations and Emit flags.
+  struct WpaStage final : PipelineStage {
     BuildState &B;
-    explicit HloStage(BuildState &B)
-        : PipelineStage("hlo", "IL program, CMO set, profile",
-                        "optimized IL, clones"),
+    explicit WpaStage(BuildState &B)
+        : PipelineStage("wpa", "CMO set summaries, profile",
+                        "HLO plan, clone declarations, partitions"),
           B(B) {}
     bool run(bool &Skipped) override {
       CompilerSession &S = B.S;
@@ -558,35 +569,61 @@ struct CompilerSession::BuildState {
         return true;
       }
       S.invalidateRecovery(); // HLO/cleanup rewrite bodies past their objects.
-      bool RanAny = false;
-      if (B.CmoMode && !B.Result.Selectivity.CmoModules.empty()) {
-        if (B.cmoUnitCached()) {
-          S.Stats.add("cache.skip.hlo");
-        } else {
-          std::vector<RoutineId> Set;
-          for (ModuleId M : B.Result.Selectivity.CmoModules)
-            for (RoutineId R : S.Prog->module(M).Routines)
-              if (S.Prog->routine(R).IsDefined &&
-                  S.Prog->routine(R).Owner == M)
-                Set.push_back(R);
-          HloContext Ctx(*S.Prog, *S.Ldr, S.Stats);
-          Ctx.OpLimit = S.Opts.HloOpLimit;
-          HloOptions HOpts;
-          HOpts.Interprocedural = true;
-          HOpts.WholeProgram = B.Result.Selectivity.DefaultModules.empty();
-          HOpts.Pbo = B.UsableProfile && S.Opts.PboInlining;
-          HOpts.EnableIpcp = S.Opts.EnableIpcp;
-          HOpts.EnableCloning = S.Opts.EnableCloning;
-          HOpts.Inline = S.Opts.Inline;
-          HOpts.Clone = S.Opts.Clone;
-          runHlo(Ctx, Set, HOpts);
-          if (!S.checkHeap(B.Result, "HLO"))
-            return false;
-          RanAny = true;
-        }
+      if (!B.CmoMode || B.Result.Selectivity.CmoModules.empty()) {
+        Skipped = true;
+        return true;
       }
-      // Default-set modules: intraprocedural cleanup only (the O2 pipeline),
-      // graded by tier when multi-layered selectivity is active.
+      if (B.cmoUnitCached()) {
+        S.Stats.add("cache.skip.hlo");
+        Skipped = true;
+        return true;
+      }
+      for (ModuleId M : B.Result.Selectivity.CmoModules)
+        for (RoutineId R : S.Prog->module(M).Routines)
+          if (S.Prog->routine(R).IsDefined && S.Prog->routine(R).Owner == M)
+            B.CmoSet.push_back(R);
+      B.HloCtx = std::make_unique<HloContext>(*S.Prog, *S.Ldr, S.Stats);
+      B.HloCtx->OpLimit = S.Opts.HloOpLimit;
+      HloOptions HOpts;
+      HOpts.Interprocedural = true;
+      HOpts.WholeProgram = B.Result.Selectivity.DefaultModules.empty();
+      HOpts.Pbo = B.UsableProfile && S.Opts.PboInlining;
+      HOpts.EnableIpcp = S.Opts.EnableIpcp;
+      HOpts.EnableCloning = S.Opts.EnableCloning;
+      HOpts.Inline = S.Opts.Inline;
+      HOpts.Clone = S.Opts.Clone;
+      HOpts.Partitions = S.Opts.HloPartitions ? S.Opts.HloPartitions
+                                              : B.Pool.threadCount();
+      B.Plan = std::make_unique<HloPlan>(planHlo(*B.HloCtx, B.CmoSet, HOpts));
+      return S.checkHeap(B.Result, "WPA");
+    }
+  };
+
+  /// LTRANS: applies the WPA plan partition by partition on the worker
+  /// pool, then runs intraprocedural cleanup over the default-set modules
+  /// (the O2 pipeline, graded by tier when multi-layered selectivity is
+  /// active). The executable is byte-identical at any partitions x jobs.
+  struct LtransStage final : PipelineStage {
+    BuildState &B;
+    explicit LtransStage(BuildState &B)
+        : PipelineStage("ltrans", "HLO plan, IL program",
+                        "optimized IL, clone bodies"),
+          B(B) {}
+    bool run(bool &Skipped) override {
+      CompilerSession &S = B.S;
+      if (S.Opts.Instrument || S.Opts.Level == OptLevel::O1) {
+        Skipped = true;
+        return true;
+      }
+      bool RanAny = false;
+      if (B.Plan) {
+        runLtrans(*B.HloCtx, B.CmoSet, *B.Plan, &B.Pool);
+        B.Plan.reset(); // Snapshots are dead weight past this point.
+        B.HloCtx.reset();
+        if (!S.checkHeap(B.Result, "LTRANS"))
+          return false;
+        RanAny = true;
+      }
       for (ModuleId M : B.Result.Selectivity.DefaultModules) {
         if (B.moduleCached(M)) {
           S.Stats.add("cache.skip.cleanup");
@@ -621,7 +658,7 @@ struct CompilerSession::BuildState {
           return false;
         }
       }
-      if (!S.checkLoader(B.Result, "HLO"))
+      if (!S.checkLoader(B.Result, "LTRANS"))
         return false;
       Skipped = B.cacheOn() && !RanAny;
       return true;
@@ -860,7 +897,8 @@ struct CompilerSession::BuildState {
   CorrelateStage Correlate{*this};
   SelectivityStage Select{*this};
   CachePlanStage CachePlan{*this};
-  HloStage Hlo{*this};
+  WpaStage Wpa{*this};
+  LtransStage Ltrans{*this};
   EdgeWeightsStage Edges{*this};
   LloStage Llo{*this};
   CacheStoreStage CacheStore{*this};
@@ -883,15 +921,16 @@ BuildResult CompilerSession::build() {
       .add(B.Select)
       .add(B.CachePlan)
       .add(B.Verify)
-      .add(B.Hlo)
+      .add(B.Wpa)
+      .add(B.Ltrans)
       .add(B.Edges)
       .add(B.Llo)
       .add(B.CacheStore)
       .add(B.Link);
   P.run(B.Result.Stages);
   for (const StageMetrics &M : B.Result.Stages) {
-    if (M.Name == "hlo")
-      B.Result.HloSeconds = M.Seconds;
+    if (M.Name == "wpa" || M.Name == "ltrans")
+      B.Result.HloSeconds += M.Seconds;
     else if (M.Name == "llo")
       B.Result.LloSeconds = M.Seconds;
     else if (M.Name == "link")

@@ -7,147 +7,27 @@
 
 #include "hlo/Cloner.h"
 
-#include <map>
-#include <sstream>
+#include "hlo/Wpa.h"
 
 using namespace scmo;
 
-namespace {
-
-/// Deep-copies \p Src into a fresh body on \p Tracker.
-std::unique_ptr<RoutineBody> copyBody(const RoutineBody &Src,
-                                      MemoryTracker *Tracker) {
-  auto Out = std::make_unique<RoutineBody>(Tracker);
-  Out->NumParams = Src.NumParams;
-  Out->NextReg = Src.NextReg;
-  Out->SourceLines = Src.SourceLines;
-  Out->HasProfile = Src.HasProfile;
-  Out->Blocks.resize(Src.Blocks.size());
-  for (BlockId B = 0; B != Src.Blocks.size(); ++B) {
-    const BasicBlock &SB = Src.Blocks[B];
-    BasicBlock &DB = Out->Blocks[B];
-    DB.Freq = SB.Freq;
-    DB.TakenFreq = SB.TakenFreq;
-    DB.Instrs.reserve(SB.Instrs.size());
-    for (const Instr *SI : SB.Instrs) {
-      Instr *NI = Out->newInstr(SI->Op);
-      *NI = *SI;
-      if (SI->NumArgs) {
-        NI->Args = Out->newArgArray(SI->NumArgs);
-        for (unsigned A = 0; A != SI->NumArgs; ++A)
-          NI->Args[A] = SI->Args[A];
-      }
-      DB.Instrs.push_back(NI);
-    }
-  }
-  return Out;
-}
-
-/// A specialization signature: which params are pinned to which constants.
-using CloneKey = std::vector<std::pair<uint32_t, int64_t>>;
-
-} // namespace
-
 CloneResult scmo::runCloner(HloContext &Ctx, std::vector<RoutineId> &Set,
                             const CloneParams &Params) {
-  Program &P = Ctx.P;
-  CloneResult Result;
-
-  // Shared with IPCP when IPCP applied nothing; invalidation keeps the
-  // object alive (not destroyed) so this reference survives the clone
-  // definitions below.
-  const CallGraph &Graph = CallGraph::shared(
-      P, Set, [&Ctx](RoutineId R) -> const RoutineIlSummary * {
-        return Ctx.L.routineSummary(R);
-      });
-
-  uint64_t TotalCalls = 0;
-  for (const CallSite &S : Graph.sites())
-    TotalCalls += S.Count;
-  if (!TotalCalls)
-    return Result; // Cloning is a PBO-only transformation here.
-
-  // One clone per (callee, signature); hot sites share clones.
-  std::map<std::pair<RoutineId, CloneKey>, RoutineId> Clones;
-
-  for (const CallSite &S : Graph.sites()) {
-    if (Result.ClonesCreated >= Params.MaxClones)
-      break;
-    if (S.Count < Params.MinSiteCount ||
-        S.Count * Params.HotSiteDivisor < TotalCalls)
-      continue;
-    const RoutineInfo &CalleeInfo = P.routine(S.Callee);
-    if (!CalleeInfo.IsDefined || !CalleeInfo.Selected ||
-        S.Caller == S.Callee)
-      continue;
-    if (!P.routine(S.Caller).Selected)
-      continue;
-
-    // Gather the constant-argument signature of this site.
-    RoutineBody &CallerBody = Ctx.L.acquire(S.Caller);
-    Instr *Call = CallerBody.Blocks[S.Block].Instrs[S.InstrIdx];
-    if (Call->Op != Opcode::Call || Call->Sym != S.Callee) {
-      Ctx.L.release(S.Caller);
-      continue; // The call graph went stale (shouldn't happen; be safe).
-    }
-    CloneKey Key;
-    for (uint32_t A = 0; A != Call->NumArgs; ++A)
-      if (Call->Args[A].isImm())
-        Key.emplace_back(A, Call->Args[A].asImm());
-    if (Key.empty()) {
-      Ctx.L.release(S.Caller);
-      continue;
-    }
-
-    const RoutineBody &CalleeBody = Ctx.L.acquireRead(S.Callee);
-    uint32_t CalleeSize = CalleeBody.instrCount();
-    if (CalleeSize < Params.MinCalleeInstrs ||
-        CalleeSize > Params.MaxCalleeInstrs) {
-      Ctx.L.release(S.Callee);
-      Ctx.L.release(S.Caller);
-      continue;
-    }
-
-    auto CloneIt = Clones.find({S.Callee, Key});
-    RoutineId CloneId;
-    if (CloneIt != Clones.end()) {
-      CloneId = CloneIt->second;
-    } else {
-      if (!Ctx.allowOp()) {
-        Ctx.L.release(S.Callee);
-        Ctx.L.release(S.Caller);
-        break;
-      }
-      // Build the specialized copy: pin the constant params at entry.
-      auto NewBody = copyBody(CalleeBody, P.tracker());
-      for (const auto &[Param, Value] : Key) {
-        Instr *MovI = NewBody->newInstr(Opcode::Mov);
-        MovI->Dst = Param;
-        MovI->A = Operand::imm(Value);
-        NewBody->Blocks[0].Instrs.insert(NewBody->Blocks[0].Instrs.begin(),
-                                         MovI);
-      }
-      // Copy out of CalleeInfo before declareRoutine: creating the clone
-      // grows the routine table, invalidating references into it.
-      ModuleId CalleeOwner = CalleeInfo.Owner;
-      uint32_t CalleeParams = CalleeInfo.NumParams;
-      std::ostringstream Name;
-      Name << P.Strings.text(CalleeInfo.Name) << "$clone"
-           << Result.ClonesCreated << "_" << Clones.size();
-      CloneId = P.declareRoutine(CalleeOwner, Name.str(), CalleeParams,
-                                 /*IsStatic=*/true);
-      P.defineRoutine(CloneId, CalleeOwner, std::move(NewBody));
-      P.routine(CloneId).Selected = true;
-      Clones.emplace(std::make_pair(S.Callee, Key), CloneId);
-      Set.push_back(CloneId);
-      ++Result.ClonesCreated;
-      Ctx.Stats.add("clone.created");
-    }
-    Call->Sym = CloneId;
-    ++Result.SitesRedirected;
-    Ctx.Stats.add("clone.sites_redirected");
-    Ctx.L.release(S.Callee);
-    Ctx.L.release(S.Caller);
+  // Plan clones and redirects from the summaries (the planner declares the
+  // clone routines and appends them to Set), then materialize the clone
+  // bodies and rewrite the redirected call sites.
+  WpaPlanner Planner(Ctx, Set);
+  Planner.planClones(Params);
+  HloPlan Plan = Planner.take();
+  for (const auto &KV : Plan.Clones) {
+    HloSnapshotCache Cache;
+    materializeClone(Ctx.P, KV.first, Plan, Cache);
   }
-  return Result;
+  for (const auto &KV : Plan.CallerOps) {
+    HloSnapshotCache Cache;
+    RoutineBody &Body = Ctx.L.acquire(KV.first);
+    applyRoutinePlan(Ctx.P, Body, KV.first, Plan, Cache);
+    Ctx.L.release(KV.first);
+  }
+  return Plan.CloneStats;
 }

@@ -10,56 +10,26 @@
 #include "hlo/Interprocedural.h"
 #include "hlo/PassManager.h"
 #include "hlo/RoutinePasses.h"
+#include "support/ThreadPool.h"
 
-#include <set>
+#include <algorithm>
+#include <memory>
 
 using namespace scmo;
 
-namespace {
-
-/// Marks unreachable routines non-emitted. Only valid with whole-program
-/// visibility: from main, walk call edges; anything defined but unreached is
-/// dead (typically statics whose every call site was inlined away).
-void eliminateDeadRoutines(HloContext &Ctx,
-                           const std::vector<RoutineId> &Set) {
-  Program &P = Ctx.P;
-  RoutineId Main = P.findRoutine("main");
-  if (Main == InvalidId || !P.routine(Main).IsDefined)
-    return;
-  const CallGraph &Graph = CallGraph::shared(
-      P, Set, [&Ctx](RoutineId R) -> const RoutineIlSummary * {
-        return Ctx.L.routineSummary(R);
-      });
-  std::set<RoutineId> Reached;
-  std::vector<RoutineId> Stack = {Main};
-  Reached.insert(Main);
-  while (!Stack.empty()) {
-    RoutineId R = Stack.back();
-    Stack.pop_back();
-    for (uint32_t SiteIdx : Graph.sitesOf(R)) {
-      RoutineId Callee = Graph.sites()[SiteIdx].Callee;
-      if (Reached.insert(Callee).second)
-        Stack.push_back(Callee);
-    }
-  }
-  for (RoutineId R : Set) {
-    RoutineInfo &RI = P.routine(R);
-    if (!RI.IsDefined)
-      continue;
-    if (!Reached.count(R)) {
-      RI.Emit = false;
-      Ctx.Stats.add("hlo.dead_routines");
-    }
-  }
-}
-
-} // namespace
-
-void scmo::runHlo(HloContext &Ctx, std::vector<RoutineId> &Set,
-                  const HloOptions &Opts) {
-  // The whole HLO phase order in one place, sequenced by the pass manager
-  // (which also owns the per-pass counters and memory sampling).
+HloPlan scmo::planHlo(HloContext &Ctx, std::vector<RoutineId> &Set,
+                      const HloOptions &Opts) {
+  // The whole WPA phase order in one place, sequenced by the pass manager
+  // (which also owns the per-pass counters and memory sampling). The
+  // planner is created on first use so its virtual world is built after the
+  // summary scan has warmed the loader's summary cache.
   HloPassManager PM;
+  std::unique_ptr<WpaPlanner> Planner;
+  auto planner = [&]() -> WpaPlanner & {
+    if (!Planner)
+      Planner = std::make_unique<WpaPlanner>(Ctx, Set);
+    return *Planner;
+  };
 
   // Phase 0: read in all code and data in the set, computing summaries
   // (fine-grained selectivity requires scanning even unselected bodies).
@@ -69,58 +39,146 @@ void scmo::runHlo(HloContext &Ctx, std::vector<RoutineId> &Set,
 
   PM.add(
       "ipcp",
-      [&Opts](HloContext &C, std::vector<RoutineId> &S) {
-        const CallGraph &Graph = CallGraph::shared(
-            C.P, S, [&C](RoutineId R) -> const RoutineIlSummary * {
-              return C.L.routineSummary(R);
-            });
-        runIpcp(C, S, Graph, Opts.WholeProgram);
+      [&planner, &Opts](HloContext &, std::vector<RoutineId> &) {
+        planner().planIpcp(Opts.WholeProgram);
       },
       Opts.Interprocedural && Opts.EnableIpcp);
 
   PM.add(
       "clone",
-      [&Opts](HloContext &C, std::vector<RoutineId> &S) {
-        runCloner(C, S, Opts.Clone);
+      [&planner, &Opts](HloContext &, std::vector<RoutineId> &) {
+        planner().planClones(Opts.Clone);
       },
       Opts.Interprocedural && Opts.EnableCloning && Opts.Pbo);
 
   PM.add(
       "inline",
-      [&Opts](HloContext &C, std::vector<RoutineId> &S) {
+      [&planner, &Opts](HloContext &, std::vector<RoutineId> &) {
         InlineParams Inline = Opts.Inline;
         Inline.UseProfile = Opts.Pbo;
-        runInliner(C, S, Inline);
+        planner().planInline(Inline);
       },
       Opts.Interprocedural);
 
-  // Per-routine cleanup over the selected routines. The loader keeps memory
-  // bounded: each body is acquired, optimized, released.
-  PM.add("cleanup", [](HloContext &C, std::vector<RoutineId> &S) {
-    MemoryTracker *Tracker = C.P.tracker();
-    for (RoutineId R : S) {
-      RoutineInfo &RI = C.P.routine(R);
-      if (!RI.IsDefined || !RI.Selected)
-        continue;
-      RoutineBody &Body = C.L.acquire(R);
-      RoutinePassPipeline::cleanup().run(C.P, Body, C.Stats);
-      C.Stats.add("hlo.routines_optimized");
-      C.L.release(R);
-      if (Tracker)
-        Tracker->takeHloSample();
-    }
-  });
-
   PM.add(
       "deadfn",
-      [](HloContext &C, std::vector<RoutineId> &S) {
-        eliminateDeadRoutines(C, S);
+      [&planner](HloContext &, std::vector<RoutineId> &) {
+        planner().planDeadRoutines();
       },
       Opts.Interprocedural && Opts.WholeProgram);
+
+  // Carve the final set (clones included) for LTRANS. Runs even when the
+  // interprocedural phases are off: the partitions also drive the cleanup
+  // distribution.
+  PM.add("partition", [&planner, &Opts](HloContext &, std::vector<RoutineId> &) {
+    planner().partition(Opts.Partitions ? Opts.Partitions : 1);
+  });
+
+  PM.run(Ctx, Set);
+  return planner().take();
+}
+
+namespace {
+
+/// One LTRANS worker: applies the plan and runs cleanup for every member of
+/// a partition. Counters go to \p Stats (partition-private in parallel
+/// runs); every routine is handled under a single acquire/release so the
+/// loader sees one deterministic access per routine regardless of how many
+/// rewrites it receives.
+void runPartition(HloContext &Ctx, const std::vector<RoutineId> &Members,
+                  const HloPlan &Plan, Statistics &Stats) {
+  Program &P = Ctx.P;
+  MemoryTracker *Tracker = P.tracker();
+  for (RoutineId R : Members) {
+    // Versioned-callee memo, scoped per routine: one routine's directives
+    // reuse the same callee versions heavily, but holding every version for
+    // the partition's lifetime would break the Fig. 4 memory shape.
+    HloSnapshotCache Cache;
+    if (!P.routine(R).Emit)
+      continue; // Dead routines get no materialization and no cleanup.
+    if (Plan.cloneFor(R))
+      materializeClone(P, R, Plan, Cache);
+    const RoutineInfo &RI = P.routine(R);
+    if (!RI.IsDefined)
+      continue;
+    bool Optimize = RI.Selected;
+    if (!Optimize && !Plan.ipcpFor(R) && !Plan.opsFor(R))
+      continue;
+    RoutineBody &Body = Ctx.L.acquire(R);
+    applyRoutinePlan(P, Body, R, Plan, Cache);
+    if (Optimize) {
+      RoutinePassPipeline::cleanup().run(P, Body, Stats);
+      Stats.add("hlo.routines_optimized");
+    }
+    Ctx.L.release(R);
+    if (Tracker)
+      Tracker->takeHloSample();
+  }
+}
+
+} // namespace
+
+void scmo::runLtrans(HloContext &Ctx, std::vector<RoutineId> &Set,
+                     const HloPlan &Plan, ThreadPool *Pool) {
+  HloPassManager PM;
+
+  PM.add("ltrans", [&Plan, Pool](HloContext &C, std::vector<RoutineId> &S) {
+    // The partition list; a plan without partitions (partitioning skipped)
+    // degenerates to one partition covering the whole set.
+    std::vector<std::vector<RoutineId>> Fallback;
+    const std::vector<std::vector<RoutineId>> *Parts =
+        &Plan.Partitions.Members;
+    if (Parts->empty()) {
+      Fallback.push_back(S);
+      std::sort(Fallback[0].begin(), Fallback[0].end());
+      Parts = &Fallback;
+    }
+
+    // Prefetch schedule: partition-major, member-ascending — the exact
+    // acquire order of a serial run and a good approximation of the
+    // interleaved parallel one. Clones are excluded: their first
+    // acquisition races their own defineRoutine, and prefetching an
+    // undefined routine is wasted I/O anyway.
+    bool Scheduled = false;
+    if (C.L.config().PrefetchDepth) {
+      std::vector<RoutineId> Schedule;
+      for (const std::vector<RoutineId> &Members : *Parts)
+        for (RoutineId R : Members)
+          if (!Plan.cloneFor(R) && C.P.routine(R).IsDefined &&
+              C.P.routine(R).Emit)
+            Schedule.push_back(R);
+      C.L.setAcquisitionSchedule(Schedule);
+      Scheduled = true;
+    }
+
+    if (Pool && Pool->threadCount() > 1 && Parts->size() > 1) {
+      // Partition-private counters, merged in ascending partition order:
+      // totals are independent of completion order.
+      std::vector<Statistics> PartStats(Parts->size());
+      ThreadPool &TP = *Pool;
+      TP.parallelFor(Parts->size(), [&](size_t I) {
+        runPartition(C, (*Parts)[I], Plan, PartStats[I]);
+      });
+      for (const Statistics &St : PartStats)
+        C.Stats.merge(St);
+    } else {
+      for (const std::vector<RoutineId> &Members : *Parts)
+        runPartition(C, Members, Plan, C.Stats);
+    }
+
+    if (Scheduled)
+      C.L.clearAcquisitionSchedule();
+  });
 
   PM.add("compact-symtabs", [](HloContext &C, std::vector<RoutineId> &) {
     C.L.maybeCompactSymtabs();
   });
 
   PM.run(Ctx, Set);
+}
+
+void scmo::runHlo(HloContext &Ctx, std::vector<RoutineId> &Set,
+                  const HloOptions &Opts, ThreadPool *Pool) {
+  HloPlan Plan = planHlo(Ctx, Set, Opts);
+  runLtrans(Ctx, Set, Plan, Pool);
 }

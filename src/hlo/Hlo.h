@@ -6,10 +6,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The High Level Optimizer driver: runs the interprocedural phases (global
-/// variable analysis, IPCP, cloning, inlining) followed by per-routine
-/// cleanup (constant propagation, redundant branch elimination, DCE) over a
-/// set of routines, with every body access mediated by the NAIM loader.
+/// The High Level Optimizer driver, split WHOPR-style into two phases:
+///
+///  - planHlo (WPA): serial whole-program analysis over the loader's routine
+///    summaries. Computes global variable summaries, then plans every
+///    interprocedural decision — IPCP constants, specialization clones,
+///    inline selections, dead-routine marks — and carves the routine set
+///    into balanced partitions. No routine body is mutated.
+///
+///  - runLtrans (LTRANS): applies the plan partition by partition, running
+///    each routine's rewrites plus per-routine cleanup (constant
+///    propagation, redundant branch elimination, DCE) under a single loader
+///    pin. Partitions are independent, so they fan out over a thread pool;
+///    the output bytes are identical at any partition count and any job
+///    count because the plan never depends on either.
+///
+/// runHlo composes the two and is what tests and the driver's serial path
+/// call; the driver's parallel path runs the phases as separate pipeline
+/// stages for per-stage timing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,10 +33,13 @@
 #include "hlo/Cloner.h"
 #include "hlo/HloContext.h"
 #include "hlo/Inliner.h"
+#include "hlo/Wpa.h"
 
 #include <vector>
 
 namespace scmo {
+
+class ThreadPool;
 
 /// HLO pipeline configuration.
 struct HloOptions {
@@ -36,15 +53,33 @@ struct HloOptions {
   bool Pbo = true;
   bool EnableIpcp = true;
   bool EnableCloning = true;
+  /// LTRANS partition count (the scmoc --hlo-partitions knob; 0 is clamped
+  /// to 1). Never changes the output bytes — only how application work is
+  /// distributed.
+  uint32_t Partitions = 1;
   InlineParams Inline;
   CloneParams Clone;
 };
 
-/// Runs the HLO pipeline over \p Set (all routines of the CMO module set;
+/// WPA: plans HLO over \p Set (all routines of the CMO module set;
 /// fine-grained selectivity flags on RoutineInfo gate per-routine work).
-/// \p Set may grow (cloning). Bodies end the run released to the loader.
+/// \p Set may grow (planned clones are declared and appended). Serial; no
+/// bodies are mutated, so the loader's summary cache stays valid
+/// throughout.
+HloPlan planHlo(HloContext &Ctx, std::vector<RoutineId> &Set,
+                const HloOptions &Opts);
+
+/// LTRANS: applies \p Plan to every partition, one worker per partition
+/// when \p Pool is given (serial in ascending partition order otherwise).
+/// Per-partition statistics are accumulated privately and merged in
+/// ascending partition order, so counter totals match the serial run.
+/// Bodies end the run released to the loader.
+void runLtrans(HloContext &Ctx, std::vector<RoutineId> &Set,
+               const HloPlan &Plan, ThreadPool *Pool = nullptr);
+
+/// Runs the full HLO pipeline: planHlo followed by runLtrans.
 void runHlo(HloContext &Ctx, std::vector<RoutineId> &Set,
-            const HloOptions &Opts);
+            const HloOptions &Opts, ThreadPool *Pool = nullptr);
 
 } // namespace scmo
 

@@ -7,10 +7,7 @@
 
 #include "hlo/Inliner.h"
 
-#include <algorithm>
-#include <cmath>
-#include <map>
-#include <set>
+#include "hlo/Wpa.h"
 
 using namespace scmo;
 
@@ -135,203 +132,22 @@ bool scmo::inlineCallSite(Program &P, RoutineBody &CallerBody,
   return true;
 }
 
-namespace {
-
-/// A candidate inline operation.
-struct Candidate {
-  RoutineId Caller;
-  RoutineId Callee;
-  uint32_t Token;   ///< Marker planted in the call instr's ProbeId.
-  uint64_t Count;   ///< Dynamic site count.
-  ModuleId CallerMod;
-  ModuleId CalleeMod;
-  int HotBucket;    ///< log2 bucket of Count (higher = hotter).
-};
-
-} // namespace
-
 InlineResult scmo::runInliner(HloContext &Ctx,
                               const std::vector<RoutineId> &Set,
                               const InlineParams &Params) {
-  Program &P = Ctx.P;
-  InlineResult Result;
-  uint64_t GrowthBudget = Params.MaxProgramGrowth;
-
-  for (unsigned Round = 0; Round != Params.Rounds; ++Round) {
-    // Fresh derived data each round (the paper's recompute discipline) —
-    // through the shared cache, so an unchanged graph from the earlier
-    // interprocedural phases is reused rather than rebuilt.
-    const CallGraph &Graph = CallGraph::shared(
-        P, Set, [&Ctx](RoutineId R) -> const RoutineIlSummary * {
-          return Ctx.L.routineSummary(R);
-        });
-
-    uint64_t TotalCalls = 0;
-    for (const CallSite &S : Graph.sites())
-      TotalCalls += S.Count;
-
-    // One SCC pass answers every recursion query for this round.
-    std::set<RoutineId> RecursiveSet = Graph.recursiveRoutines();
-    auto isRecursive = [&](RoutineId R) { return RecursiveSet.count(R) != 0; };
-    // Size queries ride the loader's summary cache — no body expansion, and
-    // the cache survives across rounds for untouched routines.
-    auto sizeOf = [&](RoutineId R) -> uint32_t {
-      const RoutineIlSummary *Sum = Ctx.L.routineSummary(R);
-      return Sum ? Sum->InstrCount : 0;
-    };
-
-    // Select candidates.
-    std::vector<Candidate> Candidates;
-    for (uint32_t SiteIdx = 0; SiteIdx != Graph.sites().size(); ++SiteIdx) {
-      const CallSite &S = Graph.sites()[SiteIdx];
-      ++Result.SitesConsidered;
-      const RoutineInfo &CalleeInfo = P.routine(S.Callee);
-      const RoutineInfo &CallerInfo = P.routine(S.Caller);
-      if (!CalleeInfo.IsDefined || S.Callee == S.Caller)
-        continue;
-      if (!CallerInfo.Selected || !CalleeInfo.Selected)
-        continue; // Fine-grained selectivity: cold code is left alone.
-      if (Params.IntraModuleOnly && CalleeInfo.Owner != CallerInfo.Owner)
-        continue;
-      if (CalleeInfo.Slot.State == PoolState::None)
-        continue;
-      if (isRecursive(S.Callee))
-        continue;
-      uint32_t CalleeSize = sizeOf(S.Callee);
-      uint32_t CallerSize = sizeOf(S.Caller);
-      bool Eligible = false;
-      int HotBucket = 0;
-      if (Params.UseProfile) {
-        // Call profiles *improve* the standard heuristics (paper Section 2,
-        // and the companion "Aggressive Inlining" paper): the allowed callee
-        // size scales with how hot the site is. Never-executed sites only
-        // accept small callees — that is where the compile-time saving over
-        // thorough pure-CMO inlining comes from.
-        // Executed sites get the full static allowance; sites the training
-        // run never reached only accept small callees. The compile-time
-        // saving of PBO-guided inlining comes from the large never-executed
-        // majority, not from starving warm code of inlining.
-        uint32_t Allowed =
-            S.Count ? Params.MaxCalleeInstrsHot : Params.MaxCalleeInstrs;
-        Eligible = CalleeSize <= Allowed;
-        if (S.Count)
-          HotBucket =
-              static_cast<int>(std::log2(static_cast<double>(S.Count)) + 1);
-      } else {
-        // Static heuristics: without profile data the compiler cannot tell
-        // hot from cold, so it "thoroughly optimizes all routines" (paper
-        // Section 5) — every moderately sized callee is inlined everywhere,
-        // which is precisely what makes pure-CMO compiles of large programs
-        // explode in time and memory.
-        if (CalleeSize <= Params.MaxCalleeInstrsHot)
-          Eligible = true;
-        else if (Graph.sitesTo(S.Callee).size() == 1 &&
-                 CalleeSize <= 4 * Params.MaxCalleeInstrsHot)
-          Eligible = true;
-      }
-      if (!Eligible)
-        continue;
-      if (CallerSize + CalleeSize > Params.MaxCallerInstrs)
-        continue;
-      Candidates.push_back({S.Caller, S.Callee, SiteIdx, S.Count,
-                            CallerInfo.Owner, CalleeInfo.Owner, HotBucket});
-    }
-    if (Candidates.empty())
-      break;
-
-    // Track every candidate site's current position in a side table instead
-    // of planting marker tokens in the bodies: a position only moves when an
-    // earlier inline rewrites the same caller, and inlineCallSite's shift is
-    // exact — the instructions after the consumed call move to the fresh
-    // continuation block. Bodies stay untouched until a site is actually
-    // inlined, so skipped callers remain clean for the loader (their
-    // eviction is a store-elided no-op instead of two token-churn stores).
-    std::map<uint32_t, std::pair<BlockId, uint32_t>> SitePos;
-    std::map<RoutineId, std::vector<uint32_t>> CallerSites;
-    for (const Candidate &C : Candidates) {
-      const CallSite &S = Graph.sites()[C.Token];
-      SitePos.emplace(C.Token, std::make_pair(S.Block, S.InstrIdx));
-      CallerSites[C.Caller].push_back(C.Token);
-    }
-
-    // Cache-aware scheduling (Section 4.3): group operations by (caller
-    // module, callee module) so the loader touches the same pair of pools
-    // repeatedly. Hotness decides eligibility, not order — except when the
-    // growth budget is nearly spent, where the hottest remaining sites go
-    // first so the budget is never wasted on cold code.
-    bool BudgetTight = Result.InstrsAdded * 2 > Params.MaxProgramGrowth;
-    std::stable_sort(Candidates.begin(), Candidates.end(),
-                     [BudgetTight](const Candidate &X, const Candidate &Y) {
-                       if (BudgetTight && X.HotBucket != Y.HotBucket)
-                         return X.HotBucket > Y.HotBucket;
-                       if (X.CallerMod != Y.CallerMod)
-                         return X.CallerMod < Y.CallerMod;
-                       if (X.CalleeMod != Y.CalleeMod)
-                         return X.CalleeMod < Y.CalleeMod;
-                       if (X.Caller != Y.Caller)
-                         return X.Caller < Y.Caller;
-                       return X.Token < Y.Token;
-                     });
-
-    uint64_t RoundInlined = 0;
-    for (const Candidate &C : Candidates) {
-      if (GrowthBudget == 0)
-        break;
-      if (!Ctx.allowOp())
-        break;
-      auto PosIt = SitePos.find(C.Token);
-      if (PosIt == SitePos.end())
-        continue; // Site consumed (shouldn't happen; be safe).
-      // Caller growth re-check against the budget. Both sizes come from the
-      // loader's summaries — a caller inlined into earlier in the round was
-      // re-summarized at its release — so a rejected candidate costs no
-      // body expansion at all.
-      uint32_t CalleeSize = sizeOf(C.Callee);
-      if (sizeOf(C.Caller) + CalleeSize > Params.MaxCallerInstrs ||
-          CalleeSize > GrowthBudget)
-        continue;
-      RoutineBody &CallerBody = Ctx.L.acquire(C.Caller);
-      auto [FoundB, FoundIdx] = PosIt->second;
-      const Instr *Site =
-          FoundB < CallerBody.Blocks.size() &&
-                  FoundIdx < CallerBody.Blocks[FoundB].Instrs.size()
-              ? CallerBody.Blocks[FoundB].Instrs[FoundIdx]
-              : nullptr;
-      if (!Site || Site->Op != Opcode::Call || Site->Sym != C.Callee) {
-        Ctx.L.release(C.Caller);
-        continue; // Site disappeared (e.g. caller was rewritten).
-      }
-      const RoutineBody &CalleeBody = Ctx.L.acquireRead(C.Callee);
-      // inlineCallSite creates the continuation block first, so its id is
-      // the caller's block count at this point.
-      BlockId ContB = static_cast<BlockId>(CallerBody.Blocks.size());
-      if (inlineCallSite(P, CallerBody, CalleeBody, FoundB, FoundIdx)) {
-        ++Result.SitesInlined;
-        ++RoundInlined;
-        Result.InstrsAdded += CalleeSize;
-        GrowthBudget -= std::min<uint64_t>(GrowthBudget, CalleeSize);
-        // The split moved everything after the consumed call into the
-        // continuation block; slide the caller's remaining tracked sites.
-        SitePos.erase(PosIt);
-        for (uint32_t Tok : CallerSites[C.Caller]) {
-          auto It = SitePos.find(Tok);
-          if (It == SitePos.end())
-            continue;
-          auto &[PB, PI] = It->second;
-          if (PB == FoundB && PI > FoundIdx) {
-            PB = ContB;
-            PI -= FoundIdx + 1;
-          }
-        }
-        Ctx.Stats.add("inline.sites");
-        if (C.CallerMod != C.CalleeMod)
-          Ctx.Stats.add("inline.cross_module_sites");
-      }
-      Ctx.L.release(C.Callee);
-      Ctx.L.release(C.Caller);
-    }
-    if (!RoundInlined)
-      break;
+  // Plan the multi-round inline walk over the WPA planner's virtual world
+  // (same heuristics, same operation gating), then apply each caller's
+  // directives under its own pin, inlining from the plan's pristine callee
+  // snapshots.
+  std::vector<RoutineId> Mutable(Set);
+  WpaPlanner Planner(Ctx, Mutable);
+  Planner.planInline(Params);
+  HloPlan Plan = Planner.take();
+  for (const auto &KV : Plan.CallerOps) {
+    HloSnapshotCache Cache;
+    RoutineBody &Body = Ctx.L.acquire(KV.first);
+    applyRoutinePlan(Ctx.P, Body, KV.first, Plan, Cache);
+    Ctx.L.release(KV.first);
   }
-  return Result;
+  return Plan.InlineStats;
 }

@@ -47,7 +47,9 @@ struct InlineParams {
   uint32_t MaxCallerInstrs = 800;
   /// Total program growth budget, in IL instructions.
   uint64_t MaxProgramGrowth = 2u << 20;
-  /// Rounds of inlining (each round inlines one call-depth level).
+  /// Rounds of inlining (inlined bodies expose new call sites to later
+  /// rounds; within a round the virtual world chains inlines in walk
+  /// order, so one round already reaches depth > 1 along hot paths).
   unsigned Rounds = 2;
   /// Use profile counts (PBO) rather than static heuristics.
   bool UseProfile = true;

@@ -7,6 +7,8 @@
 
 #include "hlo/Interprocedural.h"
 
+#include "hlo/Wpa.h"
+
 #include <set>
 
 using namespace scmo;
@@ -64,78 +66,20 @@ void scmo::computeGlobalSummaries(HloContext &Ctx,
 }
 
 void scmo::runIpcp(HloContext &Ctx, const std::vector<RoutineId> &Set,
-                   const CallGraph &Graph, bool WholeProgram) {
-  Program &P = Ctx.P;
-  struct PlannedConst {
-    RoutineId Routine;
-    uint32_t Param;
-    int64_t Value;
-  };
-  std::vector<PlannedConst> Planned;
-  for (RoutineId R : Set) {
-    RoutineInfo &RI = P.routine(R);
-    if (!RI.IsDefined || RI.NumParams == 0)
-      continue;
-    // Visibility: all call sites must be known. Statics are fully visible
-    // once their module is in the set (guaranteed by coarse selectivity);
-    // externs need the whole program.
-    if (!RI.IsStatic && !WholeProgram)
-      continue;
-    const auto &Sites = Graph.sitesTo(R);
-    if (Sites.empty())
-      continue; // Entry points / unreferenced routines keep their params.
-    // For each parameter, check that every site passes one identical
-    // constant.
-    std::vector<bool> AllConst(RI.NumParams, true);
-    std::vector<int64_t> Value(RI.NumParams, 0);
-    std::vector<bool> Seeded(RI.NumParams, false);
-    for (uint32_t SiteIdx : Sites) {
-      const CallSite &S = Graph.sites()[SiteIdx];
-      const RoutineBody *CallerBody = Ctx.L.acquireReadIfDefined(S.Caller);
-      if (!CallerBody) {
-        std::fill(AllConst.begin(), AllConst.end(), false);
-        break;
-      }
-      const Instr *Call = CallerBody->Blocks[S.Block].Instrs[S.InstrIdx];
-      assert(Call->Op == Opcode::Call && Call->Sym == R &&
-             "stale call graph in IPCP");
-      for (uint32_t A = 0; A != RI.NumParams; ++A) {
-        if (!AllConst[A])
-          continue;
-        const Operand &Arg = Call->Args[A];
-        if (!Arg.isImm()) {
-          AllConst[A] = false;
-          continue;
-        }
-        if (!Seeded[A]) {
-          Seeded[A] = true;
-          Value[A] = Arg.asImm();
-        } else if (Value[A] != Arg.asImm()) {
-          AllConst[A] = false;
-        }
-      }
-      Ctx.L.release(S.Caller);
-    }
-    for (uint32_t A = 0; A != RI.NumParams; ++A)
-      if (AllConst[A] && Seeded[A])
-        Planned.push_back({R, A, Value[A]});
+                   const CallGraph & /*Graph*/, bool WholeProgram) {
+  // Plan from summaries (the WPA planner reads call-site constants off
+  // RoutineIlSummary::ConstArgs, so no caller body is expanded), then apply
+  // each routine's entry constants under its own pin. The Graph parameter
+  // is retained for source compatibility; sites now come from the summary
+  // cache.
+  std::vector<RoutineId> Mutable(Set);
+  WpaPlanner Planner(Ctx, Mutable);
+  Planner.planIpcp(WholeProgram);
+  HloPlan Plan = Planner.take();
+  HloSnapshotCache Cache;
+  for (const auto &KV : Plan.Ipcp) {
+    RoutineBody &Body = Ctx.L.acquire(KV.first);
+    applyRoutinePlan(Ctx.P, Body, KV.first, Plan, Cache);
+    Ctx.L.release(KV.first);
   }
-  // Apply after all sites were read: inserting at a routine entry must not
-  // shift instruction indices while the (derived, not incrementally
-  // maintained) call graph is still being consulted.
-  bool Applied = false;
-  for (const PlannedConst &PC : Planned) {
-    if (!Ctx.allowOp())
-      break;
-    RoutineBody &Body = Ctx.L.acquire(PC.Routine);
-    Instr *MovI = Body.newInstr(Opcode::Mov);
-    MovI->Dst = PC.Param;
-    MovI->A = Operand::imm(PC.Value);
-    Body.Blocks[0].Instrs.insert(Body.Blocks[0].Instrs.begin(), MovI);
-    Ctx.L.release(PC.Routine);
-    Ctx.Stats.add("ipcp.params_propagated");
-    Applied = true;
-  }
-  if (Applied)
-    Ctx.P.invalidateCallGraph(); // Entry inserts shifted instruction indices.
 }

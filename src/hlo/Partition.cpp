@@ -1,0 +1,153 @@
+//===- hlo/Partition.cpp --------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hlo/Partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace scmo;
+
+RoutinePartitions scmo::partitionRoutines(const std::vector<RoutineId> &Set,
+                                          const CallGraph &Graph,
+                                          const std::vector<uint64_t> &WeightOf,
+                                          uint32_t NumPartitions,
+                                          size_t NumRoutines) {
+  RoutinePartitions Out;
+  Out.PartOf.assign(NumRoutines, UINT32_MAX);
+  if (NumPartitions == 0)
+    NumPartitions = 1;
+
+  auto NodeWeight = [&](RoutineId R) -> uint64_t {
+    uint64_t W = R < WeightOf.size() ? WeightOf[R] : 0;
+    return W ? W : 1;
+  };
+
+  // Mark membership and accumulate totals.
+  std::vector<bool> InSet(NumRoutines, false);
+  for (RoutineId R : Set) {
+    assert(R < NumRoutines && "routine id outside the program");
+    if (InSet[R])
+      continue; // Duplicate set entries partition once.
+    InSet[R] = true;
+    Out.TotalWeight += NodeWeight(R);
+    Out.MaxNodeWeight = std::max(Out.MaxNodeWeight, NodeWeight(R));
+  }
+
+  // Undirected adjacency between set members, aggregating parallel call
+  // sites. Each edge attracts by dynamic count plus one per static site, so
+  // unprofiled builds still cluster callers with callees.
+  std::map<RoutineId, std::map<RoutineId, uint64_t>> Adj;
+  for (const CallSite &S : Graph.sites()) {
+    if (S.Caller == S.Callee)
+      continue;
+    if (S.Caller >= NumRoutines || S.Callee >= NumRoutines)
+      continue;
+    if (!InSet[S.Caller] || !InSet[S.Callee])
+      continue;
+    uint64_t W = S.Count + 1;
+    Adj[S.Caller][S.Callee] += W;
+    Adj[S.Callee][S.Caller] += W;
+  }
+
+  // Seed order: heaviest node first, ties by ascending id, so the big
+  // routines anchor their own partitions instead of piling into one.
+  std::vector<RoutineId> Order;
+  for (RoutineId R = 0; R != NumRoutines; ++R)
+    if (InSet[R])
+      Order.push_back(R);
+  std::stable_sort(Order.begin(), Order.end(), [&](RoutineId A, RoutineId B) {
+    uint64_t WA = NodeWeight(A), WB = NodeWeight(B);
+    if (WA != WB)
+      return WA > WB;
+    return A < B;
+  });
+
+  const uint64_t Target =
+      (Out.TotalWeight + NumPartitions - 1) / NumPartitions;
+  size_t NextSeed = 0;
+  size_t Assigned = 0;
+  const size_t NumNodes = Order.size();
+
+  auto TakeNode = [&](RoutineId R, uint32_t Part, uint64_t &PartWeight) {
+    Out.PartOf[R] = Part;
+    Out.Members[Part].push_back(R);
+    PartWeight += NodeWeight(R);
+    ++Assigned;
+  };
+
+  for (uint32_t Part = 0; Part != NumPartitions && Assigned != NumNodes;
+       ++Part) {
+    Out.Members.emplace_back();
+    uint64_t PartWeight = 0;
+
+    if (Part + 1 == NumPartitions) {
+      // Last partition absorbs the remainder. The earlier partitions each
+      // grew to at least Target, so the remainder is at most Target — the
+      // balance bound (MaxPartWeight <= Target + MaxNodeWeight) holds.
+      for (RoutineId R : Order)
+        if (Out.PartOf[R] == UINT32_MAX)
+          TakeNode(R, Part, PartWeight);
+      Out.MaxPartWeight = std::max(Out.MaxPartWeight, PartWeight);
+      break;
+    }
+
+    // Connection strength of unassigned neighbors to the growing partition.
+    std::map<RoutineId, uint64_t> Frontier;
+    auto AddNeighbors = [&](RoutineId R) {
+      auto It = Adj.find(R);
+      if (It == Adj.end())
+        return;
+      for (const auto &[N, W] : It->second)
+        if (Out.PartOf[N] == UINT32_MAX)
+          Frontier[N] += W;
+    };
+
+    while (PartWeight < Target && Assigned != NumNodes) {
+      RoutineId Pick = InvalidId;
+      if (!Frontier.empty()) {
+        // Strongest attached neighbor; ties by smallest id (map order makes
+        // the first maximum the smallest id).
+        uint64_t BestW = 0;
+        for (const auto &[N, W] : Frontier)
+          if (W > BestW) {
+            BestW = W;
+            Pick = N;
+          }
+      }
+      if (Pick == InvalidId) {
+        // Fresh seed: heaviest unassigned node.
+        while (NextSeed != NumNodes &&
+               Out.PartOf[Order[NextSeed]] != UINT32_MAX)
+          ++NextSeed;
+        if (NextSeed == NumNodes)
+          break;
+        Pick = Order[NextSeed];
+      }
+      TakeNode(Pick, Part, PartWeight);
+      Frontier.erase(Pick);
+      AddNeighbors(Pick);
+    }
+    Out.MaxPartWeight = std::max(Out.MaxPartWeight, PartWeight);
+  }
+
+  for (auto &M : Out.Members)
+    std::sort(M.begin(), M.end());
+
+  // Cut statistics over distinct undirected edges.
+  for (const auto &[A, Neighbors] : Adj)
+    for (const auto &[B, W] : Neighbors) {
+      if (A >= B)
+        continue; // Each undirected edge once.
+      if (Out.PartOf[A] != Out.PartOf[B]) {
+        ++Out.CutEdges;
+        Out.CutWeight += W;
+      }
+    }
+  return Out;
+}

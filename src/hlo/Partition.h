@@ -1,0 +1,73 @@
+//===- hlo/Partition.h ------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LTRANS partitioner for the WHOPR-style parallel HLO backend. After
+/// the serial WPA phase has fixed every cross-module decision, the routine
+/// set is carved into balanced partitions that the LTRANS workers transform
+/// independently. Balance is by summary instruction count (so no partition
+/// dominates wall-clock) and the greedy growth follows call edges, keeping
+/// callers near their callees so each worker's loader acquisitions stay
+/// clustered — the same cache-affinity argument the paper makes for
+/// scheduling cross-module inlines by module pair (Section 4.3).
+///
+/// Because the plan is complete before partitioning, the partition count
+/// never influences what any routine's final body looks like — it only
+/// decides which worker applies the plan. Byte-identity across partition
+/// counts falls out of that, and the partitioner itself is deterministic
+/// (all ties broken by ascending RoutineId).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_HLO_PARTITION_H
+#define SCMO_HLO_PARTITION_H
+
+#include "ir/CallGraph.h"
+#include "ir/Ids.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace scmo {
+
+/// A balanced carve-up of a routine set.
+struct RoutinePartitions {
+  /// Per-partition member lists, each sorted ascending by RoutineId. May
+  /// contain fewer than the requested number of partitions when the set is
+  /// small, never more.
+  std::vector<std::vector<RoutineId>> Members;
+
+  /// Partition index per routine, indexed by RoutineId; UINT32_MAX for
+  /// routines outside the partitioned set.
+  std::vector<uint32_t> PartOf;
+
+  // Diagnostics (bench output and the balance-bound unit tests).
+  uint64_t TotalWeight = 0;   ///< Sum of node weights.
+  uint64_t MaxNodeWeight = 0; ///< Heaviest single node.
+  uint64_t MaxPartWeight = 0; ///< Heaviest partition.
+  uint64_t CutEdges = 0;      ///< Call edges crossing partitions.
+  uint64_t CutWeight = 0;     ///< Summed weight of crossing edges.
+
+  uint32_t partitionOf(RoutineId R) const {
+    return R < PartOf.size() ? PartOf[R] : UINT32_MAX;
+  }
+};
+
+/// Greedily grows \p NumPartitions balanced partitions over \p Set,
+/// minimizing cut call edges. \p WeightOf gives each routine's node weight
+/// (summary instruction count; 0 is clamped to 1 so empty routines still
+/// count toward balance). Edge weights aggregate dynamic call counts
+/// (plus one per static edge, so unprofiled edges still attract).
+/// Deterministic: identical inputs yield identical partitions.
+RoutinePartitions
+partitionRoutines(const std::vector<RoutineId> &Set, const CallGraph &Graph,
+                  const std::vector<uint64_t> &WeightOf, uint32_t NumPartitions,
+                  size_t NumRoutines);
+
+} // namespace scmo
+
+#endif // SCMO_HLO_PARTITION_H

@@ -119,7 +119,7 @@ uint64_t CallGraph::totalCallsTo(RoutineId R) const {
   return Total;
 }
 
-std::set<RoutineId> CallGraph::recursiveRoutines() const {
+std::vector<RoutineId> CallGraph::recursiveRoutines() const {
   // Iterative Tarjan over the routines that appear in any site.
   std::set<RoutineId> Nodes;
   for (const CallSite &S : Sites) {
@@ -187,7 +187,7 @@ std::set<RoutineId> CallGraph::recursiveRoutines() const {
       }
     }
   }
-  return Recursive;
+  return std::vector<RoutineId>(Recursive.begin(), Recursive.end());
 }
 
 bool CallGraph::isRecursive(RoutineId R) const {

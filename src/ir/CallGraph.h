@@ -116,7 +116,10 @@ public:
 
   /// All routines on call-graph cycles (members of a non-trivial SCC, or
   /// with a self edge), computed once in O(V + E) by Tarjan's algorithm.
-  std::set<RoutineId> recursiveRoutines() const;
+  /// Returned sorted ascending so membership is a binary search and batch
+  /// consumers (the WPA inline planner) can intersect without allocating a
+  /// node-keyed set.
+  std::vector<RoutineId> recursiveRoutines() const;
 
 private:
   std::vector<CallSite> Sites;

@@ -21,6 +21,7 @@
 #include "ir/Routine.h"
 #include "support/StringInterner.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -70,11 +71,20 @@ struct RoutineIlSummary {
     uint32_t InstrIdx = 0;
     RoutineId Callee = InvalidId;
     uint64_t Count = 0; ///< BB.Freq when the body has a profile, else 0.
+    uint32_t NumArgs = 0;
+    bool HasDst = false; ///< The call assigns a result register.
+    /// (argument index, immediate) for every Imm argument at the site, in
+    /// ascending argument order. The WPA cloner and IPCP planner read
+    /// constant-argument facts from here instead of expanding caller bodies.
+    std::vector<std::pair<uint32_t, int64_t>> ConstArgs;
   };
   std::vector<Site> Sites;            ///< Call sites in block/instr order.
   std::vector<GlobalId> StoredGlobals; ///< Sorted, deduplicated.
   uint32_t InstrCount = 0;
+  uint32_t RetCount = 0; ///< Ret instrs (inline size accounting: each turns
+                         ///< into Mov+Jmp when the site assigns a result).
   uint64_t MaxBlockFreq = 0; ///< 0 unless the body has a profile.
+  uint64_t EntryFreq = 0;    ///< Blocks[0].Freq, the inliner's scale anchor.
   bool HasProfile = false;
 };
 
@@ -332,6 +342,9 @@ public:
                           std::vector<RoutineId> Set);
 
   /// Drops the shared instance. Called by every body-mutating pass.
+  /// Thread-safe: LTRANS workers mutating disjoint bodies in parallel may
+  /// all call it concurrently (the flag is atomic and only ever cleared
+  /// here; install/lookup stay confined to serial phases).
   void invalidateCallGraph();
 
   /// True while a shared instance is installed (diagnostics and tests).
@@ -358,7 +371,7 @@ private:
   // Shared call-graph cache (see the accessor group above).
   std::unique_ptr<CallGraph> CachedGraph;
   std::vector<RoutineId> CachedGraphSet;
-  bool GraphValid = false;
+  std::atomic<bool> GraphValid{false};
   uint64_t GraphReuses = 0;
 };
 

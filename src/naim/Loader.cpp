@@ -39,13 +39,27 @@ std::unique_ptr<RoutineIlSummary> summarizeBody(const RoutineBody &Body) {
       Sum->MaxBlockFreq = std::max(Sum->MaxBlockFreq, BB.Freq);
     for (uint32_t Idx = 0; Idx != BB.Instrs.size(); ++Idx) {
       const Instr *I = BB.Instrs[Idx];
-      if (I->Op == Opcode::Call)
-        Sum->Sites.push_back(
-            {B, Idx, I->Sym, Body.HasProfile ? BB.Freq : 0});
-      else if (I->Op == Opcode::StoreG || I->Op == Opcode::StoreIdx)
+      if (I->Op == Opcode::Call) {
+        RoutineIlSummary::Site S;
+        S.Block = B;
+        S.InstrIdx = Idx;
+        S.Callee = I->Sym;
+        S.Count = Body.HasProfile ? BB.Freq : 0;
+        S.NumArgs = I->NumArgs;
+        S.HasDst = I->Dst != NoReg;
+        for (uint32_t A = 0; A != I->NumArgs; ++A)
+          if (I->Args[A].isImm())
+            S.ConstArgs.emplace_back(A, I->Args[A].asImm());
+        Sum->Sites.push_back(std::move(S));
+      } else if (I->Op == Opcode::Ret) {
+        ++Sum->RetCount;
+      } else if (I->Op == Opcode::StoreG || I->Op == Opcode::StoreIdx) {
         Sum->StoredGlobals.push_back(I->Sym);
+      }
     }
   }
+  if (!Body.Blocks.empty())
+    Sum->EntryFreq = Body.Blocks[0].Freq;
   std::sort(Sum->StoredGlobals.begin(), Sum->StoredGlobals.end());
   Sum->StoredGlobals.erase(
       std::unique(Sum->StoredGlobals.begin(), Sum->StoredGlobals.end()),

@@ -42,6 +42,15 @@ public:
   /// All counters, sorted by name (std::map keeps them deterministic).
   const std::map<std::string, uint64_t> &all() const { return Counters; }
 
+  /// Adds every counter of \p Other into this registry. Addition commutes,
+  /// but callers folding per-worker registries should still merge in a
+  /// deterministic order (ascending partition/slot index) so that any
+  /// future non-commutative accounting stays reproducible.
+  void merge(const Statistics &Other) {
+    for (const auto &KV : Other.Counters)
+      Counters[KV.first] += KV.second;
+  }
+
   void clear() { Counters.clear(); }
 
 private:

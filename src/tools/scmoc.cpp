@@ -19,6 +19,12 @@
 ///     --machine-mem <MiB>    NAIM thresholds for this much memory
 ///     --jobs <N>             backend worker threads (0 = all cores, 1 =
 ///                            serial); output is identical at any width
+///     --hlo-partitions <N>   LTRANS partition count for the parallel HLO
+///                            phase (0 = match the --jobs pool width, the
+///                            default; max 4096). Output is byte-identical
+///                            at any partition count x --jobs combination —
+///                            the knob trades scheduling granularity against
+///                            per-partition overhead only
 ///     --run                  execute the result on the VM
 ///     --emit-il <routine>    print a routine's optimized IL
 ///     --disasm <routine>     print a routine's machine code
@@ -72,7 +78,8 @@ int usage(const char *Argv0) {
                "usage: %s [+O1|+O2|+O4] [+P] [+I] [--profile F] "
                "[--select PCT] [--multi-layered] [--machine-mem MIB] "
                "[--naim-compress off|fast] [--naim-prefetch K] "
-               "[--jobs N] [--run] [--emit-il R] [--disasm R] [--stats] "
+               "[--jobs N] [--hlo-partitions N] [--run] [--emit-il R] "
+               "[--disasm R] [--stats] "
                "[--analyze] [--analyze-filter CODES] [--gen-mcad LINES] "
                "[--plant-defects] [--write-objects DIR] "
                "[--incremental] [--cache-dir DIR] "
@@ -211,7 +218,16 @@ int main(int argc, char **argv) {
     } else if (Arg == "--jobs")
       Opts.Jobs = static_cast<unsigned>(
           parseCount("--jobs", takeValue("--jobs"), 0));
-    else if (Arg == "--run")
+    else if (Arg == "--hlo-partitions") {
+      uint64_t N = parseCount("--hlo-partitions",
+                              takeValue("--hlo-partitions"), 0);
+      if (N > 4096)
+        optionError("--hlo-partitions",
+                    "must be at most 4096 (got " + std::to_string(N) +
+                        "); partitions beyond the routine count only add "
+                        "scheduling overhead");
+      Opts.HloPartitions = static_cast<unsigned>(N);
+    } else if (Arg == "--run")
       Run = true;
     else if (Arg == "--emit-il")
       EmitIlRoutine = takeValue("--emit-il");

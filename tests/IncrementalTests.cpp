@@ -144,11 +144,14 @@ TEST(Incremental, WarmBuildIsByteIdenticalAndSkipsOptimization) {
     EXPECT_EQ(stat(Warm.Build, "cache.misses"), 0u) << "jobs=" << Jobs;
     EXPECT_GT(stat(Warm.Build, "cache.skip.hlo"), 0u) << "jobs=" << Jobs;
     EXPECT_GT(stat(Warm.Build, "cache.skip.llo"), 0u) << "jobs=" << Jobs;
-    const StageMetrics *Hlo = stage(Warm.Build, "hlo");
+    const StageMetrics *Wpa = stage(Warm.Build, "wpa");
+    const StageMetrics *Ltrans = stage(Warm.Build, "ltrans");
     const StageMetrics *Llo = stage(Warm.Build, "llo");
-    ASSERT_NE(Hlo, nullptr);
+    ASSERT_NE(Wpa, nullptr);
+    ASSERT_NE(Ltrans, nullptr);
     ASSERT_NE(Llo, nullptr);
-    EXPECT_TRUE(Hlo->Skipped) << "jobs=" << Jobs;
+    EXPECT_TRUE(Wpa->Skipped) << "jobs=" << Jobs;
+    EXPECT_TRUE(Ltrans->Skipped) << "jobs=" << Jobs;
     EXPECT_TRUE(Llo->Skipped) << "jobs=" << Jobs;
   }
 }
@@ -369,10 +372,13 @@ TEST(Incremental, SharedCallGraphReusesUntilInvalidated) {
   EXPECT_TRUE(P.callGraphValid());
 }
 
-TEST(Incremental, HloPassesReuseTheSharedCallGraph) {
-  // End-to-end: when IPCP finds nothing to rewrite (no constant-valued
-  // globals or call arguments), the graph it built stays valid and the
-  // inliner's first round reuses it instead of rescanning every body.
+TEST(Incremental, HloPlanningNeverInvalidatesTheSharedCallGraph) {
+  // End-to-end under the WPA/LTRANS split: planning reads only summaries,
+  // so a graph built before HLO survives the whole planning phase — the
+  // invalidations all come from LTRANS actually rewriting bodies. The
+  // cross-module inline below guarantees at least one rewrite, so the build
+  // must end with the shared graph invalidated, and the plan must have
+  // found the inline without ever expanding a body through the graph.
   std::vector<std::pair<std::string, std::string>> Sources = {
       {"util", "func helper(x, k) {\n"
                "  var y = x * 2 + k;\n"
@@ -394,5 +400,7 @@ TEST(Incremental, HloPassesReuseTheSharedCallGraph) {
     ASSERT_TRUE(Session.addSource(Name, Src)) << Session.firstError();
   BuildResult Build = Session.build();
   ASSERT_TRUE(Build.Ok) << Build.Error;
-  EXPECT_GT(Session.program().callGraphReuses(), 0u);
+  EXPECT_GT(Build.Stats.get("inline.sites"), 0u);
+  // LTRANS rewrote bodies, so the last shared graph (if any) is stale.
+  EXPECT_FALSE(Session.program().callGraphValid());
 }

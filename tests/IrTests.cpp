@@ -11,6 +11,7 @@
 #include "ir/Program.h"
 #include "ir/Verifier.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 using namespace scmo;
@@ -388,8 +389,8 @@ TEST(CallGraph, DetectsSelfRecursion) {
   EXPECT_TRUE(G.isRecursive(Ids[0]));
   EXPECT_FALSE(G.isRecursive(Ids[1]));
   auto Rec = G.recursiveRoutines();
-  EXPECT_TRUE(Rec.count(Ids[0]));
-  EXPECT_FALSE(Rec.count(Ids[1]));
+  EXPECT_TRUE(std::binary_search(Rec.begin(), Rec.end(), Ids[0]));
+  EXPECT_FALSE(std::binary_search(Rec.begin(), Rec.end(), Ids[1]));
 }
 
 TEST(CallGraph, DetectsMutualRecursion) {
@@ -397,10 +398,10 @@ TEST(CallGraph, DetectsMutualRecursion) {
   auto Ids = graphProgram(P, 4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
   CallGraph G = CallGraph::buildResident(P);
   auto Rec = G.recursiveRoutines();
-  EXPECT_TRUE(Rec.count(Ids[0]));
-  EXPECT_TRUE(Rec.count(Ids[1]));
-  EXPECT_TRUE(Rec.count(Ids[2]));
-  EXPECT_FALSE(Rec.count(Ids[3]));
+  EXPECT_TRUE(std::binary_search(Rec.begin(), Rec.end(), Ids[0]));
+  EXPECT_TRUE(std::binary_search(Rec.begin(), Rec.end(), Ids[1]));
+  EXPECT_TRUE(std::binary_search(Rec.begin(), Rec.end(), Ids[2]));
+  EXPECT_FALSE(std::binary_search(Rec.begin(), Rec.end(), Ids[3]));
   EXPECT_TRUE(G.isRecursive(Ids[1]));
   EXPECT_FALSE(G.isRecursive(Ids[3]));
 }

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 
 using namespace scmo;
 using namespace scmo::test;
@@ -44,8 +45,10 @@ struct JobsBuild {
 };
 
 JobsBuild buildAtJobs(const GeneratedProgram &GP, unsigned Jobs,
-                      CompileOptions Opts, const ProfileDb *Db = nullptr) {
+                      CompileOptions Opts, const ProfileDb *Db = nullptr,
+                      unsigned Partitions = 0) {
   Opts.Jobs = Jobs;
+  Opts.HloPartitions = Partitions;
   CompilerSession Session(Opts);
   EXPECT_TRUE(Session.addGenerated(GP)) << Session.firstError();
   if (Db)
@@ -274,4 +277,87 @@ TEST(Parallel, RunBehaviorMatchesSerialBuild) {
   ASSERT_TRUE(R1.Ok && R2.Ok);
   EXPECT_EQ(R1.OutputChecksum, R2.OutputChecksum);
   EXPECT_EQ(R1.ExitValue, R2.ExitValue);
+}
+
+//===----------------------------------------------------------------------===//
+// LTRANS partition-count determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Parallel, ExecutablesAreBitIdenticalAcrossPartitionMatrix) {
+  // The WHOPR contract: the partition count decides only which worker
+  // applies the plan, never what the plan says. The full matrix of
+  // --hlo-partitions x --jobs must produce one executable, clone bodies and
+  // all, profile-guided inlining included.
+  GeneratedProgram GP = testProgram(27);
+  std::string Error;
+  ProfileDb Db = trainProfile(GP, Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  Opts.Pbo = true;
+  JobsBuild Ref = buildAtJobs(GP, 1, Opts, &Db, 1);
+  ASSERT_TRUE(Ref.Build.Ok) << Ref.Build.Error;
+  ASSERT_GT(Ref.Build.Stats.get("inline.sites"), 0u)
+      << "no inlining; the matrix would be vacuous";
+  for (unsigned Partitions : {1u, 2u, 4u, 8u}) {
+    for (unsigned Jobs : {1u, 2u, 8u}) {
+      if (Partitions == 1 && Jobs == 1)
+        continue; // The reference itself.
+      JobsBuild Out = buildAtJobs(GP, Jobs, Opts, &Db, Partitions);
+      ASSERT_TRUE(Out.Build.Ok) << Out.Build.Error;
+      EXPECT_TRUE(exesIdentical(Ref.Build.Exe, Out.Build.Exe))
+          << "partitions=" << Partitions << " jobs=" << Jobs;
+      EXPECT_EQ(Ref.Checksums, Out.Checksums)
+          << "partitions=" << Partitions << " jobs=" << Jobs;
+    }
+  }
+}
+
+TEST(Parallel, PartitionMatrixHoldsUnderSpillCompression) {
+  // Partitioning changes which worker touches which routine, so it reshapes
+  // the loader's acquire/release traffic; with compressed spill frames in
+  // the mix the bytes the optimizer reads back must still be exact.
+  GeneratedProgram GP = testProgram(28);
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  Opts.Naim.Mode = NaimMode::Offload;
+  Opts.Naim.ExpandedCacheBytes = 16 << 10;
+  Opts.Naim.CompactResidentBytes = 8 << 10;
+  Opts.Naim.Compress = NaimCompress::Fast;
+  JobsBuild Ref = buildAtJobs(GP, 1, Opts, nullptr, 1);
+  ASSERT_TRUE(Ref.Build.Ok) << Ref.Build.Error;
+  ASSERT_GT(Ref.Build.Loader.Offloads, 0u) << "spill path never exercised";
+  for (unsigned Partitions : {2u, 8u}) {
+    for (unsigned Jobs : {2u, 8u}) {
+      JobsBuild Out = buildAtJobs(GP, Jobs, Opts, nullptr, Partitions);
+      ASSERT_TRUE(Out.Build.Ok) << Out.Build.Error;
+      EXPECT_TRUE(exesIdentical(Ref.Build.Exe, Out.Build.Exe))
+          << "partitions=" << Partitions << " jobs=" << Jobs;
+      EXPECT_EQ(Ref.Checksums, Out.Checksums)
+          << "partitions=" << Partitions << " jobs=" << Jobs;
+    }
+  }
+}
+
+TEST(Parallel, PartitionCountIsNotCacheKeyMaterial) {
+  // --hlo-partitions is resource-only, so a warm incremental rebuild at a
+  // different partition count must hit the cache (same fingerprint) and
+  // still emit identical bytes.
+  GeneratedProgram GP = testProgram(29);
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  Opts.Incremental = true;
+  char Dir[] = "/tmp/scmo-part-cache-XXXXXX";
+  ASSERT_NE(mkdtemp(Dir), nullptr);
+  Opts.CacheDir = Dir;
+  JobsBuild Cold = buildAtJobs(GP, 1, Opts, nullptr, 1);
+  ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
+  for (unsigned Partitions : {4u, 8u}) {
+    JobsBuild Warm = buildAtJobs(GP, 8, Opts, nullptr, Partitions);
+    ASSERT_TRUE(Warm.Build.Ok) << Warm.Build.Error;
+    EXPECT_TRUE(exesIdentical(Cold.Build.Exe, Warm.Build.Exe))
+        << "partitions=" << Partitions;
+    EXPECT_GT(Warm.Build.Stats.get("cache.skip.hlo"), 0u)
+        << "partition count invalidated the cache at " << Partitions;
+  }
 }
