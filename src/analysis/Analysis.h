@@ -13,14 +13,21 @@
 ///     the loader, verified, run through the intraprocedural checks, and
 ///     released — so at any moment only the pinned working set is expanded,
 ///     giving analysis the same sub-linear memory profile as compilation
-///     (paper Figure 4). Workers write into per-routine slots; no ordering
-///     of workers can change the result.
-///  2. A serial interprocedural phase reusing the compiler's own CallGraph
-///     and global-variable summaries (Interprocedural.h scope rules) for
-///     unused-routine, write-only-global and never-written-global-load.
+///     (paper Figure 4). The same pinned pass extracts the routine's
+///     AnalysisSummary (Summary.h). Workers write into per-routine slots;
+///     no ordering of workers can change the result. Under --incremental
+///     the phase is served from per-module content-addressed artifacts
+///     (SummaryCache.h): only edited modules' routines are recomputed, the
+///     rest replay their diagnostics and summaries from disk.
+///
+///  2. A summary-driven interprocedural phase (Interproc.h): the call graph
+///     is replayed from summary sites, condensed into SCCs, and executed
+///     bottom-up in parallel waves for the whole-program checks. No routine
+///     body is touched.
 ///
 /// The diagnostics are then filtered, deterministically sorted, and rendered
-/// — byte-identical at any --jobs width.
+/// (text or JSON) — byte-identical at any --jobs width, and byte-identical
+/// between a cold and a warm incremental run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,7 +52,9 @@ struct AnalysisOptions {
   unsigned Jobs = 1;
 
   /// Run the IL verifier first; a routine that fails verification reports
-  /// only the scmo-verify error (lint checks assume well-formed IL).
+  /// only the scmo-verify error (lint checks assume well-formed IL) and
+  /// contributes a conservative minimal summary to the interprocedural
+  /// phase.
   bool Verify = true;
 
   /// Keep only these check codes (empty = all).
@@ -54,6 +63,18 @@ struct AnalysisOptions {
   /// Probe-table size for the verifier's probe range check; InvalidId means
   /// unknown (analysis normally runs on raw, uninstrumented IL).
   uint32_t NumProbes = InvalidId;
+
+  /// Render the report as a JSON array (--analyze-format=json) instead of
+  /// text. Same diagnostics, same order, machine-stable key order.
+  bool Json = false;
+
+  /// Serve the streaming phase from per-module artifacts in CacheDir,
+  /// recomputing only modules whose key changed (edited IL, changed
+  /// globals, changed analysis options). Requires a non-empty CacheDir.
+  bool Incremental = false;
+
+  /// Artifact directory for incremental re-analysis.
+  std::string CacheDir;
 };
 
 /// Outcome of one analysis run.
@@ -62,7 +83,7 @@ struct AnalysisResult {
   std::string Error;    ///< Set when !Ok.
 
   std::vector<Diagnostic> Diagnostics; ///< Filtered, deterministically sorted.
-  std::string Report;                  ///< Rendered, one line per diagnostic.
+  std::string Report;                  ///< Rendered (text or JSON per Opts).
 
   size_t RoutinesAnalyzed = 0;
   size_t Errors = 0;
@@ -70,6 +91,23 @@ struct AnalysisResult {
   size_t Notes = 0;
   double Seconds = 0;
   uint64_t PeakBytes = 0; ///< MemoryTracker total peak during the run.
+
+  /// \name Phase breakdown (bench rows)
+  /// @{
+  double StreamSeconds = 0;    ///< Phase 1: streaming scan (or cache replay).
+  double InterprocSeconds = 0; ///< Phase 2: SCC-wave interprocedural checks.
+  size_t Sccs = 0;             ///< Call-graph condensation size.
+  size_t Waves = 0;            ///< Parallel SCC levels executed.
+  size_t ReachableRoutines = 0; ///< Routines reachable from the entry roots.
+  /// @}
+
+  /// \name Incremental-cache counters (modules, except RoutinesRescanned)
+  /// @{
+  size_t CacheHits = 0;
+  size_t CacheMisses = 0;
+  size_t CacheStores = 0;
+  size_t RoutinesRescanned = 0; ///< Routines actually re-run through phase 1.
+  /// @}
 };
 
 /// Runs the full pass roster over every defined routine of \p P, streaming

@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -67,6 +68,12 @@ enum class CheckCode : uint8_t {
   NeverWrittenGlobalLoad, ///< scmo-never-written-global-load.
   SpillDegraded,          ///< scmo-spill-degraded: NAIM offloading disabled.
   RepoCorruption,         ///< scmo-repo-corruption: spilled pool unreadable.
+  DeadGlobalStore,        ///< scmo-dead-global-store: no reachable load.
+  UninitGlobalRead,       ///< scmo-uninit-global-read: stores unreachable.
+  DeadParameter,          ///< scmo-dead-parameter: never used by any callee.
+  IgnoredReturn,          ///< scmo-ignored-return: result dead at every site.
+  IpcpConstantTrap,       ///< scmo-ipcp-constant-trap: const zero to divisor.
+  InfiniteRecursion,      ///< scmo-infinite-recursion: every path recurses.
   NumCheckCodes
 };
 
@@ -92,6 +99,18 @@ inline const char *checkCodeName(CheckCode C) {
     return "scmo-spill-degraded";
   case CheckCode::RepoCorruption:
     return "scmo-repo-corruption";
+  case CheckCode::DeadGlobalStore:
+    return "scmo-dead-global-store";
+  case CheckCode::UninitGlobalRead:
+    return "scmo-uninit-global-read";
+  case CheckCode::DeadParameter:
+    return "scmo-dead-parameter";
+  case CheckCode::IgnoredReturn:
+    return "scmo-ignored-return";
+  case CheckCode::IpcpConstantTrap:
+    return "scmo-ipcp-constant-trap";
+  case CheckCode::InfiniteRecursion:
+    return "scmo-infinite-recursion";
   case CheckCode::NumCheckCodes:
     break;
   }
@@ -213,7 +232,74 @@ public:
     return Out;
   }
 
+  /// Renders one diagnostic as a JSON object with a fixed key order —
+  /// {code, severity, routine, block, line, message} — so the machine
+  /// report is as byte-stable as the text one. Routine is null for
+  /// program-level findings, block null for routine-level ones.
+  static std::string renderJson(const Program &P, const Diagnostic &D) {
+    std::ostringstream OS;
+    OS << "{\"code\":\"" << checkCodeName(D.Code) << "\",\"severity\":\""
+       << severityName(D.Sev) << "\",\"routine\":";
+    if (D.Routine != InvalidId)
+      OS << "\"" << jsonEscape(P.displayName(D.Routine)) << "\"";
+    else
+      OS << "null";
+    OS << ",\"block\":";
+    if (D.Block != InvalidId)
+      OS << D.Block;
+    else
+      OS << "null";
+    OS << ",\"line\":" << D.Line << ",\"message\":\""
+       << jsonEscape(D.Message) << "\"}";
+    return OS.str();
+  }
+
+  /// Renders every diagnostic as a JSON array, one object per line (CI
+  /// diffs stay readable), in current order. Call sortDeterministic()
+  /// first for the canonical report.
+  std::string renderAllJson(const Program &P) const {
+    std::string Out = "[";
+    for (size_t I = 0; I != Diags.size(); ++I) {
+      Out += I ? ",\n " : "\n ";
+      Out += renderJson(P, Diags[I]);
+    }
+    Out += Diags.empty() ? "]\n" : "\n]\n";
+    return Out;
+  }
+
 private:
+  /// Escapes the characters JSON cannot carry raw. Messages and display
+  /// names are ASCII by construction, so quote/backslash/control covers it.
+  static std::string jsonEscape(const std::string &S) {
+    std::string Out;
+    Out.reserve(S.size());
+    for (char C : S) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+    return Out;
+  }
+
   std::vector<Diagnostic> Diags;
 };
 

@@ -1,0 +1,62 @@
+//===- analysis/Interproc.h -------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program half of `scmoc --analyze`, rebuilt on the summary
+/// architecture: it consumes only the per-routine AnalysisSummary records
+/// the streaming phase produced (never a routine body), mirroring how GCC
+/// WPA drives its IPA passes from streamed summaries.
+///
+/// Structure: the call graph is replayed from summary sites, condensed into
+/// Tarjan SCCs, and the condensation's Kahn levels are executed bottom-up
+/// as parallel waves on the ThreadPool — one worker per SCC, a barrier per
+/// level, so every cross-SCC read sees a finished callee and the propagated
+/// facts (and therefore the report) are byte-identical at any --jobs. Two
+/// monotone fixpoints ride the waves: trap-on-zero parameter positions
+/// (grown through ParamCopy forwarding) and live parameters (the optimistic
+/// dead-parameter solve — a parameter is live only if some forwarding chain
+/// reaches a direct use or an unknown callee).
+///
+/// On top of the propagated facts run the whole-program checks: the three
+/// original ones (unused-routine, write-only-global,
+/// never-written-global-load) plus dead-store-to-global, uninitialized-
+/// global-read, dead-parameter, ignored-return, IPCP constant-trap, and
+/// guaranteed-infinite-recursion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_ANALYSIS_INTERPROC_H
+#define SCMO_ANALYSIS_INTERPROC_H
+
+#include "analysis/Passes.h"
+#include "ir/Program.h"
+#include "support/ThreadPool.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace scmo {
+
+/// Shape counters for the bench's interprocedural-phase row.
+struct InterprocStats {
+  size_t Sccs = 0;      ///< Condensation size.
+  size_t Waves = 0;     ///< Kahn levels executed.
+  size_t Reachable = 0; ///< Routines reachable from the entry roots.
+};
+
+/// Runs every interprocedural check over \p Facts (parallel to \p Ids; each
+/// entry's Summary must be populated — fully for verified routines,
+/// minimally for verify-failed ones). Emits findings into \p Engine.
+/// Deterministic at any pool width.
+InterprocStats runInterprocChecks(const Program &P,
+                                  const std::vector<RoutineId> &Ids,
+                                  const std::vector<RoutineFacts> &Facts,
+                                  ThreadPool &Pool, DiagnosticEngine &Engine);
+
+} // namespace scmo
+
+#endif // SCMO_ANALYSIS_INTERPROC_H

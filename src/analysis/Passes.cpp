@@ -131,9 +131,13 @@ uint64_t checkDefBeforeUse(const Program &, RoutineId R,
 /// Backward liveness; a side-effect-free definition whose register is dead
 /// immediately after the instruction is a dead store. Calls are exempt by
 /// hasSideEffects; unreachable blocks are skipped (everything in them is
-/// trivially dead, and the unreachable-block check already fired).
+/// trivially dead, and the unreachable-block check already fired). As a
+/// by-product, records into \p CallLive — keyed (block << 32) | instr —
+/// whether each reachable call's result register is live after the call,
+/// which is the summary's per-site ResultUsed fact.
 uint64_t checkDeadStore(RoutineId R, const RoutineBody &Body, const Cfg &C,
-                        const std::vector<bool> &Reach, RoutineFacts &Facts) {
+                        const std::vector<bool> &Reach, RoutineFacts &Facts,
+                        std::map<uint64_t, bool> &CallLive) {
   uint32_t U = Body.NextReg;
   if (!U)
     return 0;
@@ -160,6 +164,9 @@ uint64_t checkDeadStore(RoutineId R, const RoutineBody &Body, const Cfg &C,
     for (size_t Idx = Instrs.size(); Idx-- != 0;) {
       const Instr &I = *Instrs[Idx];
       bool Defines = definesValue(I.Op) && I.Dst != NoReg;
+      if (I.Op == Opcode::Call)
+        CallLive[(static_cast<uint64_t>(B) << 32) | Idx] =
+            I.Dst != NoReg && Live.test(I.Dst);
       if (Defines && !hasSideEffects(I.Op) && !Live.test(I.Dst))
         Facts.Diags.push_back(makeDiag(
             CheckCode::DeadStore, R, static_cast<BlockId>(B),
@@ -206,6 +213,171 @@ void scanGlobalUse(const Program &P, RoutineId R, const RoutineBody &Body,
   Facts.GlobalUse.assign(Use.begin(), Use.end());
 }
 
+/// Bitmask over the first 32 parameters; everything past bit 31 is handled
+/// conservatively by the consumers.
+uint32_t paramBit(uint32_t Reg, uint32_t NumParams) {
+  return Reg < NumParams && Reg < 32 ? (1u << Reg) : 0;
+}
+
+/// Registers holding parameters that some instruction reassigns: their
+/// occurrence in a call argument is a computed value, not a forwarded
+/// parameter.
+uint32_t modifiedParamMask(const RoutineBody &Body) {
+  uint32_t Modified = 0;
+  for (const BasicBlock &BB : Body.Blocks)
+    for (const Instr *I : BB.Instrs)
+      if (definesValue(I->Op) && I->Dst != NoReg)
+        Modified |= paramBit(I->Dst, Body.NumParams);
+  return Modified;
+}
+
+/// Callees invoked on every path from entry to some reachable Ret: a
+/// forward must-analysis (intersect meet) over the distinct-callee
+/// universe, intersected across all returning blocks. \returns scratch
+/// bytes used.
+uint64_t extractMustCallees(const RoutineBody &Body, const Cfg &C,
+                            const std::vector<bool> &Reach,
+                            AnalysisSummary &Sum) {
+  std::map<RoutineId, uint32_t> CalleeIdx;
+  for (const AnalysisSummary::Site &S : Sum.Sites)
+    CalleeIdx.emplace(S.Callee, 0);
+  if (CalleeIdx.empty())
+    return 0;
+  uint32_t U = 0;
+  for (auto &[Callee, Idx] : CalleeIdx)
+    Idx = U++;
+
+  std::vector<BlockTransfer> T(Body.Blocks.size(), BlockTransfer(U));
+  for (size_t B = 0; B != Body.Blocks.size(); ++B)
+    for (const Instr *I : Body.Blocks[B].Instrs)
+      if (I->Op == Opcode::Call)
+        T[B].Gen.set(CalleeIdx.at(I->Sym));
+
+  RegBitSet Entry(U); // Entry boundary: nothing called yet.
+  DataflowResult DF = solveForward(C, T, Entry, MeetOp::Intersect, U);
+
+  // Every call in a block precedes its terminator, so the must-call set at
+  // a Ret is exactly Out of the returning block.
+  RegBitSet Must(U);
+  bool AnyRet = false;
+  for (size_t B = 0; B != Body.Blocks.size(); ++B) {
+    if (!Reach[B] || Body.Blocks[B].Instrs.empty())
+      continue;
+    if (Body.Blocks[B].Instrs.back()->Op != Opcode::Ret)
+      continue;
+    if (!AnyRet) {
+      Must = DF.Out[B];
+      AnyRet = true;
+    } else {
+      Must.intersect(DF.Out[B]);
+    }
+  }
+  if (AnyRet)
+    for (const auto &[Callee, Idx] : CalleeIdx)
+      if (Must.test(Idx))
+        Sum.MustCallees.push_back(Callee); // Map order: ascending RoutineId.
+  return DF.bytes();
+}
+
+/// Fills the full AnalysisSummary for a verified body. \p CallLive is the
+/// dead-store pass's per-reachable-call result-liveness record.
+uint64_t extractSummary(const RoutineBody &Body, const Cfg &C,
+                        const std::vector<bool> &Reach,
+                        const std::map<uint64_t, bool> &CallLive,
+                        AnalysisSummary &Sum) {
+  Sum.NumParams = Body.NumParams;
+  uint32_t Modified = modifiedParamMask(Body);
+
+  for (size_t B = 0; B != Body.Blocks.size(); ++B) {
+    const std::vector<Instr *> &Instrs = Body.Blocks[B].Instrs;
+    for (size_t Idx = 0; Idx != Instrs.size(); ++Idx) {
+      const Instr &I = *Instrs[Idx];
+      switch (I.Op) {
+      case Opcode::LoadG:
+      case Opcode::LoadIdx:
+        Sum.Loads.push_back({I.Sym, static_cast<BlockId>(B),
+                             static_cast<uint32_t>(Idx), I.Line, Reach[B]});
+        break;
+      case Opcode::StoreG:
+      case Opcode::StoreIdx:
+        Sum.Stores.push_back({I.Sym, static_cast<BlockId>(B),
+                              static_cast<uint32_t>(Idx), I.Line, Reach[B]});
+        break;
+      case Opcode::Ret:
+        if (Reach[B] && I.A.isReg())
+          Sum.HasComputedReturn = true;
+        break;
+      case Opcode::Div:
+      case Opcode::Rem:
+        if (Reach[B] && I.B.isReg()) {
+          uint32_t Bit = paramBit(I.B.asReg(), Body.NumParams);
+          if (Bit && !(Modified & Bit))
+            Sum.TrapOnZeroParams |= Bit;
+        }
+        break;
+      case Opcode::Call: {
+        AnalysisSummary::Site S;
+        S.Callee = I.Sym;
+        S.Block = static_cast<BlockId>(B);
+        S.InstrIdx = static_cast<uint32_t>(Idx);
+        S.Line = I.Line;
+        S.Reachable = Reach[B];
+        if (Reach[B]) {
+          auto It =
+              CallLive.find((static_cast<uint64_t>(B) << 32) | Idx);
+          S.ResultUsed = It == CallLive.end() ? true : It->second;
+        } else {
+          // The call never executes; claim the result is used so the site
+          // suppresses rather than triggers ignored-return.
+          S.ResultUsed = true;
+        }
+        S.Args.reserve(I.NumArgs);
+        for (uint16_t A = 0; A != I.NumArgs; ++A) {
+          AnalysisSummary::CallArg Arg;
+          if (I.Args[A].isImm()) {
+            Arg.Kind = AnalysisSummary::ArgKind::Constant;
+            Arg.Imm = I.Args[A].asImm();
+          } else if (I.Args[A].isReg()) {
+            uint32_t Reg = I.Args[A].asReg();
+            uint32_t Bit = paramBit(Reg, Body.NumParams);
+            if (Bit && !(Modified & Bit)) {
+              Arg.Kind = AnalysisSummary::ArgKind::ParamCopy;
+              Arg.Param = static_cast<uint8_t>(Reg);
+            }
+          }
+          S.Args.push_back(Arg);
+        }
+        Sum.Sites.push_back(std::move(S));
+        break;
+      }
+      default:
+        break;
+      }
+
+      // Direct parameter uses: any read outside a forwarded call-argument
+      // position. Unreachable blocks count — a use is a use for the
+      // optimistic dead-parameter fixpoint's purposes.
+      if (I.Op == Opcode::Call) {
+        for (uint16_t A = 0; A != I.NumArgs; ++A) {
+          if (!I.Args[A].isReg())
+            continue;
+          uint32_t Reg = I.Args[A].asReg();
+          uint32_t Bit = paramBit(Reg, Body.NumParams);
+          if (Bit && !(Modified & Bit))
+            continue; // Forwarded, resolved interprocedurally.
+          Sum.DirectlyUsedParams |= Bit;
+        }
+      } else {
+        forEachUse(I, [&](RegId Use) {
+          Sum.DirectlyUsedParams |= paramBit(Use, Body.NumParams);
+        });
+      }
+    }
+  }
+
+  return extractMustCallees(Body, C, Reach, Sum);
+}
+
 } // namespace
 
 void runLocalChecks(const Program &P, RoutineId R, const RoutineBody &Body,
@@ -218,12 +390,54 @@ void runLocalChecks(const Program &P, RoutineId R, const RoutineBody &Body,
   checkUnreachable(R, Body, Reach, Facts);
   checkConstantTrap(R, Body, Facts);
   uint64_t Fwd = checkDefBeforeUse(P, R, Body, C, Facts);
-  uint64_t Bwd = checkDeadStore(R, Body, C, Reach, Facts);
+  std::map<uint64_t, bool> CallLive;
+  uint64_t Bwd = checkDeadStore(R, Body, C, Reach, Facts, CallLive);
   scanGlobalUse(P, R, Body, Facts);
+  uint64_t Sum = extractSummary(Body, C, Reach, CallLive, Facts.Summary);
 
-  // The two solves run sequentially, so the routine's scratch peak is the
-  // larger of the two, not their sum.
-  Facts.ScratchBytes = std::max(Fwd, Bwd);
+  // The solves run sequentially, so the routine's scratch peak is the
+  // largest of them, not their sum.
+  Facts.ScratchBytes = std::max(std::max(Fwd, Bwd), Sum);
+}
+
+void extractMinimalSummary(const Program &P, const RoutineBody &Body,
+                           AnalysisSummary &Out) {
+  Out.NumParams = Body.NumParams;
+  Out.DirectlyUsedParams = ~0u;
+  Out.HasComputedReturn = true;
+  Out.Minimal = true;
+  for (size_t B = 0; B != Body.Blocks.size(); ++B) {
+    const std::vector<Instr *> &Instrs = Body.Blocks[B].Instrs;
+    for (size_t Idx = 0; Idx != Instrs.size(); ++Idx) {
+      const Instr &I = *Instrs[Idx];
+      switch (I.Op) {
+      case Opcode::LoadG:
+      case Opcode::LoadIdx:
+        if (I.Sym < P.numGlobals())
+          Out.Loads.push_back({I.Sym, static_cast<BlockId>(B),
+                               static_cast<uint32_t>(Idx), I.Line, true});
+        break;
+      case Opcode::StoreG:
+      case Opcode::StoreIdx:
+        if (I.Sym < P.numGlobals())
+          Out.Stores.push_back({I.Sym, static_cast<BlockId>(B),
+                                static_cast<uint32_t>(Idx), I.Line, true});
+        break;
+      case Opcode::Call:
+        if (I.Sym < P.numRoutines()) {
+          AnalysisSummary::Site S;
+          S.Callee = I.Sym;
+          S.Block = static_cast<BlockId>(B);
+          S.InstrIdx = static_cast<uint32_t>(Idx);
+          S.Line = I.Line;
+          Out.Sites.push_back(std::move(S));
+        }
+        break;
+      default:
+        break;
+      }
+    }
+  }
 }
 
 } // namespace scmo

@@ -19,6 +19,7 @@
 #define SCMO_ANALYSIS_PASSES_H
 
 #include "analysis/Diagnostic.h"
+#include "analysis/Summary.h"
 #include "ir/Program.h"
 
 #include <cstdint>
@@ -50,6 +51,10 @@ struct RoutineFacts {
   std::vector<Diagnostic> Diags;
   std::vector<GlobalLoadSite> CandidateLoads;
   std::vector<std::pair<GlobalId, uint8_t>> GlobalUse;
+  /// The routine's interprocedural summary, extracted in the same pinned
+  /// pass as the local checks (the dead-store liveness solve doubles as the
+  /// per-site result-used oracle).
+  AnalysisSummary Summary;
   /// Peak bytes of dataflow bit-vector scratch this routine needed (charged
   /// to MemCategory::HloDerived around the scan by the caller).
   uint64_t ScratchBytes = 0;
@@ -57,11 +62,18 @@ struct RoutineFacts {
 
 /// Runs the intraprocedural checks on \p Body — def-before-use,
 /// unreachable-block, dead-store, constant-trap — and records the global
-/// variable uses the interprocedural phase needs. The body must already have
-/// passed the verifier: the checks assume every block is terminated and
-/// every register id is in range.
+/// variable uses and the AnalysisSummary the interprocedural phase needs.
+/// The body must already have passed the verifier: the checks assume every
+/// block is terminated and every register id is in range.
 void runLocalChecks(const Program &P, RoutineId R, const RoutineBody &Body,
                     RoutineFacts &Facts);
+
+/// Conservative summary for a routine that failed verification: records the
+/// call and global sites (bounds-checked — the verifier may have rejected
+/// exactly those ids) with assume-anything dataflow facts, so the routine
+/// neither crashes the interprocedural phase nor triggers findings.
+void extractMinimalSummary(const Program &P, const RoutineBody &Body,
+                           AnalysisSummary &Out);
 
 } // namespace scmo
 

@@ -1,0 +1,111 @@
+//===- analysis/Summary.h ---------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-routine AnalysisSummary: everything the interprocedural half of
+/// `scmoc --analyze` needs to know about a routine, extracted once during
+/// the parallel streaming scan while the body is pinned. This is the
+/// analysis engine's version of the paper's summary discipline (and of GCC
+/// WPA's streamed IPA summaries): the whole-program phase runs entirely off
+/// these records — it never touches a routine body — so its memory is
+/// proportional to calls + global touches, not to program text, and the
+/// records themselves are small enough to content-address through the
+/// artifact cache for incremental re-analysis.
+///
+/// Reachability appears twice, deliberately: each site carries whether its
+/// *block* is locally reachable (a store inside `if (0)` never executes),
+/// and the interprocedural phase layers whole-program reachability (is the
+/// containing routine ever called from a root?) on top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_ANALYSIS_SUMMARY_H
+#define SCMO_ANALYSIS_SUMMARY_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace scmo {
+
+/// Facts one routine exports to the whole-program analysis.
+struct AnalysisSummary {
+  /// One LoadG/LoadIdx or StoreG/StoreIdx site.
+  struct GlobalSite {
+    GlobalId Global = InvalidId;
+    BlockId Block = InvalidId;
+    uint32_t InstrIdx = 0;
+    uint32_t Line = 0;
+    bool Reachable = true; ///< Block reachable from the routine entry.
+  };
+
+  /// What a call site passes at one argument position. Only the two shapes
+  /// the interprocedural checks consume are recorded; anything else is
+  /// Opaque.
+  enum class ArgKind : uint8_t {
+    Opaque,    ///< A computed value.
+    Constant,  ///< A literal immediate (Imm below).
+    ParamCopy, ///< The caller's own parameter \c Param, never reassigned.
+  };
+
+  struct CallArg {
+    ArgKind Kind = ArgKind::Opaque;
+    int64_t Imm = 0;
+    uint8_t Param = 0;
+  };
+
+  /// One direct call site, with per-argument constant/forwarding facts and
+  /// whether the call's result register is ever read afterwards.
+  struct Site {
+    RoutineId Callee = InvalidId;
+    BlockId Block = InvalidId;
+    uint32_t InstrIdx = 0;
+    uint32_t Line = 0;
+    bool ResultUsed = true;
+    bool Reachable = true;
+    std::vector<CallArg> Args;
+  };
+
+  uint32_t NumParams = 0;
+
+  /// Bitmask of parameters the routine reads directly — i.e. other than by
+  /// forwarding the untouched register as a call argument (forwarding is
+  /// resolved transitively by the interprocedural dead-parameter fixpoint).
+  /// Parameters past bit 31 are conservatively marked used.
+  uint32_t DirectlyUsedParams = 0;
+
+  /// Bitmask of parameters that reach a Div/Rem divisor position unmodified
+  /// — calling with that argument constant zero is a guaranteed trap. The
+  /// interprocedural fixpoint grows this through ParamCopy forwarding.
+  uint32_t TrapOnZeroParams = 0;
+
+  /// Some reachable Ret returns a register (a computed value, as opposed to
+  /// `ret 0`-style constant returns the frontend synthesizes freely).
+  bool HasComputedReturn = false;
+
+  /// Verification failed: only the call/global site lists are populated
+  /// (conservatively marked reachable / result-used), the dataflow-derived
+  /// fields hold their "assume anything" values, and the routine is exempt
+  /// from interprocedural findings.
+  bool Minimal = false;
+
+  std::vector<GlobalSite> Loads;
+  std::vector<GlobalSite> Stores;
+  std::vector<Site> Sites;
+
+  /// Callees invoked on *every* execution path from entry to some Ret
+  /// (intersection over all reachable returns), sorted ascending. Empty when
+  /// no reachable Ret exists. Drives the guaranteed-infinite-recursion
+  /// check: an SCC where every member must call back into the SCC can never
+  /// terminate.
+  std::vector<RoutineId> MustCallees;
+};
+
+} // namespace scmo
+
+#endif // SCMO_ANALYSIS_SUMMARY_H

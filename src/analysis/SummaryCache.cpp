@@ -1,0 +1,429 @@
+//===- analysis/SummaryCache.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SummaryCache.h"
+
+#include "bytecode/ObjectFile.h"
+#include "cache/CacheFormat.h"
+#include "support/Hash.h"
+
+#include <map>
+#include <sys/stat.h>
+
+using namespace scmo;
+using cachefmt::Reader;
+using cachefmt::Sink;
+
+namespace {
+
+/// Payload layout version — bump when the record encoding below changes.
+constexpr uint32_t AnaFormatVersion = 1;
+
+/// The module's analysis inputs, in declaration order: every owned defined
+/// routine. This is both the key-material roster and the positional record
+/// order inside the artifact.
+std::vector<RoutineId> ownedDefined(const Program &P, ModuleId M) {
+  std::vector<RoutineId> Out;
+  for (RoutineId R : P.module(M).Routines) {
+    const RoutineInfo &Info = P.routine(R);
+    if (Info.IsDefined && Info.Owner == M)
+      Out.push_back(R);
+  }
+  return Out;
+}
+
+std::vector<uint8_t> keyMaterial(const Program &P, ModuleId M,
+                                 const std::vector<uint64_t> &ContentHashes,
+                                 bool Verify, uint32_t NumProbes) {
+  Sink S;
+  S.str("analysis");
+  S.u32(AnaFormatVersion);
+  S.u8(Verify ? 1 : 0);
+  S.u32(NumProbes);
+  S.str(P.Strings.text(P.module(M).Name));
+  // The module's own routines: identity, shape, and full IL content.
+  std::vector<RoutineId> Owned = ownedDefined(P, M);
+  S.u32(static_cast<uint32_t>(Owned.size()));
+  for (RoutineId R : Owned) {
+    const RoutineInfo &Info = P.routine(R);
+    S.str(P.Strings.text(Info.Name));
+    S.u64(R < ContentHashes.size() ? ContentHashes[R] : 0);
+    S.u32(Info.NumParams);
+    S.u8(Info.IsStatic ? 1 : 0);
+  }
+  // Every global's shape, program-wide: a global's size and initializer feed
+  // the zero-read classification of *any* module that loads it, so a changed
+  // global conservatively invalidates every module. Globals change far more
+  // rarely than code, so the lost reuse is cheap insurance.
+  S.u32(static_cast<uint32_t>(P.numGlobals()));
+  for (GlobalId G = 0; G != P.numGlobals(); ++G) {
+    const GlobalVar &GV = P.global(G);
+    S.str(P.Strings.text(GV.Name));
+    S.str(GV.IsStatic ? P.Strings.text(P.module(GV.Owner).Name) : "");
+    S.u32(GV.Size);
+    S.i64(GV.Init);
+    S.u8(GV.IsStatic ? 1 : 0);
+  }
+  return std::move(S.Bytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Symbol reference tables
+//===----------------------------------------------------------------------===//
+//
+// Artifacts refer to routines and globals through per-artifact reference
+// tables — each referenced symbol is written once as (name, linkage, owner
+// module), and record fields store the table index. Loading resolves the
+// whole table up front; one unresolvable name fails the load before any
+// record is decoded.
+
+class RefTableWriter {
+public:
+  uint32_t globalRef(const Program &P, GlobalId G) {
+    auto It = GlobalIdx.find(G);
+    if (It != GlobalIdx.end())
+      return It->second;
+    uint32_t Idx = static_cast<uint32_t>(Globals.size());
+    GlobalIdx.emplace(G, Idx);
+    Globals.push_back(G);
+    return Idx;
+  }
+
+  uint32_t routineRef(const Program &P, RoutineId R) {
+    auto It = RoutineIdx.find(R);
+    if (It != RoutineIdx.end())
+      return It->second;
+    uint32_t Idx = static_cast<uint32_t>(Routines.size());
+    RoutineIdx.emplace(R, Idx);
+    Routines.push_back(R);
+    return Idx;
+  }
+
+  void emit(const Program &P, Sink &S) const {
+    S.u32(static_cast<uint32_t>(Globals.size()));
+    for (GlobalId G : Globals) {
+      const GlobalVar &GV = P.global(G);
+      S.str(P.Strings.text(GV.Name));
+      S.u8(GV.IsStatic ? 1 : 0);
+      S.str(GV.IsStatic ? P.Strings.text(P.module(GV.Owner).Name) : "");
+    }
+    S.u32(static_cast<uint32_t>(Routines.size()));
+    for (RoutineId R : Routines) {
+      const RoutineInfo &Info = P.routine(R);
+      S.str(P.Strings.text(Info.Name));
+      S.u8(Info.IsStatic ? 1 : 0);
+      S.str(Info.IsStatic ? P.Strings.text(P.module(Info.Owner).Name) : "");
+    }
+  }
+
+private:
+  std::map<GlobalId, uint32_t> GlobalIdx;
+  std::map<RoutineId, uint32_t> RoutineIdx;
+  std::vector<GlobalId> Globals;
+  std::vector<RoutineId> Routines;
+};
+
+struct RefTables {
+  std::vector<GlobalId> Globals;
+  std::vector<RoutineId> Routines;
+
+  /// Reads and resolves both tables; false when any name fails to resolve
+  /// against the current program.
+  bool read(const Program &P, Reader &R) {
+    uint32_t NG = R.u32();
+    for (uint32_t I = 0; I != NG && !R.Bad; ++I) {
+      std::string Name = R.str();
+      bool IsStatic = R.u8() != 0;
+      std::string Owner = R.str();
+      GlobalId G = cachefmt::resolveGlobalByName(P, Name, IsStatic, Owner);
+      if (G == InvalidId)
+        return false;
+      Globals.push_back(G);
+    }
+    uint32_t NR = R.u32();
+    for (uint32_t I = 0; I != NR && !R.Bad; ++I) {
+      std::string Name = R.str();
+      bool IsStatic = R.u8() != 0;
+      std::string Owner = R.str();
+      RoutineId Rt = cachefmt::resolveRoutineByName(P, Name, IsStatic, Owner);
+      if (Rt == InvalidId)
+        return false;
+      Routines.push_back(Rt);
+    }
+    return !R.Bad;
+  }
+
+  bool global(uint32_t Ref, GlobalId &Out) const {
+    if (Ref >= Globals.size())
+      return false;
+    Out = Globals[Ref];
+    return true;
+  }
+  bool routine(uint32_t Ref, RoutineId &Out) const {
+    if (Ref >= Routines.size())
+      return false;
+    Out = Routines[Ref];
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Record encoding
+//===----------------------------------------------------------------------===//
+
+void encodeFacts(const Program &P, const RoutineFacts &F, RefTableWriter &Refs,
+                 Sink &S) {
+  S.u32(static_cast<uint32_t>(F.Diags.size()));
+  for (const Diagnostic &D : F.Diags) {
+    S.u8(static_cast<uint8_t>(D.Sev));
+    S.u8(static_cast<uint8_t>(D.Code));
+    S.u32(D.Block);
+    S.u32(D.InstrIdx);
+    S.u32(D.Line);
+    S.str(D.Message);
+  }
+  S.u32(static_cast<uint32_t>(F.CandidateLoads.size()));
+  for (const GlobalLoadSite &L : F.CandidateLoads) {
+    S.u32(Refs.globalRef(P, L.Global));
+    S.u32(L.Block);
+    S.u32(L.InstrIdx);
+    S.u32(L.Line);
+  }
+  S.u32(static_cast<uint32_t>(F.GlobalUse.size()));
+  for (const auto &GU : F.GlobalUse) {
+    S.u32(Refs.globalRef(P, GU.first));
+    S.u8(GU.second);
+  }
+  const AnalysisSummary &Sum = F.Summary;
+  S.u32(Sum.NumParams);
+  S.u32(Sum.DirectlyUsedParams);
+  S.u32(Sum.TrapOnZeroParams);
+  S.u8(Sum.HasComputedReturn ? 1 : 0);
+  S.u8(Sum.Minimal ? 1 : 0);
+  for (const auto *List : {&Sum.Loads, &Sum.Stores}) {
+    S.u32(static_cast<uint32_t>(List->size()));
+    for (const AnalysisSummary::GlobalSite &GS : *List) {
+      S.u32(Refs.globalRef(P, GS.Global));
+      S.u32(GS.Block);
+      S.u32(GS.InstrIdx);
+      S.u32(GS.Line);
+      S.u8(GS.Reachable ? 1 : 0);
+    }
+  }
+  S.u32(static_cast<uint32_t>(Sum.Sites.size()));
+  for (const AnalysisSummary::Site &Site : Sum.Sites) {
+    S.u32(Refs.routineRef(P, Site.Callee));
+    S.u32(Site.Block);
+    S.u32(Site.InstrIdx);
+    S.u32(Site.Line);
+    S.u8(Site.ResultUsed ? 1 : 0);
+    S.u8(Site.Reachable ? 1 : 0);
+    S.u32(static_cast<uint32_t>(Site.Args.size()));
+    for (const AnalysisSummary::CallArg &A : Site.Args) {
+      S.u8(static_cast<uint8_t>(A.Kind));
+      S.i64(A.Imm);
+      S.u8(A.Param);
+    }
+  }
+  S.u32(static_cast<uint32_t>(Sum.MustCallees.size()));
+  for (RoutineId Callee : Sum.MustCallees)
+    S.u32(Refs.routineRef(P, Callee));
+  S.u64(F.ScratchBytes);
+}
+
+/// Decodes one routine record, rebinding symbol references through \p Refs
+/// and stamping \p Self as the diagnostics' routine. False on any
+/// malformation — the caller treats the whole artifact as a miss.
+bool decodeFacts(Reader &R, const RefTables &Refs, RoutineId Self,
+                 RoutineFacts &F) {
+  uint32_t NDiags = R.u32();
+  for (uint32_t I = 0; I != NDiags && !R.Bad; ++I) {
+    Diagnostic D;
+    D.Sev = static_cast<Severity>(R.u8());
+    uint8_t Code = R.u8();
+    if (Code >= static_cast<uint8_t>(CheckCode::NumCheckCodes))
+      return false;
+    D.Code = static_cast<CheckCode>(Code);
+    D.Routine = Self;
+    D.Block = R.u32();
+    D.InstrIdx = R.u32();
+    D.Line = R.u32();
+    D.Message = R.str();
+    F.Diags.push_back(std::move(D));
+  }
+  uint32_t NLoads = R.u32();
+  for (uint32_t I = 0; I != NLoads && !R.Bad; ++I) {
+    GlobalLoadSite L;
+    if (!Refs.global(R.u32(), L.Global))
+      return false;
+    L.Routine = Self;
+    L.Block = R.u32();
+    L.InstrIdx = R.u32();
+    L.Line = R.u32();
+    F.CandidateLoads.push_back(L);
+  }
+  uint32_t NUse = R.u32();
+  for (uint32_t I = 0; I != NUse && !R.Bad; ++I) {
+    GlobalId G = InvalidId;
+    if (!Refs.global(R.u32(), G))
+      return false;
+    F.GlobalUse.emplace_back(G, R.u8());
+  }
+  AnalysisSummary &Sum = F.Summary;
+  Sum.NumParams = R.u32();
+  Sum.DirectlyUsedParams = R.u32();
+  Sum.TrapOnZeroParams = R.u32();
+  Sum.HasComputedReturn = R.u8() != 0;
+  Sum.Minimal = R.u8() != 0;
+  for (auto *List : {&Sum.Loads, &Sum.Stores}) {
+    uint32_t N = R.u32();
+    for (uint32_t I = 0; I != N && !R.Bad; ++I) {
+      AnalysisSummary::GlobalSite GS;
+      if (!Refs.global(R.u32(), GS.Global))
+        return false;
+      GS.Block = R.u32();
+      GS.InstrIdx = R.u32();
+      GS.Line = R.u32();
+      GS.Reachable = R.u8() != 0;
+      List->push_back(GS);
+    }
+  }
+  uint32_t NSites = R.u32();
+  for (uint32_t I = 0; I != NSites && !R.Bad; ++I) {
+    AnalysisSummary::Site Site;
+    if (!Refs.routine(R.u32(), Site.Callee))
+      return false;
+    Site.Block = R.u32();
+    Site.InstrIdx = R.u32();
+    Site.Line = R.u32();
+    Site.ResultUsed = R.u8() != 0;
+    Site.Reachable = R.u8() != 0;
+    uint32_t NArgs = R.u32();
+    for (uint32_t J = 0; J != NArgs && !R.Bad; ++J) {
+      AnalysisSummary::CallArg A;
+      uint8_t Kind = R.u8();
+      if (Kind > static_cast<uint8_t>(AnalysisSummary::ArgKind::ParamCopy))
+        return false;
+      A.Kind = static_cast<AnalysisSummary::ArgKind>(Kind);
+      A.Imm = R.i64();
+      A.Param = R.u8();
+      Site.Args.push_back(A);
+    }
+    Sum.Sites.push_back(std::move(Site));
+  }
+  uint32_t NMust = R.u32();
+  for (uint32_t I = 0; I != NMust && !R.Bad; ++I) {
+    RoutineId Callee = InvalidId;
+    if (!Refs.routine(R.u32(), Callee))
+      return false;
+    Sum.MustCallees.push_back(Callee);
+  }
+  F.ScratchBytes = R.u64();
+  return !R.Bad;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AnalysisSummaryCache
+//===----------------------------------------------------------------------===//
+
+AnalysisSummaryCache::AnalysisSummaryCache(std::string Dir)
+    : Dir(std::move(Dir)) {
+  ::mkdir(this->Dir.c_str(), 0755); // Best-effort; writes report failures.
+}
+
+std::string AnalysisSummaryCache::pathFor(uint64_t Key) const {
+  return Dir + "/ana-" + cachefmt::hexKey(Key) + ".art";
+}
+
+AnalysisSummaryCache::ModuleKey
+AnalysisSummaryCache::keys(const Program &P, ModuleId M,
+                           const std::vector<uint64_t> &ContentHashes,
+                           bool Verify, uint32_t NumProbes) const {
+  std::vector<uint8_t> Material =
+      keyMaterial(P, M, ContentHashes, Verify, NumProbes);
+  ModuleKey K;
+  K.Key = hashBytes(Material.data(), Material.size(), /*Seed=*/0);
+  K.Check = hashBytes(Material.data(), Material.size(), /*Seed=*/1);
+  return K;
+}
+
+bool AnalysisSummaryCache::load(
+    const Program &P, ModuleId M, const ModuleKey &K,
+    std::vector<std::pair<RoutineId, RoutineFacts>> &Out) {
+  auto Miss = [&] {
+    ++Misses;
+    return false;
+  };
+
+  std::vector<uint8_t> Bytes;
+  if (!readFile(pathFor(K.Key), Bytes))
+    return Miss();
+  if (!cachefmt::checkArtifactFrame(Bytes))
+    return Miss();
+
+  Reader R(Bytes, cachefmt::FrameBytes);
+  if (R.u32() != AnaFormatVersion)
+    return Miss();
+  // The second-seed check hash: a key collision (same filename, different
+  // module state) fails here instead of replaying someone else's facts.
+  if (R.u64() != K.Check)
+    return Miss();
+
+  RefTables Refs;
+  if (!Refs.read(P, R))
+    return Miss();
+
+  std::vector<RoutineId> Owned = ownedDefined(P, M);
+  if (R.u32() != Owned.size())
+    return Miss();
+
+  std::vector<std::pair<RoutineId, RoutineFacts>> Loaded;
+  Loaded.reserve(Owned.size());
+  for (RoutineId Self : Owned) {
+    RoutineFacts F;
+    if (!decodeFacts(R, Refs, Self, F))
+      return Miss();
+    Loaded.emplace_back(Self, std::move(F));
+  }
+  if (R.Bad || R.P != R.End)
+    return Miss();
+
+  Out = std::move(Loaded);
+  ++Hits;
+  return true;
+}
+
+void AnalysisSummaryCache::store(
+    const Program &P, ModuleId M, const ModuleKey &K,
+    const std::vector<std::pair<RoutineId, const RoutineFacts *>> &Records) {
+  // Encode records first: the reference tables fill as a side effect and
+  // must precede the records in the payload.
+  RefTableWriter Refs;
+  Sink Body;
+  Body.u32(static_cast<uint32_t>(Records.size()));
+  for (const auto &Rec : Records)
+    encodeFacts(P, *Rec.second, Refs, Body);
+
+  Sink Payload;
+  Payload.u32(AnaFormatVersion);
+  Payload.u64(K.Check);
+  Refs.emit(P, Payload);
+  Payload.Bytes.insert(Payload.Bytes.end(), Body.Bytes.begin(),
+                       Body.Bytes.end());
+
+  Sink File;
+  cachefmt::frameArtifact(File, Payload.Bytes);
+  File.Bytes.insert(File.Bytes.end(), Payload.Bytes.begin(),
+                    Payload.Bytes.end());
+
+  if (writeFile(pathFor(K.Key), File.Bytes))
+    ++Stores;
+  else
+    ++StoreFailures;
+}

@@ -1,0 +1,93 @@
+//===- analysis/SummaryCache.h ----------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed per-module cache for `scmoc --analyze --incremental`,
+/// built on the same envelope and rebinding rules as the PR-4 artifact
+/// cache (cache/CacheFormat.h). The unit of caching matches the unit of
+/// recomputation: the streaming phase's per-routine work (verify + four
+/// dataflow solves + summary extraction) is intraprocedural, so one
+/// module's record set rises and falls with that module's IL alone. The
+/// interprocedural phase is NOT cached — it is a cheap fixpoint over the
+/// summaries and re-runs every time, which is exactly what makes a warm
+/// re-analysis after a one-module edit recompute only the edited module
+/// (plus hashing) yet stay byte-identical to a cold run.
+///
+/// An artifact stores, per owned defined routine in declaration order: the
+/// local diagnostics, the never-written-global-load candidates, the sparse
+/// global-use facts, and the full AnalysisSummary — every routine and
+/// global reference recorded by name so a cached module replays correctly
+/// after other modules' ids shifted. Keys hash the module's routine content
+/// hashes plus the analysis option fingerprint and every global's shape
+/// (a global's size/init feeds the zero-read checks of any module that
+/// touches it). A second-seed check hash inside the artifact turns key
+/// collisions into misses; a failed frame, version, count or name
+/// resolution likewise degrades to recomputation, never to a wrong report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_ANALYSIS_SUMMARYCACHE_H
+#define SCMO_ANALYSIS_SUMMARYCACHE_H
+
+#include "analysis/Passes.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scmo {
+
+/// Directory-backed store for per-module analysis records. One instance per
+/// analysis run; not thread-safe (load/store run on the coordinating
+/// thread — only hashing and recomputation fan out).
+class AnalysisSummaryCache {
+public:
+  explicit AnalysisSummaryCache(std::string Dir);
+
+  struct ModuleKey {
+    uint64_t Key = 0;
+    uint64_t Check = 0;
+  };
+
+  /// Computes module \p M's cache identity from its owned routines' content
+  /// hashes (indexed by RoutineId) and the analysis options that change
+  /// what the streaming phase produces. Filter and output format are
+  /// deliberately absent: they post-process the diagnostic set.
+  ModuleKey keys(const Program &P, ModuleId M,
+                 const std::vector<uint64_t> &ContentHashes, bool Verify,
+                 uint32_t NumProbes) const;
+
+  /// Attempts to load module \p M's records. On a hit fills \p Out with one
+  /// (routine, facts) entry per owned defined routine, in declaration
+  /// order, every id rebound against \p P, and returns true. Any failure is
+  /// a miss and leaves \p Out untouched.
+  bool load(const Program &P, ModuleId M, const ModuleKey &K,
+            std::vector<std::pair<RoutineId, RoutineFacts>> &Out);
+
+  /// Stores module \p M's records after a cold scan. \p Records must be
+  /// the module's owned defined routines in declaration order. A store
+  /// failure only bumps StoreFailures — the analysis carries on.
+  void store(const Program &P, ModuleId M, const ModuleKey &K,
+             const std::vector<std::pair<RoutineId, const RoutineFacts *>>
+                 &Records);
+
+  size_t Hits = 0;
+  size_t Misses = 0;
+  size_t Stores = 0;
+  size_t StoreFailures = 0;
+
+private:
+  std::string pathFor(uint64_t Key) const;
+
+  std::string Dir;
+};
+
+} // namespace scmo
+
+#endif // SCMO_ANALYSIS_SUMMARYCACHE_H

@@ -8,6 +8,7 @@
 #include "cache/ArtifactCache.h"
 
 #include "bytecode/ObjectFile.h"
+#include "cache/CacheFormat.h"
 #include "support/Hash.h"
 
 #include <algorithm>
@@ -16,89 +17,17 @@
 #include <sys/stat.h>
 
 using namespace scmo;
+using cachefmt::FrameBytes;
+using cachefmt::Reader;
+using cachefmt::Sink;
 
 namespace {
 
-/// Artifact frame: magic, payload size, XXH64 of the payload — the NAIM
-/// repository's framing discipline applied to a whole file.
-constexpr uint32_t ArtifactMagic = 0x53434131; // "SCA1"
-constexpr size_t FrameBytes = 16;
-
 /// Current payload format. Bump on any layout change: an old artifact then
-/// fails the version check and reads as a miss.
+/// fails the version check and reads as a miss. (The frame envelope and
+/// codecs live in cache/CacheFormat.h, shared with the analysis summary
+/// cache; this version covers only the machine-code payload layout.)
 constexpr uint32_t FormatVersion = 1;
-
-//===----------------------------------------------------------------------===//
-// Byte-level encode / decode
-//===----------------------------------------------------------------------===//
-
-struct Sink {
-  std::vector<uint8_t> Bytes;
-
-  void u8(uint8_t V) { Bytes.push_back(V); }
-  void u32(uint32_t V) {
-    for (int I = 0; I != 4; ++I)
-      Bytes.push_back(static_cast<uint8_t>(V >> (I * 8)));
-  }
-  void u64(uint64_t V) {
-    for (int I = 0; I != 8; ++I)
-      Bytes.push_back(static_cast<uint8_t>(V >> (I * 8)));
-  }
-  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
-  void str(const std::string &S) {
-    u32(static_cast<uint32_t>(S.size()));
-    Bytes.insert(Bytes.end(), S.begin(), S.end());
-  }
-};
-
-/// Bounds-checked reader; any overrun latches Bad and every subsequent read
-/// returns zero, so a truncated payload can't walk off the buffer.
-struct Reader {
-  const uint8_t *P;
-  const uint8_t *End;
-  bool Bad = false;
-
-  Reader(const std::vector<uint8_t> &B, size_t Offset)
-      : P(B.data() + Offset), End(B.data() + B.size()) {}
-
-  bool need(size_t N) {
-    if (Bad || static_cast<size_t>(End - P) < N) {
-      Bad = true;
-      return false;
-    }
-    return true;
-  }
-  uint8_t u8() {
-    if (!need(1))
-      return 0;
-    return *P++;
-  }
-  uint32_t u32() {
-    if (!need(4))
-      return 0;
-    uint32_t V = 0;
-    for (int I = 0; I != 4; ++I)
-      V |= static_cast<uint32_t>(*P++) << (I * 8);
-    return V;
-  }
-  uint64_t u64() {
-    if (!need(8))
-      return 0;
-    uint64_t V = 0;
-    for (int I = 0; I != 8; ++I)
-      V |= static_cast<uint64_t>(*P++) << (I * 8);
-    return V;
-  }
-  int64_t i64() { return static_cast<int64_t>(u64()); }
-  std::string str() {
-    uint32_t N = u32();
-    if (!need(N))
-      return "";
-    std::string S(reinterpret_cast<const char *>(P), N);
-    P += N;
-    return S;
-  }
-};
 
 //===----------------------------------------------------------------------===//
 // Symbol reference tables
@@ -178,42 +107,16 @@ struct RefBuilder {
 };
 
 ModuleId findModule(const Program &P, const std::string &Name) {
-  StrId Id = P.Strings.lookup(Name);
-  if (Id == InvalidStr)
-    return InvalidId;
-  for (ModuleId M = 0; M != P.numModules(); ++M)
-    if (P.module(M).Name == Id)
-      return M;
-  return InvalidId;
+  return cachefmt::findModuleByName(P, Name);
 }
 
 /// Resolves a named routine reference against the current program.
 RoutineId resolveRoutine(const Program &P, const RoutineRef &Ref) {
-  if (Ref.IsStatic) {
-    ModuleId M = findModule(P, Ref.Owner);
-    if (M == InvalidId)
-      return InvalidId;
-    return P.findRoutineInModule(M, Ref.Name);
-  }
-  return P.findRoutine(Ref.Name);
+  return cachefmt::resolveRoutineByName(P, Ref.Name, Ref.IsStatic, Ref.Owner);
 }
 
 GlobalId resolveGlobal(const Program &P, const GlobalRef &Ref) {
-  if (Ref.IsStatic) {
-    ModuleId M = findModule(P, Ref.Owner);
-    if (M == InvalidId)
-      return InvalidId;
-    StrId NameId = P.Strings.lookup(Ref.Name);
-    if (NameId == InvalidStr)
-      return InvalidId;
-    for (GlobalId G : P.module(M).Globals) {
-      const GlobalVar &GV = P.global(G);
-      if (GV.IsStatic && GV.Owner == M && GV.Name == NameId)
-        return G;
-    }
-    return InvalidId;
-  }
-  return P.findGlobal(Ref.Name);
+  return cachefmt::resolveGlobalByName(P, Ref.Name, Ref.IsStatic, Ref.Owner);
 }
 
 /// Whether this machine opcode's Sym is a routine, a global, or unused.
@@ -356,13 +259,6 @@ std::vector<uint8_t> keyMaterial(const Program &P, const CacheUnit &U,
   return std::move(S.Bytes);
 }
 
-std::string hex(uint64_t V) {
-  char Buf[17];
-  std::snprintf(Buf, sizeof(Buf), "%016llx",
-                static_cast<unsigned long long>(V));
-  return Buf;
-}
-
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -377,7 +273,8 @@ ArtifactCache::ArtifactCache(std::string Dir,
 }
 
 std::string ArtifactCache::pathFor(const CacheUnit &U, uint64_t Key) const {
-  return Dir + "/" + (U.IsCmoUnit ? "unit-" : "mod-") + hex(Key) + ".art";
+  return Dir + "/" + (U.IsCmoUnit ? "unit-" : "mod-") + cachefmt::hexKey(Key) +
+         ".art";
 }
 
 ArtifactCache::UnitKey
@@ -418,17 +315,9 @@ bool ArtifactCache::load(Program &P, const CacheUnit &U, const UnitKey &K,
     Injector->corruptBytes(Bytes.data(), Bytes.size());
 
   // Frame validation.
-  if (Bytes.size() < FrameBytes)
+  if (!cachefmt::checkArtifactFrame(Bytes))
     return Miss();
-  Reader F(Bytes, 0);
-  if (F.u32() != ArtifactMagic)
-    return Miss();
-  uint32_t PayloadSize = F.u32();
-  uint64_t Sum = F.u64();
-  if (Bytes.size() != FrameBytes + PayloadSize)
-    return Miss();
-  if (hashBytes(Bytes.data() + FrameBytes, PayloadSize) != Sum)
-    return Miss();
+  size_t PayloadSize = Bytes.size() - FrameBytes;
 
   Reader R(Bytes, FrameBytes);
   if (R.u32() != FormatVersion)
@@ -672,9 +561,7 @@ void ArtifactCache::store(const Program &P, const CacheUnit &U,
   // injected corruption lands, mirroring real silent disk corruption: the
   // frame looks intact, the checksum catches it at read time.
   Sink File;
-  File.u32(ArtifactMagic);
-  File.u32(static_cast<uint32_t>(Payload.Bytes.size()));
-  File.u64(hashBytes(Payload.Bytes.data(), Payload.Bytes.size()));
+  cachefmt::frameArtifact(File, Payload.Bytes);
 
   if (Injector) {
     switch (Injector->next(FaultInjector::Site::Store)) {

@@ -190,6 +190,126 @@ std::vector<RoutineId> CallGraph::recursiveRoutines() const {
   return std::vector<RoutineId>(Recursive.begin(), Recursive.end());
 }
 
+CallGraph CallGraph::fromSites(std::vector<CallSite> AllSites) {
+  CallGraph G;
+  G.Sites = std::move(AllSites);
+  for (uint32_t SiteIdx = 0; SiteIdx != G.Sites.size(); ++SiteIdx) {
+    const CallSite &S = G.Sites[SiteIdx];
+    G.Out[S.Caller].push_back(SiteIdx);
+    G.In[S.Callee].push_back(SiteIdx);
+  }
+  return G;
+}
+
+CallGraph::Condensation
+CallGraph::condense(const std::vector<RoutineId> &Nodes) const {
+  Condensation C;
+  std::set<RoutineId> NodeSet(Nodes.begin(), Nodes.end());
+
+  // Iterative Tarjan over exactly the requested nodes; edges leaving the
+  // node set (e.g. calls to undefined externs) are ignored. Roots are taken
+  // in the caller's order, so the SCC numbering is deterministic.
+  std::map<RoutineId, uint32_t> Index; // Discovery index, absent = unvisited.
+  std::map<RoutineId, uint32_t> LowLink;
+  std::map<RoutineId, bool> OnStack;
+  std::vector<RoutineId> SccStack;
+  uint32_t NextIndex = 1;
+
+  struct Frame {
+    RoutineId Node;
+    size_t NextEdge;
+  };
+  for (RoutineId Root : Nodes) {
+    if (Index.count(Root))
+      continue;
+    std::vector<Frame> Work;
+    Work.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    SccStack.push_back(Root);
+    OnStack[Root] = true;
+    while (!Work.empty()) {
+      Frame &F = Work.back();
+      const auto &Edges = sitesOf(F.Node);
+      if (F.NextEdge < Edges.size()) {
+        RoutineId Callee = Sites[Edges[F.NextEdge++]].Callee;
+        if (!NodeSet.count(Callee))
+          continue;
+        auto It = Index.find(Callee);
+        if (It == Index.end()) {
+          Index[Callee] = LowLink[Callee] = NextIndex++;
+          SccStack.push_back(Callee);
+          OnStack[Callee] = true;
+          Work.push_back({Callee, 0});
+        } else if (OnStack[Callee]) {
+          LowLink[F.Node] = std::min(LowLink[F.Node], It->second);
+        }
+        continue;
+      }
+      RoutineId Done = F.Node;
+      Work.pop_back();
+      if (!Work.empty())
+        LowLink[Work.back().Node] =
+            std::min(LowLink[Work.back().Node], LowLink[Done]);
+      if (LowLink[Done] == Index[Done]) {
+        std::vector<RoutineId> Scc;
+        while (true) {
+          RoutineId Member = SccStack.back();
+          SccStack.pop_back();
+          OnStack[Member] = false;
+          Scc.push_back(Member);
+          if (Member == Done)
+            break;
+        }
+        std::sort(Scc.begin(), Scc.end());
+        uint32_t SccIdx = static_cast<uint32_t>(C.Members.size());
+        for (RoutineId Member : Scc)
+          C.SccOf.emplace(Member, SccIdx);
+        C.Members.push_back(std::move(Scc));
+      }
+    }
+  }
+
+  // Condensation edges and cyclicity. Tarjan pops callees before callers,
+  // so every cross-SCC edge points to a smaller index.
+  C.Succs.resize(C.Members.size());
+  C.Cyclic.assign(C.Members.size(), false);
+  for (uint32_t SccIdx = 0; SccIdx != C.Members.size(); ++SccIdx) {
+    if (C.Members[SccIdx].size() > 1)
+      C.Cyclic[SccIdx] = true;
+    for (RoutineId Member : C.Members[SccIdx]) {
+      for (uint32_t SiteIdx : sitesOf(Member)) {
+        RoutineId Callee = Sites[SiteIdx].Callee;
+        if (!NodeSet.count(Callee))
+          continue;
+        uint32_t CalleeScc = C.SccOf.at(Callee);
+        if (CalleeScc == SccIdx) {
+          if (Callee == Member)
+            C.Cyclic[SccIdx] = true; // Self edge.
+          continue;
+        }
+        C.Succs[SccIdx].push_back(CalleeScc);
+      }
+    }
+    std::vector<uint32_t> &S = C.Succs[SccIdx];
+    std::sort(S.begin(), S.end());
+    S.erase(std::unique(S.begin(), S.end()), S.end());
+  }
+
+  // Kahn levels by longest path to a leaf: successors have smaller indices,
+  // so one ascending sweep computes every level.
+  std::vector<uint32_t> Level(C.Members.size(), 0);
+  uint32_t MaxLevel = 0;
+  for (uint32_t SccIdx = 0; SccIdx != C.Members.size(); ++SccIdx) {
+    for (uint32_t Succ : C.Succs[SccIdx])
+      Level[SccIdx] = std::max(Level[SccIdx], Level[Succ] + 1);
+    MaxLevel = std::max(MaxLevel, Level[SccIdx]);
+  }
+  C.Levels.resize(C.Members.empty() ? 0 : MaxLevel + 1);
+  for (uint32_t SccIdx = 0; SccIdx != C.Members.size(); ++SccIdx)
+    C.Levels[Level[SccIdx]].push_back(SccIdx);
+  return C;
+}
+
 bool CallGraph::isRecursive(RoutineId R) const {
   // DFS from R over call edges looking for a path back to R.
   std::set<RoutineId> Visited;

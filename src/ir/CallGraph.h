@@ -121,6 +121,29 @@ public:
   /// node-keyed set.
   std::vector<RoutineId> recursiveRoutines() const;
 
+  /// Rebuilds a graph from an explicit site list (e.g. call sites replayed
+  /// from cached analysis summaries instead of live bodies). Site order is
+  /// preserved, so a list produced in (caller, block, instr) order yields a
+  /// graph identical to a body scan.
+  static CallGraph fromSites(std::vector<CallSite> AllSites);
+
+  /// The Tarjan SCC condensation of the graph restricted to \p Nodes —
+  /// the scaffold for bottom-up interprocedural propagation. SCC indices
+  /// are Tarjan completion order, which is a bottom-up topological order of
+  /// the condensation DAG: every SCC's successors (callees) have smaller
+  /// indices. Levels groups the SCCs into Kahn waves — level 0 is the
+  /// leaves, and every SCC's callees live in strictly lower levels — so a
+  /// scheduler can run each level's SCCs in parallel with a barrier
+  /// between levels and still see fully-propagated callee facts.
+  struct Condensation {
+    std::vector<std::vector<RoutineId>> Members; ///< Per SCC, ascending.
+    std::map<RoutineId, uint32_t> SccOf;
+    std::vector<std::vector<uint32_t>> Succs; ///< Callee SCCs, ascending.
+    std::vector<bool> Cyclic; ///< Size > 1 or a self edge.
+    std::vector<std::vector<uint32_t>> Levels;
+  };
+  Condensation condense(const std::vector<RoutineId> &Nodes) const;
+
 private:
   std::vector<CallSite> Sites;
   std::map<RoutineId, std::vector<uint32_t>> Out;

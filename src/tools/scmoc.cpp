@@ -33,6 +33,8 @@
 ///                            build; prints diagnostics, exits 1 on errors
 ///     --analyze-filter <c,..> keep only these check codes (names like
 ///                            scmo-dead-store)
+///     --analyze-format <f>   report format: text (default) or json (one
+///                            object per diagnostic, stable key order)
 ///     --gen-mcad <lines>     analyze/compile a generated MCAD-like program
 ///                            of roughly this many lines (no input files
 ///                            needed)
@@ -42,7 +44,9 @@
 ///                            <dir> before linking (the production flow)
 ///     --incremental          reuse cached HLO+LLO artifacts across builds;
 ///                            unaffected modules skip optimization and
-///                            lowering entirely (needs --cache-dir)
+///                            lowering entirely (needs --cache-dir). With
+///                            --analyze: reuse per-module analysis
+///                            summaries, rescanning only edited modules
 ///     --cache-dir <dir>      artifact cache directory for --incremental
 ///     --fault-inject <spec>  deterministically inject faults into the NAIM
 ///                            spill path (see support/FaultInjector.h for
@@ -80,7 +84,8 @@ int usage(const char *Argv0) {
                "[--naim-compress off|fast] [--naim-prefetch K] "
                "[--jobs N] [--hlo-partitions N] [--run] [--emit-il R] "
                "[--disasm R] [--stats] "
-               "[--analyze] [--analyze-filter CODES] [--gen-mcad LINES] "
+               "[--analyze] [--analyze-filter CODES] "
+               "[--analyze-format text|json] [--gen-mcad LINES] "
                "[--plant-defects] [--write-objects DIR] "
                "[--incremental] [--cache-dir DIR] "
                "[--fault-inject SPEC] files...\n",
@@ -134,6 +139,19 @@ bool readSource(const std::string &Path, std::string &Out) {
   return true;
 }
 
+/// Every stable check-code name, comma-separated — the vocabulary an
+/// --analyze-filter typo is corrected against.
+std::string allCheckCodeNames() {
+  std::string Out;
+  for (unsigned C = 0; C != static_cast<unsigned>(CheckCode::NumCheckCodes);
+       ++C) {
+    if (C)
+      Out += ", ";
+    Out += checkCodeName(static_cast<CheckCode>(C));
+  }
+  return Out;
+}
+
 std::string moduleNameOf(const std::string &Path) {
   size_t Slash = Path.find_last_of('/');
   std::string Base = Slash == std::string::npos ? Path
@@ -150,7 +168,7 @@ int main(int argc, char **argv) {
   std::string ProfilePath;
   std::string EmitIlRoutine, DisasmRoutine;
   bool Run = false, Stats = false;
-  bool Analyze = false, PlantDefects = false;
+  bool Analyze = false, AnalyzeJson = false, PlantDefects = false;
   uint64_t GenMcadLines = 0;
   std::vector<CheckCode> AnalyzeFilter;
   // I/O-path knobs are collected here and applied after the loop:
@@ -248,13 +266,23 @@ int main(int argc, char **argv) {
           CheckCode Code;
           if (!parseCheckCode(Name, Code))
             optionError("--analyze-filter",
-                        "unknown check code '" + Name + "'");
+                        "unknown check code '" + Name +
+                            "'; known codes: " + allCheckCodeNames());
           AnalyzeFilter.push_back(Code);
         }
         if (Comma == std::string::npos)
           break;
         Start = Comma + 1;
       }
+    } else if (Arg == "--analyze-format") {
+      std::string Format = takeValue("--analyze-format");
+      if (Format == "json")
+        AnalyzeJson = true;
+      else if (Format == "text")
+        AnalyzeJson = false;
+      else
+        optionError("--analyze-format",
+                    "expected 'text' or 'json', got '" + Format + "'");
     } else if (Arg == "--gen-mcad")
       GenMcadLines = parseCount("--gen-mcad", takeValue("--gen-mcad"), 1);
     else if (Arg == "--plant-defects")
@@ -314,6 +342,9 @@ int main(int argc, char **argv) {
     AnalysisOptions AOpts;
     AOpts.Jobs = Opts.Jobs;
     AOpts.Filter = std::move(AnalyzeFilter);
+    AOpts.Json = AnalyzeJson;
+    AOpts.Incremental = Opts.Incremental;
+    AOpts.CacheDir = Opts.CacheDir;
     AnalysisResult AR = Session.runAnalysis(AOpts);
     if (!AR.Ok) {
       std::fprintf(stderr, "scmoc: %s\n", AR.Error.c_str());
@@ -325,6 +356,17 @@ int main(int argc, char **argv) {
                  "%zu notes; %.3fs, peak %.2f MiB]\n",
                  AR.RoutinesAnalyzed, AR.Errors, AR.Warnings, AR.Notes,
                  AR.Seconds, double(AR.PeakBytes) / 1048576.0);
+    std::fprintf(stderr,
+                 "[interproc: %zu sccs, %zu waves, %zu reachable; "
+                 "stream %.3fs, interproc %.3fs]\n",
+                 AR.Sccs, AR.Waves, AR.ReachableRoutines, AR.StreamSeconds,
+                 AR.InterprocSeconds);
+    if (AOpts.Incremental)
+      std::fprintf(stderr,
+                   "[analysis cache: %zu hits, %zu misses, %zu stores; "
+                   "rescanned %zu routines]\n",
+                   AR.CacheHits, AR.CacheMisses, AR.CacheStores,
+                   AR.RoutinesRescanned);
     return AR.Errors ? 1 : 0;
   }
 

@@ -384,10 +384,11 @@ private:
 
   /// One module seeded with a known instance of every source-expressible
   /// lint defect (def-before-use is not expressible: MiniC zero-initializes
-  /// every `var`). Nothing here is called from the rest of the program —
-  /// every check involved is either intraprocedural or whole-program
-  /// (unused-routine findings on these helpers are themselves planted
-  /// defects).
+  /// every `var`). The intraprocedural baits are uncalled (their
+  /// unused-routine findings are themselves planted defects); the
+  /// interprocedural baits hang off lint_main, which the generated main
+  /// calls once, because the whole-program checks gate on reachability from
+  /// the program entry.
   GeneratedModule buildLintbaitModule() {
     std::ostringstream OS;
     uint32_t Lines = 0;
@@ -398,6 +399,12 @@ private:
     line("// planted analysis defects");
     line("global lint_sink;"); // scmo-write-only-global: stored, never loaded.
     line("global lint_zero;"); // scmo-never-written-global-load: the reverse.
+    // scmo-dead-global-store: stored on the reachable path (lint_main), but
+    // the only load sits in lint_ghost's unreachable tail.
+    line("global lint_orphan;");
+    // scmo-uninit-global-read: the dual — the only store is unreachable, a
+    // reachable load observes the zero initializer.
+    line("global lint_phantom;");
     line("");
     line("func lint_unused(p0) {"); // scmo-unused-routine.
     line("  return p0 + 1;");
@@ -422,6 +429,65 @@ private:
     // Both arms returned: the merge block below is unreachable and carries
     // real code, so it is not the suppressed lone-implicit-ret shape.
     line("  lint_sink = 99;"); // scmo-unreachable-block.
+    line("}");
+    line("");
+    // scmo-dead-parameter, twice: lint_carry's p1 is directly unused, and
+    // lint_relay's p1 only flows into it — the optimistic fixpoint must
+    // propagate deadness through the forwarding chain.
+    line("func lint_carry(p0, p1) {");
+    line("  return p0 * 2;");
+    line("}");
+    line("");
+    line("func lint_relay(p0, p1) {");
+    line("  return lint_carry(p0, p1);");
+    line("}");
+    line("");
+    // scmo-ipcp-constant-trap: lint_div divides by its parameter;
+    // lint_chain forwards its own parameter into that divisor; the call in
+    // lint_main passes literal zero into the head of the chain.
+    line("func lint_div(p0, p1) {");
+    line("  return p0 / p1;");
+    line("}");
+    line("");
+    line("func lint_chain(p0, p1) {");
+    line("  return lint_div(p0, p1);");
+    line("}");
+    line("");
+    // scmo-ignored-return: computes a value, and its only call site (an
+    // expression statement in lint_main) discards it.
+    line("func lint_noisy(p0) {");
+    line("  return p0 * 3 + 1;");
+    line("}");
+    line("");
+    // scmo-infinite-recursion: every path calls back into itself. Never
+    // executed — the VM would spin — so it also baits unused-routine.
+    line("func lint_spin(p0) {");
+    line("  return lint_spin(p0 + 1);");
+    line("}");
+    line("");
+    // Unreachable tail supplying the only load of lint_orphan and the only
+    // store of lint_phantom (plus another scmo-unreachable-block).
+    line("func lint_ghost(p0) {");
+    line("  if (p0 > 0) {");
+    line("    return 1;");
+    line("  } else {");
+    line("    return 2;");
+    line("  }");
+    line("  lint_phantom = 41;");
+    line("  var g = lint_orphan;");
+    line("  return g;");
+    line("}");
+    line("");
+    // The reachable entry: called once from the generated main, so the
+    // whole-program checks see everything below as executable.
+    line("func lint_main(p0) {");
+    line("  lint_orphan = p0 + 1;"); // scmo-dead-global-store.
+    line("  var ph = lint_phantom;"); // scmo-uninit-global-read.
+    line("  var a = lint_relay(p0, ph);");
+    line("  var q = lint_chain(a, 0);"); // scmo-ipcp-constant-trap.
+    line("  lint_noisy(q);"); // scmo-ignored-return.
+    line("  var gh = lint_ghost(q);");
+    line("  return a + q + gh + ph;");
     line("}");
     GeneratedModule GM;
     GM.Name = "lintbait";
@@ -461,6 +527,10 @@ private:
     // Observable per-module accumulators.
     for (uint32_t M = 0; M != Params.NumModules; ++M)
       line("  print g" + std::to_string(M) + "_acc;");
+    // One call into the lintbait module's reachable entry: the
+    // interprocedural planted defects gate on whole-program reachability.
+    if (Params.PlantDefects)
+      line("  print lint_main(acc);");
     line("  return 0;");
     line("}");
   }

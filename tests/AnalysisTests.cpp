@@ -16,10 +16,15 @@
 #include "analysis/Dataflow.h"
 #include "analysis/Passes.h"
 #include "driver/CompilerSession.h"
+#include "ir/CallGraph.h"
 #include "ir/Verifier.h"
 #include "workload/Generator.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <dirent.h>
+#include <fstream>
 
 using namespace scmo;
 
@@ -376,6 +381,62 @@ TEST(Checks, UnreachableCodeProducesNoSecondaryFindings) {
 }
 
 //===----------------------------------------------------------------------===//
+// Call-graph condensation: the scaffold for the SCC waves
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CallSite site(RoutineId Caller, RoutineId Callee, uint32_t Idx = 0) {
+  CallSite S;
+  S.Caller = Caller;
+  S.Block = 0;
+  S.InstrIdx = Idx;
+  S.Callee = Callee;
+  return S;
+}
+
+} // namespace
+
+TEST(Condense, BottomUpOrderAndKahnLevels) {
+  // 0 -> {1 <-> 2} -> 3: a chain through a two-routine cycle.
+  CallGraph G = CallGraph::fromSites(
+      {site(0, 1), site(1, 2), site(2, 1, 1), site(2, 3, 2)});
+  CallGraph::Condensation C = G.condense({0, 1, 2, 3});
+  ASSERT_EQ(C.Members.size(), 3u);
+  // Tarjan completion order is bottom-up: every callee SCC has a smaller
+  // index than its caller SCC.
+  for (uint32_t S = 0; S != C.Succs.size(); ++S)
+    for (uint32_t T : C.Succs[S])
+      EXPECT_LT(T, S);
+  // The cycle is one SCC with ascending members; the endpoints are acyclic
+  // singletons.
+  uint32_t Cycle = C.SccOf.at(1);
+  EXPECT_EQ(C.SccOf.at(2), Cycle);
+  EXPECT_EQ(C.Members[Cycle], (std::vector<RoutineId>{1, 2}));
+  EXPECT_TRUE(C.Cyclic[Cycle]);
+  EXPECT_FALSE(C.Cyclic[C.SccOf.at(0)]);
+  EXPECT_FALSE(C.Cyclic[C.SccOf.at(3)]);
+  // Kahn levels: the leaf first, then the cycle, then the root — each
+  // level's callees all live in strictly lower levels.
+  ASSERT_EQ(C.Levels.size(), 3u);
+  EXPECT_EQ(C.Levels[0], (std::vector<uint32_t>{C.SccOf.at(3)}));
+  EXPECT_EQ(C.Levels[1], (std::vector<uint32_t>{Cycle}));
+  EXPECT_EQ(C.Levels[2], (std::vector<uint32_t>{C.SccOf.at(0)}));
+}
+
+TEST(Condense, SelfEdgeMakesSingletonCyclic) {
+  CallGraph G = CallGraph::fromSites({site(5, 5)});
+  CallGraph::Condensation C = G.condense({5});
+  ASSERT_EQ(C.Members.size(), 1u);
+  EXPECT_TRUE(C.Cyclic[0]);
+  // A singleton with no self edge is acyclic.
+  CallGraph Lone = CallGraph::fromSites({});
+  CallGraph::Condensation C2 = Lone.condense({7});
+  ASSERT_EQ(C2.Members.size(), 1u);
+  EXPECT_FALSE(C2.Cyclic[0]);
+}
+
+//===----------------------------------------------------------------------===//
 // Interprocedural checks (MiniC sources through the session)
 //===----------------------------------------------------------------------===//
 
@@ -492,6 +553,306 @@ TEST(Interproc, VerifierFailureSuppressesLintForThatRoutine) {
 }
 
 //===----------------------------------------------------------------------===//
+// Whole-program checks: positive and negative per check code
+//===----------------------------------------------------------------------===//
+
+TEST(Interproc, DeadGlobalStoreNeedsEveryLoadUnreachable) {
+  // acc's only load sits in the unreachable tail after an if/else where
+  // both arms return — so the store in main can never be observed.
+  const char *Src = R"(
+global acc;
+
+func ghost(x) {
+  if (x > 0) {
+    return 1;
+  } else {
+    return 2;
+  }
+  var g = acc;
+  return g;
+}
+
+func main() {
+  acc = 5;
+  return ghost(1);
+}
+)";
+  AnalysisResult AR = analyzeSources({{"m", Src}});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::DeadGlobalStore), 1u)
+      << AR.Report;
+  // Not write-only: the global *has* a load, it is just unreachable.
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::WriteOnlyGlobal), 0u);
+
+  const char *Neg = R"(
+global acc;
+
+func main() {
+  acc = 5;
+  var v = acc;
+  return v;
+}
+)";
+  AnalysisResult NR = analyzeSources({{"m", Neg}});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  EXPECT_EQ(countCode(NR.Diagnostics, CheckCode::DeadGlobalStore), 0u)
+      << NR.Report;
+}
+
+TEST(Interproc, UninitGlobalReadNeedsEveryStoreUnreachable) {
+  const char *Src = R"(
+global phantom;
+
+func ghost(x) {
+  if (x > 0) {
+    return 1;
+  } else {
+    return 2;
+  }
+  phantom = 9;
+  return 0;
+}
+
+func main() {
+  var p = phantom;
+  return ghost(p);
+}
+)";
+  AnalysisResult AR = analyzeSources({{"m", Src}});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::UninitGlobalRead), 1u)
+      << AR.Report;
+  // Not never-written: a store exists, it is just unreachable.
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::NeverWrittenGlobalLoad), 0u);
+
+  // A reachable store anywhere in the program retires the finding,
+  // flow-insensitively (the summary tracks reachability, not ordering).
+  const char *Neg = R"(
+global phantom;
+
+func fill() {
+  phantom = 9;
+  return 0;
+}
+
+func main() {
+  var p = phantom;
+  return p + fill();
+}
+)";
+  AnalysisResult NR = analyzeSources({{"m", Neg}});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  EXPECT_EQ(countCode(NR.Diagnostics, CheckCode::UninitGlobalRead), 0u)
+      << NR.Report;
+}
+
+TEST(Interproc, DeadParameterPropagatesThroughForwardingChains) {
+  // carry ignores b; relay only forwards b into carry's dead slot — both
+  // second parameters are transitively dead.
+  const char *Src = R"(
+func carry(a, b) {
+  return a * 2;
+}
+
+func relay(a, b) {
+  return carry(a, b);
+}
+
+func main() {
+  return relay(3, 4);
+}
+)";
+  AnalysisResult AR = analyzeSources({{"m", Src}});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::DeadParameter), 2u)
+      << AR.Report;
+  EXPECT_NE(AR.Report.find("scmo-dead-parameter] carry"), std::string::npos);
+  EXPECT_NE(AR.Report.find("scmo-dead-parameter] relay"), std::string::npos);
+
+  // The callee using b makes the whole chain live.
+  const char *Neg = R"(
+func carry(a, b) {
+  return a * 2 + b;
+}
+
+func relay(a, b) {
+  return carry(a, b);
+}
+
+func main() {
+  return relay(3, 4);
+}
+)";
+  AnalysisResult NR = analyzeSources({{"m", Neg}});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  EXPECT_EQ(countCode(NR.Diagnostics, CheckCode::DeadParameter), 0u)
+      << NR.Report;
+}
+
+TEST(Interproc, IgnoredReturnFlagsComputedResultsDroppedEverywhere) {
+  const char *Src = R"(
+func noisy(x) {
+  return x * 3 + 1;
+}
+
+func main() {
+  noisy(4);
+  return 0;
+}
+)";
+  AnalysisResult AR = analyzeSources({{"m", Src}});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::IgnoredReturn), 1u)
+      << AR.Report;
+
+  // One consuming site anywhere clears the routine-level finding.
+  const char *NegUsed = R"(
+func noisy(x) {
+  return x * 3 + 1;
+}
+
+func main() {
+  noisy(4);
+  var v = noisy(5);
+  return v;
+}
+)";
+  AnalysisResult NU = analyzeSources({{"m", NegUsed}});
+  ASSERT_TRUE(NU.Ok) << NU.Error;
+  EXPECT_EQ(countCode(NU.Diagnostics, CheckCode::IgnoredReturn), 0u)
+      << NU.Report;
+
+  // A constant return is status-code style: dropping it is idiomatic.
+  const char *NegConst = R"(
+func quiet(x) {
+  var sink = x * 2;
+  return 0;
+}
+
+func main() {
+  quiet(4);
+  return 0;
+}
+)";
+  AnalysisResult NC = analyzeSources({{"m", NegConst}});
+  ASSERT_TRUE(NC.Ok) << NC.Error;
+  EXPECT_EQ(countCode(NC.Diagnostics, CheckCode::IgnoredReturn), 0u)
+      << NC.Report;
+}
+
+TEST(Interproc, IpcpConstantTrapTracksZeroThroughForwarding) {
+  // divide's divisor is a register (no local constant-trap); the literal
+  // zero enters two hops up, and the trap mask propagates through chain's
+  // forwarding to flag main's call site.
+  const char *Src = R"(
+func divide(a, b) {
+  return a / b;
+}
+
+func chain(a, b) {
+  return divide(a, b);
+}
+
+func main() {
+  return chain(12, 0);
+}
+)";
+  AnalysisResult AR = analyzeSources({{"m", Src}});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::IpcpConstantTrap), 1u)
+      << AR.Report;
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::ConstantTrap), 0u);
+  EXPECT_NE(AR.Report.find("scmo-ipcp-constant-trap] main"),
+            std::string::npos)
+      << AR.Report;
+
+  const char *Neg = R"(
+func divide(a, b) {
+  return a / b;
+}
+
+func chain(a, b) {
+  return divide(a, b);
+}
+
+func main() {
+  return chain(12, 3);
+}
+)";
+  AnalysisResult NR = analyzeSources({{"m", Neg}});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  EXPECT_EQ(countCode(NR.Diagnostics, CheckCode::IpcpConstantTrap), 0u)
+      << NR.Report;
+}
+
+TEST(Interproc, InfiniteRecursionFlagsMutualCycleWithNoExit) {
+  // ping and pong call each other unconditionally: the SCC can never
+  // unwind, and every member is named.
+  const char *Src = R"(
+func ping(x) {
+  return pong(x + 1);
+}
+
+func pong(x) {
+  return ping(x - 1);
+}
+
+func main() {
+  return ping(0);
+}
+)";
+  AnalysisResult AR = analyzeSources({{"m", Src}});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_EQ(countCode(AR.Diagnostics, CheckCode::InfiniteRecursion), 2u)
+      << AR.Report;
+  EXPECT_NE(AR.Report.find("scmo-infinite-recursion] ping"),
+            std::string::npos);
+  EXPECT_NE(AR.Report.find("scmo-infinite-recursion] pong"),
+            std::string::npos);
+
+  // Self-recursion with an escape path: the recursive call is conditional,
+  // so it is not a must-callee and the routine can terminate.
+  const char *Neg = R"(
+func down(x) {
+  if (x > 0) {
+    return down(x - 1);
+  } else {
+    return 0;
+  }
+}
+
+func main() {
+  return down(9);
+}
+)";
+  AnalysisResult NR = analyzeSources({{"m", Neg}});
+  ASSERT_TRUE(NR.Ok) << NR.Error;
+  EXPECT_EQ(countCode(NR.Diagnostics, CheckCode::InfiniteRecursion), 0u)
+      << NR.Report;
+}
+
+TEST(Interproc, CleanProgramStaysSilent) {
+  // The whole-program checks must not fire on ordinary healthy code.
+  const char *Src = R"(
+global tally;
+
+func bump(d) {
+  tally = tally + d;
+  return tally;
+}
+
+func main() {
+  tally = 0;
+  var t = bump(3);
+  return t;
+}
+)";
+  AnalysisResult AR = analyzeSources({{"m", Src}});
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_EQ(AR.Diagnostics.size(), 0u) << AR.Report;
+}
+
+//===----------------------------------------------------------------------===//
 // Engine contracts: determinism, filtering, memory
 //===----------------------------------------------------------------------===//
 
@@ -523,11 +884,15 @@ TEST(AnalyzeE2E, ReportIsByteIdenticalAcrossJobWidths) {
       EXPECT_EQ(AR.Report, Ref) << "jobs=" << Jobs;
   }
   ASSERT_FALSE(Ref.empty());
-  // Every planted defect class is present.
+  // Every planted defect class is present, including the interprocedural
+  // baits (lint_main and friends).
   for (const char *Code :
        {"scmo-dead-store", "scmo-constant-trap", "scmo-unreachable-block",
         "scmo-unused-routine", "scmo-write-only-global",
-        "scmo-never-written-global-load"})
+        "scmo-never-written-global-load", "scmo-dead-global-store",
+        "scmo-uninit-global-read", "scmo-dead-parameter",
+        "scmo-ignored-return", "scmo-ipcp-constant-trap",
+        "scmo-infinite-recursion"})
     EXPECT_NE(Ref.find(Code), std::string::npos) << Code;
 }
 
@@ -558,4 +923,224 @@ TEST(AnalyzeE2E, PeakMemoryStaysUnderNaimBudget) {
   EXPECT_GT(AR.RoutinesAnalyzed, 100u);
   EXPECT_GT(AR.PeakBytes, 0u);
   EXPECT_LT(AR.PeakBytes, Budget);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON rendering (--analyze-format=json)
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeJson, ObjectsCarryFixedKeysInDiagnosticOrder) {
+  AnalysisOptions Text;
+  AnalysisResult TR = analyzeSources({{"m", InterprocSrc}}, Text);
+  ASSERT_TRUE(TR.Ok) << TR.Error;
+
+  AnalysisOptions Json;
+  Json.Json = true;
+  AnalysisResult JR = analyzeSources({{"m", InterprocSrc}}, Json);
+  ASSERT_TRUE(JR.Ok) << JR.Error;
+
+  // Same diagnostics either way; only the rendering differs.
+  ASSERT_EQ(JR.Diagnostics.size(), TR.Diagnostics.size());
+  ASSERT_GT(JR.Diagnostics.size(), 0u);
+
+  // One object per line inside the array brackets.
+  ASSERT_GE(JR.Report.size(), 4u);
+  EXPECT_EQ(JR.Report.front(), '[');
+  EXPECT_EQ(JR.Report.substr(JR.Report.size() - 3), "\n]\n");
+  size_t Objects = 0;
+  for (size_t Pos = 0; (Pos = JR.Report.find("{\"code\":\"", Pos)) !=
+                       std::string::npos;
+       ++Pos)
+    ++Objects;
+  EXPECT_EQ(Objects, JR.Diagnostics.size());
+
+  // Fixed key order, routine-level finding: block and line degrade to
+  // null/0 rather than disappearing.
+  EXPECT_NE(JR.Report.find("{\"code\":\"scmo-unused-routine\",\"severity\":"
+                           "\"warning\",\"routine\":\"orphan\",\"block\":"
+                           "null,\"line\":0,\"message\":"),
+            std::string::npos)
+      << JR.Report;
+  // Program-level finding: routine is null.
+  EXPECT_NE(JR.Report.find("{\"code\":\"scmo-write-only-global\","
+                           "\"severity\":\"warning\",\"routine\":null,"),
+            std::string::npos)
+      << JR.Report;
+}
+
+TEST(AnalyzeJson, CleanProgramRendersEmptyArray) {
+  AnalysisOptions Json;
+  Json.Json = true;
+  AnalysisResult AR =
+      analyzeSources({{"m", "func main() {\n  return 0;\n}\n"}}, Json);
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+  EXPECT_EQ(AR.Diagnostics.size(), 0u) << AR.Report;
+  EXPECT_EQ(AR.Report, "[]\n");
+}
+
+TEST(AnalyzeJson, ReportIsByteIdenticalAcrossJobWidths) {
+  GeneratedProgram GP = plantedProgram(2000);
+  std::string Ref;
+  for (unsigned Jobs : {1u, 4u}) {
+    CompilerSession Session{CompileOptions{}};
+    ASSERT_TRUE(Session.addGenerated(GP));
+    AnalysisOptions AOpts;
+    AOpts.Jobs = Jobs;
+    AOpts.Json = true;
+    AnalysisResult AR = Session.runAnalysis(AOpts);
+    ASSERT_TRUE(AR.Ok) << AR.Error;
+    if (Jobs == 1)
+      Ref = AR.Report;
+    else
+      EXPECT_EQ(AR.Report, Ref) << "jobs=" << Jobs;
+  }
+  EXPECT_NE(Ref.find("\"code\":\"scmo-ipcp-constant-trap\""),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental re-analysis (--analyze --incremental)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A fresh analysis-cache directory under /tmp; leaked on purpose (tests
+/// are short-lived and the driver cleans /tmp).
+std::string freshAnaCacheDir() {
+  char Dir[] = "/tmp/scmo-ana-XXXXXX";
+  EXPECT_NE(mkdtemp(Dir), nullptr);
+  return Dir;
+}
+
+AnalysisResult analyzeGenerated(const GeneratedProgram &GP,
+                                const AnalysisOptions &AOpts) {
+  CompilerSession Session{CompileOptions{}};
+  EXPECT_TRUE(Session.addGenerated(GP)) << Session.firstError();
+  return Session.runAnalysis(AOpts);
+}
+
+/// The canonical "developer edited one file" event (mirrors
+/// IncrementalTests): appends a small well-formed routine to module \p Idx.
+GeneratedProgram editOneModule(GeneratedProgram GP, size_t Idx) {
+  GP.Modules[Idx].Source += "\nfunc edit_probe(x, k) {\n"
+                            "  var t = x * 3 + k;\n"
+                            "  return t % 97;\n"
+                            "}\n";
+  return GP;
+}
+
+} // namespace
+
+TEST(IncrementalAnalysis, WarmReplayIsByteIdenticalToCold) {
+  GeneratedProgram GP = plantedProgram(3000);
+
+  AnalysisResult Base = analyzeGenerated(GP, AnalysisOptions{});
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+
+  AnalysisOptions AOpts;
+  AOpts.Incremental = true;
+  AOpts.CacheDir = freshAnaCacheDir();
+
+  AnalysisResult Cold = analyzeGenerated(GP, AOpts);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  EXPECT_GT(Cold.CacheMisses, 1u);
+  EXPECT_EQ(Cold.CacheStores, Cold.CacheMisses);
+  EXPECT_EQ(Cold.RoutinesRescanned, Cold.RoutinesAnalyzed);
+  // Caching must not perturb the report.
+  EXPECT_EQ(Cold.Report, Base.Report);
+
+  AnalysisResult Warm = analyzeGenerated(GP, AOpts);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_EQ(Warm.CacheMisses, 0u);
+  EXPECT_EQ(Warm.CacheHits, Cold.CacheMisses);
+  EXPECT_EQ(Warm.RoutinesRescanned, 0u);
+  EXPECT_EQ(Warm.Report, Cold.Report);
+}
+
+TEST(IncrementalAnalysis, EditRescansOnlyTheEditedModule) {
+  GeneratedProgram GP = plantedProgram(3000);
+  AnalysisOptions AOpts;
+  AOpts.Incremental = true;
+  AOpts.CacheDir = freshAnaCacheDir();
+
+  AnalysisResult Cold = analyzeGenerated(GP, AOpts);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  ASSERT_GT(Cold.CacheMisses, 1u);
+
+  GeneratedProgram Edited = editOneModule(GP, 1);
+  AnalysisResult Warm = analyzeGenerated(Edited, AOpts);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_EQ(Warm.CacheMisses, 1u);
+  EXPECT_EQ(Warm.CacheHits, Cold.CacheMisses - 1);
+  EXPECT_GT(Warm.RoutinesRescanned, 0u);
+  EXPECT_LT(Warm.RoutinesRescanned, Warm.RoutinesAnalyzed);
+
+  // The mixed replay/rescan report equals an uncached run of the edited
+  // program (the probe routine's findings included).
+  AnalysisResult Base = analyzeGenerated(Edited, AnalysisOptions{});
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  EXPECT_EQ(Warm.Report, Base.Report);
+  EXPECT_NE(Warm.Report.find("edit_probe"), std::string::npos);
+
+  // The miss re-stored the edited module: a third run is all hits.
+  AnalysisResult Again = analyzeGenerated(Edited, AOpts);
+  ASSERT_TRUE(Again.Ok) << Again.Error;
+  EXPECT_EQ(Again.CacheMisses, 0u);
+  EXPECT_EQ(Again.RoutinesRescanned, 0u);
+  EXPECT_EQ(Again.Report, Warm.Report);
+}
+
+TEST(IncrementalAnalysis, CorruptArtifactDegradesToRescanAndHeals) {
+  GeneratedProgram GP = plantedProgram(2000);
+  AnalysisOptions AOpts;
+  AOpts.Incremental = true;
+  AOpts.CacheDir = freshAnaCacheDir();
+
+  AnalysisResult Cold = analyzeGenerated(GP, AOpts);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  ASSERT_GT(Cold.CacheMisses, 1u);
+
+  // Flip one byte in the middle of one artifact.
+  std::string Victim;
+  DIR *D = opendir(AOpts.CacheDir.c_str());
+  ASSERT_NE(D, nullptr);
+  while (dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.rfind("ana-", 0) == 0) {
+      Victim = AOpts.CacheDir + "/" + Name;
+      break;
+    }
+  }
+  closedir(D);
+  ASSERT_FALSE(Victim.empty());
+  {
+    std::fstream F(Victim,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(F.good());
+    F.seekg(0, std::ios::end);
+    long Size = static_cast<long>(F.tellg());
+    ASSERT_GT(Size, 16);
+    F.seekg(Size / 2);
+    char C = 0;
+    F.read(&C, 1);
+    C = static_cast<char>(C ^ 0x40);
+    F.seekp(Size / 2);
+    F.write(&C, 1);
+  }
+
+  // The bad frame is a miss, not an error: that module rescans, the report
+  // stays byte-identical, and the store overwrites the bad artifact.
+  AnalysisResult Warm = analyzeGenerated(GP, AOpts);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_EQ(Warm.CacheMisses, 1u);
+  EXPECT_EQ(Warm.CacheHits, Cold.CacheMisses - 1);
+  EXPECT_EQ(Warm.CacheStores, 1u);
+  EXPECT_EQ(Warm.Report, Cold.Report);
+
+  AnalysisResult Healed = analyzeGenerated(GP, AOpts);
+  ASSERT_TRUE(Healed.Ok) << Healed.Error;
+  EXPECT_EQ(Healed.CacheMisses, 0u);
+  EXPECT_EQ(Healed.CacheHits, Cold.CacheMisses);
+  EXPECT_EQ(Healed.Report, Cold.Report);
 }
