@@ -95,7 +95,7 @@ AnalysisResult scmo::runAnalysis(Program &P, Loader &L,
       L.release(R);
     });
 
-    AnalysisSummaryCache Cache(Opts.CacheDir);
+    AnalysisSummaryCache Cache(Opts.CacheDir, L.faultInjector());
     std::vector<size_t> Rescan; // positions in Ids, ascending
     struct PendingStore {
       ModuleId M;

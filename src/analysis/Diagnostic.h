@@ -74,6 +74,11 @@ enum class CheckCode : uint8_t {
   IgnoredReturn,          ///< scmo-ignored-return: result dead at every site.
   IpcpConstantTrap,       ///< scmo-ipcp-constant-trap: const zero to divisor.
   InfiniteRecursion,      ///< scmo-infinite-recursion: every path recurses.
+  CacheDegraded,          ///< scmo-cache-degraded: artifact cache unusable
+                          ///< (read-only dir / store failures); building on
+                          ///< uncached.
+  ObjectDegraded,         ///< scmo-object-degraded: IL object emission
+                          ///< failed; corruption recovery stays in-memory.
   NumCheckCodes
 };
 
@@ -111,6 +116,10 @@ inline const char *checkCodeName(CheckCode C) {
     return "scmo-ipcp-constant-trap";
   case CheckCode::InfiniteRecursion:
     return "scmo-infinite-recursion";
+  case CheckCode::CacheDegraded:
+    return "scmo-cache-degraded";
+  case CheckCode::ObjectDegraded:
+    return "scmo-object-degraded";
   case CheckCode::NumCheckCodes:
     break;
   }

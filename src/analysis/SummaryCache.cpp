@@ -8,9 +8,12 @@
 #include "analysis/SummaryCache.h"
 
 #include "bytecode/ObjectFile.h"
+#include "cache/CacheDir.h"
 #include "cache/CacheFormat.h"
+#include "support/FaultInjector.h"
 #include "support/Hash.h"
 
+#include <algorithm>
 #include <map>
 #include <sys/stat.h>
 
@@ -332,9 +335,11 @@ bool decodeFacts(Reader &R, const RefTables &Refs, RoutineId Self,
 // AnalysisSummaryCache
 //===----------------------------------------------------------------------===//
 
-AnalysisSummaryCache::AnalysisSummaryCache(std::string Dir)
-    : Dir(std::move(Dir)) {
+AnalysisSummaryCache::AnalysisSummaryCache(
+    std::string Dir, std::shared_ptr<FaultInjector> Injector)
+    : Dir(std::move(Dir)), Injector(std::move(Injector)) {
   ::mkdir(this->Dir.c_str(), 0755); // Best-effort; writes report failures.
+  Writable = cachedir::dirWritable(this->Dir);
 }
 
 std::string AnalysisSummaryCache::pathFor(uint64_t Key) const {
@@ -356,14 +361,20 @@ AnalysisSummaryCache::keys(const Program &P, ModuleId M,
 bool AnalysisSummaryCache::load(
     const Program &P, ModuleId M, const ModuleKey &K,
     std::vector<std::pair<RoutineId, RoutineFacts>> &Out) {
+  // A miss after the entry was read off disk marks the key for an
+  // overwriting re-store (self-heal); a plain absence does not.
+  bool HadFile = false;
   auto Miss = [&] {
     ++Misses;
+    if (HadFile)
+      InvalidOnDisk.push_back(K.Key);
     return false;
   };
 
   std::vector<uint8_t> Bytes;
-  if (!readFile(pathFor(K.Key), Bytes))
+  if (!cachedir::loadEntry(pathFor(K.Key), Bytes, Injector.get()))
     return Miss();
+  HadFile = true;
   if (!cachefmt::checkArtifactFrame(Bytes))
     return Miss();
 
@@ -422,8 +433,28 @@ void AnalysisSummaryCache::store(
   File.Bytes.insert(File.Bytes.end(), Payload.Bytes.begin(),
                     Payload.Bytes.end());
 
-  if (writeFile(pathFor(K.Key), File.Bytes))
+  if (!Writable) {
+    // Shared read-only cache: the decode-failure (and cold-miss) re-store
+    // is skipped so `--analyze --incremental` still runs, load-only.
+    ++StoreSkips;
+    return;
+  }
+
+  bool Overwrite = std::find(InvalidOnDisk.begin(), InvalidOnDisk.end(),
+                             K.Key) != InvalidOnDisk.end();
+  switch (cachedir::storeEntry(pathFor(K.Key), File.Bytes, Injector.get(),
+                               /*CorruptSkip=*/cachefmt::FrameBytes,
+                               /*LockWaitMs=*/2000, Overwrite)) {
+  case cachedir::StoreOutcome::Stored:
     ++Stores;
-  else
+    break;
+  case cachedir::StoreOutcome::AlreadyPresent:
+  case cachedir::StoreOutcome::Contended:
+    // A racing analyzer owns or installed the identical entry; not a loss.
+    ++StoreSkips;
+    break;
+  case cachedir::StoreOutcome::Failed:
     ++StoreFailures;
+    break;
+  }
 }

@@ -37,18 +37,28 @@
 #include "ir/Program.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace scmo {
 
+class FaultInjector;
+
 /// Directory-backed store for per-module analysis records. One instance per
 /// analysis run; not thread-safe (load/store run on the coordinating
-/// thread — only hashing and recomputation fan out).
+/// thread — only hashing and recomputation fan out). Stores follow the
+/// cachedir multi-process protocol (per-entry advisory flock, tmp+fsync+
+/// rename, epoch touch on hit); a read-only shared cache dir runs load-only
+/// (stores — including the decode-failure re-store — are skipped, counted
+/// in StoreSkips) so `--analyze --incremental` works against a cache
+/// published read-only.
 class AnalysisSummaryCache {
 public:
-  explicit AnalysisSummaryCache(std::string Dir);
+  explicit AnalysisSummaryCache(std::string Dir,
+                                std::shared_ptr<FaultInjector> Injector =
+                                    nullptr);
 
   struct ModuleKey {
     uint64_t Key = 0;
@@ -77,15 +87,24 @@ public:
              const std::vector<std::pair<RoutineId, const RoutineFacts *>>
                  &Records);
 
+  /// False when the cache directory cannot be written: stores are skipped.
+  bool writable() const { return Writable; }
+
   size_t Hits = 0;
   size_t Misses = 0;
   size_t Stores = 0;
   size_t StoreFailures = 0;
+  size_t StoreSkips = 0; ///< Stores not attempted (read-only cache dir).
 
 private:
   std::string pathFor(uint64_t Key) const;
 
   std::string Dir;
+  std::shared_ptr<FaultInjector> Injector;
+  bool Writable = true;
+  /// Keys that were present on disk but failed validation this run: their
+  /// store overwrites (self-heal) instead of skipping as already-present.
+  std::vector<uint64_t> InvalidOnDisk;
 };
 
 } // namespace scmo

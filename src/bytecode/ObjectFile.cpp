@@ -10,7 +10,9 @@
 #include "bytecode/Compact.h"
 #include "support/VarInt.h"
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <unistd.h>
 
@@ -281,6 +283,73 @@ bool scmo::writeFile(const std::string &Path,
   if (!Ok)
     std::remove(Tmp.c_str());
   return Ok;
+}
+
+bool scmo::writeFileWithFaults(const std::string &Path,
+                               const std::vector<uint8_t> &Bytes,
+                               FaultInjector *FI, FaultInjector::Site S,
+                               size_t CorruptSkip) {
+  using Action = FaultInjector::Action;
+  Action A = FI ? FI->next(S) : Action::None;
+  switch (A) {
+  case Action::FailIo:
+  case Action::FailNoSpace:
+    // The failed syscall happened before anything durable changed; the
+    // caller's degradation ladder takes it from here.
+    return false;
+  case Action::Crash: {
+    // Torture point: leave a torn prefix in the process-unique temporary,
+    // make sure it is really on disk, then die without the rename. This is
+    // the worst crash the protocol can produce — a reader must never see it
+    // under the real name, and GC must be able to sweep it.
+    std::string Tmp = Path + ".tmp." + std::to_string(uint64_t(::getpid()));
+    std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+    if (F) {
+      std::fwrite(Bytes.data(), 1, Bytes.size() / 2 + 1, F);
+      std::fflush(F);
+      ::fsync(::fileno(F));
+      std::fclose(F);
+    }
+    ::kill(::getpid(), SIGKILL);
+    std::abort(); // not reached
+  }
+  case Action::Corrupt: {
+    // Persistent silent corruption: the bytes on disk differ from the bytes
+    // whose checksum the caller framed, at an offset past CorruptSkip so the
+    // flip lands in checksummed payload, not in a length field a bounds
+    // check would reject before the checksum gets its say.
+    std::vector<uint8_t> Bad = Bytes;
+    if (Bad.size() > CorruptSkip)
+      FI->corruptBytes(Bad.data() + CorruptSkip, Bad.size() - CorruptSkip);
+    return writeFile(Path, Bad);
+  }
+  case Action::ShortWrite:
+  case Action::Eintr:
+    // Transparent: the write loop below is the "resume after a short write /
+    // retry after EINTR" loop collapsed to its fixpoint.
+    break;
+  case Action::None:
+    break;
+  }
+  return writeFile(Path, Bytes);
+}
+
+bool scmo::readFileWithFaults(const std::string &Path,
+                              std::vector<uint8_t> &Bytes, FaultInjector *FI,
+                              FaultInjector::Site S) {
+  using Action = FaultInjector::Action;
+  Action A = FI ? FI->next(S) : Action::None;
+  if (A == Action::FailIo || A == Action::FailNoSpace)
+    return false;
+  if (A == Action::Crash) {
+    ::kill(::getpid(), SIGKILL);
+    std::abort(); // not reached
+  }
+  if (!readFile(Path, Bytes))
+    return false;
+  if (A == Action::Corrupt && !Bytes.empty())
+    FI->corruptBytes(Bytes.data(), Bytes.size()); // in-memory only
+  return true;
 }
 
 bool scmo::readFile(const std::string &Path, std::vector<uint8_t> &Bytes) {

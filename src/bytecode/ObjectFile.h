@@ -25,6 +25,7 @@
 #define SCMO_BYTECODE_OBJECTFILE_H
 
 #include "ir/Program.h"
+#include "support/FaultInjector.h"
 
 #include <memory>
 #include <string>
@@ -81,6 +82,27 @@ bool writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes);
 
 /// Convenience: reads all of \p Path. Returns false on I/O failure.
 bool readFile(const std::string &Path, std::vector<uint8_t> &Bytes);
+
+/// writeFile with a fault-injection consultation at \p S. When \p FI is
+/// non-null, one operation is charged at \p S and the returned action is
+/// interpreted here so every durable-write path degrades identically:
+/// fail/enospc return false (nothing durable changed — the tmp is removed);
+/// eintr and short are transparent (the write loop resumes); corrupt flips
+/// bytes at offset >= \p CorruptSkip in a copy before it hits the disk
+/// (checksums computed by the caller saw the original — persistent silent
+/// corruption); crash leaves a torn process-unique .tmp prefix on disk,
+/// fsyncs it, and SIGKILLs the process (torture harness: the rename never
+/// happens, so readers can never see the torn bytes under the real name).
+bool writeFileWithFaults(const std::string &Path,
+                         const std::vector<uint8_t> &Bytes, FaultInjector *FI,
+                         FaultInjector::Site S, size_t CorruptSkip = 0);
+
+/// readFile with a fault-injection consultation at \p S: fail returns false
+/// (the caller treats it as a miss), eintr is transparent, flip corrupts the
+/// returned bytes in memory only (the file is clean — a re-read recovers),
+/// crash SIGKILLs mid-read.
+bool readFileWithFaults(const std::string &Path, std::vector<uint8_t> &Bytes,
+                        FaultInjector *FI, FaultInjector::Site S);
 
 } // namespace scmo
 

@@ -8,6 +8,7 @@
 #include "cache/ArtifactCache.h"
 
 #include "bytecode/ObjectFile.h"
+#include "cache/CacheDir.h"
 #include "cache/CacheFormat.h"
 #include "support/Hash.h"
 
@@ -267,9 +268,11 @@ std::vector<uint8_t> keyMaterial(const Program &P, const CacheUnit &U,
 
 ArtifactCache::ArtifactCache(std::string Dir,
                              std::shared_ptr<FaultInjector> Injector,
-                             Statistics &Stats)
-    : Dir(std::move(Dir)), Injector(std::move(Injector)), Stats(Stats) {
+                             Statistics &Stats, bool Locking)
+    : Dir(std::move(Dir)), Injector(std::move(Injector)), Stats(Stats),
+      Locking(Locking) {
   ::mkdir(this->Dir.c_str(), 0755); // Best-effort; writes report failures.
+  Writable = cachedir::dirWritable(this->Dir);
 }
 
 std::string ArtifactCache::pathFor(const CacheUnit &U, uint64_t Key) const {
@@ -293,26 +296,26 @@ bool ArtifactCache::load(Program &P, const CacheUnit &U, const UnitKey &K,
                          CachedUnit &Out) {
   std::string Path = pathFor(U, K.Key);
 
+  // Any miss after the entry was successfully read off disk means the bytes
+  // under this key are not usable: remember the key so this build's store
+  // overwrites the entry (self-heal) instead of skipping it as present.
+  bool HadFile = false;
   auto Miss = [&] {
     Stats.add("cache.misses");
+    if (HadFile)
+      InvalidOnDisk.push_back(K.Key);
     return false;
   };
 
-  // Fault hooks on the read path: an injected I/O failure is a miss; an
-  // injected EINTR is transparent (the read loop retries the syscall); an
-  // injected in-memory flip is caught by the frame checksum below and
-  // degrades to a miss.
-  FaultInjector::Action ReadAct = FaultInjector::Action::None;
-  if (Injector)
-    ReadAct = Injector->next(FaultInjector::Site::Read);
-  if (ReadAct == FaultInjector::Action::FailIo ||
-      ReadAct == FaultInjector::Action::FailNoSpace)
-    return Miss();
+  // Fault hooks on the read path (site cache-load): an injected I/O failure
+  // is a miss; an injected EINTR is transparent (the read loop retries the
+  // syscall); an injected in-memory flip is caught by the frame checksum
+  // below and degrades to a miss. A successful load refreshes the entry's
+  // eviction epoch (its mtime) — lock-free, like the read itself.
   std::vector<uint8_t> Bytes;
-  if (!readFile(Path, Bytes))
+  if (!cachedir::loadEntry(Path, Bytes, Injector.get()))
     return Miss();
-  if (ReadAct == FaultInjector::Action::Corrupt && Injector)
-    Injector->corruptBytes(Bytes.data(), Bytes.size());
+  HadFile = true;
 
   // Frame validation.
   if (!cachefmt::checkArtifactFrame(Bytes))
@@ -557,33 +560,52 @@ void ArtifactCache::store(const Program &P, const CacheUnit &U,
   Payload.Bytes.insert(Payload.Bytes.end(), Body.Bytes.begin(),
                        Body.Bytes.end());
 
-  // Frame it. The checksum is computed over the *clean* payload before any
-  // injected corruption lands, mirroring real silent disk corruption: the
+  // Frame it. The checksum is computed over the *clean* payload; an
+  // injected corrupt flips bytes past the frame (CorruptSkip = FrameBytes)
+  // inside writeFileWithFaults, mirroring real silent disk corruption: the
   // frame looks intact, the checksum catches it at read time.
   Sink File;
   cachefmt::frameArtifact(File, Payload.Bytes);
-
-  if (Injector) {
-    switch (Injector->next(FaultInjector::Site::Store)) {
-    case FaultInjector::Action::FailIo:
-    case FaultInjector::Action::FailNoSpace:
-    case FaultInjector::Action::ShortWrite:
-      Stats.add("cache.store_failures");
-      return; // The cache is an accelerator: a lost store is not an error.
-    case FaultInjector::Action::Corrupt:
-      Injector->corruptBytes(Payload.Bytes.data(), Payload.Bytes.size());
-      break;
-    case FaultInjector::Action::Eintr: // Transient; the write proceeds.
-    default:
-      break;
-    }
-  }
   File.Bytes.insert(File.Bytes.end(), Payload.Bytes.begin(),
                     Payload.Bytes.end());
 
-  if (!writeFile(pathFor(U, K.Key), File.Bytes)) {
-    Stats.add("cache.store_failures");
+  if (!Writable) {
+    // Read-only shared cache: load-only operation, the driver surfaces one
+    // scmo-cache-degraded warning. Never an error — the cache accelerates.
+    Stats.add("cache.store_skips");
     return;
   }
-  Stats.add("cache.stores");
+
+  std::string Path = pathFor(U, K.Key);
+  bool Overwrite = std::find(InvalidOnDisk.begin(), InvalidOnDisk.end(),
+                             K.Key) != InvalidOnDisk.end();
+  using SO = cachedir::StoreOutcome;
+  SO Out;
+  if (Locking) {
+    Out = cachedir::storeEntry(Path, File.Bytes, Injector.get(),
+                               /*CorruptSkip=*/FrameBytes,
+                               /*LockWaitMs=*/2000, Overwrite);
+  } else {
+    // Bench-only unlocked mode: same fault site, same atomic rename, no
+    // advisory lock — the delta against Locking is the lock tax.
+    Out = writeFileWithFaults(Path, File.Bytes, Injector.get(),
+                              FaultInjector::Site::CacheStore,
+                              /*CorruptSkip=*/FrameBytes)
+              ? SO::Stored
+              : SO::Failed;
+  }
+  switch (Out) {
+  case SO::Stored:
+    Stats.add("cache.stores");
+    break;
+  case SO::AlreadyPresent: // A racing builder installed identical bytes.
+    Stats.add("cache.store_present");
+    break;
+  case SO::Contended: // Lock held past the bounded wait; holder stores it.
+    Stats.add("cache.store_contended");
+    break;
+  case SO::Failed:
+    Stats.add("cache.store_failures");
+    break;
+  }
 }

@@ -86,14 +86,25 @@ struct CachedUnit {
 };
 
 /// Directory-backed artifact store. One instance per build; not
-/// thread-safe (the driver's cache stages are serial).
+/// thread-safe (the driver's cache stages are serial). Stores follow the
+/// cachedir protocol (per-entry advisory flock, tmp+fsync+rename, epoch
+/// touch on hit) so one cache directory is safe under N concurrent builder
+/// processes; reads stay lock-free. An unwritable directory degrades to
+/// load-only operation (cache.store_skips counts what was left unstored)
+/// rather than failing the build.
 class ArtifactCache {
 public:
   /// \p Dir must exist or be creatable; \p Injector (may be null) drives
-  /// the fault-injection hooks on every artifact read and write; \p Stats
-  /// receives the cache.* counters.
+  /// the fault-injection hooks on every artifact read and write (sites
+  /// cache-load / cache-store); \p Stats receives the cache.* counters.
+  /// \p Locking disables the per-entry advisory lock when false — a
+  /// bench-only knob for measuring the lock tax; production stores lock.
   ArtifactCache(std::string Dir, std::shared_ptr<FaultInjector> Injector,
-                Statistics &Stats);
+                Statistics &Stats, bool Locking = true);
+
+  /// False when the cache directory cannot be written: stores will be
+  /// skipped and the driver should surface a scmo-cache-degraded warning.
+  bool writable() const { return Writable; }
 
   /// A unit's cache identity: the key names the artifact file, the check
   /// (same material, different hash seed) is stored inside it and verified
@@ -137,6 +148,13 @@ private:
   std::string Dir;
   std::shared_ptr<FaultInjector> Injector;
   Statistics &Stats;
+  bool Locking = true;
+  bool Writable = true;
+  /// Keys whose artifact file existed but failed validation on load this
+  /// build: their store overwrites in place of the usual skip-if-present, so
+  /// a corrupt entry self-heals (content addressing makes the overwrite
+  /// always-safe: same key => same intended bytes).
+  std::vector<uint64_t> InvalidOnDisk;
 };
 
 } // namespace scmo

@@ -1,0 +1,240 @@
+//===- cache/CacheDir.cpp -------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CacheDir.h"
+
+#include "bytecode/ObjectFile.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace scmo;
+using namespace scmo::cachedir;
+
+bool cachedir::dirWritable(const std::string &Dir) {
+  struct stat St;
+  if (::stat(Dir.c_str(), &St) != 0 || !S_ISDIR(St.st_mode))
+    return false;
+  return ::access(Dir.c_str(), W_OK | X_OK) == 0;
+}
+
+void cachedir::touchEpoch(const std::string &Path) {
+  // nullptr times = "now" for both atime and mtime. EACCES/EROFS just mean
+  // the epoch stays stale on a shared read-only cache — GC bias, not error.
+  ::utimensat(AT_FDCWD, Path.c_str(), nullptr, 0);
+}
+
+namespace {
+
+/// Acquires `flock(LOCK_EX)` on \p LockPath within \p WaitMs, creating the
+/// file if needed. Returns the held fd, or -1 on timeout/-2 on open failure.
+/// A dead previous holder is not an obstacle: the kernel released its flock
+/// at process death, so the stale lock *file* is immediately acquirable —
+/// that is the "bounded wait breaks dead-owner locks" rule, for free.
+int acquireLockFile(const std::string &LockPath, unsigned WaitMs) {
+  int Fd = ::open(LockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
+  if (Fd < 0)
+    return -2;
+  unsigned Waited = 0;
+  for (;;) {
+    if (::flock(Fd, LOCK_EX | LOCK_NB) == 0)
+      return Fd;
+    if (errno != EWOULDBLOCK && errno != EINTR) {
+      ::close(Fd);
+      return -2;
+    }
+    if (Waited >= WaitMs) {
+      ::close(Fd);
+      return -1;
+    }
+    ::usleep(1000);
+    ++Waited;
+  }
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+} // namespace
+
+StoreOutcome cachedir::storeEntry(const std::string &Path,
+                                  const std::vector<uint8_t> &Bytes,
+                                  FaultInjector *FI, size_t CorruptSkip,
+                                  unsigned LockWaitMs, bool Overwrite) {
+  std::string LockPath = Path + ".lock";
+  int Fd = acquireLockFile(LockPath, LockWaitMs);
+  if (Fd == -1)
+    return StoreOutcome::Contended;
+  if (Fd == -2)
+    return StoreOutcome::Failed; // read-only dir or fd exhaustion
+
+  StoreOutcome Out;
+  if (!Overwrite && fileExists(Path)) {
+    // A racing writer got here first with the same content-addressed bytes.
+    // Count it as a hit for eviction purposes and skip the duplicate write.
+    touchEpoch(Path);
+    Out = StoreOutcome::AlreadyPresent;
+  } else if (writeFileWithFaults(Path, Bytes, FI,
+                                 FaultInjector::Site::CacheStore,
+                                 CorruptSkip)) {
+    Out = StoreOutcome::Stored;
+  } else {
+    Out = StoreOutcome::Failed;
+  }
+
+  // Unlink the lock file before dropping the flock. The unlink/create race
+  // this opens (a waiter holding the old inode while a newcomer locks a
+  // fresh file) is benign by construction: both "winners" re-check the entry
+  // under their lock and the store itself is an atomic rename of identical
+  // bytes. GC sweeps any lock file whose flock is acquirable.
+  ::unlink(LockPath.c_str());
+  ::close(Fd); // releases the flock
+  return Out;
+}
+
+bool cachedir::loadEntry(const std::string &Path, std::vector<uint8_t> &Bytes,
+                         FaultInjector *FI) {
+  if (!readFileWithFaults(Path, Bytes, FI, FaultInjector::Site::CacheLoad))
+    return false;
+  touchEpoch(Path);
+  return true;
+}
+
+namespace {
+
+struct EntryStat {
+  std::string Name;
+  uint64_t Size = 0;
+  int64_t MtimeSec = 0;
+  int64_t MtimeNsec = 0;
+};
+
+/// True if \p Name looks like `<anything>.tmp.<pid>` with \p Pid parsed out.
+bool parseTmpPid(const std::string &Name, long &Pid) {
+  size_t At = Name.rfind(".tmp.");
+  if (At == std::string::npos)
+    return false;
+  const std::string Digits = Name.substr(At + 5);
+  if (Digits.empty())
+    return false;
+  char *End = nullptr;
+  Pid = std::strtol(Digits.c_str(), &End, 10);
+  return End && *End == '\0' && Pid > 0;
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::char_traits<char>::length(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+} // namespace
+
+GcResult cachedir::collectGarbage(const std::string &Dir, uint64_t MaxBytes,
+                                  FaultInjector *FI) {
+  GcResult R;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return R;
+
+  std::vector<EntryStat> Entries;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name == "." || Name == "..")
+      continue;
+    std::string Path = Dir + "/" + Name;
+
+    long Pid = 0;
+    if (endsWith(Name, ".lock")) {
+      // An acquirable flock proves no live writer holds this lock: the
+      // kernel dropped a dead owner's lock at process death, and a live
+      // owner would make LOCK_NB fail. Sweep the orphan.
+      int Fd = ::open(Path.c_str(), O_RDWR | O_CLOEXEC);
+      if (Fd < 0)
+        continue;
+      if (::flock(Fd, LOCK_EX | LOCK_NB) == 0) {
+        if (::unlink(Path.c_str()) == 0)
+          ++R.StaleLocks;
+      }
+      ::close(Fd);
+      continue;
+    }
+    if (parseTmpPid(Name, Pid)) {
+      // Torn prefix from a crashed (or injected-crash) writer. The rename
+      // never happened, so nothing references it; sweep once the owner pid
+      // is provably gone. A live pid (or recycled pid) just defers the
+      // sweep to a later pass.
+      if (::kill(pid_t(Pid), 0) != 0 && errno == ESRCH)
+        if (::unlink(Path.c_str()) == 0)
+          ++R.StaleTmps;
+      continue;
+    }
+    if (!endsWith(Name, ".art"))
+      continue; // not ours to manage
+
+    struct stat St;
+    if (::stat(Path.c_str(), &St) != 0 || !S_ISREG(St.st_mode))
+      continue;
+    EntryStat ES;
+    ES.Name = Name;
+    ES.Size = uint64_t(St.st_size);
+    ES.MtimeSec = int64_t(St.st_mtim.tv_sec);
+    ES.MtimeNsec = int64_t(St.st_mtim.tv_nsec);
+    Entries.push_back(std::move(ES));
+  }
+  ::closedir(D);
+
+  R.Entries = Entries.size();
+  for (const EntryStat &E : Entries)
+    R.Bytes += E.Size;
+
+  if (MaxBytes == NoBudget || R.Bytes <= MaxBytes)
+    return R;
+
+  // Least-recently-epoch'd first; name breaks ties so a sweep over a cache
+  // written in one burst is still deterministic.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const EntryStat &A, const EntryStat &B) {
+              if (A.MtimeSec != B.MtimeSec)
+                return A.MtimeSec < B.MtimeSec;
+              if (A.MtimeNsec != B.MtimeNsec)
+                return A.MtimeNsec < B.MtimeNsec;
+              return A.Name < B.Name;
+            });
+
+  for (const EntryStat &E : Entries) {
+    if (R.Bytes <= MaxBytes)
+      break;
+    using Action = FaultInjector::Action;
+    Action A = FI ? FI->next(FaultInjector::Site::CacheGc) : Action::None;
+    if (A == Action::FailIo || A == Action::FailNoSpace)
+      continue; // this entry survives; keep shrinking with the rest
+    if (A == Action::Crash) {
+      ::kill(::getpid(), SIGKILL);
+      std::abort(); // not reached
+    }
+    // Unlink-only eviction: a reader mid-fetch keeps its open fd; a reader
+    // that races the unlink just misses and recomputes. Entries are never
+    // rewritten in place, so there is no torn-entry window to protect.
+    if (::unlink((Dir + "/" + E.Name).c_str()) == 0) {
+      ++R.Evicted;
+      R.EvictedBytes += E.Size;
+      R.Bytes -= E.Size;
+      --R.Entries;
+    }
+  }
+  return R;
+}

@@ -1,0 +1,117 @@
+//===- cache/CacheDir.h -----------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-process discipline for a shared content-addressed cache directory,
+/// used by both the artifact cache (driver) and the summary cache
+/// (analysis). ROADMAP item #2 — a long-lived compile service sharing one
+/// cache dir across sessions — needs stores that survive N concurrent
+/// builders crashing at arbitrary points. The protocol:
+///
+///   store   per-entry advisory flock on `<entry>.lock`, then tmp + fsync +
+///           atomic rename (never rewrite in place). The lock only prevents
+///           wasted duplicate work: because entries are content-addressed,
+///           two racing writers of the same entry carry identical bytes, so
+///           every lock-file race collapses to "someone atomically installed
+///           the right bytes". A writer that cannot get the lock within a
+///           bounded wait skips its store (the holder is installing the same
+///           entry); a dead holder's flock is released by the kernel at
+///           process death, so live writers are never blocked by a corpse.
+///   load    lock-free: open + read under the entry's final name only. A
+///           reader mid-fetch keeps its open fd across any concurrent
+///           unlink, so GC can never tear a read.
+///   epoch   the entry file's mtime, refreshed (best-effort utimensat) on
+///           every hit. No sidecar epoch files: one inode per entry means a
+///           crash cannot strand an entry/epoch pair in half a state.
+///   gc      `scmoc --cache-gc [--cache-max-bytes=N]` sweeps orphaned lock
+///           files (flock acquirable => owner is gone), tmp litter from dead
+///           pids, then unlinks least-recently-epoch'd entries until the
+///           budget holds. Unlink-only: concurrent readers finish from their
+///           open fd or simply miss and recompute.
+///
+/// Degradation: a read-only or unwritable cache dir is not an error — stores
+/// are skipped and the build continues uncached (`scmo-cache-degraded`
+/// warning at the driver level). Fault injection (sites `cache-store`,
+/// `cache-load`, `cache-gc`) threads through every durable operation here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_CACHE_CACHEDIR_H
+#define SCMO_CACHE_CACHEDIR_H
+
+#include "support/FaultInjector.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scmo {
+namespace cachedir {
+
+/// What happened to a store attempt.
+enum class StoreOutcome : uint8_t {
+  Stored,         ///< Entry written and renamed into place.
+  AlreadyPresent, ///< Another writer installed it first; epoch refreshed.
+  Contended,      ///< Lock busy past the bounded wait; store skipped (the
+                  ///< holder is installing the same content-addressed bytes).
+  Failed,         ///< I/O failure (disk full, read-only dir, injected fault).
+};
+
+/// True if \p Dir exists, is a directory, and is writable+searchable — the
+/// gate for the uncached-degradation path.
+bool dirWritable(const std::string &Dir);
+
+/// Refreshes \p Path's mtime (its eviction epoch) to now. Best-effort: on a
+/// read-only cache the epoch simply stays stale, which only biases GC.
+void touchEpoch(const std::string &Path);
+
+/// Stores \p Bytes at \p Path under the advisory-lock protocol above.
+/// Consults \p FI at Site::CacheStore once per attempted write (skipped
+/// stores — AlreadyPresent / Contended — charge no fault op, they perform no
+/// durable write). \p CorruptSkip is forwarded to writeFileWithFaults so
+/// injected bit-flips land in checksummed payload. \p LockWaitMs bounds the
+/// lock wait (tests shrink it to exercise the contended path quickly).
+/// \p Overwrite replaces an existing entry instead of skipping — the
+/// self-heal path after a load found the on-disk entry invalid; safe at any
+/// time because the rename is atomic and same key means same intended bytes.
+StoreOutcome storeEntry(const std::string &Path,
+                        const std::vector<uint8_t> &Bytes, FaultInjector *FI,
+                        size_t CorruptSkip = 0, unsigned LockWaitMs = 2000,
+                        bool Overwrite = false);
+
+/// Lock-free load with a Site::CacheLoad fault consultation; refreshes the
+/// epoch on success. Returns false on absence or injected failure (both are
+/// misses to the caller).
+bool loadEntry(const std::string &Path, std::vector<uint8_t> &Bytes,
+               FaultInjector *FI);
+
+/// What a GC pass saw and did.
+struct GcResult {
+  uint64_t Entries = 0;      ///< Cache entries (*.art) remaining after GC.
+  uint64_t Bytes = 0;        ///< Their total size after GC.
+  uint64_t Evicted = 0;      ///< Entries unlinked to meet the budget.
+  uint64_t EvictedBytes = 0; ///< Bytes reclaimed by eviction.
+  uint64_t StaleLocks = 0;   ///< Orphaned .lock files swept.
+  uint64_t StaleTmps = 0;    ///< Dead-owner .tmp.<pid> files swept.
+};
+
+/// No size budget: sweep stale locks and tmp litter only.
+constexpr uint64_t NoBudget = ~0ull;
+
+/// One GC pass over \p Dir: sweeps orphaned lock files (an acquirable flock
+/// proves the owner is gone) and tmp files whose embedded pid is dead, then
+/// evicts least-recently-epoch'd entries (ascending mtime, name-tiebreak)
+/// until total entry bytes fit \p MaxBytes. Consults \p FI at Site::CacheGc
+/// once per eviction unlink. Never blocks on a live writer and never breaks
+/// a concurrent reader.
+GcResult collectGarbage(const std::string &Dir, uint64_t MaxBytes,
+                        FaultInjector *FI);
+
+} // namespace cachedir
+} // namespace scmo
+
+#endif // SCMO_CACHE_CACHEDIR_H

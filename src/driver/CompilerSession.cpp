@@ -218,7 +218,14 @@ void CompilerSession::rebuildFromObjects(BuildResult &Result) {
   // Dump every module to an IL object file, then re-read them into a fresh
   // program, the way the production pipeline hands IL objects from the
   // frontends to the linker (paper Section 3).
-  std::vector<std::string> Paths;
+  //
+  // Emission failure is a degradation, not a build failure: the round-trip
+  // is byte-neutral by construction, so the in-memory program compiles to
+  // the identical executable — the build only loses the object-file
+  // corruption-recovery rung (rung 3 of the PR-3 ladder). One structured
+  // scmo-object-degraded warning records the loss.
+  FaultInjector *FI = Ldr->faultInjector().get();
+  std::vector<std::string> Written;
   for (ModuleId M = 0; M != Prog->numModules(); ++M) {
     for (RoutineId R : Prog->module(M).Routines)
       if (Prog->routine(R).IsDefined && Prog->routine(R).Owner == M)
@@ -230,11 +237,10 @@ void CompilerSession::rebuildFromObjects(BuildResult &Result) {
     std::string Path = Opts.ObjectDir + "/scmo-" +
                        std::to_string(uint64_t(::getpid())) + "-" +
                        Prog->Strings.text(Prog->module(M).Name) + ".o";
-    if (!writeFile(Path, Bytes)) {
-      Result.Error = "cannot write object file " + Path;
-      return;
-    }
-    Paths.push_back(Path);
+    bool Ok = writeFileWithFaults(Path, Bytes, FI,
+                                  FaultInjector::Site::ObjectEmit);
+    if (Ok)
+      Written.push_back(Path);
     // Mirror the acquire loop's Owner filter exactly: a module's routine
     // list can carry routines it merely references (declared here, defined
     // elsewhere), and releasing one of those without a matching acquire
@@ -242,24 +248,51 @@ void CompilerSession::rebuildFromObjects(BuildResult &Result) {
     for (RoutineId R : Prog->module(M).Routines)
       if (Prog->routine(R).IsDefined && Prog->routine(R).Owner == M)
         Ldr->release(R);
+    if (!Ok) {
+      for (const std::string &P : Written)
+        std::remove(P.c_str());
+      RecoveryObjects.clear();
+      RecoveryBody.clear();
+      Diagnostic D;
+      D.Code = CheckCode::ObjectDegraded;
+      D.Sev = Severity::Warning;
+      D.Message = "cannot write object file " + Path +
+                  "; continuing in-memory, object-file corruption recovery "
+                  "is disabled";
+      Result.WarningsText += DiagnosticEngine::render(*Prog, D);
+      Result.WarningsText += '\n';
+      Result.Warnings.push_back(std::move(D));
+      return;
+    }
   }
+  std::vector<std::string> Paths = std::move(Written);
   auto NewProg = std::make_unique<Program>(Tracker.get());
   auto NewLdr = std::make_unique<Loader>(*NewProg, Opts.Naim);
   RecoveryObjects.clear();
   RecoveryBody.clear();
+  // Read-back failures degrade the same way: discard the half-built
+  // replacement program and keep compiling the original in-memory IL.
+  auto DegradeReadback = [&](const std::string &Why) {
+    RecoveryObjects.clear();
+    RecoveryBody.clear();
+    Diagnostic D;
+    D.Code = CheckCode::ObjectDegraded;
+    D.Sev = Severity::Warning;
+    D.Message = Why + "; continuing in-memory, object-file corruption "
+                      "recovery is disabled";
+    Result.WarningsText += DiagnosticEngine::render(*Prog, D);
+    Result.WarningsText += '\n';
+    Result.Warnings.push_back(std::move(D));
+  };
   for (const std::string &Path : Paths) {
     std::vector<uint8_t> Bytes;
-    if (!readFile(Path, Bytes)) {
-      Result.Error = "cannot read object file " + Path;
-      return;
-    }
+    if (!readFile(Path, Bytes))
+      return DegradeReadback("cannot read object file " + Path);
     std::string Err;
     ObjectIndex Index;
     ModuleId M = readObject(*NewProg, Bytes, Err, &Index);
-    if (M == InvalidId) {
-      Result.Error = "linker: " + Err;
-      return;
-    }
+    if (M == InvalidId)
+      return DegradeReadback("object file " + Path + " unreadable: " + Err);
     for (RoutineId R : NewProg->module(M).Routines)
       if (NewProg->routine(R).IsDefined)
         NewLdr->release(R);
@@ -493,7 +526,21 @@ struct CompilerSession::BuildState {
         return true;
       }
       B.Cache = std::make_unique<ArtifactCache>(
-          S.Opts.CacheDir, S.Opts.Naim.Injector, S.Stats);
+          S.Opts.CacheDir, S.Ldr->faultInjector(), S.Stats,
+          S.Opts.CacheLocking);
+      if (!B.Cache->writable()) {
+        // Load-only (shared read-only cache) or fully degraded (dir not
+        // even creatable): either way the build continues and says so once.
+        Diagnostic D;
+        D.Code = CheckCode::CacheDegraded;
+        D.Sev = Severity::Warning;
+        D.Message = "cache dir '" + S.Opts.CacheDir +
+                    "' is not writable; stores are skipped, compilation "
+                    "continues uncached on miss";
+        B.Result.WarningsText += DiagnosticEngine::render(*S.Prog, D);
+        B.Result.WarningsText += '\n';
+        B.Result.Warnings.push_back(std::move(D));
+      }
       uint64_t Fp = S.Opts.fingerprint();
       uint64_t Epoch = 0;
       if (B.UsableProfile) {
@@ -854,6 +901,19 @@ struct CompilerSession::BuildState {
         B.Cache->store(*S.Prog, B.Units[I], B.Keys[I], Slice, B.CloneBase,
                        B.UnitEdges[I]);
       }
+      if (uint64_t Failures = S.Stats.get("cache.store_failures")) {
+        // Structured degradation notice: the executable is complete and
+        // byte-identical, only warm-rebuild value was lost.
+        Diagnostic D;
+        D.Code = CheckCode::CacheDegraded;
+        D.Sev = Severity::Warning;
+        D.Message = std::to_string(Failures) +
+                    " artifact store(s) failed; affected units recompile "
+                    "on the next build";
+        B.Result.WarningsText += DiagnosticEngine::render(*S.Prog, D);
+        B.Result.WarningsText += '\n';
+        B.Result.Warnings.push_back(std::move(D));
+      }
       Skipped = !AnyMiss;
       return true;
     }
@@ -971,10 +1031,12 @@ ProfileDb scmo::trainProfileOnSources(
   return ProfileDb::fromRun(Session.program(), Build.Probes, Run.Probes);
 }
 
-bool scmo::saveProfileDb(const ProfileDb &Db, const std::string &Path) {
+bool scmo::saveProfileDb(const ProfileDb &Db, const std::string &Path,
+                         FaultInjector *FI) {
   std::string Text = Db.serialize();
   std::vector<uint8_t> Bytes(Text.begin(), Text.end());
-  return writeFile(Path, Bytes);
+  return writeFileWithFaults(Path, Bytes, FI,
+                             FaultInjector::Site::ProfileWrite);
 }
 
 bool scmo::loadProfileDb(const std::string &Path, ProfileDb &Out) {

@@ -190,8 +190,11 @@ ProfileDb trainProfileOnSources(
 
 /// Persists \p Db at \p Path (the paper's on-disk profile database — the
 /// one piece of state kept outside object files, Section 6.1). Returns
-/// false on I/O failure.
-bool saveProfileDb(const ProfileDb &Db, const std::string &Path);
+/// false on I/O failure. \p FI (may be null) is consulted at the
+/// profile-write fault site; callers degrade a failed write to a warning —
+/// the training run's data is lost, the process never aborts.
+bool saveProfileDb(const ProfileDb &Db, const std::string &Path,
+                   FaultInjector *FI = nullptr);
 
 /// Loads a profile database from \p Path into \p Out. To accumulate
 /// repeat training runs ("generated, or added to, if data from an earlier

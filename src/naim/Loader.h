@@ -303,6 +303,12 @@ public:
   const NaimConfig &config() const { return Config; }
   Repository &repository() { return Repo; }
 
+  /// The session's effective fault injector (Config.Injector or the one
+  /// armed from SCMO_FAULT_INJECT at construction; may be null). Every
+  /// durable-I/O path in the session reuses this instance so per-site op
+  /// counters stay deterministic across the whole build.
+  std::shared_ptr<FaultInjector> faultInjector() { return Repo.faultInjector(); }
+
   /// Installs the corruption fallback (degradation rung 3). The handler is
   /// invoked under the loader mutex and must not call back into the loader.
   void setRecoveryHandler(RecoverFn F) {

@@ -95,6 +95,15 @@ public:
     Faults = std::move(FI);
   }
 
+  /// The armed fault injector (spec flag or SCMO_FAULT_INJECT; may be
+  /// null). The session's other durable-I/O paths — artifact/summary
+  /// caches, object emission, profile writes — share this instance so one
+  /// spec's per-site op counters stay globally deterministic.
+  std::shared_ptr<FaultInjector> faultInjector() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Faults;
+  }
+
   /// Total payload bytes ever appended (framing overhead not counted, so
   /// the NAIM statistics keep their paper meaning).
   uint64_t bytesStored() const {

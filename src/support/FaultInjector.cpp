@@ -14,24 +14,43 @@ using namespace scmo;
 
 namespace {
 
-bool parseSite(const std::string &Name, FaultInjector::Site &S) {
-  if (Name == "store") {
-    S = FaultInjector::Site::Store;
-    return true;
-  }
-  if (Name == "read") {
-    S = FaultInjector::Site::Read;
-    return true;
-  }
-  return false;
+struct SiteInfo {
+  FaultInjector::Site S;
+  const char *Name;
+  bool IsWrite; ///< Write-shaped sites accept enospc/short/corrupt;
+                ///< read-shaped sites accept flip.
+};
+
+constexpr SiteInfo Sites[] = {
+    {FaultInjector::Site::Store, "store", true},
+    {FaultInjector::Site::Read, "read", false},
+    {FaultInjector::Site::CacheStore, "cache-store", true},
+    {FaultInjector::Site::CacheLoad, "cache-load", false},
+    {FaultInjector::Site::CacheGc, "cache-gc", true},
+    {FaultInjector::Site::ObjectEmit, "object-emit", true},
+    {FaultInjector::Site::ProfileWrite, "profile-write", true},
+};
+
+static_assert(sizeof(Sites) / sizeof(Sites[0]) ==
+                  size_t(FaultInjector::Site::NumSites),
+              "site table out of sync with Site enum");
+
+const SiteInfo *findSite(const std::string &Name) {
+  for (const SiteInfo &SI : Sites)
+    if (Name == SI.Name)
+      return &SI;
+  return nullptr;
+}
+
+bool siteIsWrite(FaultInjector::Site S) {
+  return Sites[size_t(S)].IsWrite;
 }
 
 /// Maps an action name to the Action enum, validating the site it is legal
 /// on ('short'/'enospc'/'corrupt' only make sense for writes, 'flip' only
-/// for reads).
+/// for reads; 'fail'/'eintr'/'crash' everywhere).
 bool parseAction(const std::string &Name, FaultInjector::Site S,
                  FaultInjector::Action &A) {
-  using Site = FaultInjector::Site;
   using Action = FaultInjector::Action;
   if (Name == "fail") {
     A = Action::FailIo;
@@ -41,19 +60,23 @@ bool parseAction(const std::string &Name, FaultInjector::Site S,
     A = Action::Eintr;
     return true;
   }
-  if (Name == "enospc" && S == Site::Store) {
+  if (Name == "crash") {
+    A = Action::Crash;
+    return true;
+  }
+  if (Name == "enospc" && siteIsWrite(S)) {
     A = Action::FailNoSpace;
     return true;
   }
-  if (Name == "short" && S == Site::Store) {
+  if (Name == "short" && siteIsWrite(S)) {
     A = Action::ShortWrite;
     return true;
   }
-  if (Name == "corrupt" && S == Site::Store) {
+  if (Name == "corrupt" && siteIsWrite(S)) {
     A = Action::Corrupt;
     return true;
   }
-  if (Name == "flip" && S == Site::Read) {
+  if (Name == "flip" && !siteIsWrite(S)) {
     A = Action::Corrupt;
     return true;
   }
@@ -61,6 +84,22 @@ bool parseAction(const std::string &Name, FaultInjector::Site S,
 }
 
 } // namespace
+
+const char *FaultInjector::siteName(Site S) { return Sites[size_t(S)].Name; }
+
+std::string FaultInjector::validSites() {
+  std::string Out;
+  for (const SiteInfo &SI : Sites) {
+    if (!Out.empty())
+      Out += '|';
+    Out += SI.Name;
+  }
+  return Out;
+}
+
+std::string FaultInjector::validActions() {
+  return "fail|enospc|short|eintr|corrupt|flip|crash";
+}
 
 std::shared_ptr<FaultInjector> FaultInjector::fromSpec(const std::string &Spec,
                                                        std::string &Error) {
@@ -92,10 +131,13 @@ std::shared_ptr<FaultInjector> FaultInjector::fromSpec(const std::string &Spec,
           return nullptr;
         }
         FaultInjector::Clause C;
-        if (!parseSite(Key.substr(0, Colon), C.S)) {
-          Error = "unknown fault site in '" + Clause + "' (store|read)";
+        const SiteInfo *SI = findSite(Key.substr(0, Colon));
+        if (!SI) {
+          Error = "unknown fault site in '" + Clause + "' (" + validSites() +
+                  ")";
           return nullptr;
         }
+        C.S = SI->S;
         std::string ActionKind = Key.substr(Colon + 1);
         size_t Dash = ActionKind.rfind('-');
         if (Dash == std::string::npos) {
@@ -104,7 +146,8 @@ std::shared_ptr<FaultInjector> FaultInjector::fromSpec(const std::string &Spec,
         }
         std::string Kind = ActionKind.substr(Dash + 1);
         if (!parseAction(ActionKind.substr(0, Dash), C.S, C.A)) {
-          Error = "unknown or site-invalid fault action in '" + Clause + "'";
+          Error = "unknown or site-invalid fault action in '" + Clause +
+                  "' (" + validActions() + ")";
           return nullptr;
         }
         if (Kind == "nth") {
@@ -159,12 +202,12 @@ std::shared_ptr<FaultInjector> FaultInjector::fromEnv() {
 
 FaultInjector::Action FaultInjector::next(Site S) {
   std::lock_guard<std::mutex> Lock(M);
-  uint64_t &Ops = S == Site::Store ? StoreOps : ReadOps;
-  ++Ops;
+  uint64_t &OpsAt = Ops[size_t(S)];
+  ++OpsAt;
   for (const Clause &C : Clauses) {
     if (C.S != S)
       continue;
-    bool Fires = C.Nth ? Ops == C.Nth : Rng.nextBool(C.Rate);
+    bool Fires = C.Nth ? OpsAt == C.Nth : Rng.nextBool(C.Rate);
     if (Fires) {
       ++Injected;
       return C.A;
@@ -189,5 +232,5 @@ uint64_t FaultInjector::injectedCount() const {
 
 uint64_t FaultInjector::opCount(Site S) const {
   std::lock_guard<std::mutex> Lock(M);
-  return S == Site::Store ? StoreOps : ReadOps;
+  return Ops[size_t(S)];
 }

@@ -6,13 +6,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Deterministic, seedable fault injection for the NAIM spill path. Every
-/// recovery branch in the repository and loader — disk-full degradation,
-/// short-write resumption, EINTR retry, checksum-mismatch re-read, object-
-/// file rebuild — must be drivable from tests and CI, not just from real
-/// hardware failures. The injector is configured from a small spec string
-/// (`scmoc --fault-inject=<spec>` or the SCMO_FAULT_INJECT environment
-/// variable) and consulted by the repository on every store and fetch.
+/// Deterministic, seedable fault injection for every durable-write and
+/// durable-read path in the compiler. Every recovery branch — disk-full
+/// degradation, short-write resumption, EINTR retry, checksum-mismatch
+/// re-read, object-file rebuild, cache-store degradation — must be drivable
+/// from tests and CI, not just from real hardware failures. The injector is
+/// configured from a small spec string (`scmoc --fault-inject=<spec>` or the
+/// SCMO_FAULT_INJECT environment variable) and consulted at a registry of
+/// sites, each with its own deterministic operation counter.
 ///
 /// Spec grammar (comma-separated clauses, first matching clause fires):
 ///
@@ -21,17 +22,26 @@
 ///           | site ':' action '-nth='  N   ; fire on the Nth op (1-based)
 ///           | site ':' action '-rate=' F   ; fire with probability F (PRNG
 ///                                          ; seeded by seed=, deterministic)
-///   site   := 'store' | 'read'
+///   site   := 'store'         ; NAIM repository record append
+///           | 'read'          ; NAIM repository record fetch
+///           | 'cache-store'   ; artifact/summary cache entry store
+///           | 'cache-load'    ; artifact/summary cache entry load
+///           | 'cache-gc'      ; cache GC eviction unlink
+///           | 'object-emit'   ; IL object file emission
+///           | 'profile-write' ; profile database write
 ///   action := 'fail'    ; EIO: the operation fails outright
-///           | 'enospc'  ; store only: disk-full
-///           | 'short'   ; store only: first pwrite is truncated (resumable)
+///           | 'enospc'  ; write sites: disk-full
+///           | 'short'   ; write sites: first pwrite is truncated (resumable)
 ///           | 'eintr'   ; first syscall of the op returns EINTR (transient)
-///           | 'corrupt' ; store only: payload hits the disk bit-flipped
+///           | 'corrupt' ; write sites: payload hits the disk bit-flipped
 ///                       ; (persistent corruption; checksums see the original)
-///           | 'flip'    ; read only: returned bytes are flipped in memory
+///           | 'flip'    ; read sites: returned bytes are flipped in memory
 ///                       ; (transient corruption; a re-read is clean)
+///           | 'crash'   ; the process SIGKILLs itself mid-operation, after a
+///                       ; torn partial write is on disk (torture harness)
 ///
-/// Examples: `store:fail-nth=3`, `seed=7,read:flip-rate=0.1,store:eintr-nth=2`.
+/// Examples: `store:fail-nth=3`, `seed=7,read:flip-rate=0.1,store:eintr-nth=2`,
+/// `cache-store:crash-nth=2`.
 ///
 /// Determinism: nth-clauses depend only on the per-site operation counter;
 /// rate-clauses draw from a splitmix PRNG seeded by `seed=` (default 1), so
@@ -57,7 +67,16 @@ namespace scmo {
 /// concurrently, and the counters must not race.
 class FaultInjector {
 public:
-  enum class Site : uint8_t { Store, Read };
+  enum class Site : uint8_t {
+    Store,        ///< NAIM repository record append.
+    Read,         ///< NAIM repository record fetch.
+    CacheStore,   ///< Artifact/summary cache entry store.
+    CacheLoad,    ///< Artifact/summary cache entry load.
+    CacheGc,      ///< Cache GC eviction unlink.
+    ObjectEmit,   ///< IL object file emission.
+    ProfileWrite, ///< Profile database write.
+    NumSites
+  };
 
   /// What to do to the current operation.
   enum class Action : uint8_t {
@@ -66,8 +85,9 @@ public:
     FailNoSpace, ///< Fail the whole operation with disk-full.
     ShortWrite,  ///< Truncate the first write (the caller's loop resumes).
     Eintr,       ///< First syscall is interrupted (the caller retries).
-    Corrupt,     ///< Store: flip payload bytes on disk. Read: flip the
+    Corrupt,     ///< Write: flip payload bytes on disk. Read: flip the
                  ///< fetched bytes in memory (clean on re-read).
+    Crash,       ///< SIGKILL self mid-operation, torn partial write on disk.
   };
 
   /// Builds an injector from \p Spec. Returns null and sets \p Error on a
@@ -93,6 +113,15 @@ public:
   /// Number of operations observed at \p S.
   uint64_t opCount(Site S) const;
 
+  /// Spec-grammar name of \p S ("store", "cache-load", ...).
+  static const char *siteName(Site S);
+
+  /// '|'-separated site vocabulary for diagnostics.
+  static std::string validSites();
+
+  /// '|'-separated action vocabulary for diagnostics.
+  static std::string validActions();
+
 private:
   struct Clause {
     Site S = Site::Store;
@@ -106,8 +135,7 @@ private:
   mutable std::mutex M;
   std::vector<Clause> Clauses;
   Prng Rng;
-  uint64_t StoreOps = 0;
-  uint64_t ReadOps = 0;
+  uint64_t Ops[size_t(Site::NumSites)] = {};
   uint64_t Injected = 0;
 };
 

@@ -61,10 +61,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/CacheDir.h"
 #include "driver/CompilerSession.h"
 #include "ir/Printer.h"
 #include "llo/MachinePrinter.h"
 #include "profile/ProfileDb.h"
+#include "support/FaultInjector.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -88,6 +90,7 @@ int usage(const char *Argv0) {
                "[--analyze-format text|json] [--gen-mcad LINES] "
                "[--plant-defects] [--write-objects DIR] "
                "[--incremental] [--cache-dir DIR] "
+               "[--cache-gc] [--cache-max-bytes N] "
                "[--fault-inject SPEC] files...\n",
                Argv0);
   return 2;
@@ -170,6 +173,8 @@ int main(int argc, char **argv) {
   bool Run = false, Stats = false;
   bool Analyze = false, AnalyzeJson = false, PlantDefects = false;
   uint64_t GenMcadLines = 0;
+  bool CacheGc = false;
+  uint64_t CacheMaxBytes = cachedir::NoBudget;
   std::vector<CheckCode> AnalyzeFilter;
   // I/O-path knobs are collected here and applied after the loop:
   // --machine-mem replaces Opts.Naim wholesale, so applying them in flag
@@ -294,9 +299,24 @@ int main(int argc, char **argv) {
       Opts.Incremental = true;
     else if (Arg == "--cache-dir")
       Opts.CacheDir = takeValue("--cache-dir");
-    else if (Arg == "--fault-inject")
+    else if (Arg == "--cache-gc")
+      CacheGc = true;
+    else if (Arg == "--cache-max-bytes")
+      CacheMaxBytes =
+          parseCount("--cache-max-bytes", takeValue("--cache-max-bytes"), 0);
+    else if (Arg == "--fault-inject") {
       Opts.FaultInject = takeValue("--fault-inject");
-    else if (!Arg.empty() && Arg[0] == '-') {
+      // Validate at parse time through the unified flag diagnostics: a
+      // typo'd spec exits 2 with the vocabulary, instead of surfacing as a
+      // build failure later.
+      std::string FiErr;
+      if (!FaultInjector::fromSpec(Opts.FaultInject, FiErr) &&
+          !Opts.FaultInject.empty())
+        optionError("--fault-inject",
+                    FiErr + "\n  sites:   " + FaultInjector::validSites() +
+                        "\n  actions: " + FaultInjector::validActions() +
+                        " (with -nth=N or -rate=F)");
+    } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "scmoc: unknown flag '%s'\n", Arg.c_str());
       return usage(argv[0]);
     } else
@@ -310,6 +330,31 @@ int main(int argc, char **argv) {
     Opts.Naim.PrefetchDepth = PrefetchDepth;
   if (Opts.Incremental && Opts.CacheDir.empty())
     optionError("--incremental", "needs --cache-dir <dir>");
+  if (CacheMaxBytes != cachedir::NoBudget && !CacheGc)
+    optionError("--cache-max-bytes", "needs --cache-gc");
+  if (CacheGc) {
+    // Cache maintenance mode: sweep stale locks / tmp litter and (with a
+    // budget) evict least-recently-used entries, then exit. Safe to run
+    // while builders share the directory — eviction is unlink-only.
+    if (Opts.CacheDir.empty())
+      optionError("--cache-gc", "needs --cache-dir <dir>");
+    std::string FiErr;
+    std::shared_ptr<FaultInjector> FI =
+        FaultInjector::fromSpec(Opts.FaultInject, FiErr);
+    if (!FI)
+      FI = FaultInjector::fromEnv();
+    cachedir::GcResult G =
+        cachedir::collectGarbage(Opts.CacheDir, CacheMaxBytes, FI.get());
+    std::fprintf(stderr,
+                 "[cache-gc %s: %llu entries, %llu bytes; evicted %llu "
+                 "(%llu bytes); swept %llu stale locks, %llu stale tmps]\n",
+                 Opts.CacheDir.c_str(), (unsigned long long)G.Entries,
+                 (unsigned long long)G.Bytes, (unsigned long long)G.Evicted,
+                 (unsigned long long)G.EvictedBytes,
+                 (unsigned long long)G.StaleLocks,
+                 (unsigned long long)G.StaleTmps);
+    return 0;
+  }
   if (Files.empty() && !GenMcadLines)
     return usage(argv[0]);
   if (Opts.Instrument && Opts.Level == OptLevel::O4) {
@@ -471,12 +516,18 @@ int main(int argc, char **argv) {
         Merged.merge(New);
       else
         Merged = std::move(New);
-      if (!saveProfileDb(Merged, ProfilePath)) {
-        std::fprintf(stderr, "scmoc: cannot write %s\n",
+      if (!saveProfileDb(Merged, ProfilePath,
+                         Session.loader().faultInjector().get())) {
+        // Degradation, not failure: the run's training data is lost but the
+        // executable ran to completion — mirror the cache-store contract.
+        std::fprintf(stderr,
+                     "scmoc: warning: cannot write profile %s; this run's "
+                     "training data is lost\n",
                      ProfilePath.c_str());
-        return 1;
+      } else {
+        std::fprintf(stderr, "[profile written to %s]\n",
+                     ProfilePath.c_str());
       }
-      std::fprintf(stderr, "[profile written to %s]\n", ProfilePath.c_str());
     }
     return static_cast<int>(Result.ExitValue & 0x7f);
   }

@@ -278,10 +278,10 @@ TEST(Incremental, OptionChangeInvalidatesEverything) {
 //===----------------------------------------------------------------------===//
 
 TEST(Incremental, CorruptArtifactFallsBackToRecompilation) {
-  // Persistently corrupt the first artifact written (the cache's Store
-  // fault site; NAIM is off so no spill traffic shares it). The warm build
-  // must detect the bad frame, treat it as a miss, recompile, and still
-  // produce the cold executable.
+  // Persistently corrupt the first artifact written (the cache-store fault
+  // site — the artifact cache's own site, distinct from the NAIM spill
+  // path's `store`). The warm build must detect the bad frame, treat it as
+  // a miss, recompile, and still produce the cold executable.
   GeneratedProgram GP = testProgram(37);
   CompileOptions Opts;
   Opts.Level = OptLevel::O4;
@@ -293,7 +293,7 @@ TEST(Incremental, CorruptArtifactFallsBackToRecompilation) {
 
   std::string Dir = freshCacheDir();
   CompileOptions Inject = Opts;
-  Inject.FaultInject = "store:corrupt-nth=1";
+  Inject.FaultInject = "cache-store:corrupt-nth=1";
   IncBuild Cold = buildWithCache(GP, Dir, Inject);
   ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
   ASSERT_GT(stat(Cold.Build, "cache.stores"), 0u);
@@ -319,7 +319,7 @@ TEST(Incremental, StoreFailureDegradesGracefully) {
   Opts.Level = OptLevel::O4;
   Opts.Naim.Mode = NaimMode::Off;
   Opts.Jobs = 1;
-  Opts.FaultInject = "store:fail-nth=1";
+  Opts.FaultInject = "cache-store:fail-nth=1";
   std::string Dir = freshCacheDir();
   IncBuild Cold = buildWithCache(GP, Dir, Opts);
   ASSERT_TRUE(Cold.Build.Ok) << Cold.Build.Error;
