@@ -76,11 +76,11 @@ bool meetInto(RegBitSet &Dst, const RegBitSet &Src, MeetOp Meet) {
 DataflowResult solveForward(const Cfg &C,
                             const std::vector<BlockTransfer> &Transfer,
                             const RegBitSet &Boundary, MeetOp Meet,
-                            uint32_t Universe) {
+                            uint32_t Universe, Arena *Scratch) {
   size_t N = C.Succs.size();
   DataflowResult R;
-  R.In.assign(N, RegBitSet(Universe));
-  R.Out.assign(N, RegBitSet(Universe));
+  R.In.assign(N, RegBitSet(Universe, Scratch));
+  R.Out.assign(N, RegBitSet(Universe, Scratch));
   if (!N)
     return R;
   // Intersect-meet lattices start non-boundary nodes at top so the first
@@ -92,6 +92,10 @@ DataflowResult solveForward(const Cfg &C,
   for (size_t B = 0; B != N; ++B)
     applyTransfer(R.Out[B], Transfer[B], R.In[B]);
 
+  // One scratch set reused across all iterations: same-universe
+  // copy-assignment reuses the buffer, so the fixpoint loop allocates
+  // nothing at all.
+  RegBitSet NewOut(Universe, Scratch);
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -101,7 +105,6 @@ DataflowResult solveForward(const Cfg &C,
         InChanged |= meetInto(R.In[B], R.Out[P], Meet);
       if (!InChanged)
         continue;
-      RegBitSet NewOut(Universe);
       applyTransfer(NewOut, Transfer[B], R.In[B]);
       if (!(NewOut == R.Out[B])) {
         R.Out[B] = NewOut;
@@ -115,11 +118,11 @@ DataflowResult solveForward(const Cfg &C,
 DataflowResult solveBackward(const Cfg &C,
                              const std::vector<BlockTransfer> &Transfer,
                              const RegBitSet &Boundary, MeetOp Meet,
-                             uint32_t Universe) {
+                             uint32_t Universe, Arena *Scratch) {
   size_t N = C.Succs.size();
   DataflowResult R;
-  R.In.assign(N, RegBitSet(Universe));
-  R.Out.assign(N, RegBitSet(Universe));
+  R.In.assign(N, RegBitSet(Universe, Scratch));
+  R.Out.assign(N, RegBitSet(Universe, Scratch));
   if (!N)
     return R;
   for (size_t B = 0; B != N; ++B) {
@@ -130,6 +133,7 @@ DataflowResult solveBackward(const Cfg &C,
     applyTransfer(R.In[B], Transfer[B], R.Out[B]);
   }
 
+  RegBitSet NewIn(Universe, Scratch);
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -139,7 +143,6 @@ DataflowResult solveBackward(const Cfg &C,
         OutChanged |= meetInto(R.Out[I], R.In[S], Meet);
       if (!OutChanged)
         continue;
-      RegBitSet NewIn(Universe);
       applyTransfer(NewIn, Transfer[I], R.Out[I]);
       if (!(NewIn == R.In[I])) {
         R.In[I] = NewIn;

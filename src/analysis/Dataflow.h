@@ -51,10 +51,13 @@ enum class MeetOp : uint8_t { Union, Intersect };
 /// Per-block transfer function in Gen/Kill form:
 ///   forward:  Out[B] = Gen[B] ∪ (In[B]  \ Kill[B])
 ///   backward: In[B]  = Gen[B] ∪ (Out[B] \ Kill[B])
+/// Pass an arena to pool the bit-vectors; copies of an arena-backed
+/// prototype (e.g. vector fill-construction) stay on the same arena.
 struct BlockTransfer {
   RegBitSet Gen;
   RegBitSet Kill;
-  explicit BlockTransfer(uint32_t Universe) : Gen(Universe), Kill(Universe) {}
+  explicit BlockTransfer(uint32_t Universe, Arena *A = nullptr)
+      : Gen(Universe, A), Kill(Universe, A) {}
 };
 
 /// Solver output: the fixpoint In/Out set per block.
@@ -77,17 +80,23 @@ struct DataflowResult {
 
 /// Forward solve: In[entry] = Boundary; other blocks start at bottom (empty
 /// for Union, full for Intersect) and iterate to the fixpoint.
+///
+/// When \p Scratch is non-null, every bit-vector the solve creates — the
+/// result's In/Out sets included — allocates from it, so the caller frees
+/// the whole working set with one Arena::reset(). The result must then be
+/// consumed before the arena is reset or destroyed.
 DataflowResult solveForward(const Cfg &C,
                             const std::vector<BlockTransfer> &Transfer,
                             const RegBitSet &Boundary, MeetOp Meet,
-                            uint32_t Universe);
+                            uint32_t Universe, Arena *Scratch = nullptr);
 
 /// Backward solve: Out[B] = Boundary for blocks without successors; other
-/// blocks start at bottom and iterate to the fixpoint.
+/// blocks start at bottom and iterate to the fixpoint. \p Scratch as for
+/// solveForward.
 DataflowResult solveBackward(const Cfg &C,
                              const std::vector<BlockTransfer> &Transfer,
                              const RegBitSet &Boundary, MeetOp Meet,
-                             uint32_t Universe);
+                             uint32_t Universe, Arena *Scratch = nullptr);
 
 } // namespace scmo
 

@@ -114,7 +114,13 @@ InterprocStats scmo::runInterprocChecks(const Program &P,
   // barrier means a worker reading a callee's propagated masks always sees
   // a finished lower level, and each mask slot is written only by the one
   // worker that owns its SCC — determinism needs no locks.
-  CallGraph::Condensation Cond = Graph.condense(Ids);
+  //
+  // The SCC computation's node-keyed scratch pools in a pass-lifetime
+  // arena and frees wholesale when this function returns. Untracked:
+  // interproc scratch is accounted through the driver's replayed
+  // ScratchBytes charges, and double-charging would break that replay.
+  Arena SccScratch(nullptr, MemCategory::HloDerived, /*SlabSize=*/16 * 1024);
+  CallGraph::Condensation Cond = Graph.condense(Ids, &SccScratch);
   Stats.Sccs = Cond.Members.size();
   Stats.Waves = Cond.Levels.size();
 

@@ -91,21 +91,22 @@ void checkConstantTrap(RoutineId R, const RoutineBody &Body,
 /// owning that territory.
 uint64_t checkDefBeforeUse(const Program &, RoutineId R,
                            const RoutineBody &Body, const Cfg &C,
-                           RoutineFacts &Facts) {
+                           RoutineFacts &Facts, Arena &Scratch) {
   uint32_t U = Body.NextReg;
   if (!U)
     return 0;
-  std::vector<BlockTransfer> T(Body.Blocks.size(), BlockTransfer(U));
+  std::vector<BlockTransfer> T(Body.Blocks.size(),
+                               BlockTransfer(U, &Scratch));
   for (size_t B = 0; B != Body.Blocks.size(); ++B)
     for (const Instr *I : Body.Blocks[B].Instrs)
       if (definesValue(I->Op) && I->Dst != NoReg)
         T[B].Kill.set(I->Dst);
 
-  RegBitSet Entry(U);
+  RegBitSet Entry(U, &Scratch);
   for (uint32_t Reg = Body.NumParams; Reg < U; ++Reg)
     Entry.set(Reg);
 
-  DataflowResult DF = solveForward(C, T, Entry, MeetOp::Union, U);
+  DataflowResult DF = solveForward(C, T, Entry, MeetOp::Union, U, &Scratch);
 
   for (size_t B = 0; B != Body.Blocks.size(); ++B) {
     RegBitSet MaybeUndef = DF.In[B];
@@ -137,11 +138,12 @@ uint64_t checkDefBeforeUse(const Program &, RoutineId R,
 /// which is the summary's per-site ResultUsed fact.
 uint64_t checkDeadStore(RoutineId R, const RoutineBody &Body, const Cfg &C,
                         const std::vector<bool> &Reach, RoutineFacts &Facts,
-                        std::map<uint64_t, bool> &CallLive) {
+                        std::map<uint64_t, bool> &CallLive, Arena &Scratch) {
   uint32_t U = Body.NextReg;
   if (!U)
     return 0;
-  std::vector<BlockTransfer> T(Body.Blocks.size(), BlockTransfer(U));
+  std::vector<BlockTransfer> T(Body.Blocks.size(),
+                               BlockTransfer(U, &Scratch));
   for (size_t B = 0; B != Body.Blocks.size(); ++B) {
     for (const Instr *I : Body.Blocks[B].Instrs) {
       forEachUse(*I, [&](RegId Use) {
@@ -153,8 +155,8 @@ uint64_t checkDeadStore(RoutineId R, const RoutineBody &Body, const Cfg &C,
     }
   }
 
-  RegBitSet Exit(U);
-  DataflowResult DF = solveBackward(C, T, Exit, MeetOp::Union, U);
+  RegBitSet Exit(U, &Scratch);
+  DataflowResult DF = solveBackward(C, T, Exit, MeetOp::Union, U, &Scratch);
 
   for (size_t B = 0; B != Body.Blocks.size(); ++B) {
     if (!Reach[B])
@@ -237,7 +239,7 @@ uint32_t modifiedParamMask(const RoutineBody &Body) {
 /// bytes used.
 uint64_t extractMustCallees(const RoutineBody &Body, const Cfg &C,
                             const std::vector<bool> &Reach,
-                            AnalysisSummary &Sum) {
+                            AnalysisSummary &Sum, Arena &Scratch) {
   std::map<RoutineId, uint32_t> CalleeIdx;
   for (const AnalysisSummary::Site &S : Sum.Sites)
     CalleeIdx.emplace(S.Callee, 0);
@@ -247,18 +249,20 @@ uint64_t extractMustCallees(const RoutineBody &Body, const Cfg &C,
   for (auto &[Callee, Idx] : CalleeIdx)
     Idx = U++;
 
-  std::vector<BlockTransfer> T(Body.Blocks.size(), BlockTransfer(U));
+  std::vector<BlockTransfer> T(Body.Blocks.size(),
+                               BlockTransfer(U, &Scratch));
   for (size_t B = 0; B != Body.Blocks.size(); ++B)
     for (const Instr *I : Body.Blocks[B].Instrs)
       if (I->Op == Opcode::Call)
         T[B].Gen.set(CalleeIdx.at(I->Sym));
 
-  RegBitSet Entry(U); // Entry boundary: nothing called yet.
-  DataflowResult DF = solveForward(C, T, Entry, MeetOp::Intersect, U);
+  RegBitSet Entry(U, &Scratch); // Entry boundary: nothing called yet.
+  DataflowResult DF =
+      solveForward(C, T, Entry, MeetOp::Intersect, U, &Scratch);
 
   // Every call in a block precedes its terminator, so the must-call set at
   // a Ret is exactly Out of the returning block.
-  RegBitSet Must(U);
+  RegBitSet Must(U, &Scratch);
   bool AnyRet = false;
   for (size_t B = 0; B != Body.Blocks.size(); ++B) {
     if (!Reach[B] || Body.Blocks[B].Instrs.empty())
@@ -284,7 +288,7 @@ uint64_t extractMustCallees(const RoutineBody &Body, const Cfg &C,
 uint64_t extractSummary(const RoutineBody &Body, const Cfg &C,
                         const std::vector<bool> &Reach,
                         const std::map<uint64_t, bool> &CallLive,
-                        AnalysisSummary &Sum) {
+                        AnalysisSummary &Sum, Arena &Scratch) {
   Sum.NumParams = Body.NumParams;
   uint32_t Modified = modifiedParamMask(Body);
 
@@ -375,7 +379,7 @@ uint64_t extractSummary(const RoutineBody &Body, const Cfg &C,
     }
   }
 
-  return extractMustCallees(Body, C, Reach, Sum);
+  return extractMustCallees(Body, C, Reach, Sum, Scratch);
 }
 
 } // namespace
@@ -389,11 +393,20 @@ void runLocalChecks(const Program &P, RoutineId R, const RoutineBody &Body,
 
   checkUnreachable(R, Body, Reach, Facts);
   checkConstantTrap(R, Body, Facts);
-  uint64_t Fwd = checkDefBeforeUse(P, R, Body, C, Facts);
+  // One routine-lifetime pool for every bit-vector the checks derive,
+  // reset between solves so the footprint matches the ScratchBytes model
+  // (sequential solves: peak = max, not sum). Untracked: ScratchBytes is
+  // replayed through the tracker by the driver, for cache hits too, and
+  // double-charging here would break that replay's byte identity.
+  Arena Scratch(nullptr, MemCategory::HloDerived, /*SlabSize=*/16 * 1024);
+  uint64_t Fwd = checkDefBeforeUse(P, R, Body, C, Facts, Scratch);
+  Scratch.reset();
   std::map<uint64_t, bool> CallLive;
-  uint64_t Bwd = checkDeadStore(R, Body, C, Reach, Facts, CallLive);
+  uint64_t Bwd = checkDeadStore(R, Body, C, Reach, Facts, CallLive, Scratch);
+  Scratch.reset();
   scanGlobalUse(P, R, Body, Facts);
-  uint64_t Sum = extractSummary(Body, C, Reach, CallLive, Facts.Summary);
+  uint64_t Sum =
+      extractSummary(Body, C, Reach, CallLive, Facts.Summary, Scratch);
 
   // The solves run sequentially, so the routine's scratch peak is the
   // largest of them, not their sum.

@@ -65,6 +65,10 @@ CompilerSession::~CompilerSession() = default;
 
 bool CompilerSession::addSource(const std::string &ModuleName,
                                 const std::string &Source) {
+  // Frontend work happens per-module before the pipeline exists; scope it
+  // under the same name the pipeline's frontend stage uses so all frontend
+  // allocation lands in one profile row.
+  StageScope Scope(Tracker.get(), "frontend");
   Timer T;
   FrontendResult FR = compileSource(*Prog, ModuleName, Source);
   FrontendSeconds += T.seconds();
@@ -988,6 +992,7 @@ BuildResult CompilerSession::build() {
       .add(B.CacheStore)
       .add(B.Link);
   P.run(B.Result.Stages);
+  B.Result.Memory = Tracker->snapshot();
   for (const StageMetrics &M : B.Result.Stages) {
     if (M.Name == "wpa" || M.Name == "ltrans")
       B.Result.HloSeconds += M.Seconds;

@@ -91,6 +91,10 @@ struct BuildResult {
   /// and declared itself not applicable — e.g. HLO under --incremental when
   /// every unit was cached.
   std::vector<StageMetrics> Stages;
+
+  /// The tracker's per-stage/per-category allocation profile, snapshotted
+  /// when the pipeline finishes (scmoc --stats / --stats-format=json).
+  MemoryProfile Memory;
 };
 
 /// One compilation session over one program.

@@ -15,7 +15,14 @@ bool Pipeline::run(std::vector<StageMetrics> &Metrics) {
     M.Name = Stage->name();
     Timer T;
     bool Skipped = false;
-    bool Ok = Stage->run(Skipped);
+    bool Ok;
+    {
+      // Bracket the stage for the tracker's allocation profile: everything
+      // charged while the stage runs — including from its worker threads —
+      // lands in this stage's row.
+      StageScope Scope(Tracker, Stage->name());
+      Ok = Stage->run(Skipped);
+    }
     M.Seconds = T.seconds();
     M.Skipped = Skipped;
     if (Tracker)

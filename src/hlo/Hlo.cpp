@@ -89,11 +89,21 @@ void runPartition(HloContext &Ctx, const std::vector<RoutineId> &Members,
                   const HloPlan &Plan, Statistics &Stats) {
   Program &P = Ctx.P;
   MemoryTracker *Tracker = P.tracker();
+  // One node pool recycled across the per-routine caches below: each
+  // routine's map nodes bump-allocate here, and the reset at the top of
+  // the next iteration (after the previous cache is destroyed) reclaims
+  // them without returning the slab to the heap. Untracked — the bodies
+  // the cache points at carry their own tracked arenas; the map nodes are
+  // worker scratch.
+  Arena CacheArena(nullptr, MemCategory::HloDerived, /*SlabSize=*/8 * 1024);
   for (RoutineId R : Members) {
+    CacheArena.reset();
     // Versioned-callee memo, scoped per routine: one routine's directives
     // reuse the same callee versions heavily, but holding every version for
     // the partition's lifetime would break the Fig. 4 memory shape.
-    HloSnapshotCache Cache;
+    HloSnapshotCache Cache{
+        HloSnapshotCache::key_compare(),
+        ArenaAllocator<HloSnapshotCache::value_type>(&CacheArena)};
     if (!P.routine(R).Emit)
       continue; // Dead routines get no materialization and no cleanup.
     if (Plan.cloneFor(R))

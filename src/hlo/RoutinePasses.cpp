@@ -336,10 +336,16 @@ bool scmo::runSimplifyCfg(Program &P, RoutineBody &Body, Statistics &Stats) {
 bool scmo::runDce(Program &P, RoutineBody &Body, Statistics &Stats) {
   size_t NumBlocks = Body.Blocks.size();
   uint32_t NumVregs = Body.NextReg;
-  std::vector<RegBitSet> Use(NumBlocks, RegBitSet(NumVregs));
-  std::vector<RegBitSet> Def(NumBlocks, RegBitSet(NumVregs));
-  std::vector<RegBitSet> LiveIn(NumBlocks, RegBitSet(NumVregs));
-  std::vector<RegBitSet> LiveOut(NumBlocks, RegBitSet(NumVregs));
+  // Pass-lifetime pool for the liveness working set: the 4*NumBlocks
+  // bit-vectors are built together and dropped together, so they
+  // bump-allocate here and free wholesale when the pass returns.
+  // Untracked: HLO derived scratch is accounted through the analysis
+  // driver's replayed charges, not through per-pass live counters.
+  Arena Scratch(nullptr, MemCategory::HloDerived, /*SlabSize=*/16 * 1024);
+  std::vector<RegBitSet> Use(NumBlocks, RegBitSet(NumVregs, &Scratch));
+  std::vector<RegBitSet> Def(NumBlocks, RegBitSet(NumVregs, &Scratch));
+  std::vector<RegBitSet> LiveIn(NumBlocks, RegBitSet(NumVregs, &Scratch));
+  std::vector<RegBitSet> LiveOut(NumBlocks, RegBitSet(NumVregs, &Scratch));
 
   for (BlockId B = 0; B != NumBlocks; ++B) {
     for (const Instr *I : Body.Blocks[B].Instrs) {
@@ -351,13 +357,18 @@ bool scmo::runDce(Program &P, RoutineBody &Body, Statistics &Stats) {
         Def[B].set(I->Dst);
     }
   }
+  // Scratch sets hoisted out of the fixpoint loop: same-universe
+  // copy-assignment reuses the buffer, so iterating allocates nothing.
+  const RegBitSet Empty(NumVregs, &Scratch);
+  RegBitSet NewOut(NumVregs, &Scratch);
+  RegBitSet NewIn(NumVregs, &Scratch);
   bool Iterate = true;
   while (Iterate) {
     Iterate = false;
     for (size_t Idx = NumBlocks; Idx-- > 0;) {
       BlockId B = static_cast<BlockId>(Idx);
       const Instr *Term = Body.Blocks[B].terminator();
-      RegBitSet NewOut(NumVregs);
+      NewOut = Empty;
       if (Term) {
         if (Term->Op == Opcode::Jmp)
           NewOut.merge(LiveIn[Term->T1]);
@@ -367,8 +378,7 @@ bool scmo::runDce(Program &P, RoutineBody &Body, Statistics &Stats) {
         }
       }
       Iterate |= LiveOut[B].merge(NewOut);
-      RegBitSet NewIn(NumVregs);
-      NewIn.merge(Use[B]);
+      NewIn = Use[B];
       NewIn.mergeMinus(LiveOut[B], Def[B]);
       Iterate |= LiveIn[B].merge(NewIn);
     }

@@ -62,8 +62,16 @@ struct VirtualSite {
 /// inlining restructures this list exactly the way inlineCallSite
 /// restructures the real body (split block, append continuation, append
 /// callee copies), so ordinals computed here match application-time scans.
+///
+/// The block/site lists — the planner's dominant transient allocation —
+/// pool in the planner-lifetime arena passed at construction and free
+/// wholesale when the planner dies. New blocks must come from newBlock():
+/// a bare emplace_back() would default-construct a heap-backed inner list.
 struct VirtualCaller {
-  std::vector<std::vector<VirtualSite>> Blocks;
+  using SiteList = ArenaVector<VirtualSite>;
+  using BlockList = ArenaVector<SiteList>;
+
+  BlockList Blocks;
   /// Live instruction count: pristine size plus every planned rewrite's
   /// exact instruction delta — tracks what the loader's re-summarized live
   /// body reported to the serial phases at the same decision points.
@@ -71,6 +79,17 @@ struct VirtualCaller {
   uint64_t EntryFreq = 0;
   uint32_t RetCount = 0; ///< Invariant under every planned rewrite.
   bool HasProfile = false;
+
+  explicit VirtualCaller(Arena *A = nullptr)
+      : Blocks(ArenaAllocator<SiteList>(A)) {}
+
+  Arena *arena() const { return Blocks.get_allocator().arena(); }
+
+  /// Appends an empty site list backed by the caller's own arena.
+  SiteList &newBlock() {
+    Blocks.emplace_back(SiteList(ArenaAllocator<VirtualSite>(arena())));
+    return Blocks.back();
+  }
 };
 
 /// Callee-side facts resolved per candidate, uniform across set members,
@@ -92,9 +111,18 @@ struct WpaPlanner::Impl {
   std::vector<RoutineId> &Set;
   HloPlan Plan;
 
+  /// Planner-lifetime pool for the virtual world's node and block/site
+  /// storage — built up across every planning phase, freed wholesale when
+  /// the planner dies. Declared before the containers that allocate from
+  /// it. Untracked: the world is planning scratch, not program state, and
+  /// charging it would distort the figure-style HLO peak.
+  Arena WorldArena{nullptr, MemCategory::HloGlobal, /*SlabSize=*/32 * 1024};
+
   /// Simulated callers keyed by id; CallerOrder preserves the set's
   /// iteration order (the order every serial phase scanned sites in).
-  std::map<RoutineId, VirtualCaller> World;
+  ArenaMap<RoutineId, VirtualCaller> World{
+      std::less<RoutineId>(),
+      ArenaAllocator<std::pair<const RoutineId, VirtualCaller>>(&WorldArena)};
   std::vector<RoutineId> CallerOrder;
   uint64_t NextUID = 0;
 
@@ -107,7 +135,7 @@ struct WpaPlanner::Impl {
       const RoutineIlSummary *Sum = Ctx.L.routineSummary(R);
       if (!Sum)
         continue;
-      VirtualCaller VC;
+      VirtualCaller VC(&WorldArena);
       VC.Size = Sum->InstrCount;
       VC.EntryFreq = Sum->EntryFreq;
       VC.RetCount = Sum->RetCount;
@@ -131,7 +159,7 @@ struct WpaPlanner::Impl {
     BlockId LastBlock = InvalidId;
     for (const RoutineIlSummary::Site &S : Sites) {
       if (First || S.Block != LastBlock) {
-        VC.Blocks.emplace_back();
+        VC.newBlock();
         LastBlock = S.Block;
         First = false;
       }
@@ -159,10 +187,10 @@ struct WpaPlanner::Impl {
   /// callee's blocks one-to-one. Counts rescale like copied block
   /// frequencies; Scale < 0 keeps them verbatim (clone world entries).
   void appendWorldBlocks(VirtualCaller &VC,
-                         const std::vector<std::vector<VirtualSite>> &Blocks,
+                         const VirtualCaller::BlockList &Blocks,
                          double Scale, bool CallerHasProfile) {
     for (const auto &Blk : Blocks) {
-      VC.Blocks.emplace_back();
+      VC.newBlock();
       for (const VirtualSite &S : Blk) {
         uint64_t Count = S.Count;
         if (Scale >= 0.0)
@@ -227,7 +255,7 @@ struct WpaPlanner::Impl {
     RoutineId Match = VC.Blocks[TB][TP].Callee;
     uint32_t N = 0;
     for (size_t B = 0; B <= TB; ++B) {
-      const std::vector<VirtualSite> &Sites = VC.Blocks[B];
+      const VirtualCaller::SiteList &Sites = VC.Blocks[B];
       size_t End = B == TB ? TP : Sites.size();
       for (size_t I = 0; I != End; ++I)
         if (Sites[I].Callee == Match)
@@ -250,8 +278,9 @@ struct WpaPlanner::Impl {
     if (Consumed.Count && F.EntryFreq)
       Scale = double(Consumed.Count) / double(F.EntryFreq);
 
-    std::vector<VirtualSite> Suffix(VC.Blocks[B].begin() + TP + 1,
-                                    VC.Blocks[B].end());
+    VirtualCaller::SiteList Suffix(VC.Blocks[B].begin() + TP + 1,
+                                   VC.Blocks[B].end(),
+                                   ArenaAllocator<VirtualSite>(VC.arena()));
     VC.Blocks[B].resize(TP);
     VC.Blocks.push_back(std::move(Suffix)); // Continuation block.
     auto WIt = World.find(Consumed.Callee);
@@ -461,7 +490,7 @@ void WpaPlanner::Impl::planClones(const CloneParams &Params) {
           // The clone joins the world as a caller: its body is the origin's
           // current state plus entry Movs, so it carries the origin's
           // current sites (redirects included) verbatim.
-          VirtualCaller CloneVC;
+          VirtualCaller CloneVC(&WorldArena);
           CloneVC.Size = CalleeSize + Key.size();
           CloneVC.EntryFreq = CalleeSum->EntryFreq;
           CloneVC.RetCount = factsOf(Callee).RetCount;

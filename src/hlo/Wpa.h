@@ -44,6 +44,7 @@
 #include "hlo/HloContext.h"
 #include "hlo/Inliner.h"
 #include "hlo/Partition.h"
+#include "support/ArenaAllocator.h"
 
 #include <map>
 #include <memory>
@@ -186,8 +187,11 @@ private:
 /// functions of the plan, so callers scope one wherever convenient —
 /// per routine keeps peak memory flat, per worker trades memory for fewer
 /// replays — without affecting the output, and nothing needs locking.
+/// Default-constructed caches are heap-backed; pass an arena allocator to
+/// pool the map nodes (the LTRANS worker recycles one arena across its
+/// per-routine caches). The bodies themselves own their storage either way.
 using HloSnapshotCache =
-    std::map<std::pair<RoutineId, uint32_t>, std::unique_ptr<RoutineBody>>;
+    ArenaMap<std::pair<RoutineId, uint32_t>, std::unique_ptr<RoutineBody>>;
 
 /// Applies the plan's rewrites for routine \p R to its acquired \p Body:
 /// IPCP entry constants first (they never shift call ordinals), then the

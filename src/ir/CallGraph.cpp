@@ -13,6 +13,22 @@
 
 using namespace scmo;
 
+CallGraph::CallGraph()
+    : Storage(std::make_unique<Arena>(nullptr, MemCategory::HloGlobal,
+                                      /*SlabSize=*/16 * 1024)),
+      Sites(ArenaAllocator<CallSite>(Storage.get())),
+      Out(std::less<RoutineId>(),
+          ArenaAllocator<std::pair<const RoutineId, SiteIndexList>>(
+              Storage.get())),
+      In(std::less<RoutineId>(),
+         ArenaAllocator<std::pair<const RoutineId, SiteIndexList>>(
+             Storage.get())) {}
+
+void CallGraph::addIndex(IndexMap &M, RoutineId R, uint32_t SiteIdx) {
+  M.try_emplace(R, SiteIndexList(ArenaAllocator<uint32_t>(Storage.get())))
+      .first->second.push_back(SiteIdx);
+}
+
 CallGraph CallGraph::build(const Program &P,
                            const std::vector<RoutineId> &RoutineSet,
                            const BodyProvider &Acquire,
@@ -36,8 +52,8 @@ CallGraph CallGraph::build(const Program &P,
         S.Count = Body->HasProfile ? BB.Freq : 0;
         uint32_t SiteIdx = static_cast<uint32_t>(G.Sites.size());
         G.Sites.push_back(S);
-        G.Out[R].push_back(SiteIdx);
-        G.In[S.Callee].push_back(SiteIdx);
+        G.addIndex(G.Out, R, SiteIdx);
+        G.addIndex(G.In, S.Callee, SiteIdx);
       }
     }
     if (Release)
@@ -63,8 +79,8 @@ CallGraph CallGraph::build(const Program &P,
       S.Count = Site.Count;
       uint32_t SiteIdx = static_cast<uint32_t>(G.Sites.size());
       G.Sites.push_back(S);
-      G.Out[R].push_back(SiteIdx);
-      G.In[S.Callee].push_back(SiteIdx);
+      G.addIndex(G.Out, R, SiteIdx);
+      G.addIndex(G.In, S.Callee, SiteIdx);
     }
   }
   return G;
@@ -192,27 +208,32 @@ std::vector<RoutineId> CallGraph::recursiveRoutines() const {
 
 CallGraph CallGraph::fromSites(std::vector<CallSite> AllSites) {
   CallGraph G;
-  G.Sites = std::move(AllSites);
+  G.Sites.assign(AllSites.begin(), AllSites.end());
   for (uint32_t SiteIdx = 0; SiteIdx != G.Sites.size(); ++SiteIdx) {
     const CallSite &S = G.Sites[SiteIdx];
-    G.Out[S.Caller].push_back(SiteIdx);
-    G.In[S.Callee].push_back(SiteIdx);
+    G.addIndex(G.Out, S.Caller, SiteIdx);
+    G.addIndex(G.In, S.Callee, SiteIdx);
   }
   return G;
 }
 
 CallGraph::Condensation
-CallGraph::condense(const std::vector<RoutineId> &Nodes) const {
+CallGraph::condense(const std::vector<RoutineId> &Nodes,
+                    Arena *Scratch) const {
   Condensation C;
-  std::set<RoutineId> NodeSet(Nodes.begin(), Nodes.end());
+  ArenaSet<RoutineId> NodeSet(Nodes.begin(), Nodes.end(),
+                              std::less<RoutineId>(),
+                              ArenaAllocator<RoutineId>(Scratch));
 
   // Iterative Tarjan over exactly the requested nodes; edges leaving the
   // node set (e.g. calls to undefined externs) are ignored. Roots are taken
   // in the caller's order, so the SCC numbering is deterministic.
-  std::map<RoutineId, uint32_t> Index; // Discovery index, absent = unvisited.
-  std::map<RoutineId, uint32_t> LowLink;
-  std::map<RoutineId, bool> OnStack;
-  std::vector<RoutineId> SccStack;
+  ArenaAllocator<std::pair<const RoutineId, uint32_t>> MapAlloc(Scratch);
+  ArenaMap<RoutineId, uint32_t> Index(MapAlloc); // Absent = unvisited.
+  ArenaMap<RoutineId, uint32_t> LowLink(MapAlloc);
+  ArenaAllocator<std::pair<const RoutineId, bool>> FlagAlloc(Scratch);
+  ArenaMap<RoutineId, bool> OnStack(FlagAlloc);
+  ArenaVector<RoutineId> SccStack{ArenaAllocator<RoutineId>(Scratch)};
   uint32_t NextIndex = 1;
 
   struct Frame {
@@ -222,7 +243,7 @@ CallGraph::condense(const std::vector<RoutineId> &Nodes) const {
   for (RoutineId Root : Nodes) {
     if (Index.count(Root))
       continue;
-    std::vector<Frame> Work;
+    ArenaVector<Frame> Work{ArenaAllocator<Frame>(Scratch)};
     Work.push_back({Root, 0});
     Index[Root] = LowLink[Root] = NextIndex++;
     SccStack.push_back(Root);

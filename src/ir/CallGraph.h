@@ -21,8 +21,10 @@
 #define SCMO_IR_CALLGRAPH_H
 
 #include "ir/Program.h"
+#include "support/ArenaAllocator.h"
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -40,8 +42,22 @@ struct CallSite {
 };
 
 /// Whole-program (or module-set) call graph with per-site profile counts.
+///
+/// Node/edge storage lives in one graph-lifetime arena (the paper's pool
+/// discipline for global objects): the site list and the per-routine index
+/// lists are thousands of small allocations that are always built together
+/// and dropped together, so they bump-allocate from the graph's own pool
+/// and free wholesale when the graph is invalidated.
 class CallGraph {
 public:
+  using SiteList = ArenaVector<CallSite>;
+  using SiteIndexList = ArenaVector<uint32_t>;
+
+  CallGraph();
+  CallGraph(CallGraph &&) = default;
+  CallGraph(const CallGraph &) = delete;
+  CallGraph &operator=(const CallGraph &) = delete;
+
   /// Provides (possibly loading) the body of a routine; returns null when the
   /// routine has no body available. The NAIM loader supplies this so the
   /// graph can be built without expanding everything at once.
@@ -90,18 +106,18 @@ public:
                                  const SummaryProvider &Summaries);
 
   /// All call sites in deterministic (caller, block, instr) order.
-  const std::vector<CallSite> &sites() const { return Sites; }
+  const SiteList &sites() const { return Sites; }
 
   /// Indices into sites() of the calls made by \p R.
-  const std::vector<uint32_t> &sitesOf(RoutineId R) const {
-    static const std::vector<uint32_t> Empty;
+  const SiteIndexList &sitesOf(RoutineId R) const {
+    static const SiteIndexList Empty;
     auto It = Out.find(R);
     return It == Out.end() ? Empty : It->second;
   }
 
   /// Indices into sites() of the calls targeting \p R.
-  const std::vector<uint32_t> &sitesTo(RoutineId R) const {
-    static const std::vector<uint32_t> Empty;
+  const SiteIndexList &sitesTo(RoutineId R) const {
+    static const SiteIndexList Empty;
     auto It = In.find(R);
     return It == In.end() ? Empty : It->second;
   }
@@ -142,12 +158,27 @@ public:
     std::vector<bool> Cyclic; ///< Size > 1 or a self edge.
     std::vector<std::vector<uint32_t>> Levels;
   };
-  Condensation condense(const std::vector<RoutineId> &Nodes) const;
+  /// When \p Scratch is non-null, Tarjan's working set (node-keyed
+  /// index/lowlink/on-stack maps and the DFS stacks — thousands of small
+  /// node allocations) pools in it and frees with one reset; the returned
+  /// Condensation itself is always heap-backed and independent of the
+  /// arena's lifetime.
+  Condensation condense(const std::vector<RoutineId> &Nodes,
+                        Arena *Scratch = nullptr) const;
 
 private:
-  std::vector<CallSite> Sites;
-  std::map<RoutineId, std::vector<uint32_t>> Out;
-  std::map<RoutineId, std::vector<uint32_t>> In;
+  using IndexMap = ArenaMap<RoutineId, SiteIndexList>;
+
+  /// Appends \p SiteIdx to \p M[R], creating the list on the graph's arena
+  /// (never via operator[], which would default-construct it heap-backed).
+  void addIndex(IndexMap &M, RoutineId R, uint32_t SiteIdx);
+
+  // Storage must outlive (so precede) the containers that allocate from
+  // it; moves transfer the unique_ptr, keeping every allocator valid.
+  std::unique_ptr<Arena> Storage;
+  SiteList Sites;
+  IndexMap Out;
+  IndexMap In;
 };
 
 } // namespace scmo

@@ -1,0 +1,126 @@
+//===- ir/DotEmitter.cpp --------------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DotEmitter.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+using namespace scmo;
+
+namespace {
+
+/// Escapes a string for use inside a double-quoted dot identifier/label.
+std::string quoted(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string nodeId(RoutineId R) { return "r" + std::to_string(R); }
+
+std::string blockId(RoutineId R, BlockId B) {
+  return "\"r" + std::to_string(R) + "_b" + std::to_string(B) + "\"";
+}
+
+/// The body shared by printCfgDot and printCfgClusterDot: node and edge
+/// lines, indented with \p Indent.
+std::string cfgBody(const Program &P, RoutineId R, const RoutineBody &Body,
+                    const char *Indent) {
+  std::string Out;
+  for (BlockId B = 0; B != Body.Blocks.size(); ++B) {
+    const BasicBlock &BB = Body.Blocks[B];
+    // No user-controlled text here, so the label (with its intentional \n
+    // line breaks) is emitted verbatim rather than through quoted().
+    std::string Label = "B" + std::to_string(B) + "\\n" +
+                        std::to_string(BB.Instrs.size()) + " instrs";
+    if (Body.HasProfile)
+      Label += "\\nfreq " + std::to_string(BB.Freq);
+    Out += Indent;
+    Out += blockId(R, B) + " [shape=box, label=\"" + Label + "\"];\n";
+  }
+  for (BlockId B = 0; B != Body.Blocks.size(); ++B) {
+    const Instr *Term = Body.Blocks[B].terminator();
+    if (!Term)
+      continue;
+    if (Term->Op == Opcode::Jmp) {
+      Out += Indent;
+      Out += blockId(R, B) + " -> " + blockId(R, Term->T1) + ";\n";
+    } else if (Term->Op == Opcode::Br) {
+      Out += Indent;
+      Out += blockId(R, B) + " -> " + blockId(R, Term->T1) +
+             " [label=\"T\"];\n";
+      Out += Indent;
+      Out += blockId(R, B) + " -> " + blockId(R, Term->T2) +
+             " [label=\"F\"];\n";
+    }
+    // Ret: no successors.
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string scmo::printCallGraphDot(const Program &P, const CallGraph &G) {
+  // Aggregate sites per (caller, callee) edge; scan order is deterministic
+  // and the sorted maps make node/edge emission order deterministic too.
+  std::set<RoutineId> Nodes;
+  std::map<std::pair<RoutineId, RoutineId>, std::pair<uint64_t, uint64_t>>
+      Edges; // (sites, dynamic calls)
+  for (const CallSite &S : G.sites()) {
+    Nodes.insert(S.Caller);
+    Nodes.insert(S.Callee);
+    auto &E = Edges[{S.Caller, S.Callee}];
+    E.first += 1;
+    E.second += S.Count;
+  }
+
+  std::string Out = "digraph callgraph {\n";
+  Out += "  rankdir=LR;\n";
+  Out += "  node [shape=ellipse];\n";
+  for (RoutineId R : Nodes) {
+    Out += "  " + nodeId(R) + " [label=" + quoted(P.displayName(R));
+    if (R < P.numRoutines() && !P.routine(R).IsDefined)
+      Out += ", style=dashed"; // Undefined extern: a leaf we cannot see.
+    Out += "];\n";
+  }
+  for (const auto &[Key, Agg] : Edges) {
+    std::string Label = std::to_string(Agg.first) + " site" +
+                        (Agg.first == 1 ? "" : "s");
+    if (Agg.second)
+      Label += ", " + std::to_string(Agg.second) + " calls";
+    Out += "  " + nodeId(Key.first) + " -> " + nodeId(Key.second) +
+           " [label=" + quoted(Label) + "];\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string scmo::printCfgDot(const Program &P, RoutineId R,
+                              const RoutineBody &Body) {
+  std::string Out = "digraph " + quoted("cfg_" + P.displayName(R)) + " {\n";
+  Out += "  label=" + quoted(P.displayName(R)) + ";\n";
+  Out += cfgBody(P, R, Body, "  ");
+  Out += "}\n";
+  return Out;
+}
+
+std::string scmo::printCfgClusterDot(const Program &P, RoutineId R,
+                                     const RoutineBody &Body) {
+  std::string Out =
+      "  subgraph \"cluster_" + nodeId(R) + "\" {\n";
+  Out += "    label=" + quoted(P.displayName(R)) + ";\n";
+  Out += cfgBody(P, R, Body, "    ");
+  Out += "  }\n";
+  return Out;
+}

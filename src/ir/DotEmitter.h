@@ -1,0 +1,47 @@
+//===- ir/DotEmitter.h ------------------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz emitters for the structures the optimizer reasons over: the
+/// whole-program call graph and per-routine control-flow graphs. Output is
+/// deterministic — nodes in ascending routine/block id order, edges in site
+/// scan order — so two builds of the same program diff clean, and `dot
+/// -Tcanon` can be used as a syntax check in CI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_IR_DOTEMITTER_H
+#define SCMO_IR_DOTEMITTER_H
+
+#include "ir/CallGraph.h"
+#include "ir/Program.h"
+
+#include <string>
+
+namespace scmo {
+
+/// The call graph as one `digraph callgraph`. One node per routine that
+/// appears as a caller or callee, labeled with its display name; one edge
+/// per (caller, callee) pair, labeled with the static site count and, when
+/// a profile is attached, the summed dynamic call count.
+std::string printCallGraphDot(const Program &P, const CallGraph &G);
+
+/// One routine's CFG as a standalone `digraph`. Blocks are boxes labeled
+/// with their id, instruction count and (when profiled) execution count;
+/// terminator edges follow the IL semantics — Jmp to T1, Br to T1 (taken,
+/// labeled T) and T2 (fallthrough, labeled F), Ret none.
+std::string printCfgDot(const Program &P, RoutineId R,
+                        const RoutineBody &Body);
+
+/// The same CFG as a `subgraph cluster_*` fragment, for embedding many
+/// routines in one enclosing digraph (scmoc's combined --dump-dot file).
+std::string printCfgClusterDot(const Program &P, RoutineId R,
+                               const RoutineBody &Body);
+
+} // namespace scmo
+
+#endif // SCMO_IR_DOTEMITTER_H

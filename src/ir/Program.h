@@ -22,6 +22,7 @@
 #include "support/StringInterner.h"
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -350,6 +351,17 @@ public:
   /// True while a shared instance is installed (diagnostics and tests).
   bool callGraphValid() const { return GraphValid; }
 
+  /// Registers a callback run just before the routine table reallocates —
+  /// i.e. just before every existing RoutineSlot moves to a new address.
+  /// The NAIM loader installs a barrier here that drains its asynchronous
+  /// I/O (write-behind spills, readahead): those threads hold RoutineSlot
+  /// references across blocking stores, so declaring new routines while
+  /// they are in flight would otherwise pull the slots out from under
+  /// them. Pass nullptr to unregister.
+  void setSlotGrowBarrier(std::function<void()> Barrier) {
+    SlotGrowBarrier = std::move(Barrier);
+  }
+
   /// Builds (or reuses) the shared graph counter — how often consumers hit
   /// the cache this session (diagnostics and tests).
   uint64_t callGraphReuses() const { return GraphReuses; }
@@ -367,6 +379,14 @@ private:
   std::map<std::pair<ModuleId, StrId>, RoutineId> StaticRoutines;
   std::map<std::pair<ModuleId, StrId>, GlobalId> StaticGlobals;
   uint64_t GlobalTableCharge = 0;
+  std::function<void()> SlotGrowBarrier;
+
+  /// Runs the grow barrier when the next Routines.emplace_back would
+  /// reallocate (only then do existing slot addresses move).
+  void prepareRoutineGrowth() {
+    if (SlotGrowBarrier && Routines.size() == Routines.capacity())
+      SlotGrowBarrier();
+  }
 
   // Shared call-graph cache (see the accessor group above).
   std::unique_ptr<CallGraph> CachedGraph;

@@ -334,10 +334,14 @@ private:
     // Per-block upward-exposed uses / defs / live-in / live-out. This is the
     // transient LLO footprint that scales with (blocks x vregs) — the
     // superlinear growth Figure 4 attributes to LLO under heavy inlining.
-    std::vector<RegBitSet> Use(NumBlocks, RegBitSet(NumVregs));
-    std::vector<RegBitSet> Def(NumBlocks, RegBitSet(NumVregs));
-    std::vector<RegBitSet> LiveIn(NumBlocks, RegBitSet(NumVregs));
-    std::vector<RegBitSet> LiveOut(NumBlocks, RegBitSet(NumVregs));
+    // The working set pools in a solve-lifetime arena and frees wholesale
+    // when the function returns; accounting stays with the explicit charge()
+    // below (the arena is untracked so the bytes are not double-counted).
+    Arena Scratch(nullptr, MemCategory::Llo, /*SlabSize=*/16 * 1024);
+    std::vector<RegBitSet> Use(NumBlocks, RegBitSet(NumVregs, &Scratch));
+    std::vector<RegBitSet> Def(NumBlocks, RegBitSet(NumVregs, &Scratch));
+    std::vector<RegBitSet> LiveIn(NumBlocks, RegBitSet(NumVregs, &Scratch));
+    std::vector<RegBitSet> LiveOut(NumBlocks, RegBitSet(NumVregs, &Scratch));
     charge(4 * NumBlocks * RegBitSet(NumVregs).bytes());
 
     for (BlockId B = 0; B != NumBlocks; ++B) {
@@ -351,13 +355,18 @@ private:
       }
     }
     // Iterate to fixpoint (reverse order converges fast on reducible CFGs).
+    // Scratch sets hoisted out of the loop: same-universe copy-assignment
+    // reuses the buffer, so iterating allocates nothing.
+    const RegBitSet Empty(NumVregs, &Scratch);
+    RegBitSet NewOut(NumVregs, &Scratch);
+    RegBitSet NewIn(NumVregs, &Scratch);
     bool Changed = true;
     while (Changed) {
       Changed = false;
       for (size_t Idx = NumBlocks; Idx-- > 0;) {
         BlockId B = static_cast<BlockId>(Idx);
         const Instr *Term = Body.Blocks[B].terminator();
-        RegBitSet NewOut(NumVregs);
+        NewOut = Empty;
         if (Term) {
           if (Term->Op == Opcode::Jmp)
             NewOut.merge(LiveIn[Term->T1]);
@@ -367,8 +376,7 @@ private:
           }
         }
         Changed |= LiveOut[B].merge(NewOut);
-        RegBitSet NewIn(NumVregs);
-        NewIn.merge(Use[B]);
+        NewIn = Use[B];
         NewIn.mergeMinus(LiveOut[B], Def[B]);
         Changed |= LiveIn[B].merge(NewIn);
       }

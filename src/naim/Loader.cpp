@@ -71,7 +71,16 @@ std::unique_ptr<RoutineIlSummary> summarizeBody(const RoutineBody &Body) {
 Loader::Loader(Program &P, const NaimConfig &Config)
     : P(P), Config(Config),
       Repo(Config.RepositoryPath,
-           Config.Injector ? Config.Injector : FaultInjector::fromEnv()) {}
+           Config.Injector ? Config.Injector : FaultInjector::fromEnv()) {
+  // The I/O thread holds RoutineSlot references across blocking stores;
+  // if the routine table grows past its capacity those slots move. Park
+  // the async work whenever the program is about to reallocate it, so
+  // interleaving frontend declarations with loader traffic stays safe.
+  P.setSlotGrowBarrier([this] {
+    drainSpills();
+    drainPrefetches();
+  });
+}
 
 Loader::~Loader() {
   {
@@ -84,6 +93,7 @@ Loader::~Loader() {
   }
   if (IoThread.joinable())
     IoThread.join();
+  P.setSlotGrowBarrier(nullptr);
 }
 
 // The threshold predicates read only the config and the (atomic) tracker

@@ -61,9 +61,11 @@ public:
     Cur = Other.Cur;
     End = Other.End;
     Allocated = Other.Allocated;
+    Used = Other.Used;
     Other.Slabs.clear();
     Other.Cur = Other.End = nullptr;
     Other.Allocated = 0;
+    Other.Used = 0;
     return *this;
   }
 
@@ -80,6 +82,7 @@ public:
       Aligned = (P + Align - 1) & ~(Align - 1);
     }
     Cur = reinterpret_cast<char *>(Aligned + Bytes);
+    Used += Bytes;
     return reinterpret_cast<void *>(Aligned);
   }
 
@@ -100,26 +103,47 @@ public:
   void reset() {
     for (auto &S : Slabs)
       std::free(S.first);
-    if (Tracker && Allocated)
+    if (Tracker && Allocated) {
+      Tracker->noteArenaWaste(Cat, Allocated > Used ? Allocated - Used : 0);
       Tracker->release(Cat, Allocated);
+    }
     Slabs.clear();
     Cur = End = nullptr;
     Allocated = 0;
+    Used = 0;
   }
 
   /// Total bytes held by this arena's slabs (capacity, not just used bytes —
   /// the quantity that actually occupies process memory).
   uint64_t bytesAllocated() const { return Allocated; }
 
+  /// Bytes actually handed out to callers (excludes slab tails and
+  /// alignment padding). bytesAllocated() - usedBytes() is the arena's
+  /// current over-reservation.
+  uint64_t usedBytes() const { return Used; }
+
   /// Number of slabs currently held.
   size_t slabCount() const { return Slabs.size(); }
 
+  /// Upper bound for one slab: doubling stops here so long-lived arenas
+  /// never over-reserve more than this in one step (requests larger than
+  /// the cap still get a dedicated exact-size slab).
+  static constexpr size_t MaxSlabBytes = 8u << 20;
+
 private:
   void growSlab(size_t MinBytes) {
-    size_t Size = SlabSize;
-    // Double slab size as the arena grows; large requests get their own slab.
-    if (!Slabs.empty())
-      Size = Slabs.back().second * 2;
+    // Start small — most arenas (one per routine body) stay tiny, and a
+    // full SlabSize first slab is pure waste for them — then grow by 1.5x
+    // toward SlabSize and beyond, capped so huge arenas stop
+    // over-reserving. The gentler factor trades a few extra mallocs on big
+    // arenas for a much smaller unused tail on the final slab, which is
+    // what peak-resident accounting actually sees.
+    size_t Size = SlabSize / 8 < 256 ? size_t(256) : SlabSize / 8;
+    if (!Slabs.empty()) {
+      Size = Slabs.back().second + Slabs.back().second / 2;
+      if (Size > MaxSlabBytes)
+        Size = MaxSlabBytes;
+    }
     if (Size < MinBytes)
       Size = MinBytes;
     void *Mem = std::malloc(Size);
@@ -143,6 +167,7 @@ private:
   char *Cur = nullptr;
   char *End = nullptr;
   uint64_t Allocated = 0;
+  uint64_t Used = 0;
 };
 
 /// A byte buffer charged to a MemoryTracker category. Used for compacted

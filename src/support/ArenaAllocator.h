@@ -1,0 +1,103 @@
+//===- support/ArenaAllocator.h ---------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A std-allocator adapter over Arena, so standard containers can live in
+/// phase-lifetime pools without rewriting their call sites (paper Section
+/// 4.3: group the objects optimized together into one pool, free the pool
+/// wholesale). A null arena falls back to the global heap, which lets a
+/// container type default-construct unchanged and opt into a pool only
+/// where one is in scope.
+///
+/// Semantics chosen for pool discipline:
+///  - deallocate() on a pooled allocator is a no-op — memory returns when
+///    the arena resets. Element *destructors* still run normally, so
+///    containers of owning types (unique_ptr values) stay correct.
+///  - The allocator never propagates on copy-assign/move-assign/swap and
+///    compares equal only for the same arena: an existing container keeps
+///    its own backing when assigned from a differently-backed one, which
+///    is exactly what lets a heap-backed result be assigned from a pooled
+///    scratch value without capturing the pool. (Corollary: don't swap()
+///    two containers on different arenas — like any unequal-allocator
+///    swap, that is undefined.)
+///  - Copy *construction* inherits the source's arena (the prototype
+///    pattern: seed one pooled element and copies stay pooled).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_ARENAALLOCATOR_H
+#define SCMO_SUPPORT_ARENAALLOCATOR_H
+
+#include "support/Arena.h"
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <new>
+#include <set>
+#include <type_traits>
+#include <vector>
+
+namespace scmo {
+
+template <typename T> class ArenaAllocator {
+public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::false_type;
+  using propagate_on_container_swap = std::false_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena *A) : A(A) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &Other) : A(Other.arena()) {}
+
+  T *allocate(size_t N) {
+    if (A)
+      return static_cast<T *>(A->allocate(N * sizeof(T), alignof(T)));
+    return static_cast<T *>(::operator new(N * sizeof(T)));
+  }
+
+  void deallocate(T *P, size_t) {
+    if (!A)
+      ::operator delete(P);
+    // Pooled memory is reclaimed wholesale by Arena::reset().
+  }
+
+  Arena *arena() const { return A; }
+
+private:
+  Arena *A = nullptr;
+};
+
+template <typename T, typename U>
+bool operator==(const ArenaAllocator<T> &L, const ArenaAllocator<U> &R) {
+  return L.arena() == R.arena();
+}
+template <typename T, typename U>
+bool operator!=(const ArenaAllocator<T> &L, const ArenaAllocator<U> &R) {
+  return L.arena() != R.arena();
+}
+
+/// Containers over the adapter. Default-constructed instances are
+/// heap-backed; pass ArenaAllocator<T>(&A) to pool. For maps, prefer
+/// try_emplace over operator[] when inserting container values: operator[]
+/// default-constructs the mapped value, which silently yields a
+/// *heap-backed* inner container inside a pooled map.
+template <typename T> using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+template <typename K, typename V, typename Cmp = std::less<K>>
+using ArenaMap =
+    std::map<K, V, Cmp, ArenaAllocator<std::pair<const K, V>>>;
+
+template <typename K, typename Cmp = std::less<K>>
+using ArenaSet = std::set<K, Cmp, ArenaAllocator<K>>;
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_ARENAALLOCATOR_H

@@ -16,16 +16,25 @@
 #ifndef SCMO_SUPPORT_REGBITSET_H
 #define SCMO_SUPPORT_REGBITSET_H
 
+#include "support/ArenaAllocator.h"
+
 #include <cstdint>
 #include <vector>
 
 namespace scmo {
 
 /// Fixed-universe bitset with the operations dataflow needs.
+///
+/// Words may live on an Arena (pass one to the constructor) so a solver's
+/// whole working set frees wholesale; copies inherit the source's arena,
+/// and copy-assignment between same-universe sets reuses the destination
+/// buffer without touching any allocator. Default construction stays
+/// heap-backed, so existing users are unchanged.
 class RegBitSet {
 public:
-  explicit RegBitSet(uint32_t Universe)
-      : N(Universe), Words((Universe + 63) / 64, 0) {}
+  explicit RegBitSet(uint32_t Universe, Arena *A = nullptr)
+      : N(Universe),
+        Words((Universe + 63) / 64, 0, ArenaAllocator<uint64_t>(A)) {}
 
   uint32_t universe() const { return N; }
 
@@ -91,7 +100,7 @@ public:
 
 private:
   uint32_t N = 0;
-  std::vector<uint64_t> Words;
+  ArenaVector<uint64_t> Words;
 };
 
 } // namespace scmo

@@ -28,7 +28,14 @@
 ///     --run                  execute the result on the VM
 ///     --emit-il <routine>    print a routine's optimized IL
 ///     --disasm <routine>     print a routine's machine code
-///     --stats                print optimizer statistics and memory peaks
+///     --stats                print optimizer statistics and memory peaks,
+///                            including the per-stage/per-type allocation
+///                            profile with arena-waste accounting
+///     --stats-format <f>     stats format: text (default) or json (one
+///                            object, stable key order)
+///     --dump-dot <prefix>    write <prefix>.callgraph.dot (whole-program
+///                            call graph) and <prefix>.cfg.dot (every
+///                            linked routine's CFG) in graphviz format
 ///     --analyze              run the static-analysis engine instead of a
 ///                            build; prints diagnostics, exits 1 on errors
 ///     --analyze-filter <c,..> keep only these check codes (names like
@@ -63,6 +70,8 @@
 
 #include "cache/CacheDir.h"
 #include "driver/CompilerSession.h"
+#include "driver/StatsRender.h"
+#include "ir/DotEmitter.h"
 #include "ir/Printer.h"
 #include "llo/MachinePrinter.h"
 #include "profile/ProfileDb.h"
@@ -85,7 +94,8 @@ int usage(const char *Argv0) {
                "[--select PCT] [--multi-layered] [--machine-mem MIB] "
                "[--naim-compress off|fast] [--naim-prefetch K] "
                "[--jobs N] [--hlo-partitions N] [--run] [--emit-il R] "
-               "[--disasm R] [--stats] "
+               "[--disasm R] [--stats] [--stats-format text|json] "
+               "[--dump-dot PREFIX] "
                "[--analyze] [--analyze-filter CODES] "
                "[--analyze-format text|json] [--gen-mcad LINES] "
                "[--plant-defects] [--write-objects DIR] "
@@ -170,7 +180,8 @@ int main(int argc, char **argv) {
   std::vector<std::string> Files;
   std::string ProfilePath;
   std::string EmitIlRoutine, DisasmRoutine;
-  bool Run = false, Stats = false;
+  bool Run = false, Stats = false, StatsJson = false;
+  std::string DumpDotPrefix;
   bool Analyze = false, AnalyzeJson = false, PlantDefects = false;
   uint64_t GenMcadLines = 0;
   bool CacheGc = false;
@@ -258,6 +269,17 @@ int main(int argc, char **argv) {
       DisasmRoutine = takeValue("--disasm");
     else if (Arg == "--stats")
       Stats = true;
+    else if (Arg == "--stats-format") {
+      std::string Format = takeValue("--stats-format");
+      if (Format == "json")
+        StatsJson = true;
+      else if (Format == "text")
+        StatsJson = false;
+      else
+        optionError("--stats-format",
+                    "expected 'text' or 'json', got '" + Format + "'");
+    } else if (Arg == "--dump-dot")
+      DumpDotPrefix = takeValue("--dump-dot");
     else if (Arg == "--analyze")
       Analyze = true;
     else if (Arg == "--analyze-filter") {
@@ -456,37 +478,52 @@ int main(int argc, char **argv) {
     std::fputs(Text.c_str(), stdout);
   }
   if (Stats) {
-    std::printf("; %llu source lines, %zu routines linked, %zu instrs\n",
-                (unsigned long long)Build.SourceLines,
-                Build.Exe.Routines.size(), Build.Exe.Code.size());
-    std::printf("; HLO peak %.2f MiB, total peak %.2f MiB\n",
-                double(Build.HloPeakBytes) / 1048576.0,
-                double(Build.TotalPeakBytes) / 1048576.0);
-    std::printf("; loader: %llu compactions, %llu offloads, %llu cache "
-                "hits\n",
-                (unsigned long long)Build.Loader.Compactions,
-                (unsigned long long)Build.Loader.Offloads,
-                (unsigned long long)Build.Loader.CacheHits);
-    std::printf("; naim io: %llu elided stores, %llu queue hits, %llu "
-                "prefetch hits, %llu wasted, %llu/%llu stored/raw bytes\n",
-                (unsigned long long)Build.Loader.SpillElisions,
-                (unsigned long long)Build.Loader.SpillQueueHits,
-                (unsigned long long)Build.Loader.PrefetchHits,
-                (unsigned long long)Build.Loader.PrefetchWasted,
-                (unsigned long long)Build.Loader.CompressedBytes,
-                (unsigned long long)Build.Loader.RawBytes);
-    for (const StageMetrics &M : Build.Stages)
-      std::printf("; stage %-12s %8.3fs  live %8.2f MiB%s\n",
-                  M.Name.c_str(), M.Seconds,
-                  double(M.LiveBytesAfter) / 1048576.0,
-                  M.Skipped ? "  (skipped)" : "");
-    for (const auto &[Name, Value] : Build.Stats.all())
-      std::printf(";   %-32s %llu\n", Name.c_str(),
-                  (unsigned long long)Value);
-    // A stable content hash of the linked executable: CI builds twice with
+    // Rendering lives in driver/StatsRender so tests can pin the exact
+    // shape (JSON key order included) without spawning the binary. The exe
+    // hash line is a stable content hash: CI builds twice with
     // --incremental and asserts the two lines match.
-    std::printf("; exe xxh64 %016llx\n",
-                (unsigned long long)hashExecutable(Build.Exe));
+    std::fputs(StatsJson ? renderStatsJson(Build).c_str()
+                         : renderStatsText(Build).c_str(),
+               stdout);
+  }
+
+  if (!DumpDotPrefix.empty()) {
+    Program &P = Session.program();
+    std::vector<RoutineId> Defined;
+    for (RoutineId R = 0; R != P.numRoutines(); ++R)
+      if (P.routine(R).IsDefined && P.routine(R).Emit)
+        Defined.push_back(R);
+    // Bodies may be offloaded post-link; go through the loader so the
+    // graph walk replays them the same way any optimizer phase would.
+    CallGraph G = CallGraph::build(
+        P, Defined,
+        [&Session](RoutineId R) -> const RoutineBody * {
+          return &Session.loader().acquire(R);
+        },
+        [&Session](RoutineId R) { Session.loader().release(R); });
+    std::string CgPath = DumpDotPrefix + ".callgraph.dot";
+    std::ofstream CgOut(CgPath);
+    if (!CgOut) {
+      std::fprintf(stderr, "scmoc: cannot write %s\n", CgPath.c_str());
+      return 1;
+    }
+    CgOut << printCallGraphDot(P, G);
+
+    std::string CfgPath = DumpDotPrefix + ".cfg.dot";
+    std::ofstream CfgOut(CfgPath);
+    if (!CfgOut) {
+      std::fprintf(stderr, "scmoc: cannot write %s\n", CfgPath.c_str());
+      return 1;
+    }
+    CfgOut << "digraph cfgs {\n";
+    for (RoutineId R : Defined) {
+      const RoutineBody &Body = Session.loader().acquire(R);
+      CfgOut << printCfgClusterDot(P, R, Body);
+      Session.loader().release(R);
+    }
+    CfgOut << "}\n";
+    std::fprintf(stderr, "[dot: wrote %s and %s (%zu routines)]\n",
+                 CgPath.c_str(), CfgPath.c_str(), Defined.size());
   }
 
   if (Run) {

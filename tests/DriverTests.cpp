@@ -14,6 +14,7 @@
 
 #include "TestUtil.h"
 #include "driver/Isolate.h"
+#include "driver/StatsRender.h"
 #include "frontend/Frontend.h"
 
 #include <gtest/gtest.h>
@@ -189,6 +190,47 @@ TEST(Driver, MetricsArePopulated) {
   EXPECT_GT(Build.Llo.RoutinesLowered, 0u);
   EXPECT_GT(Build.Stats.get("inline.sites"), 0u);
   EXPECT_GE(Build.TotalSeconds, Build.HloSeconds);
+}
+
+TEST(Driver, StatsJsonKeyOrderIsStable) {
+  // The JSON key order is a documented contract (StatsRender.h): downstream
+  // tooling indexes by position, so reordering keys is a breaking change.
+  GeneratedProgram GP = testProgram(11);
+  CompileOptions Opts;
+  Opts.Level = OptLevel::O4;
+  BuildResult Build = buildGP(GP, Opts);
+  ASSERT_TRUE(Build.Ok) << Build.Error;
+  std::string Json = renderStatsJson(Build);
+
+  const char *TopLevel[] = {
+      "\"source_lines\"",   "\"routines\"",       "\"instrs\"",
+      "\"hlo_peak_bytes\"", "\"total_peak_bytes\"", "\"loader\"",
+      "\"naim_io\"",        "\"stages\"",         "\"memory_profile\"",
+      "\"statistics\"",     "\"exe_xxh64\""};
+  size_t Prev = 0;
+  for (const char *Key : TopLevel) {
+    size_t At = Json.find(Key, Prev);
+    ASSERT_NE(At, std::string::npos) << "missing key " << Key;
+    EXPECT_GE(At, Prev) << "key out of order: " << Key;
+    Prev = At;
+  }
+
+  // memory_profile's own fixed sub-order.
+  size_t MpAt = Json.find("\"memory_profile\"");
+  ASSERT_NE(MpAt, std::string::npos);
+  const char *MpKeys[] = {"\"arena_waste\"", "\"underflow_events\"",
+                          "\"underflow_category\""};
+  Prev = MpAt;
+  for (const char *Key : MpKeys) {
+    size_t At = Json.find(Key, Prev);
+    ASSERT_NE(At, std::string::npos) << "missing key " << Key;
+    Prev = At;
+  }
+
+  // The profile carries the pipeline's stage rows with per-category cells.
+  EXPECT_NE(Json.find("\"category\""), std::string::npos);
+  EXPECT_NE(Json.find("\"waste_bytes\""), std::string::npos);
+  EXPECT_NE(Json.find("\"llo\""), std::string::npos);
 }
 
 TEST(Driver, InstrumentedBuildsSkipOptimization) {

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Arena.h"
+#include "support/ArenaAllocator.h"
 #include "support/Fold.h"
 #include "support/MemoryTracker.h"
 #include "support/Prng.h"
@@ -343,3 +344,228 @@ TEST(Fold, WrappingArithmetic) {
   EXPECT_EQ(wrapNeg(Min), Min);
   EXPECT_EQ(wrapMul(Max, 2), -2);
 }
+
+//===----------------------------------------------------------------------===//
+// ArenaAllocator
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap) {
+  ArenaAllocator<int> Alloc; // no arena
+  int *P = Alloc.allocate(4);
+  ASSERT_NE(P, nullptr);
+  P[0] = 1;
+  P[3] = 4;
+  Alloc.deallocate(P, 4); // real operator delete, not a no-op
+  ArenaVector<int> V;     // default-constructed container is heap-backed
+  V.assign({1, 2, 3});
+  EXPECT_EQ(V.get_allocator().arena(), nullptr);
+  EXPECT_EQ(V[2], 3);
+}
+
+TEST(ArenaAllocator, PooledAllocationsRespectAlignment) {
+  Arena A(nullptr, MemCategory::Other, 512);
+  ArenaAllocator<char> CharAlloc(&A);
+  ArenaAllocator<double> DblAlloc(&A);
+  // Interleave odd-sized char requests with doubles; every double block
+  // must still come back correctly aligned.
+  for (int I = 0; I != 8; ++I) {
+    char *C = CharAlloc.allocate(3);
+    ASSERT_NE(C, nullptr);
+    double *D = DblAlloc.allocate(2);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(D) % alignof(double), 0u);
+    D[0] = 1.5;
+    D[1] = 2.5;
+  }
+}
+
+TEST(ArenaAllocator, ContainerRoundTripsInPool) {
+  Arena A(nullptr, MemCategory::Other, 1024);
+  ArenaVector<uint32_t> V{ArenaAllocator<uint32_t>(&A)};
+  for (uint32_t I = 0; I != 200; ++I)
+    V.push_back(I * 3);
+  ASSERT_EQ(V.size(), 200u);
+  EXPECT_EQ(V[199], 597u);
+  EXPECT_GT(A.usedBytes(), 200u * sizeof(uint32_t) - 1);
+
+  ArenaAllocator<std::pair<const int, int>> MapAlloc(&A);
+  ArenaMap<int, int> M(MapAlloc);
+  for (int I = 0; I != 50; ++I)
+    M.try_emplace(I, I * I);
+  EXPECT_EQ(M.at(7), 49);
+  EXPECT_EQ(M.size(), 50u);
+
+  ArenaAllocator<int> SetAlloc(&A);
+  ArenaSet<int> S(std::less<int>(), SetAlloc);
+  S.insert(3);
+  S.insert(1);
+  S.insert(3);
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_TRUE(S.count(1));
+}
+
+TEST(ArenaAllocator, TrackerChargeFollowsArenaReset) {
+  MemoryTracker T;
+  Arena A(&T, MemCategory::HloDerived, 1024);
+  {
+    ArenaVector<uint64_t> V{ArenaAllocator<uint64_t>(&A)};
+    for (uint64_t I = 0; I != 500; ++I)
+      V.push_back(I);
+    // Growth charged the tracker with slab capacity.
+    EXPECT_GE(T.liveBytes(MemCategory::HloDerived),
+              500 * sizeof(uint64_t));
+    // deallocate() during vector growth must not release anything: the
+    // pool gives memory back only at reset().
+    EXPECT_EQ(T.liveBytes(MemCategory::HloDerived), A.bytesAllocated());
+  }
+  A.reset();
+  EXPECT_EQ(T.liveBytes(MemCategory::HloDerived), 0u);
+  EXPECT_GT(T.peakBytes(MemCategory::HloDerived), 0u);
+}
+
+TEST(ArenaAllocator, CopyConstructionInheritsArena) {
+  Arena A(nullptr, MemCategory::Other, 512);
+  ArenaVector<int> Proto{ArenaAllocator<int>(&A)};
+  Proto.assign({1, 2, 3});
+  // The prototype pattern: fill-constructing copies of a pooled element
+  // keeps the copies in the same pool.
+  std::vector<ArenaVector<int>> Rows(4, Proto);
+  for (const ArenaVector<int> &R : Rows) {
+    EXPECT_EQ(R.get_allocator().arena(), &A);
+    EXPECT_EQ(R.back(), 3);
+  }
+  // Copy-assign does NOT propagate: a heap-backed destination assigned
+  // from a pooled source stays heap-backed (and owns its own copy).
+  ArenaVector<int> HeapDst;
+  HeapDst = Proto;
+  EXPECT_EQ(HeapDst.get_allocator().arena(), nullptr);
+  EXPECT_EQ(HeapDst.size(), 3u);
+}
+
+TEST(ArenaAllocator, MoveKeepsElementsValid) {
+  Arena A(nullptr, MemCategory::Other, 512);
+  ArenaVector<int> Src{ArenaAllocator<int>(&A)};
+  Src.assign({7, 8, 9});
+  ArenaVector<int> Dst(std::move(Src)); // move-construct: adopts buffer
+  EXPECT_EQ(Dst.get_allocator().arena(), &A);
+  ASSERT_EQ(Dst.size(), 3u);
+  EXPECT_EQ(Dst[0], 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Arena growth policy and waste accounting
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, SlabGrowthIsCappedAndUsedIsTracked) {
+  Arena A(nullptr, MemCategory::Other);
+  uint64_t PrevAllocated = 0;
+  for (int I = 0; I != 64; ++I) {
+    A.allocate(1 << 20); // 1 MiB requests force repeated slab growth
+    uint64_t Grew = A.bytesAllocated() - PrevAllocated;
+    if (Grew)
+      EXPECT_LE(Grew, Arena::MaxSlabBytes);
+    PrevAllocated = A.bytesAllocated();
+  }
+  EXPECT_EQ(A.usedBytes(), 64u << 20);
+  EXPECT_GE(A.bytesAllocated(), A.usedBytes());
+}
+
+TEST(Arena, ResetReportsWasteToTracker) {
+  MemoryTracker T;
+  Arena A(&T, MemCategory::Llo, 4096);
+  A.allocate(100); // slab capacity exceeds the 100 bytes handed out
+  uint64_t Expected = A.bytesAllocated() - A.usedBytes();
+  ASSERT_GT(Expected, 0u);
+  EXPECT_EQ(T.arenaWasteBytes(MemCategory::Llo), 0u);
+  A.reset();
+  EXPECT_EQ(T.arenaWasteBytes(MemCategory::Llo), Expected);
+  EXPECT_EQ(T.liveBytes(MemCategory::Llo), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Stage-scope allocation profile
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryTracker, StageScopesAttributeToInnermost) {
+  MemoryTracker T;
+  {
+    StageScope Outer(&T, "wpa");
+    T.allocate(MemCategory::HloGlobal, 100);
+    {
+      StageScope Inner(&T, "ltrans");
+      T.allocate(MemCategory::HloIr, 40);
+      T.release(MemCategory::HloIr, 40);
+    }
+    EXPECT_EQ(T.currentStageName(), "wpa"); // pop restored the outer scope
+    T.allocate(MemCategory::HloGlobal, 10);
+  }
+  EXPECT_EQ(T.currentStageName(), "");
+  MemoryProfile P = T.snapshot();
+  ASSERT_EQ(P.numStages(), 2u);
+  EXPECT_EQ(P.StageNames[0], "wpa"); // first-push order
+  EXPECT_EQ(P.StageNames[1], "ltrans");
+  const MemoryProfile::Cell &Wpa = P.cell(0, MemCategory::HloGlobal);
+  EXPECT_EQ(Wpa.Allocs, 2u);
+  EXPECT_EQ(Wpa.AllocBytes, 110u);
+  const MemoryProfile::Cell &Lt = P.cell(1, MemCategory::HloIr);
+  EXPECT_EQ(Lt.Allocs, 1u);
+  EXPECT_EQ(Lt.AllocBytes, 40u);
+  EXPECT_EQ(Lt.ReleaseBytes, 40u);
+  // The inner allocation must not leak into the outer stage's cell.
+  EXPECT_EQ(P.cell(0, MemCategory::HloIr).AllocBytes, 0u);
+}
+
+TEST(MemoryTracker, StageReentryAccumulatesIntoOneRow) {
+  MemoryTracker T;
+  for (int I = 0; I != 3; ++I) {
+    StageScope S(&T, "llo");
+    T.allocate(MemCategory::Llo, 10);
+    T.release(MemCategory::Llo, 10);
+  }
+  MemoryProfile P = T.snapshot();
+  ASSERT_EQ(P.numStages(), 1u);
+  EXPECT_EQ(P.cell(0, MemCategory::Llo).Allocs, 3u);
+  EXPECT_EQ(P.cell(0, MemCategory::Llo).AllocBytes, 30u);
+}
+
+TEST(MemoryTracker, ArenaWasteLandsInEnclosingStage) {
+  MemoryTracker T;
+  {
+    StageScope S(&T, "dce");
+    Arena A(&T, MemCategory::HloDerived, 4096);
+    A.allocate(64);
+    A.reset(); // waste is noted by reset, inside the stage scope
+  }
+  MemoryProfile P = T.snapshot();
+  ASSERT_EQ(P.numStages(), 1u);
+  uint64_t Waste = P.cell(0, MemCategory::HloDerived).WasteBytes;
+  EXPECT_GT(Waste, 0u);
+  EXPECT_EQ(P.CategoryWaste[static_cast<unsigned>(MemCategory::HloDerived)],
+            Waste);
+  EXPECT_EQ(Waste, T.arenaWasteBytes(MemCategory::HloDerived));
+}
+
+TEST(MemoryTracker, BalancedReleasesRecordNoUnderflow) {
+  MemoryTracker T;
+  T.allocate(MemCategory::Other, 64);
+  T.release(MemCategory::Other, 64);
+  EXPECT_EQ(T.underflowEvents(), 0u);
+  EXPECT_EQ(T.underflowCategory(), -1);
+}
+
+#ifdef NDEBUG
+// Only meaningful in release builds: debug builds assert on over-release
+// instead of saturating.
+TEST(MemoryTracker, OverReleaseSaturatesAndRecordsDiagnostic) {
+  MemoryTracker T;
+  T.allocate(MemCategory::Llo, 50);
+  T.release(MemCategory::Llo, 80); // caller bug: 30 bytes over
+  EXPECT_EQ(T.liveBytes(MemCategory::Llo), 0u); // clamped, not wrapped
+  EXPECT_EQ(T.totalLiveBytes(), 0u);
+  EXPECT_EQ(T.underflowEvents(), 1u);
+  EXPECT_EQ(T.underflowCategory(),
+            static_cast<int>(MemCategory::Llo));
+  // Later traffic keeps working on sane counters.
+  T.allocate(MemCategory::Llo, 10);
+  EXPECT_EQ(T.liveBytes(MemCategory::Llo), 10u);
+}
+#endif
