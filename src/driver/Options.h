@@ -72,7 +72,10 @@ struct CompileOptions {
   /// knob is resource-only and excluded from the fingerprint, like Jobs.
   unsigned HloPartitions = 0;
 
-  /// NAIM configuration (memory management).
+  /// NAIM configuration (memory management). Everything in it — including
+  /// the --naim-shards count, whose routine placement is a stable id hash —
+  /// is resource-only and fingerprint-excluded: the executable is
+  /// byte-identical at every shards x partitions x jobs combination.
   NaimConfig Naim;
 
   /// Deterministic fault-injection spec for the NAIM spill path (the scmoc

@@ -144,6 +144,26 @@ void scmo::runLtrans(HloContext &Ctx, std::vector<RoutineId> &Set,
       Parts = &Fallback;
     }
 
+    // Shard affinity: with a sharded loader, reorder each partition's
+    // members so routines on the same shard are visited consecutively
+    // (shard-major, id-ascending within a shard). runPartition handles
+    // members independently and work lands in routine-indexed slots, so
+    // the executable is byte-identical; what changes is lock locality —
+    // a worker stays on one shard's mutex for a run of routines instead
+    // of hopping shards every acquire. The prefetch schedule is built
+    // from the same order so it predicts the actual acquire sequence.
+    std::vector<std::vector<RoutineId>> Affine;
+    if (C.L.shardCount() > 1) {
+      Affine = *Parts;
+      for (std::vector<RoutineId> &Members : Affine)
+        std::stable_sort(Members.begin(), Members.end(),
+                         [&C](RoutineId A, RoutineId B) {
+                           unsigned SA = C.L.shardOf(A), SB = C.L.shardOf(B);
+                           return SA != SB ? SA < SB : A < B;
+                         });
+      Parts = &Affine;
+    }
+
     // Prefetch schedule: partition-major, member-ascending — the exact
     // acquire order of a serial run and a good approximation of the
     // interleaved parallel one. Clones are excluded: their first

@@ -14,6 +14,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <iterator>
+#include <set>
+#include <thread>
 
 using namespace scmo;
 
@@ -66,110 +72,225 @@ std::unique_ptr<RoutineIlSummary> summarizeBody(const RoutineBody &Body) {
       Sum->StoredGlobals.end());
   return Sum;
 }
+
+/// Shard S of a multi-shard session stores to "<base>.<S>.naim"; one shard
+/// keeps the exact configured path (the pre-shard contract), and an empty
+/// base stays empty (anonymous per-shard temp files).
+std::string shardRepoPath(const std::string &Base, unsigned NumShards,
+                          unsigned Idx) {
+  if (Base.empty() || NumShards == 1)
+    return Base;
+  return Base + "." + std::to_string(Idx) + ".naim";
+}
 } // namespace
 
-Loader::Loader(Program &P, const NaimConfig &Config)
-    : P(P), Config(Config),
-      Repo(Config.RepositoryPath,
-           Config.Injector ? Config.Injector : FaultInjector::fromEnv()) {
-  // The I/O thread holds RoutineSlot references across blocking stores;
-  // if the routine table grows past its capacity those slots move. Park
-  // the async work whenever the program is about to reallocate it, so
-  // interleaving frontend declarations with loader traffic stays safe.
-  P.setSlotGrowBarrier([this] {
-    drainSpills();
-    drainPrefetches();
-  });
-}
+namespace scmo {
 
-Loader::~Loader() {
-  {
-    std::lock_guard<std::mutex> Q(QM);
-    StopIo = true;
-    // Queued spills still get stored (the writer drains before exiting);
-    // readahead is pointless now and is simply dropped.
-    PrefetchQ.clear();
-    QWorkCv.notify_all();
+//===----------------------------------------------------------------------===//
+// LoaderShard
+//===----------------------------------------------------------------------===//
+
+/// One shard of the loader: the complete pre-shard loader state machine —
+/// mutex, LRU cache, spill queue, prefetch window, repository file — scoped
+/// to the subset of routines whose id hashes here (Loader::shardOf). Shards
+/// never touch each other's slots or locks; everything cross-shard (the
+/// budget, victim compaction, symtabs) lives on the facade.
+class LoaderShard {
+public:
+  LoaderShard(Loader &F, unsigned Idx)
+      : F(F), P(F.P), Config(F.Config), Idx(Idx),
+        Repo(shardRepoPath(Config.RepositoryPath, F.NumShards, Idx), F.Faults,
+             Idx) {}
+
+  ~LoaderShard() {
+    {
+      std::lock_guard<std::mutex> Q(QM);
+      StopIo = true;
+      // Queued spills still get stored (the writer drains before exiting);
+      // readahead is pointless now and is simply dropped.
+      PrefetchQ.clear();
+      QWorkCv.notify_all();
+    }
+    if (IoThread.joinable())
+      IoThread.join();
+    // The lease's unspent reservation flows back so a facade-level
+    // enforceBudget between shard teardowns keeps exact accounts.
+    std::lock_guard<std::mutex> L(M);
+    F.Arbiter.creditGlobal(Lease, Lease.Charged);
+    F.Arbiter.drain(Lease);
   }
-  if (IoThread.joinable())
-    IoThread.join();
-  P.setSlotGrowBarrier(nullptr);
-}
 
-// The threshold predicates read only the config and the (atomic) tracker
-// totals, so they need no lock of their own; the callers that act on them
-// (enforceBudgetImpl) already hold the loader mutex.
+  RoutineBody &acquireImpl(RoutineId R, bool Mutable);
+  void release(RoutineId R);
+  bool releaseAllShard();
+  bool enforceBudgetShard(bool Everything);
+  const RoutineIlSummary *routineSummary(RoutineId R);
+  void drainSpills();
+  void drainPrefetches();
+  void setSchedule(std::vector<RoutineId> Order);
+  void clearSchedule();
 
-bool Loader::irCompactionEnabled() const {
-  switch (Config.Mode) {
-  case NaimMode::Off:
-    return false;
-  case NaimMode::CompactIr:
-  case NaimMode::CompactIrSt:
-  case NaimMode::Offload:
-    return true;
-  case NaimMode::Auto:
-    // Threshold staging: IR compaction turns on once total optimizer memory
-    // crosses a fraction of machine memory.
-    return !P.tracker() ||
-           P.tracker()->totalLiveBytes() > Config.MachineMemoryBytes / 4;
+  // Facade pressure-relief hooks (no shard lock held by the caller).
+  bool trySettle();
+  bool compactOneVictim();
+
+  uint64_t cacheBytes() const { return CachedBytes.load(Relaxed); }
+  size_t cachedPoolCount() const {
+    std::lock_guard<std::mutex> L(M);
+    return CacheOrder.size();
   }
-  scmo_unreachable("invalid NAIM mode");
-}
-
-bool Loader::stCompactionEnabled() const {
-  switch (Config.Mode) {
-  case NaimMode::Off:
-  case NaimMode::CompactIr:
-    return false;
-  case NaimMode::CompactIrSt:
-  case NaimMode::Offload:
-    return true;
-  case NaimMode::Auto:
-    return !P.tracker() ||
-           P.tracker()->totalLiveBytes() > Config.MachineMemoryBytes / 2;
+  bool degraded() const { return SpillDisabled.load(Relaxed); }
+  Status firstError() const {
+    std::lock_guard<std::mutex> L(M);
+    return FirstErr;
   }
-  scmo_unreachable("invalid NAIM mode");
-}
-
-bool Loader::offloadEnabled() const {
-  switch (Config.Mode) {
-  case NaimMode::Off:
-  case NaimMode::CompactIr:
-  case NaimMode::CompactIrSt:
-    return false;
-  case NaimMode::Offload:
-    return true;
-  case NaimMode::Auto:
-    return !P.tracker() || P.tracker()->totalLiveBytes() >
-                               (Config.MachineMemoryBytes * 3) / 4;
+  std::vector<LoaderEvent> takeEvents() {
+    std::lock_guard<std::mutex> L(M);
+    return std::move(Events);
   }
-  scmo_unreachable("invalid NAIM mode");
-}
+  void setRecoveryHandler(Loader::RecoverFn Fn) {
+    std::lock_guard<std::mutex> L(M);
+    Recover = std::move(Fn);
+  }
+  Repository &repository() { return Repo; }
+  LoaderStats snapshot() const;
 
-RoutineBody *Loader::acquireIfDefined(RoutineId R) {
-  if (!P.routine(R).IsDefined)
-    return nullptr;
-  return &acquire(R);
-}
+private:
+  /// Counter block. Relaxed atomics: the counters are statistics, not
+  /// synchronization, and the workers must not serialize on them.
+  struct AtomicStats {
+    std::atomic<uint64_t> Acquires{0};
+    std::atomic<uint64_t> CacheHits{0};
+    std::atomic<uint64_t> Expansions{0};
+    std::atomic<uint64_t> Compactions{0};
+    std::atomic<uint64_t> Offloads{0};
+    std::atomic<uint64_t> Fetches{0};
+    std::atomic<uint64_t> SpillElisions{0};
+    std::atomic<uint64_t> SpillQueueHits{0};
+    std::atomic<uint64_t> PrefetchHits{0};
+    std::atomic<uint64_t> PrefetchWasted{0};
+    std::atomic<uint64_t> LockWaitNanos{0};
+    std::atomic<uint64_t> Contentions{0};
+    std::atomic<uint64_t> SpillFailures{0};
+    std::atomic<uint64_t> FetchRetries{0};
+    std::atomic<uint64_t> Recoveries{0};
+    std::atomic<uint64_t> PoisonedPools{0};
+  };
 
-const RoutineBody *Loader::acquireReadIfDefined(RoutineId R) {
-  if (!P.routine(R).IsDefined)
-    return nullptr;
-  return &acquireRead(R);
-}
+  struct SpillEntry {
+    RoutineId R = InvalidId;
+    uint64_t Ticket = 0;
+    std::vector<uint8_t> Raw;
+    uint64_t RawHash = 0;
+  };
 
-RoutineBody &Loader::acquire(RoutineId R) {
-  return acquireImpl(R, /*Mutable=*/true);
-}
+  /// Locks M, sampling contention: a failed try_lock counts once and the
+  /// blocked wait is timed. The LockWaitNanos/Contentions pair is the
+  /// measurable axis of the sharding win (ISSUE 10), so it is sampled on
+  /// the hot paths (acquire/release) only — slow paths would just add
+  /// noise.
+  std::unique_lock<std::mutex> lockM() {
+    std::unique_lock<std::mutex> L(M, std::try_to_lock);
+    if (!L.owns_lock()) {
+      Stats.Contentions.fetch_add(1, Relaxed);
+      auto T0 = std::chrono::steady_clock::now();
+      L.lock();
+      Stats.LockWaitNanos.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count(),
+          Relaxed);
+    }
+    return L;
+  }
 
-const RoutineBody &Loader::acquireRead(RoutineId R) {
-  return acquireImpl(R, /*Mutable=*/false);
-}
+  /// Reconciles the lease with the shard's resident bytes: surplus charge
+  /// is credited back, shortfall is charged (possibly refilling the lease
+  /// from the global balance). Returns false when the global balance cannot
+  /// cover the shortfall — the budget is exhausted and someone must evict.
+  bool settleLocked();
 
-RoutineBody &Loader::acquireImpl(RoutineId R, bool Mutable) {
+  /// Returns true when the shard needs the facade to relieve global
+  /// pressure (only possible with multiple shards; the caller must drop M
+  /// before calling Loader::relievePressure).
+  bool enforceBudgetLocked(std::unique_lock<std::mutex> &L, bool Everything);
+  void evictOneLocked(std::unique_lock<std::mutex> &L);
+  void offloadOverBudgetLocked(std::unique_lock<std::mutex> &L);
+
+  void compactPool(RoutineId R, std::unique_lock<std::mutex> &L);
+  void offloadPool(RoutineId R, std::unique_lock<std::mutex> &L);
+  void storeSyncLocked(RoutineId R, std::vector<uint8_t> Raw,
+                       uint64_t RawHash);
+  void degradeSpillsLocked(RoutineId R, const Status &Cause);
+  Status expandPool(RoutineId R, std::unique_lock<std::mutex> &L);
+  Status fetchRecord(uint64_t Offset, uint64_t Size, std::vector<uint8_t> &Raw,
+                     std::string &RetryDetail);
+  Status recoverPoolLocked(RoutineId R, Status Cause);
+  void installBodyLocked(RoutineId R, std::unique_ptr<RoutineBody> Body);
+  void poisonPoolLocked(RoutineId R, Status Cause);
+  std::vector<uint8_t> buildEnvelope(const std::vector<uint8_t> &Raw);
+
+  void ensureIoThreadLocked();
+  void ioThreadMain();
+  void prefetchOne(RoutineId R);
+
+  Loader &F;
+  Program &P;
+  const NaimConfig &Config;
+  const unsigned Idx;
+  Repository Repo;
+
+  AtomicStats Stats;
+
+  /// Guards this shard's pool metadata, cache and fault state. Lock order:
+  /// M -> QM. Never held together with another shard's M.
+  mutable std::mutex M;
+  std::condition_variable TransitionCv;
+
+  /// Unpinned expanded pools ordered by last use: (LruTick, id). The id
+  /// tie-break is unreachable (ticks are unique) but keeps the comparator
+  /// total.
+  std::set<std::pair<uint64_t, RoutineId>> CacheOrder;
+  /// Sum of irBytes over CacheOrder. Atomic so the facade's victim
+  /// selection can read it without taking M; mutations stay under M.
+  std::atomic<uint64_t> CachedBytes{0};
+  uint64_t Tick = 0;
+  /// This shard's slice of the global budget (guarded by M; see
+  /// BudgetArbiter::Lease).
+  BudgetArbiter::Lease Lease;
+
+  std::atomic<bool> SpillDisabled{false};
+  std::vector<LoaderEvent> Events;
+  Status FirstErr;
+  Loader::RecoverFn Recover;
+
+  /// Guards the spill/prefetch queues and schedule (lock order M -> QM).
+  std::mutex QM;
+  std::condition_variable QWorkCv; ///< Work arrived (I/O thread waits).
+  std::condition_variable QIdleCv; ///< Queue drained (drain* waits).
+  std::deque<std::shared_ptr<SpillEntry>> SpillQ;
+  std::deque<RoutineId> PrefetchQ;
+  /// This shard's slice of the acquisition schedule (relative order
+  /// preserved). Immutable while ScheduleActive.
+  std::vector<RoutineId> Schedule;
+  std::atomic<bool> ScheduleActive{false};
+  std::atomic<size_t> SchedPos{0};
+  bool SpillBusy = false;
+  bool PrefetchBusy = false;
+  bool StopIo = false;
+  uint64_t NextTicket = 0;
+  std::thread IoThread;
+};
+
+} // namespace scmo
+
+//===----------------------------------------------------------------------===//
+// Shard: acquire / release / budget
+//===----------------------------------------------------------------------===//
+
+RoutineBody &LoaderShard::acquireImpl(RoutineId R, bool Mutable) {
   Stats.Acquires.fetch_add(1, Relaxed);
-  std::unique_lock<std::mutex> L(M);
+  std::unique_lock<std::mutex> L = lockM();
   RoutineInfo &RI = P.routine(R);
   RoutineSlot &S = RI.Slot;
   assert(RI.IsDefined && "acquiring an undefined routine");
@@ -188,7 +309,7 @@ RoutineBody &Loader::acquireImpl(RoutineId R, bool Mutable) {
         S.WasPrefetched = false;
       }
       CacheOrder.erase({S.LruTick, R});
-      CachedBytes -= S.Body->irBytes();
+      CachedBytes.fetch_sub(S.Body->irBytes(), Relaxed);
       S.UnloadPending = false;
     }
     break;
@@ -218,16 +339,16 @@ RoutineBody &Loader::acquireImpl(RoutineId R, bool Mutable) {
   S.LruTick = ++Tick;
   RoutineBody &Body = *S.Body;
 
-  // Slide the readahead window: acquire #N uncovers schedule position
-  // N + PrefetchDepth. The Schedule vector is immutable while active, so
-  // reading it outside QM is safe.
+  // Slide the readahead window: this shard's acquire #N uncovers position
+  // N + PrefetchDepth of its schedule slice. The Schedule vector is
+  // immutable while active, so reading it outside QM is safe.
   if (Config.PrefetchDepth &&
       ScheduleActive.load(std::memory_order_acquire)) {
-    size_t Idx = SchedPos.fetch_add(1, Relaxed) + Config.PrefetchDepth;
-    if (Idx < Schedule.size()) {
+    size_t SIdx = SchedPos.fetch_add(1, Relaxed) + Config.PrefetchDepth;
+    if (SIdx < Schedule.size()) {
       std::lock_guard<std::mutex> Q(QM);
       if (ScheduleActive.load(Relaxed)) {
-        PrefetchQ.push_back(Schedule[Idx]);
+        PrefetchQ.push_back(Schedule[SIdx]);
         QWorkCv.notify_one();
       }
     }
@@ -235,72 +356,79 @@ RoutineBody &Loader::acquireImpl(RoutineId R, bool Mutable) {
   return Body;
 }
 
-void Loader::release(RoutineId R) {
-  std::unique_lock<std::mutex> L(M);
-  RoutineInfo &RI = P.routine(R);
-  RoutineSlot &S = RI.Slot;
-  if (S.State != PoolState::Expanded || S.UnloadPending || S.InTransition)
-    return;
-  // Drop one pin; the pool stays resident while any worker still holds it.
-  // (Pins == 0 here means a "born pinned" body the frontend installed and
-  // nobody ever acquired: its first release unpins it.)
-  if (S.Pins > 0 && --S.Pins > 0)
-    return;
-  // Summarize while the body is still resident (a scan, not a decode): a
-  // mutable pin-cycle just ended and discarded the summary, or — when pools
-  // can park at all — this body has never been summarized and the next
-  // whole-set consumer would otherwise have to re-expand it.
-  if (S.ResummarizeOnRelease || (!S.Summary && irCompactionEnabled())) {
-    S.Summary = summarizeBody(*S.Body);
-    S.ResummarizeOnRelease = false;
+void LoaderShard::release(RoutineId R) {
+  bool NeedsRelief = false;
+  {
+    std::unique_lock<std::mutex> L = lockM();
+    RoutineInfo &RI = P.routine(R);
+    RoutineSlot &S = RI.Slot;
+    if (S.State != PoolState::Expanded || S.UnloadPending || S.InTransition)
+      return;
+    // Drop one pin; the pool stays resident while any worker still holds
+    // it. (Pins == 0 here means a "born pinned" body the frontend installed
+    // and nobody ever acquired: its first release unpins it.)
+    if (S.Pins > 0 && --S.Pins > 0)
+      return;
+    // Summarize while the body is still resident (a scan, not a decode): a
+    // mutable pin-cycle just ended and discarded the summary, or — when
+    // pools can park at all — this body has never been summarized and the
+    // next whole-set consumer would otherwise have to re-expand it.
+    if (S.ResummarizeOnRelease || (!S.Summary && F.irCompactionEnabled())) {
+      S.Summary = summarizeBody(*S.Body);
+      S.ResummarizeOnRelease = false;
+    }
+    // Mark unload-pending and place in the cache; actual compaction happens
+    // only if the budget demands it.
+    S.UnloadPending = true;
+    S.LruTick = ++Tick;
+    CacheOrder.insert({S.LruTick, R});
+    CachedBytes.fetch_add(S.Body->irBytes(), Relaxed);
+    NeedsRelief = enforceBudgetLocked(L, /*Everything=*/false);
   }
-  // Mark unload-pending and place in the cache; actual compaction happens
-  // only if the budget demands it.
-  S.UnloadPending = true;
-  S.LruTick = ++Tick;
-  CacheOrder.insert({S.LruTick, R});
-  CachedBytes += S.Body->irBytes();
-  enforceBudgetImpl(L, /*Everything=*/false);
+  if (NeedsRelief)
+    F.relievePressure();
 }
 
-void Loader::releaseAll() {
+bool LoaderShard::releaseAllShard() {
   std::unique_lock<std::mutex> L(M);
   for (RoutineId R = 0; R != P.numRoutines(); ++R) {
+    if (F.shardOf(R) != Idx)
+      continue;
     RoutineSlot &S = P.routine(R).Slot;
     if (S.State == PoolState::Expanded && !S.UnloadPending &&
         !S.InTransition) {
       // Phase boundary: forcibly forget any outstanding pins — no worker
       // may hold a body across a phase.
       S.Pins = 0;
-      if (S.ResummarizeOnRelease || (!S.Summary && irCompactionEnabled())) {
+      if (S.ResummarizeOnRelease || (!S.Summary && F.irCompactionEnabled())) {
         S.Summary = summarizeBody(*S.Body);
         S.ResummarizeOnRelease = false;
       }
       S.UnloadPending = true;
       S.LruTick = ++Tick;
       CacheOrder.insert({S.LruTick, R});
-      CachedBytes += S.Body->irBytes();
+      CachedBytes.fetch_add(S.Body->irBytes(), Relaxed);
     }
   }
-  enforceBudgetImpl(L, /*Everything=*/false);
+  return enforceBudgetLocked(L, /*Everything=*/false);
 }
 
-void Loader::enforceBudget(bool Everything) {
+bool LoaderShard::enforceBudgetShard(bool Everything) {
   std::unique_lock<std::mutex> L(M);
-  enforceBudgetImpl(L, Everything);
+  return enforceBudgetLocked(L, Everything);
 }
 
-const RoutineIlSummary *Loader::routineSummary(RoutineId R) {
+const RoutineIlSummary *LoaderShard::routineSummary(RoutineId R) {
   {
     std::lock_guard<std::mutex> Lock(M);
     const RoutineSlot &S = P.routine(R).Slot;
     if (S.Summary)
       return S.Summary.get();
   }
-  const RoutineBody *Body = acquireReadIfDefined(R);
-  if (!Body)
+  if (!P.routine(R).IsDefined)
     return nullptr;
-  auto Sum = summarizeBody(*Body);
+  const RoutineBody &Body = acquireImpl(R, /*Mutable=*/false);
+  auto Sum = summarizeBody(Body);
   const RoutineIlSummary *Raw;
   {
     std::lock_guard<std::mutex> Lock(M);
@@ -312,49 +440,87 @@ const RoutineIlSummary *Loader::routineSummary(RoutineId R) {
   return Raw;
 }
 
-void Loader::enforceBudgetImpl(std::unique_lock<std::mutex> &L,
-                               bool Everything) {
-  if (!irCompactionEnabled())
-    return;
-  uint64_t SoftCap = Everything ? 0 : Config.ExpandedCacheBytes;
-  // Evict least-recently-used pools until under budget. Only unpinned pools
+bool LoaderShard::settleLocked() {
+  uint64_t Resident = CachedBytes.load(Relaxed);
+  if (Lease.Charged > Resident) {
+    F.Arbiter.credit(Lease, Lease.Charged - Resident);
+    return true;
+  }
+  if (Lease.Charged < Resident)
+    return F.Arbiter.charge(Lease, Resident - Lease.Charged);
+  return true;
+}
+
+bool LoaderShard::enforceBudgetLocked(std::unique_lock<std::mutex> &L,
+                                      bool Everything) {
+  bool NeedsRelief = false;
+  if (!F.irCompactionEnabled())
+    return false;
+  if (Everything)
+    while (!CacheOrder.empty())
+      evictOneLocked(L);
+  // Reconcile resident bytes against the global budget; while the arbiter
+  // cannot cover them, evict least-recently-used pools. Only unpinned pools
   // live in CacheOrder, so a pool another worker holds can never be chosen.
   // compactPool drops the mutex around the encode; the loop re-reads the
   // cache state afterwards, so concurrent releases/evictions interleave
-  // correctly.
-  while (CachedBytes > SoftCap && !CacheOrder.empty()) {
-    RoutineId Victim = CacheOrder.begin()->second;
-    RoutineSlot &S = P.routine(Victim).Slot;
-    CacheOrder.erase(CacheOrder.begin());
-    CachedBytes -= S.Body->irBytes();
-    if (S.WasPrefetched) {
-      Stats.PrefetchWasted.fetch_add(1, Relaxed);
-      S.WasPrefetched = false;
+  // correctly. With one shard the charge succeeds exactly while
+  // CachedBytes <= ExpandedCacheBytes — the pre-shard eviction condition.
+  for (;;) {
+    if (settleLocked())
+      break;
+    if (CacheOrder.empty())
+      break; // Nothing evictable; stay over until pools release.
+    if (F.NumShards > 1) {
+      // Global pressure with multiple shards: do not blindly self-evict —
+      // the facade picks the shard with the most resident bytes as the
+      // victim (which may well be this one).
+      NeedsRelief = true;
+      break;
     }
-    // Clean fast path: a pool that was never mutably acquired since it was
-    // expanded from its repository record (or from its still-queued spill)
-    // drops straight back to that record — no re-encode, no store, no
-    // compact residency. Content-equal by history, so deterministic.
-    if (S.CleanSinceRepo && offloadEnabled() && !SpillDisabled &&
-        (S.SpillTicket != 0 || S.LastRepoSize != 0)) {
-      S.Body.reset();
-      S.UnloadPending = false;
-      S.State = PoolState::Offloaded;
-      // A pending write-behind entry means the record's offset arrives at
-      // writer finalize; until then fetches are served from the queue.
-      S.RepoOffset = S.SpillTicket ? 0 : S.LastRepoOffset;
-      S.RepoSize = S.SpillTicket ? 0 : S.LastRepoSize;
-      Stats.Compactions.fetch_add(1, Relaxed);
-      Stats.Offloads.fetch_add(1, Relaxed);
-      Stats.SpillElisions.fetch_add(1, Relaxed);
-      continue;
-    }
-    compactPool(Victim, L);
+    evictOneLocked(L);
   }
-  // Second stage: offload compact pools beyond the compact-residency budget.
-  // A degraded loader (earlier spill failure) keeps everything resident:
-  // the budget is lifted rather than enforced against a dead disk.
-  if (!offloadEnabled() || SpillDisabled || !P.tracker())
+  offloadOverBudgetLocked(L);
+  return NeedsRelief;
+}
+
+void LoaderShard::evictOneLocked(std::unique_lock<std::mutex> &L) {
+  RoutineId Victim = CacheOrder.begin()->second;
+  RoutineSlot &S = P.routine(Victim).Slot;
+  CacheOrder.erase(CacheOrder.begin());
+  CachedBytes.fetch_sub(S.Body->irBytes(), Relaxed);
+  if (S.WasPrefetched) {
+    Stats.PrefetchWasted.fetch_add(1, Relaxed);
+    S.WasPrefetched = false;
+  }
+  // Clean fast path: a pool that was never mutably acquired since it was
+  // expanded from its repository record (or from its still-queued spill)
+  // drops straight back to that record — no re-encode, no store, no
+  // compact residency. Content-equal by history, so deterministic.
+  if (S.CleanSinceRepo && F.offloadEnabled() && !SpillDisabled.load(Relaxed) &&
+      (S.SpillTicket != 0 || S.LastRepoSize != 0)) {
+    S.Body.reset();
+    S.UnloadPending = false;
+    S.State = PoolState::Offloaded;
+    // A pending write-behind entry means the record's offset arrives at
+    // writer finalize; until then fetches are served from the queue.
+    S.RepoOffset = S.SpillTicket ? 0 : S.LastRepoOffset;
+    S.RepoSize = S.SpillTicket ? 0 : S.LastRepoSize;
+    Stats.Compactions.fetch_add(1, Relaxed);
+    Stats.Offloads.fetch_add(1, Relaxed);
+    Stats.SpillElisions.fetch_add(1, Relaxed);
+    return;
+  }
+  compactPool(Victim, L);
+}
+
+void LoaderShard::offloadOverBudgetLocked(std::unique_lock<std::mutex> &L) {
+  // Second stage: offload compact pools beyond the compact-residency
+  // budget. A degraded shard (earlier spill failure) keeps everything
+  // resident: the budget is lifted rather than enforced against a dead
+  // disk — and only for this shard; the others keep offloading to their own
+  // healthy files.
+  if (!F.offloadEnabled() || SpillDisabled.load(Relaxed) || !P.tracker())
     return;
   if (P.tracker()->liveBytes(MemCategory::HloCompact) <=
       Config.CompactResidentBytes)
@@ -363,30 +529,46 @@ void Loader::enforceBudgetImpl(std::unique_lock<std::mutex> &L,
   // (their last-touch ordering died at compaction), and id order keeps the
   // pass reproducible.
   for (RoutineId R = 0; R != P.numRoutines(); ++R) {
-    if (SpillDisabled ||
+    if (SpillDisabled.load(Relaxed) ||
         P.tracker()->liveBytes(MemCategory::HloCompact) <=
             Config.CompactResidentBytes)
       break;
+    if (F.shardOf(R) != Idx)
+      continue;
     RoutineSlot &S = P.routine(R).Slot;
     if (S.State == PoolState::Compact && !S.InTransition)
       offloadPool(R, L);
   }
 }
 
-void Loader::maybeCompactSymtabs() {
-  if (!stCompactionEnabled())
-    return;
-  std::lock_guard<std::mutex> Lock(M);
-  for (ModuleId MI = 0; MI != P.numModules(); ++MI) {
-    ModuleSymtab &St = P.module(MI).Symtab;
-    if (St.state() == PoolState::Expanded && St.expandedBytes()) {
-      St.compact(P.tracker());
-      Stats.SymtabCompactions.fetch_add(1, Relaxed);
-    }
-  }
+bool LoaderShard::trySettle() {
+  std::unique_lock<std::mutex> L(M);
+  return settleLocked();
 }
 
-void Loader::compactPool(RoutineId R, std::unique_lock<std::mutex> &L) {
+bool LoaderShard::compactOneVictim() {
+  std::unique_lock<std::mutex> L(M);
+  if (!F.irCompactionEnabled() || CacheOrder.empty())
+    return false;
+  evictOneLocked(L);
+  // Free the charge for the *other* shards: the surplus goes straight to
+  // the global balance, not back into this shard's lease — the whole point
+  // of victim compaction is that a different shard needs the budget now.
+  uint64_t Resident = CachedBytes.load(Relaxed);
+  if (Lease.Charged > Resident)
+    F.Arbiter.creditGlobal(Lease, Lease.Charged - Resident);
+  // The victim is compact now; push it on through the offload stage if the
+  // compact-residency budget calls for it, exactly as a self-triggered
+  // eviction would have (enforceBudgetLocked runs this unconditionally).
+  offloadOverBudgetLocked(L);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Shard: compaction / offload / expansion / fault ladder
+//===----------------------------------------------------------------------===//
+
+void LoaderShard::compactPool(RoutineId R, std::unique_lock<std::mutex> &L) {
   RoutineSlot &S = P.routine(R).Slot;
   assert(S.State == PoolState::Expanded && S.UnloadPending &&
          "compacting a pinned pool");
@@ -411,7 +593,8 @@ void Loader::compactPool(RoutineId R, std::unique_lock<std::mutex> &L) {
   Stats.Compactions.fetch_add(1, Relaxed);
 }
 
-std::vector<uint8_t> Loader::buildEnvelope(const std::vector<uint8_t> &Raw) {
+std::vector<uint8_t>
+LoaderShard::buildEnvelope(const std::vector<uint8_t> &Raw) {
   std::vector<uint8_t> Env;
   if (Config.Compress == NaimCompress::Fast) {
     std::vector<uint8_t> Z = lzCompress(Raw);
@@ -430,7 +613,7 @@ std::vector<uint8_t> Loader::buildEnvelope(const std::vector<uint8_t> &Raw) {
   return Env;
 }
 
-void Loader::offloadPool(RoutineId R, std::unique_lock<std::mutex> &L) {
+void LoaderShard::offloadPool(RoutineId R, std::unique_lock<std::mutex> &L) {
   RoutineSlot &S = P.routine(R).Slot;
   assert(S.State == PoolState::Compact && "offloading a non-compact pool");
   // Content-addressed store elision: if these exact compact bytes already
@@ -474,8 +657,8 @@ void Loader::offloadPool(RoutineId R, std::unique_lock<std::mutex> &L) {
   storeSyncLocked(R, std::move(Raw), Hash);
 }
 
-void Loader::storeSyncLocked(RoutineId R, std::vector<uint8_t> Raw,
-                             uint64_t RawHash) {
+void LoaderShard::storeSyncLocked(RoutineId R, std::vector<uint8_t> Raw,
+                                  uint64_t RawHash) {
   RoutineSlot &S = P.routine(R).Slot;
   // This store supersedes any still-queued older record for the pool: the
   // ticket must die here, or a later fetch would see it and serve the stale
@@ -486,9 +669,9 @@ void Loader::storeSyncLocked(RoutineId R, std::vector<uint8_t> Raw,
   if (!Off.ok()) {
     degradeSpillsLocked(R, Off.status());
     // Degradation instead of death: the pool keeps its compact bytes, this
-    // loader stops spilling for good, and the compact-residency budget is
-    // lifted (enforceBudgetImpl checks SpillDisabled). A slower, fatter
-    // compile — not a dead one.
+    // shard stops spilling for good, and the compact-residency budget is
+    // lifted (offloadOverBudgetLocked checks SpillDisabled). A slower,
+    // fatter compile — not a dead one.
     S.CompactBytes = TrackedBuffer(P.tracker(), MemCategory::HloCompact);
     S.CompactBytes.assign(std::move(Raw));
     S.CompactHash = RawHash;
@@ -505,14 +688,16 @@ void Loader::storeSyncLocked(RoutineId R, std::vector<uint8_t> Raw,
   Stats.Offloads.fetch_add(1, Relaxed);
 }
 
-void Loader::degradeSpillsLocked(RoutineId R, const Status &Cause) {
-  if (!SpillDisabled) {
-    SpillDisabled = true;
+void LoaderShard::degradeSpillsLocked(RoutineId R, const Status &Cause) {
+  if (!SpillDisabled.load(Relaxed)) {
+    SpillDisabled.store(true, Relaxed);
     Stats.SpillFailures.fetch_add(1, Relaxed);
-    Events.push_back(
-        {LoaderEvent::Kind::SpillDegraded, R,
-         "repository spill failed (" + Cause.toString() +
-             "); offloading disabled, pools stay memory-resident"});
+    std::string Detail = "repository spill failed (" + Cause.toString() +
+                         "); offloading disabled, pools stay memory-resident";
+    if (F.NumShards > 1)
+      Detail += " (shard " + std::to_string(Idx) + " of " +
+                std::to_string(F.NumShards) + ")";
+    Events.push_back({LoaderEvent::Kind::SpillDegraded, R, std::move(Detail)});
   }
   // Restore every queued (not in-flight) spill to compact residency: their
   // stores would fail against the same dead disk. The in-flight front entry
@@ -536,9 +721,9 @@ void Loader::degradeSpillsLocked(RoutineId R, const Status &Cause) {
   QIdleCv.notify_all();
 }
 
-Status Loader::fetchRecord(uint64_t Offset, uint64_t Size,
-                           std::vector<uint8_t> &Raw,
-                           std::string &RetryDetail) {
+Status LoaderShard::fetchRecord(uint64_t Offset, uint64_t Size,
+                                std::vector<uint8_t> &Raw,
+                                std::string &RetryDetail) {
   auto ReadOnce = [&](std::vector<uint8_t> &Out) -> Status {
     std::vector<uint8_t> Env;
     Status FS = Repo.fetch(Offset, Size, Env);
@@ -576,7 +761,7 @@ Status Loader::fetchRecord(uint64_t Offset, uint64_t Size,
   return FS;
 }
 
-Status Loader::expandPool(RoutineId R, std::unique_lock<std::mutex> &L) {
+Status LoaderShard::expandPool(RoutineId R, std::unique_lock<std::mutex> &L) {
   RoutineSlot &S = P.routine(R).Slot;
   assert(!S.InTransition && "expanding a transitioning pool");
   std::vector<uint8_t> Raw;
@@ -664,7 +849,7 @@ Status Loader::expandPool(RoutineId R, std::unique_lock<std::mutex> &L) {
   return Status();
 }
 
-Status Loader::recoverPoolLocked(RoutineId R, Status Cause) {
+Status LoaderShard::recoverPoolLocked(RoutineId R, Status Cause) {
   if (Recover) {
     if (std::unique_ptr<RoutineBody> Body = Recover(R)) {
       installBodyLocked(R, std::move(Body));
@@ -683,7 +868,8 @@ Status Loader::recoverPoolLocked(RoutineId R, Status Cause) {
   return Cause;
 }
 
-void Loader::installBodyLocked(RoutineId R, std::unique_ptr<RoutineBody> Body) {
+void LoaderShard::installBodyLocked(RoutineId R,
+                                    std::unique_ptr<RoutineBody> Body) {
   RoutineSlot &S = P.routine(R).Slot;
   S.Body = std::move(Body);
   S.CompactBytes.clear();
@@ -699,7 +885,7 @@ void Loader::installBodyLocked(RoutineId R, std::unique_ptr<RoutineBody> Body) {
   S.LastRawSize = 0;
 }
 
-void Loader::poisonPoolLocked(RoutineId R, Status Cause) {
+void LoaderShard::poisonPoolLocked(RoutineId R, Status Cause) {
   Stats.PoisonedPools.fetch_add(1, Relaxed);
   Events.push_back({LoaderEvent::Kind::PoolPoisoned, R, Cause.toString()});
   if (FirstErr.ok())
@@ -721,15 +907,15 @@ void Loader::poisonPoolLocked(RoutineId R, Status Cause) {
 }
 
 //===----------------------------------------------------------------------===//
-// Write-behind / prefetch I/O thread
+// Shard: write-behind / prefetch I/O thread
 //===----------------------------------------------------------------------===//
 
-void Loader::ensureIoThreadLocked() {
+void LoaderShard::ensureIoThreadLocked() {
   if (!IoThread.joinable())
     IoThread = std::thread([this] { ioThreadMain(); });
 }
 
-void Loader::ioThreadMain() {
+void LoaderShard::ioThreadMain() {
   std::unique_lock<std::mutex> Q(QM);
   for (;;) {
     QWorkCv.wait(Q, [&] {
@@ -800,18 +986,19 @@ void Loader::ioThreadMain() {
   }
 }
 
-void Loader::prefetchOne(RoutineId R) {
+void LoaderShard::prefetchOne(RoutineId R) {
   if (R >= P.numRoutines() || !P.routine(R).IsDefined)
     return;
   std::unique_lock<std::mutex> L(M);
   RoutineSlot &S = P.routine(R).Slot;
   // Only a parked compact/offloaded pool is worth readahead; anything
   // resident, transitioning, or racing ahead of us is left alone. Also stop
-  // filling a cache that is already at budget — prefetch must not thrash.
+  // filling a cache that is already at this shard's slice of the budget —
+  // prefetch must not thrash.
   if (S.InTransition || S.State == PoolState::Expanded ||
       S.State == PoolState::None)
     return;
-  if (CachedBytes >= Config.ExpandedCacheBytes)
+  if (CachedBytes.load(Relaxed) >= Config.ExpandedCacheBytes / F.NumShards)
     return;
   std::vector<uint8_t> Raw;
   bool FromRepo = false;
@@ -890,24 +1077,29 @@ void Loader::prefetchOne(RoutineId R) {
   S.UnloadPending = true;
   S.LruTick = ++Tick;
   CacheOrder.insert({S.LruTick, R});
-  CachedBytes += S.Body->irBytes();
+  CachedBytes.fetch_add(S.Body->irBytes(), Relaxed);
   Stats.Expansions.fetch_add(1, Relaxed);
 }
 
-void Loader::drainSpills() {
+void LoaderShard::drainSpills() {
   std::unique_lock<std::mutex> Q(QM);
   QIdleCv.wait(Q, [&] { return SpillQ.empty() && !SpillBusy; });
 }
 
-void Loader::drainPrefetches() {
+void LoaderShard::drainPrefetches() {
   std::unique_lock<std::mutex> Q(QM);
   QIdleCv.wait(Q, [&] { return PrefetchQ.empty() && !PrefetchBusy; });
 }
 
-void Loader::setAcquisitionSchedule(std::vector<RoutineId> Order) {
-  if (Config.PrefetchDepth == 0 || Order.empty() || !irCompactionEnabled())
-    return;
+void LoaderShard::setSchedule(std::vector<RoutineId> Order) {
   std::lock_guard<std::mutex> Q(QM);
+  if (Order.empty()) {
+    // This shard owns nothing in the upcoming stage: drop any stale window.
+    ScheduleActive.store(false, std::memory_order_release);
+    PrefetchQ.clear();
+    Schedule.clear();
+    return;
+  }
   Schedule = std::move(Order);
   SchedPos.store(0, Relaxed);
   PrefetchQ.clear();
@@ -918,7 +1110,7 @@ void Loader::setAcquisitionSchedule(std::vector<RoutineId> Order) {
   QWorkCv.notify_all();
 }
 
-void Loader::clearAcquisitionSchedule() {
+void LoaderShard::clearSchedule() {
   std::unique_lock<std::mutex> Q(QM);
   if (!ScheduleActive.load(Relaxed) && PrefetchQ.empty() && !PrefetchBusy)
     return;
@@ -928,7 +1120,7 @@ void Loader::clearAcquisitionSchedule() {
   Schedule.clear();
 }
 
-LoaderStats Loader::stats() const {
+LoaderStats LoaderShard::snapshot() const {
   LoaderStats S;
   S.Acquires = Stats.Acquires.load(Relaxed);
   S.CacheHits = Stats.CacheHits.load(Relaxed);
@@ -936,16 +1128,311 @@ LoaderStats Loader::stats() const {
   S.Compactions = Stats.Compactions.load(Relaxed);
   S.Offloads = Stats.Offloads.load(Relaxed);
   S.Fetches = Stats.Fetches.load(Relaxed);
-  S.SymtabCompactions = Stats.SymtabCompactions.load(Relaxed);
   S.SpillElisions = Stats.SpillElisions.load(Relaxed);
   S.SpillQueueHits = Stats.SpillQueueHits.load(Relaxed);
   S.PrefetchHits = Stats.PrefetchHits.load(Relaxed);
   S.PrefetchWasted = Stats.PrefetchWasted.load(Relaxed);
   S.RawBytes = Repo.rawBytesStored();
   S.CompressedBytes = Repo.bytesStored();
+  S.LockWaitNanos = Stats.LockWaitNanos.load(Relaxed);
+  S.Contentions = Stats.Contentions.load(Relaxed);
   S.SpillFailures = Stats.SpillFailures.load(Relaxed);
   S.FetchRetries = Stats.FetchRetries.load(Relaxed);
   S.Recoveries = Stats.Recoveries.load(Relaxed);
   S.PoisonedPools = Stats.PoisonedPools.load(Relaxed);
   return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Loader facade
+//===----------------------------------------------------------------------===//
+
+Loader::Loader(Program &P, const NaimConfig &Config)
+    : P(P), Config(Config),
+      // 0 = "auto": the driver resolves it to the pool width before
+      // constructing the loader; a bare Loader (unit tests) treats 0 as 1,
+      // the exact monolithic pre-shard behavior.
+      NumShards(Config.Shards ? Config.Shards : 1),
+      Faults(Config.Injector ? Config.Injector : FaultInjector::fromEnv()),
+      Arbiter(Config.ExpandedCacheBytes, NumShards) {
+  ShardList.reserve(NumShards);
+  for (unsigned I = 0; I != NumShards; ++I)
+    ShardList.push_back(std::make_unique<LoaderShard>(*this, I));
+  // The I/O threads hold RoutineSlot references across blocking stores;
+  // if the routine table grows past its capacity those slots move. Park
+  // the async work whenever the program is about to reallocate it, so
+  // interleaving frontend declarations with loader traffic stays safe.
+  P.setSlotGrowBarrier([this] {
+    drainSpills();
+    drainPrefetches();
+  });
+}
+
+Loader::~Loader() {
+  P.setSlotGrowBarrier(nullptr);
+  ShardList.clear();
+}
+
+// The threshold predicates read only the config and the (atomic) tracker
+// totals, so they need no lock of their own; the callers that act on them
+// (enforceBudgetLocked) already hold their shard's mutex.
+
+bool Loader::irCompactionEnabled() const {
+  switch (Config.Mode) {
+  case NaimMode::Off:
+    return false;
+  case NaimMode::CompactIr:
+  case NaimMode::CompactIrSt:
+  case NaimMode::Offload:
+    return true;
+  case NaimMode::Auto:
+    // Threshold staging: IR compaction turns on once total optimizer memory
+    // crosses a fraction of machine memory.
+    return !P.tracker() ||
+           P.tracker()->totalLiveBytes() > Config.MachineMemoryBytes / 4;
+  }
+  scmo_unreachable("invalid NAIM mode");
+}
+
+bool Loader::stCompactionEnabled() const {
+  switch (Config.Mode) {
+  case NaimMode::Off:
+  case NaimMode::CompactIr:
+    return false;
+  case NaimMode::CompactIrSt:
+  case NaimMode::Offload:
+    return true;
+  case NaimMode::Auto:
+    return !P.tracker() ||
+           P.tracker()->totalLiveBytes() > Config.MachineMemoryBytes / 2;
+  }
+  scmo_unreachable("invalid NAIM mode");
+}
+
+bool Loader::offloadEnabled() const {
+  switch (Config.Mode) {
+  case NaimMode::Off:
+  case NaimMode::CompactIr:
+  case NaimMode::CompactIrSt:
+    return false;
+  case NaimMode::Offload:
+    return true;
+  case NaimMode::Auto:
+    return !P.tracker() || P.tracker()->totalLiveBytes() >
+                               (Config.MachineMemoryBytes * 3) / 4;
+  }
+  scmo_unreachable("invalid NAIM mode");
+}
+
+RoutineBody *Loader::acquireIfDefined(RoutineId R) {
+  if (!P.routine(R).IsDefined)
+    return nullptr;
+  return &acquire(R);
+}
+
+const RoutineBody *Loader::acquireReadIfDefined(RoutineId R) {
+  if (!P.routine(R).IsDefined)
+    return nullptr;
+  return &acquireRead(R);
+}
+
+RoutineBody &Loader::acquire(RoutineId R) {
+  return ShardList[shardOf(R)]->acquireImpl(R, /*Mutable=*/true);
+}
+
+const RoutineBody &Loader::acquireRead(RoutineId R) {
+  return ShardList[shardOf(R)]->acquireImpl(R, /*Mutable=*/false);
+}
+
+void Loader::release(RoutineId R) { ShardList[shardOf(R)]->release(R); }
+
+void Loader::releaseAll() {
+  bool NeedsRelief = false;
+  for (auto &Sh : ShardList)
+    NeedsRelief |= Sh->releaseAllShard();
+  if (NeedsRelief)
+    relievePressure();
+}
+
+void Loader::enforceBudget(bool Everything) {
+  bool NeedsRelief = false;
+  for (auto &Sh : ShardList)
+    NeedsRelief |= Sh->enforceBudgetShard(Everything);
+  if (NeedsRelief)
+    relievePressure();
+}
+
+const RoutineIlSummary *Loader::routineSummary(RoutineId R) {
+  return ShardList[shardOf(R)]->routineSummary(R);
+}
+
+void Loader::relievePressure() {
+  // Single-flight: concurrent over-budget shards queue up here rather than
+  // fighting over victims. Lock order: PressureM -> one shard M at a time
+  // (inside trySettle/compactOneVictim); callers hold no shard mutex.
+  std::lock_guard<std::mutex> PL(PressureM);
+  for (;;) {
+    bool AnyUncovered = false;
+    for (auto &Sh : ShardList)
+      if (!Sh->trySettle())
+        AnyUncovered = true;
+    if (!AnyUncovered)
+      return;
+    // Victim = the shard with the most resident cache bytes, lowest index
+    // on ties (stable sort over the index order): deterministic given the
+    // same resident distribution, and it frees the most budget per
+    // compaction.
+    std::vector<unsigned> Order(NumShards);
+    for (unsigned I = 0; I != NumShards; ++I)
+      Order[I] = I;
+    std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+      return ShardList[A]->cacheBytes() > ShardList[B]->cacheBytes();
+    });
+    bool Progress = false;
+    for (unsigned I : Order)
+      if (ShardList[I]->compactOneVictim()) {
+        Progress = true;
+        break;
+      }
+    if (!Progress)
+      return; // Nothing evictable anywhere; shards stay over until pools
+              // release.
+  }
+}
+
+void Loader::maybeCompactSymtabs() {
+  if (!stCompactionEnabled())
+    return;
+  std::lock_guard<std::mutex> Lock(SymtabM);
+  for (ModuleId MI = 0; MI != P.numModules(); ++MI) {
+    ModuleSymtab &St = P.module(MI).Symtab;
+    if (St.state() == PoolState::Expanded && St.expandedBytes()) {
+      St.compact(P.tracker());
+      SymtabCompactions.fetch_add(1, Relaxed);
+    }
+  }
+}
+
+void Loader::drainSpills() {
+  for (auto &Sh : ShardList)
+    Sh->drainSpills();
+}
+
+void Loader::drainPrefetches() {
+  for (auto &Sh : ShardList)
+    Sh->drainPrefetches();
+}
+
+void Loader::setAcquisitionSchedule(std::vector<RoutineId> Order) {
+  if (Config.PrefetchDepth == 0 || Order.empty() || !irCompactionEnabled())
+    return;
+  if (NumShards == 1) {
+    ShardList[0]->setSchedule(std::move(Order));
+    return;
+  }
+  // Split the schedule by owning shard, preserving relative order: each
+  // shard's prefetch window slides over its own slice, so readahead tracks
+  // the acquire stream that will actually reach that shard.
+  std::vector<std::vector<RoutineId>> Slices(NumShards);
+  for (RoutineId R : Order)
+    Slices[shardOf(R)].push_back(R);
+  for (unsigned I = 0; I != NumShards; ++I)
+    ShardList[I]->setSchedule(std::move(Slices[I]));
+}
+
+void Loader::clearAcquisitionSchedule() {
+  for (auto &Sh : ShardList)
+    Sh->clearSchedule();
+}
+
+uint64_t Loader::cacheBytes() const {
+  uint64_t Sum = 0;
+  for (const auto &Sh : ShardList)
+    Sum += Sh->cacheBytes();
+  return Sum;
+}
+
+size_t Loader::cachedPoolCount() const {
+  size_t Sum = 0;
+  for (const auto &Sh : ShardList)
+    Sum += Sh->cachedPoolCount();
+  return Sum;
+}
+
+LoaderStats Loader::stats() const {
+  LoaderStats Sum;
+  for (const auto &Sh : ShardList) {
+    LoaderStats S = Sh->snapshot();
+    Sum.Acquires += S.Acquires;
+    Sum.CacheHits += S.CacheHits;
+    Sum.Expansions += S.Expansions;
+    Sum.Compactions += S.Compactions;
+    Sum.Offloads += S.Offloads;
+    Sum.Fetches += S.Fetches;
+    Sum.SpillElisions += S.SpillElisions;
+    Sum.SpillQueueHits += S.SpillQueueHits;
+    Sum.PrefetchHits += S.PrefetchHits;
+    Sum.PrefetchWasted += S.PrefetchWasted;
+    Sum.RawBytes += S.RawBytes;
+    Sum.CompressedBytes += S.CompressedBytes;
+    Sum.LockWaitNanos += S.LockWaitNanos;
+    Sum.Contentions += S.Contentions;
+    Sum.SpillFailures += S.SpillFailures;
+    Sum.FetchRetries += S.FetchRetries;
+    Sum.Recoveries += S.Recoveries;
+    Sum.PoisonedPools += S.PoisonedPools;
+  }
+  Sum.SymtabCompactions = SymtabCompactions.load(Relaxed);
+  Sum.Shards = NumShards;
+  return Sum;
+}
+
+LoaderStats Loader::shardStats(unsigned Shard) const {
+  assert(Shard < NumShards && "shard index out of range");
+  LoaderStats S = ShardList[Shard]->snapshot();
+  S.Shards = 1;
+  return S;
+}
+
+Repository &Loader::repository(unsigned Shard) {
+  assert(Shard < NumShards && "shard index out of range");
+  return ShardList[Shard]->repository();
+}
+
+void Loader::setRecoveryHandler(RecoverFn F) {
+  for (auto &Sh : ShardList)
+    Sh->setRecoveryHandler(F);
+}
+
+bool Loader::degraded() const {
+  for (const auto &Sh : ShardList)
+    if (Sh->degraded())
+      return true;
+  return false;
+}
+
+unsigned Loader::degradedShardCount() const {
+  unsigned N = 0;
+  for (const auto &Sh : ShardList)
+    N += Sh->degraded() ? 1 : 0;
+  return N;
+}
+
+Status Loader::firstError() const {
+  for (const auto &Sh : ShardList) {
+    Status S = Sh->firstError();
+    if (!S.ok())
+      return S;
+  }
+  return Status();
+}
+
+std::vector<LoaderEvent> Loader::takeEvents() {
+  std::vector<LoaderEvent> All;
+  for (auto &Sh : ShardList) {
+    std::vector<LoaderEvent> E = Sh->takeEvents();
+    All.insert(All.end(), std::make_move_iterator(E.begin()),
+               std::make_move_iterator(E.end()));
+  }
+  return All;
 }

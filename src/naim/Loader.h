@@ -50,9 +50,21 @@
 ///    on per-pool transition states; the mutex keeps guarding metadata, the
 ///    LRU cache and budgets.
 ///
-/// Residency and counter *decisions* stay deterministic (they are made in
-/// program order under the mutex), so executables are byte-identical at any
-/// jobs × compress × prefetch combination.
+/// Sharding (the PR-10 overhaul, DESIGN.md §5k): the loader is a facade over
+/// N LoaderShards (`--naim-shards=N`, 0 = one shard per worker). Every
+/// routine belongs to exactly one shard — placement is a stable hash of the
+/// RoutineId, independent of jobs/partitions/schedule — and each shard owns
+/// its own mutex, LRU clock, spill queue, prefetch window, I/O thread and
+/// Repository file, so acquire/release traffic from different workers only
+/// collides when two workers touch routines that genuinely hash together.
+/// The single memory budget is replaced by a BudgetArbiter: shards charge
+/// resident bytes against locally cached leases refilled from one global
+/// atomic balance, and global pressure triggers victim-shard compaction
+/// (largest resident cache first, lowest shard index on ties) instead of a
+/// stop-the-world sweep. Residency decisions stay deterministic per shard;
+/// since placement is schedule-independent and residency never feeds
+/// codegen, executables are byte-identical at every shards x partitions x
+/// jobs combination.
 ///
 /// Failure model: the spill path is fallible by design and the loader never
 /// aborts the process. The degradation ladder, from cheapest to last resort:
@@ -60,11 +72,12 @@
 ///   1. transient store/fetch faults (EINTR/EAGAIN, short transfers) are
 ///      retried inside the Repository and never surface;
 ///   2. a failed spill (ENOSPC, EIO) permanently disables offloading for
-///      this loader — pools stay compact-resident, the compact budget is
-///      lifted, and a warning event records the slower-but-alive outcome.
-///      Write-behind failures are latched into the event queue and the
-///      in-flight payloads restored to residency; the driver observes them
-///      at its next checkpoint (after drainSpills()).
+///      the affected *shard* — its pools stay compact-resident, its compact
+///      budget is lifted, and a warning event records the slower-but-alive
+///      outcome; the other shards keep offloading to their own healthy
+///      files. Write-behind failures are latched into the event queue and
+///      the in-flight payloads restored to residency; the driver observes
+///      them at its next checkpoint (after drainSpills()).
 ///   3. a corrupt fetch (checksum/magic/bounds/decompression mismatch) is
 ///      re-read once — transient corruption between disk and memory heals,
 ///      bit-rot does not — then falls back to re-expanding the routine from
@@ -76,11 +89,13 @@
 ///      diagnostic at its next checkpoint — an exit code, not an abort.
 ///
 /// Concurrency: the loader is safe to call from the parallel backend's
-/// worker threads. The mutex M guards all pool metadata and transitions;
-/// the queue mutex QM guards the spill/prefetch queues (lock order always
-/// M → QM). The returned RoutineBody references are NOT guarded — the
-/// backend's fan-out gives each routine to exactly one worker, which is
-/// what makes unsynchronized body access safe.
+/// worker threads. Each shard's mutex M guards its pool metadata and
+/// transitions; its queue mutex QM guards its spill/prefetch queues (lock
+/// order always M -> QM, and never two shard mutexes at once — cross-shard
+/// victim compaction serializes on the facade's pressure mutex and locks
+/// one shard at a time). The returned RoutineBody references are NOT
+/// guarded — the backend's fan-out gives each routine to exactly one
+/// worker, which is what makes unsynchronized body access safe.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -89,21 +104,20 @@
 
 #include "ir/Program.h"
 #include "naim/Repository.h"
+#include "support/BudgetArbiter.h"
 #include "support/Status.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
-#include <thread>
 #include <vector>
 
 namespace scmo {
+
+class LoaderShard;
 
 /// How much NAIM machinery is enabled (the x-axis of paper Figure 5).
 enum class NaimMode : uint8_t {
@@ -124,8 +138,10 @@ enum class NaimCompress : uint8_t {
 struct NaimConfig {
   NaimMode Mode = NaimMode::Auto;
 
-  /// Soft cap on expanded-but-unpinned (cache-resident) IR bytes. When the
-  /// cache exceeds this, least-recently-used pools are compacted.
+  /// Soft cap on expanded-but-unpinned (cache-resident) IR bytes, enforced
+  /// globally across every shard by the BudgetArbiter. When the total
+  /// exceeds it, least-recently-used pools are compacted (victim shard
+  /// first under sharding).
   uint64_t ExpandedCacheBytes = 64ull << 20;
 
   /// Cap on in-memory compact bytes; beyond it, compact pools are offloaded
@@ -135,7 +151,8 @@ struct NaimConfig {
   /// For Auto mode: the machine's memory size from which thresholds derive.
   uint64_t MachineMemoryBytes = 512ull << 20;
 
-  /// Repository path ("" = a private temp file).
+  /// Repository path ("" = a private anonymous temp file per shard). With
+  /// more than one shard, shard S stores to "<path>.<S>.naim".
   std::string RepositoryPath;
 
   /// Spill-record payload compression.
@@ -146,14 +163,23 @@ struct NaimConfig {
   /// the optimizer.
   unsigned PrefetchDepth = 0;
 
-  /// Capacity of the write-behind spill queue. A full queue makes offloads
-  /// fall back to synchronous stores (backpressure); 0 disables write-behind
-  /// entirely and every offload stores synchronously.
+  /// Capacity of each shard's write-behind spill queue. A full queue makes
+  /// offloads fall back to synchronous stores (backpressure); 0 disables
+  /// write-behind entirely and every offload stores synchronously.
   unsigned SpillQueueDepth = 8;
 
-  /// Fault injector for the repository (tests / --fault-inject). When null,
-  /// the loader arms one from SCMO_FAULT_INJECT if that is set, so whole
-  /// test suites can run under injection without code changes.
+  /// Loader shard count (the scmoc --naim-shards knob). 0 = auto: the
+  /// driver resolves it to the worker-pool width before constructing the
+  /// loader; a bare Loader treats 0 as 1 (the monolithic pre-shard
+  /// behavior, which every exact-count test relies on). Placement is a
+  /// stable hash of RoutineId, so the executable is byte-identical at any
+  /// shard count; the knob is resource-only and fingerprint-excluded.
+  unsigned Shards = 0;
+
+  /// Fault injector for the repositories (tests / --fault-inject). When
+  /// null, the loader arms one from SCMO_FAULT_INJECT if that is set, so
+  /// whole test suites can run under injection without code changes. All
+  /// shards share one injector; `site@N` clauses address shard N's file.
   std::shared_ptr<FaultInjector> Injector;
 
   /// Derives staged thresholds from MachineMemoryBytes (Auto mode).
@@ -168,9 +194,9 @@ struct NaimConfig {
 };
 
 /// Loader activity counters (reported by the driver's diagnostics). stats()
-/// returns a snapshot of the loader's internal relaxed-atomic counters:
-/// safe to read while workers are active, exact once they have joined and
-/// the spill queue is drained.
+/// returns a snapshot of the loader's internal relaxed-atomic counters,
+/// summed over every shard: safe to read while workers are active, exact
+/// once they have joined and the spill queues are drained.
 struct LoaderStats {
   uint64_t Acquires = 0;
   uint64_t CacheHits = 0;     ///< Acquire found the pool still expanded.
@@ -188,8 +214,15 @@ struct LoaderStats {
   uint64_t RawBytes = 0;        ///< Uncompressed payload bytes stored.
   uint64_t CompressedBytes = 0; ///< On-disk payload bytes stored.
 
+  // Contention telemetry (DESIGN.md §5k): time workers spent blocked on
+  // shard mutexes, sampled try_lock-then-lock on the acquire/release hot
+  // paths. This pair is the before/after axis of the sharding win.
+  uint64_t LockWaitNanos = 0; ///< Nanoseconds spent in contended locks.
+  uint64_t Contentions = 0;   ///< Hot-path lock attempts that had to wait.
+  uint64_t Shards = 0;        ///< Shard count the counters are summed over.
+
   // Fault-path activity (all zero on a healthy disk).
-  uint64_t SpillFailures = 0; ///< Failed offload stores (degraded mode).
+  uint64_t SpillFailures = 0; ///< Failed offload stores (degraded shards).
   uint64_t FetchRetries = 0;  ///< Corrupt fetches re-read.
   uint64_t Recoveries = 0;    ///< Pools rebuilt from their object file.
   uint64_t PoisonedPools = 0; ///< Unrecoverable pools replaced by stubs.
@@ -200,7 +233,8 @@ struct LoaderStats {
 /// poisoned pool).
 struct LoaderEvent {
   enum class Kind : uint8_t {
-    SpillDegraded, ///< Offloading disabled; pools stay resident.
+    SpillDegraded, ///< Offloading disabled for a shard; its pools stay
+                   ///< resident.
     FetchRetried,  ///< A corrupt fetch healed on immediate re-read.
     Recovered,     ///< A corrupt pool was re-expanded from its object file.
     PoolPoisoned,  ///< Unrecoverable; the build must fail structurally.
@@ -210,7 +244,10 @@ struct LoaderEvent {
   std::string Detail;
 };
 
-/// Manages residency for every transitory pool in a Program.
+/// Manages residency for every transitory pool in a Program. A facade over
+/// NaimConfig::Shards independent LoaderShards; the public surface is
+/// unchanged from the monolithic loader, and with one shard the behavior is
+/// bit-for-bit the monolith's.
 class Loader {
 public:
   /// Re-materializes the compact/expanded body of a routine from outside
@@ -220,7 +257,7 @@ public:
 
   Loader(Program &P, const NaimConfig &Config);
 
-  /// Joins the I/O thread after draining outstanding spills.
+  /// Joins every shard's I/O thread after draining outstanding spills.
   ~Loader();
 
   /// Pins and returns the expanded body of \p R (must be defined). A pinned
@@ -241,8 +278,9 @@ public:
   const RoutineBody *acquireReadIfDefined(RoutineId R);
 
   /// Drops one pin from \p R. When the last pin drops, the pool becomes
-  /// unload-pending and joins the cache; the loader then enforces budgets
-  /// (lazily compacting / offloading LRU pools).
+  /// unload-pending and joins its shard's cache; the shard then settles its
+  /// lease with the arbiter (lazily compacting / offloading LRU pools, with
+  /// cross-shard victim compaction under global pressure).
   void release(RoutineId R);
 
   /// Releases every pinned routine (phase boundaries).
@@ -266,75 +304,92 @@ public:
   /// Compacts module symbol tables if the mode/thresholds call for it.
   void maybeCompactSymtabs();
 
-  /// Blocks until every queued write-behind spill has been stored (or has
-  /// failed and been restored to residency). The driver calls this at its
-  /// checkpoints so writer errors latch before stats/events are read; tests
-  /// call it before exact-count assertions.
+  /// Blocks until every queued write-behind spill (on every shard) has been
+  /// stored (or has failed and been restored to residency). The driver
+  /// calls this at its checkpoints so writer errors latch before
+  /// stats/events are read; tests call it before exact-count assertions.
   void drainSpills();
 
-  /// Blocks until the prefetch queue is idle (deterministic tests).
+  /// Blocks until every shard's prefetch queue is idle (deterministic
+  /// tests).
   void drainPrefetches();
 
   /// Hands the loader the acquisition order of the upcoming stage; with
-  /// PrefetchDepth > 0 the I/O thread keeps the next K scheduled routines
-  /// expanding ahead of the optimizer. Replaces any previous schedule.
+  /// PrefetchDepth > 0 each shard's I/O thread keeps the next K routines of
+  /// its slice of the schedule (relative order preserved) expanding ahead
+  /// of the optimizer. Replaces any previous schedule.
   void setAcquisitionSchedule(std::vector<RoutineId> Order);
 
   /// Drops the schedule and any queued readahead (end of stage).
   void clearAcquisitionSchedule();
 
-  /// Bytes of expanded IR currently sitting unpinned in the cache.
-  uint64_t cacheBytes() const {
-    std::lock_guard<std::mutex> Lock(M);
-    return CachedBytes;
-  }
+  /// Bytes of expanded IR currently sitting unpinned in the caches (summed
+  /// over shards).
+  uint64_t cacheBytes() const;
 
   /// Number of unpinned expanded pools resident (paper: "cache fullness is
   /// based on the number of expanded pools resident in memory").
-  size_t cachedPoolCount() const {
-    std::lock_guard<std::mutex> Lock(M);
-    return CacheOrder.size();
-  }
+  size_t cachedPoolCount() const;
 
-  /// Activity counters. Returns a snapshot: safe to call while workers are
-  /// active, exact once they have joined and drainSpills() has run.
+  /// Activity counters, summed over every shard. Returns a snapshot: safe
+  /// to call while workers are active, exact once they have joined and
+  /// drainSpills() has run.
   LoaderStats stats() const;
 
+  /// One shard's counters (tests, the per-shard --stats breakdown).
+  LoaderStats shardStats(unsigned Shard) const;
+
   const NaimConfig &config() const { return Config; }
-  Repository &repository() { return Repo; }
+
+  /// The number of shards (>= 1).
+  unsigned shardCount() const { return NumShards; }
+
+  /// The shard owning \p R: a stable hash of the id alone, so placement is
+  /// identical at every jobs x partitions combination.
+  unsigned shardOf(RoutineId R) const {
+    // splitmix64: id bits are sequential, and a weak mix would put every
+    // routine of a module on one shard.
+    uint64_t X = uint64_t(R) + 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    X ^= X >> 31;
+    return static_cast<unsigned>(X % NumShards);
+  }
+
+  /// Shard \p Shard's repository file.
+  Repository &repository(unsigned Shard = 0);
+
+  /// The global budget arbiter (tests, diagnostics).
+  const BudgetArbiter &arbiter() const { return Arbiter; }
 
   /// The session's effective fault injector (Config.Injector or the one
   /// armed from SCMO_FAULT_INJECT at construction; may be null). Every
-  /// durable-I/O path in the session reuses this instance so per-site op
-  /// counters stay deterministic across the whole build.
-  std::shared_ptr<FaultInjector> faultInjector() { return Repo.faultInjector(); }
+  /// durable-I/O path in the session — and every shard repository — reuses
+  /// this instance so per-site op counters stay deterministic across the
+  /// whole build.
+  std::shared_ptr<FaultInjector> faultInjector() { return Faults; }
 
-  /// Installs the corruption fallback (degradation rung 3). The handler is
-  /// invoked under the loader mutex and must not call back into the loader.
-  void setRecoveryHandler(RecoverFn F) {
-    std::lock_guard<std::mutex> Lock(M);
-    Recover = std::move(F);
-  }
+  /// Installs the corruption fallback (degradation rung 3) on every shard.
+  /// The handler is invoked under a shard mutex and must not call back into
+  /// the loader.
+  void setRecoveryHandler(RecoverFn F);
 
-  /// True once a spill failure has switched this loader to resident mode.
-  bool degraded() const {
-    std::lock_guard<std::mutex> Lock(M);
-    return SpillDisabled;
-  }
+  /// True once a spill failure has switched any shard to resident mode.
+  bool degraded() const;
+
+  /// How many shards have degraded to resident mode (0 = fully healthy).
+  /// One failing repository file degrades only its own shard.
+  unsigned degradedShardCount() const;
 
   /// The first unrecoverable spill-path error (Ok while the loader is
-  /// healthy). Once set, some acquired bodies are stubs: the compilation's
-  /// results are invalid and the driver must fail the build with this.
-  Status firstError() const {
-    std::lock_guard<std::mutex> Lock(M);
-    return FirstErr;
-  }
+  /// healthy), scanned in shard order. Once set, some acquired bodies are
+  /// stubs: the compilation's results are invalid and the driver must fail
+  /// the build with this.
+  Status firstError() const;
 
-  /// Drains the accumulated fault-path events (oldest first).
-  std::vector<LoaderEvent> takeEvents() {
-    std::lock_guard<std::mutex> Lock(M);
-    return std::exchange(Events, {});
-  }
+  /// Drains the accumulated fault-path events (per shard oldest first, in
+  /// shard order).
+  std::vector<LoaderEvent> takeEvents();
 
   /// True if the effective mode compacts IR at all.
   bool irCompactionEnabled() const;
@@ -344,100 +399,31 @@ public:
   bool offloadEnabled() const;
 
 private:
-  /// Relaxed-atomic twins of LoaderStats: the hot counters are bumped from
-  /// worker threads and the I/O thread without contending on M.
-  struct AtomicStats {
-    std::atomic<uint64_t> Acquires{0}, CacheHits{0}, Expansions{0},
-        Compactions{0}, Offloads{0}, Fetches{0}, SymtabCompactions{0},
-        SpillElisions{0}, SpillQueueHits{0}, PrefetchHits{0},
-        PrefetchWasted{0}, SpillFailures{0}, FetchRetries{0}, Recoveries{0},
-        PoisonedPools{0};
-  };
+  friend class LoaderShard;
 
-  /// One queued write-behind spill. The raw compact bytes live here
-  /// (uncharged — they left the compact-residency budget when the offload
-  /// was decided) until the writer has stored them; a fetch racing the
-  /// writer copies them out instead of reading the repository.
-  struct SpillEntry {
-    RoutineId R = InvalidId;
-    uint64_t Ticket = 0;
-    std::vector<uint8_t> Raw;
-    uint64_t RawHash = 0;
-  };
-
-  RoutineBody &acquireImpl(RoutineId R, bool Mutable);
-  void enforceBudgetImpl(std::unique_lock<std::mutex> &L, bool Everything);
-  void compactPool(RoutineId R, std::unique_lock<std::mutex> &L);
-  void offloadPool(RoutineId R, std::unique_lock<std::mutex> &L);
-  Status expandPool(RoutineId R, std::unique_lock<std::mutex> &L);
-  Status recoverPoolLocked(RoutineId R, Status Cause);
-  void installBodyLocked(RoutineId R, std::unique_ptr<RoutineBody> Body);
-  void poisonPoolLocked(RoutineId R, Status Cause);
-
-  /// Wraps \p Raw in the spill envelope, compressing per Config.
-  std::vector<uint8_t> buildEnvelope(const std::vector<uint8_t> &Raw);
-  /// Fetches and unwraps the record at Offset/Size with the one-retry rung
-  /// of the ladder. Runs without M; retry events are appended under M by
-  /// the caller via \p RetryDetail.
-  Status fetchRecord(uint64_t Offset, uint64_t Size,
-                     std::vector<uint8_t> &Raw, std::string &RetryDetail);
-  /// Stores \p Raw synchronously and applies the outcome to slot \p R
-  /// (success: record bookkeeping; failure: degradation). Called under M.
-  void storeSyncLocked(RoutineId R, std::vector<uint8_t> Raw,
-                       uint64_t RawHash);
-  /// Marks the spill path degraded and restores every queued entry to
-  /// compact residency. Called under M (takes QM internally).
-  void degradeSpillsLocked(RoutineId R, const Status &Cause);
-  /// Lazily starts the I/O thread (first spill enqueue / first schedule).
-  void ensureIoThreadLocked();
-  void ioThreadMain();
-  /// Expands one scheduled routine ahead of the optimizer (I/O thread).
-  void prefetchOne(RoutineId R);
+  /// Cross-shard victim compaction (DESIGN.md §5k). Called by a shard that
+  /// could not cover its resident bytes from the arbiter, with NO shard
+  /// mutex held. Single-flight under PressureM; repeatedly settles every
+  /// shard and, while any remains uncovered, compacts one LRU pool of the
+  /// shard with the largest resident cache (lowest index on ties),
+  /// crediting the freed charge to the global balance. Stops when every
+  /// shard is covered or nothing evictable remains.
+  void relievePressure();
 
   Program &P;
   NaimConfig Config;
-  Repository Repo;
-  mutable AtomicStats Stats;
-  RecoverFn Recover;
-  std::vector<LoaderEvent> Events;
-  Status FirstErr;
-  /// Set after the first failed spill: offloading is permanently off for
-  /// this loader and compact pools stay resident regardless of budget.
-  bool SpillDisabled = false;
+  unsigned NumShards;
+  std::shared_ptr<FaultInjector> Faults;
+  BudgetArbiter Arbiter;
+  std::vector<std::unique_ptr<LoaderShard>> ShardList;
 
-  /// Guards every mutable member below, all pool state transitions and the
-  /// event queue. Encode/decode and repository reads run outside it on
-  /// per-pool transition states (RoutineSlot::InTransition).
-  mutable std::mutex M;
-  /// Woken when a pool's InTransition clears.
-  std::condition_variable TransitionCv;
+  /// Single-flights relievePressure. Lock order: PressureM -> one shard M
+  /// at a time; a shard requesting relief must have dropped its own mutex.
+  std::mutex PressureM;
 
-  /// Unpinned expanded pools ordered by (LruTick, RoutineId): deterministic
-  /// LRU. Determinism of eviction order matters for reproducible compile
-  /// behaviour (paper Section 6.2).
-  std::set<std::pair<uint64_t, RoutineId>> CacheOrder;
-  uint64_t CachedBytes = 0;
-  uint64_t Tick = 0;
-
-  /// Queue state. Lock order is always M → QM; the I/O thread never holds
-  /// QM while storing or decoding.
-  std::mutex QM;
-  std::condition_variable QWorkCv;  ///< Wakes the I/O thread.
-  std::condition_variable QIdleCv;  ///< Wakes drainSpills/drainPrefetches.
-  std::deque<std::shared_ptr<SpillEntry>> SpillQ;
-  std::deque<RoutineId> PrefetchQ;
-  /// Immutable while ScheduleActive; set/clear must not race acquires (the
-  /// driver brackets parallel regions with them).
-  std::vector<RoutineId> Schedule;
-  std::atomic<bool> ScheduleActive{false};
-  /// Count of acquires since the schedule was set: acquire #N pushes
-  /// schedule position N + PrefetchDepth into the readahead window.
-  std::atomic<size_t> SchedPos{0};
-  bool SpillBusy = false;    ///< Writer is storing the front entry.
-  bool PrefetchBusy = false; ///< I/O thread is expanding a prefetch.
-  bool StopIo = false;
-  uint64_t NextTicket = 0;
-  std::thread IoThread;
+  /// Symtabs are program-wide, not per-routine, so they stay facade state.
+  std::mutex SymtabM;
+  std::atomic<uint64_t> SymtabCompactions{0};
 };
 
 } // namespace scmo

@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fcntl.h>
 #include <unistd.h>
@@ -39,14 +41,18 @@ void encodeHeader(uint8_t *H, uint32_t Size, uint64_t Checksum) {
 
 } // namespace
 
-Repository::Repository(std::string Path, std::shared_ptr<FaultInjector> FI)
-    : FilePath(std::move(Path)), Faults(std::move(FI)),
+Repository::Repository(std::string Path, std::shared_ptr<FaultInjector> FI,
+                       unsigned Shard)
+    : FilePath(std::move(Path)), Faults(std::move(FI)), Shard(int(Shard)),
       UserPath(!FilePath.empty()) {}
 
 Repository::~Repository() {
   if (Fd >= 0) {
     ::close(Fd);
-    std::remove(FilePath.c_str());
+    // Anonymous repositories have no name on disk (FilePath stayed "");
+    // only a user-pathed file needs explicit removal.
+    if (!FilePath.empty())
+      std::remove(FilePath.c_str());
   }
 }
 
@@ -54,14 +60,35 @@ Status Repository::ensureOpenLocked() {
   if (Fd >= 0)
     return Status();
   if (FilePath.empty()) {
-    // Unique-enough temp name without touching global RNG state.
+    // Anonymous scratch: the backing file never gets a name, so a builder
+    // SIGKILLed mid-build (the torture harness, a forked worker, a CI
+    // timeout) cannot leave shard files littering /tmp.
+#ifdef O_TMPFILE
+    Fd = ::open("/tmp", O_TMPFILE | O_RDWR, 0600);
+    if (Fd >= 0)
+      return Status();
+#endif
+    // Filesystem without O_TMPFILE support: pid-unique name, unlinked the
+    // instant the descriptor exists — the leak window is two syscalls
+    // instead of the whole compilation. FilePath stays "": the storage is
+    // still anonymous as far as any observer is concerned.
     static std::atomic<unsigned> Counter{0};
-    FilePath = "/tmp/scmo-repo-" + std::to_string(::getpid()) + "-" +
-               std::to_string(Counter.fetch_add(1)) + ".bin";
+    std::string Tmp = "/tmp/scmo-repo-" + std::to_string(::getpid()) + "-" +
+                      std::to_string(Counter.fetch_add(1)) + ".bin";
+    Fd = ::open(Tmp.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+    if (Fd < 0) {
+      int E = errno;
+      return Status::error(E == ENOSPC ? StatusCode::NoSpace
+                                       : StatusCode::IoError,
+                           "cannot create repository file '" + Tmp +
+                               "': " + std::strerror(E));
+    }
+    ::unlink(Tmp.c_str());
+    return Status();
   }
-  // O_EXCL everywhere: the repository is private scratch state, so the file
-  // must be ours alone. In particular a user-supplied path pointing at an
-  // existing file is an error, not an invitation to truncate it.
+  // O_EXCL: the repository is private scratch state, so the file must be
+  // ours alone. A user-supplied path pointing at an existing file is an
+  // error, not an invitation to truncate it.
   Fd = ::open(FilePath.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
   if (Fd < 0) {
     int E = errno;
@@ -96,6 +123,18 @@ Status Repository::writeAll(const uint8_t *Data, size_t Size,
       errno = ENOSPC;
       return Status::error(StatusCode::NoSpace,
                            "repository write failed: injected ENOSPC");
+    }
+    if (Action == FaultInjector::Action::Crash) {
+      // Torture point: leave a torn half-frame behind, make sure it is
+      // really on disk, then die the way a SIGKILLed builder does — no
+      // destructors, no cleanup. With anonymous backing storage the kernel
+      // reclaims the file the instant the process dies, which is exactly
+      // the litter guarantee the torture suite pins down.
+      ::pwrite(Fd, Data, Size > 1 ? Size / 2 : Size,
+               static_cast<off_t>(Offset));
+      ::fsync(Fd);
+      ::kill(::getpid(), SIGKILL);
+      std::abort(); // not reached
     }
     ssize_t N;
     if (Action == FaultInjector::Action::Eintr) {
@@ -189,7 +228,7 @@ Expected<uint64_t> Repository::store(const std::vector<uint8_t> &Bytes,
 
   FaultInjector::Action Action = FaultInjector::Action::None;
   if (Faults)
-    Action = Faults->next(FaultInjector::Site::Store);
+    Action = Faults->next(FaultInjector::Site::Store, Shard);
 
   // The checksum always covers the payload the caller handed us; a
   // store-side injected corruption therefore lands on disk checksummed
@@ -257,7 +296,7 @@ Status Repository::fetch(uint64_t Offset, uint64_t Size,
 
   FaultInjector::Action Action = FaultInjector::Action::None;
   if (FI)
-    Action = FI->next(FaultInjector::Site::Read);
+    Action = FI->next(FaultInjector::Site::Read, Shard);
 
   uint8_t Header[FrameHeaderBytes];
   Status S = readAll(File, Header, FrameHeaderBytes, Offset, Action);

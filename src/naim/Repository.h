@@ -62,11 +62,17 @@ public:
   static constexpr uint64_t MaxRecordBytes = 1ull << 30;
 
   /// A repository at \p Path; an empty path defers creation until the first
-  /// store (lazily created under /tmp). A caller-supplied path that already
-  /// exists is NOT clobbered: the first store fails with StatusCode::Exists.
-  /// \p Faults, when non-null, is consulted on every store/fetch.
+  /// store, then opens an *anonymous* file under /tmp (O_TMPFILE, or
+  /// created-then-unlinked where the filesystem lacks it): the backing
+  /// storage never has a name a SIGKILLed builder could leak, and path()
+  /// stays "". A caller-supplied path that already exists is NOT clobbered:
+  /// the first store fails with StatusCode::Exists. \p Faults, when
+  /// non-null, is consulted on every store/fetch; \p Shard is the owning
+  /// loader shard's index, matched by shard-addressed fault clauses
+  /// ('store@2:...').
   explicit Repository(std::string Path = "",
-                      std::shared_ptr<FaultInjector> Faults = nullptr);
+                      std::shared_ptr<FaultInjector> Faults = nullptr,
+                      unsigned Shard = 0);
 
   Repository(const Repository &) = delete;
   Repository &operator=(const Repository &) = delete;
@@ -131,8 +137,13 @@ public:
     return TransientRetries.load(std::memory_order_relaxed);
   }
 
-  /// Path of the backing file ("" if never created).
+  /// Path of the backing file ("" if never created — or anonymous: a
+  /// lazily created repository's file is unlinked from birth and has no
+  /// path to return).
   const std::string &path() const { return FilePath; }
+
+  /// The owning loader shard's index (0 for an unsharded repository).
+  unsigned shard() const { return unsigned(Shard); }
 
 private:
   Status ensureOpenLocked();
@@ -151,6 +162,7 @@ private:
   mutable std::mutex M;
   std::string FilePath;
   std::shared_ptr<FaultInjector> Faults;
+  int Shard = 0;
   int Fd = -1;
   /// True when the path came from the caller: such a file must not be
   /// silently truncated if it already exists.

@@ -1,0 +1,91 @@
+//===- support/BudgetArbiter.cpp ------------------------------------------===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BudgetArbiter.h"
+
+#include <algorithm>
+
+using namespace scmo;
+
+namespace {
+/// Below this a quantum stops amortizing anything: a lease refill per few
+/// pools is as contended as charging the global balance directly.
+constexpr uint64_t MinQuantum = 64 * 1024;
+} // namespace
+
+BudgetArbiter::BudgetArbiter(uint64_t TotalBytes, unsigned NumClients)
+    : Total(TotalBytes), Available(TotalBytes) {
+  // One client gets the whole budget as its quantum: its first refill takes
+  // everything, every charge thereafter is a local compare, and the
+  // success condition degenerates to charged + bytes <= Total — the
+  // monolithic loader's exact eviction threshold (see header).
+  if (NumClients <= 1) {
+    Quantum = std::max<uint64_t>(Total, 1);
+    return;
+  }
+  // Several clients: small enough quanta that one shard hoarding its lease
+  // cannot starve the rest (8 refills per shard per full budget), floored
+  // so refills stay rare relative to pool traffic.
+  Quantum = std::max(Total / (8 * uint64_t(NumClients)), MinQuantum);
+}
+
+bool BudgetArbiter::charge(Lease &L, uint64_t Bytes) {
+  if (L.Cached >= Bytes) {
+    L.Cached -= Bytes;
+    L.Charged += Bytes;
+    return true;
+  }
+  uint64_t Shortfall = Bytes - L.Cached;
+  uint64_t Want = std::max(Shortfall, Quantum);
+  uint64_t Avail = Available.load(std::memory_order_relaxed);
+  uint64_t Take;
+  do {
+    if (Avail < Shortfall) {
+      Pressure.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Take = std::min(Avail, Want);
+  } while (!Available.compare_exchange_weak(Avail, Avail - Take,
+                                            std::memory_order_relaxed));
+  Refills.fetch_add(1, std::memory_order_relaxed);
+  L.Cached += Take;
+  L.Cached -= Bytes;
+  L.Charged += Bytes;
+  return true;
+}
+
+void BudgetArbiter::credit(Lease &L, uint64_t Bytes) {
+  // Clamp to what is actually charged so a stray double-credit can never
+  // mint budget out of thin air; both sides of the invariant move together.
+  uint64_t Returned = std::min(L.Charged, Bytes);
+  L.Charged -= Returned;
+  L.Cached += Returned;
+  uint64_t Keep = 2 * Quantum;
+  if (L.Cached > Keep) {
+    uint64_t Surplus = L.Cached - Keep;
+    L.Cached = Keep;
+    Available.fetch_add(Surplus, std::memory_order_relaxed);
+    Returns.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void BudgetArbiter::creditGlobal(Lease &L, uint64_t Bytes) {
+  uint64_t Returned = std::min(L.Charged, Bytes);
+  L.Charged -= Returned;
+  if (Returned) {
+    Available.fetch_add(Returned, std::memory_order_relaxed);
+    Returns.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void BudgetArbiter::drain(Lease &L) {
+  if (!L.Cached)
+    return;
+  Available.fetch_add(L.Cached, std::memory_order_relaxed);
+  Returns.fetch_add(1, std::memory_order_relaxed);
+  L.Cached = 0;
+}

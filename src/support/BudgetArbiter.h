@@ -1,0 +1,111 @@
+//===- support/BudgetArbiter.h ----------------------------------*- C++ -*-===//
+//
+// Part of the SCMO project: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A global memory budget shared by independent clients (the NAIM loader
+/// shards) without a shared mutex on the hot path. The paper's pool manager
+/// enforced one budget from one thread; the sharded loader (DESIGN.md §5k)
+/// runs one LRU cache per shard, and charging every release against a
+/// single locked counter would simply rebuild the serialization point the
+/// shards exist to remove.
+///
+/// Protocol: the arbiter owns `Total` bytes. Each client holds a `Lease` —
+/// budget it has reserved from the global balance but not yet spent —
+/// guarded by the client's own lock (the arbiter never locks; the global
+/// balance is one atomic). A client charges resident bytes against its
+/// lease locally; when the lease runs dry it refills from the global
+/// balance in quanta, and when it grows fat (more than two quanta beyond
+/// what is charged) the surplus flows back. The invariant, exact at every
+/// instant:
+///
+///   Available + Σ clients (Cached + Charged) == Total
+///
+/// A refill that cannot be satisfied is *global pressure*: charge() returns
+/// false, nothing changes, and the caller is expected to free budget —
+/// the loader picks the shard with the most resident bytes and compacts it
+/// (largest-resident-first victim compaction), instead of the old
+/// stop-the-world enforceBudget over one big mutex.
+///
+/// Degenerate single-client case: with NumClients == 1 the quantum equals
+/// the whole budget, so the lone client's charge() succeeds exactly while
+/// charged + bytes <= Total — bit-for-bit the monolithic loader's
+/// `CachedBytes > SoftCap` eviction condition. The sharded loader at
+/// --naim-shards=1 therefore compacts exactly when the pre-shard loader
+/// did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCMO_SUPPORT_BUDGETARBITER_H
+#define SCMO_SUPPORT_BUDGETARBITER_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace scmo {
+
+/// Arbitrates one byte budget across clients that each own their lease's
+/// synchronization. All arbiter state is atomic; none of the calls block.
+class BudgetArbiter {
+public:
+  /// Per-client lease state. The *client* guards it (the loader shard's
+  /// mutex); the arbiter only ever touches a Lease inside calls the owner
+  /// makes, so the fields need no atomics of their own.
+  struct Lease {
+    uint64_t Cached = 0;  ///< Reserved from the global balance, unspent.
+    uint64_t Charged = 0; ///< Spent on live resident bytes.
+  };
+
+  /// An arbiter for \p TotalBytes split between \p NumClients clients.
+  BudgetArbiter(uint64_t TotalBytes, unsigned NumClients);
+
+  BudgetArbiter(const BudgetArbiter &) = delete;
+  BudgetArbiter &operator=(const BudgetArbiter &) = delete;
+
+  /// Charges \p Bytes against \p L, refilling the lease from the global
+  /// balance if it runs short. Returns false — charging nothing — when the
+  /// global balance cannot cover the shortfall: global pressure, the
+  /// caller's cue to trigger victim compaction.
+  bool charge(Lease &L, uint64_t Bytes);
+
+  /// Returns \p Bytes of charge to the lease; surplus beyond two quanta
+  /// flows back to the global balance so an idle client cannot hoard it.
+  void credit(Lease &L, uint64_t Bytes);
+
+  /// As credit(), but the bytes bypass the lease and go straight to the
+  /// global balance: used by victim compaction, where the whole point is
+  /// that a *different* client needs the budget now.
+  void creditGlobal(Lease &L, uint64_t Bytes);
+
+  /// Returns the lease's entire unspent reservation to the global balance
+  /// (client teardown / end-of-phase trim).
+  void drain(Lease &L);
+
+  uint64_t total() const { return Total; }
+  uint64_t quantum() const { return Quantum; }
+  uint64_t available() const {
+    return Available.load(std::memory_order_relaxed);
+  }
+
+  // Protocol observability (tests and --stats).
+  uint64_t refills() const { return Refills.load(std::memory_order_relaxed); }
+  uint64_t returns() const { return Returns.load(std::memory_order_relaxed); }
+  uint64_t pressureEvents() const {
+    return Pressure.load(std::memory_order_relaxed);
+  }
+
+private:
+  uint64_t Total;
+  uint64_t Quantum;
+  std::atomic<uint64_t> Available;
+  std::atomic<uint64_t> Refills{0};
+  std::atomic<uint64_t> Returns{0};
+  std::atomic<uint64_t> Pressure{0};
+};
+
+} // namespace scmo
+
+#endif // SCMO_SUPPORT_BUDGETARBITER_H
